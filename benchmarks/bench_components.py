@@ -1,0 +1,74 @@
+"""Component micro-benchmarks: the building blocks' throughput.
+
+Not paper figures -- these track the performance of the reproduction
+itself: cost-model evaluation rate, one full simulator run, and one full
+2PO optimization, so regressions in the machinery show up directly.
+"""
+
+from repro.catalog import Catalog, Placement, Relation
+from repro.config import BufferAllocation, OptimizerConfig, SystemConfig
+from repro.costmodel import CostModel, EnvironmentState, Objective
+from repro.engine import QueryExecutor
+from repro.optimizer import RandomizedOptimizer, random_plan
+from repro.plans import Policy
+from tests.conftest import make_chain
+
+import random
+
+
+def _setup(num_relations=10, num_servers=4):
+    query = make_chain(num_relations)
+    names = list(query.relations)
+    placement = Placement({n: 1 + i % num_servers for i, n in enumerate(names)})
+    catalog = Catalog([Relation(n, 10_000) for n in names], placement)
+    config = SystemConfig(num_servers=num_servers)
+    return query, catalog, config
+
+
+def test_cost_model_evaluation_rate(benchmark):
+    query, catalog, config = _setup()
+    model = CostModel(query, EnvironmentState(catalog, config))
+    plan = random_plan(query, Policy.HYBRID_SHIPPING, random.Random(1))
+    cost = benchmark(model.evaluate, plan)
+    assert cost.response_time > 0
+
+
+def test_simulator_full_10way_run(benchmark):
+    query, catalog, config = _setup()
+    plan = random_plan(query, Policy.QUERY_SHIPPING, random.Random(1))
+
+    def run():
+        return QueryExecutor(config, catalog, query, seed=1).execute(plan)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.result_tuples > 0
+
+
+def test_optimizer_full_2po_10way(benchmark):
+    query, catalog, config = _setup()
+    environment = EnvironmentState(catalog, config)
+
+    def optimize_once():
+        return RandomizedOptimizer(
+            query,
+            environment,
+            Policy.HYBRID_SHIPPING,
+            Objective.RESPONSE_TIME,
+            OptimizerConfig.fast(),
+            seed=1,
+        ).optimize()
+
+    result = benchmark.pedantic(optimize_once, rounds=3, iterations=1)
+    assert result.cost.response_time > 0
+
+
+def test_simulator_min_alloc_spilling_run(benchmark):
+    query, catalog, config = _setup(num_relations=4, num_servers=2)
+    config = SystemConfig(num_servers=2, buffer_allocation=BufferAllocation.MINIMUM)
+    plan = random_plan(query, Policy.QUERY_SHIPPING, random.Random(2))
+
+    def run():
+        return QueryExecutor(config, catalog, query, seed=2).execute(plan)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.result_tuples > 0

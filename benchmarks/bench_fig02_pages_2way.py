@@ -1,0 +1,31 @@
+"""Figure 2: pages sent, 2-way join, one server, varying client caching.
+
+Paper's shape: QS flat at 250 pages; DS linear from 500 to 0; HY equal to
+the lower envelope with the crossover at 50 % cached.
+"""
+
+from conftest import CACHE_FRACTIONS, publish
+
+from repro.experiments import figure2
+
+
+def test_figure2(benchmark, settings, results_dir):
+    result = benchmark.pedantic(
+        lambda: figure2(settings, cache_fractions=CACHE_FRACTIONS),
+        rounds=1,
+        iterations=1,
+    )
+    publish(result, results_dir)
+    ds = result.series_means("DS")
+    qs = result.series_means("QS")
+    hy = result.series_means("HY")
+
+    # QS ships exactly the 250-page result, independent of caching.
+    assert all(pages == 250 for pages in qs.values())
+    # DS faults in exactly the uncached base pages: 500 -> 0 linearly.
+    assert ds[0.0] == 500 and ds[50.0] == 250 and ds[100.0] == 0
+    assert all(ds[x] >= ds[y] for x, y in zip(sorted(ds), sorted(ds)[1:]))
+    # Crossover at 50 % cached; HY tracks the lower envelope throughout.
+    assert ds[0.0] > qs[0.0] and ds[100.0] < qs[100.0]
+    for x in hy:
+        assert hy[x] <= min(ds[x], qs[x]) + 1e-6

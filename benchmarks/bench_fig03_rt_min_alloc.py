@@ -1,0 +1,37 @@
+"""Figure 3: response time, 2-way join, minimum allocation, no load.
+
+Paper's shape: QS worst and flat (scan and join temp I/O contend on the
+single server disk); DS best uncached and degrading as caching grows,
+ending only slightly better than QS; HY flat and best everywhere (it
+leaves scans at the server and joins at the client, ignoring the cache).
+"""
+
+from conftest import CACHE_FRACTIONS, publish
+
+from repro.experiments import figure3
+
+
+def test_figure3(benchmark, settings, results_dir):
+    result = benchmark.pedantic(
+        lambda: figure3(settings, cache_fractions=CACHE_FRACTIONS),
+        rounds=1,
+        iterations=1,
+    )
+    publish(result, results_dir)
+    ds = result.series_means("DS")
+    qs = result.series_means("QS")
+    hy = result.series_means("HY")
+
+    # QS is flat: caching does not affect it.
+    assert max(qs.values()) <= min(qs.values()) * 1.05
+    # Caching monotonically *hurts* DS here.
+    xs = sorted(ds)
+    assert all(ds[a] < ds[b] for a, b in zip(xs, xs[1:]))
+    # At full caching DS is only slightly better than QS (paper's words).
+    assert ds[100.0] < qs[100.0] <= ds[100.0] * 1.15
+    # HY is flat and the best policy at every point.
+    assert max(hy.values()) <= min(hy.values()) * 1.05
+    for x in hy:
+        assert hy[x] <= min(ds[x], qs[x]) * 1.02
+    # QS pays roughly 2x over HY's split plan.
+    assert qs[0.0] > 1.8 * hy[0.0]

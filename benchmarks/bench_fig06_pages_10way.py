@@ -1,0 +1,33 @@
+"""Figure 6: pages sent, 10-way join, varying server count, no caching.
+
+Paper's shape: DS constant at 2500 pages (all ten relations fault to the
+client); QS grows from 250 at one server toward 2500 at ten as relations
+must ship between servers; HY equals the lower envelope.
+"""
+
+from conftest import SERVER_COUNTS, publish
+
+from repro.experiments import figure6
+
+
+def test_figure6(benchmark, settings, results_dir):
+    result = benchmark.pedantic(
+        lambda: figure6(settings, server_counts=SERVER_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+    publish(result, results_dir)
+    ds = result.series_means("DS")
+    qs = result.series_means("QS")
+    hy = result.series_means("HY")
+
+    # DS always moves all ten base relations.
+    assert all(pages == 2500 for pages in ds.values())
+    # QS: one server needs only the result; ten servers cost as much as DS.
+    assert qs[1] == 250
+    assert qs[max(qs)] == 2500
+    xs = sorted(qs)
+    assert all(qs[a] <= qs[b] + 1e-6 for a, b in zip(xs, xs[1:]))
+    # HY equals the lower envelope everywhere.
+    for x in hy:
+        assert hy[x] <= min(ds[x], qs[x]) + 1e-6

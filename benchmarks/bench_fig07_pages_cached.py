@@ -1,0 +1,40 @@
+"""Figure 7: pages sent, 10-way join, five of ten relations cached.
+
+Paper's shape: DS halves to 1250 pages; QS is identical to Figure 6 (it
+cannot use the cache) and crosses above DS beyond three servers; HY sends
+*less than either pure policy* at mid-range server counts by combining
+cached copies with co-located server-side joins -- the paper's headline
+hybrid-shipping result.
+"""
+
+from conftest import SERVER_COUNTS, publish
+
+from repro.experiments import figure7
+
+
+def test_figure7(benchmark, settings, results_dir):
+    result = benchmark.pedantic(
+        lambda: figure7(settings, server_counts=SERVER_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+    publish(result, results_dir)
+    ds = result.series_means("DS")
+    qs = result.series_means("QS")
+    hy = result.series_means("HY")
+
+    # DS now faults only the five uncached relations.
+    assert all(pages == 1250 for pages in ds.values())
+    # QS ignores the cache: same growth as Figure 6.
+    assert qs[1] == 250
+    assert qs[max(qs)] == 2500
+    # Beyond three servers QS sends more than DS (paper's observation).
+    assert all(qs[x] > ds[x] for x in qs if x >= 4)
+    # HY at most the lower envelope everywhere...
+    for x in hy:
+        assert hy[x] <= min(ds[x], qs[x]) + 1e-6
+    # ...and strictly below both for at least two mid-range populations.
+    strictly_better = [
+        x for x in hy if hy[x] < min(ds[x], qs[x]) - 1e-6 and 1 < x < max(hy)
+    ]
+    assert len(strictly_better) >= 2

@@ -1,0 +1,37 @@
+"""Figure 8: response time, 10-way join, min. allocation, no caching.
+
+Paper's shape: DS flat around its single-client bottleneck; QS improving
+steeply as servers (disks) are added, from far above DS to far below; HY
+at or below both pure policies at small server counts and converging to
+QS for large ones.
+"""
+
+from conftest import SERVER_COUNTS, publish
+
+from repro.experiments import figure8
+
+
+def test_figure8(benchmark, settings, results_dir):
+    result = benchmark.pedantic(
+        lambda: figure8(settings, server_counts=SERVER_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+    publish(result, results_dir)
+    ds = result.series_means("DS")
+    qs = result.series_means("QS")
+    hy = result.series_means("HY")
+    most = max(ds)
+
+    # DS is flat: server count is irrelevant when all joins run at the client.
+    assert max(ds.values()) <= min(ds.values()) * 1.05
+    # QS: worst of all at one server, best of all at ten.
+    assert qs[1] > 1.5 * ds[1]
+    assert qs[most] < 0.5 * ds[most]
+    assert qs[most] < qs[1] / 3
+    # HY beats or matches both pure policies at 1-3 servers.
+    for x in (1, 2, 3):
+        if x in hy:
+            assert hy[x] <= min(ds[x], qs[x]) * 1.1
+    # HY converges to QS at the largest population.
+    assert hy[most] <= qs[most] * 1.1

@@ -1,0 +1,39 @@
+"""Figure 10: static vs 2-step plans, relative to the ideal plan.
+
+Paper's shape: deep static plans (compiled under a centralized assumption)
+pay the largest penalty once servers multiply -- all joins collapse onto
+one site; 2-step site selection recovers much of it; bushy static plans
+suffer at small counts (no client use); bushy 2-step runs near the ideal
+everywhere.
+"""
+
+from conftest import TWO_STEP_SERVER_COUNTS, publish
+
+from repro.experiments import figure10
+
+
+def test_figure10(benchmark, settings, results_dir):
+    result = benchmark.pedantic(
+        lambda: figure10(settings, server_counts=TWO_STEP_SERVER_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+    publish(result, results_dir)
+    deep_static = result.series_means("Deep Static")
+    deep_two_step = result.series_means("Deep 2-Step")
+    bushy_static = result.series_means("Bushy Static")
+    bushy_two_step = result.series_means("Bushy 2-Step")
+    most = max(deep_static)
+
+    # All ratios are at least 1 (normalized by the best plan measured).
+    for series in (deep_static, deep_two_step, bushy_static, bushy_two_step):
+        assert all(ratio >= 1.0 - 1e-9 for ratio in series.values())
+    # Deep static pays a large penalty with many servers...
+    assert deep_static[most] > 1.5
+    # ...which 2-step site selection reduces.
+    assert deep_two_step[most] < deep_static[most]
+    # Bushy 2-step stays close to the ideal across the sweep.
+    assert max(bushy_two_step.values()) < 1.35
+    # Bushy static is noticeably worse than bushy 2-step at one server
+    # (it cannot move work to the client).
+    assert bushy_static[1] > bushy_two_step[1] * 1.15

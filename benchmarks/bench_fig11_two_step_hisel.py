@@ -1,0 +1,34 @@
+"""Figure 11: the Figure-10 experiment on the HiSel query.
+
+Paper's shape: with high join selectivity bushy plans carry inflated
+intermediates, so they "perform poorly" at small server counts; as servers
+are added the extra work parallelizes and the bushy 2-step plan performs
+well again.  Deep static still degrades with many servers.
+"""
+
+from conftest import TWO_STEP_SERVER_COUNTS, publish
+
+from repro.experiments import figure11
+
+
+def test_figure11(benchmark, settings, results_dir):
+    result = benchmark.pedantic(
+        lambda: figure11(settings, server_counts=TWO_STEP_SERVER_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+    publish(result, results_dir)
+    deep_static = result.series_means("Deep Static")
+    bushy_static = result.series_means("Bushy Static")
+    bushy_two_step = result.series_means("Bushy 2-Step")
+    most = max(deep_static)
+
+    for series in (deep_static, bushy_static, bushy_two_step):
+        assert all(ratio >= 1.0 - 1e-9 for ratio in series.values())
+    # Bushy plans suffer at one server under high selectivity.
+    assert bushy_static[1] > 1.3
+    # With many servers the bushy 2-step plan performs well again.
+    assert bushy_two_step[most] < bushy_static[1]
+    assert bushy_two_step[most] < 1.35
+    # Deep static still pays its stale-placement penalty at scale.
+    assert deep_static[most] > deep_static[1]

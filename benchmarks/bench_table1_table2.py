@@ -1,0 +1,33 @@
+"""Tables 1 and 2: definitional tables, regenerated and verified."""
+
+from conftest import publish
+
+from repro.experiments import table1, table2
+
+
+def test_table1_site_selection(benchmark, results_dir):
+    text = benchmark(table1)
+    print("\n" + text)
+    (results_dir / "table1.txt").write_text(text + "\n")
+    # Spot-check every row of the paper's Table 1.
+    lines = {line.split()[0]: line for line in text.splitlines()[2:]}
+    assert "client" in lines["display"]
+    assert "inner relation" in lines["join"] and "outer relation" in lines["join"]
+    assert "producer" in lines["select"]
+    assert "primary copy" in lines["scan"]
+
+
+def test_table2_simulator_parameters(benchmark, results_dir):
+    text = benchmark(table2)
+    print("\n" + text)
+    (results_dir / "table2.txt").write_text(text + "\n")
+    for fragment in (
+        "Mips                  50",
+        "DiskInst            5000",
+        "PageSize            4096",
+        "NetBw                100",
+        "MsgInst            20000",
+        "PerSizeMI          12000",
+        "HashInst               9",
+    ):
+        assert fragment in text

@@ -1,0 +1,59 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one table or figure of the paper: it runs the
+randomized optimizer and the simulator over the figure's parameter sweep,
+prints the series in the paper's units, asserts the qualitative shape the
+paper reports, and writes the rendered table to ``benchmarks/results/``.
+
+Environment knobs:
+
+- ``REPRO_BENCH_FULL=1``  -- full sweeps (all x points, 5 seeds); default
+  is a reduced grid that keeps the whole benchmark suite around ten
+  minutes.
+- ``REPRO_BENCH_SEEDS=3,7,11`` -- override the seed list.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.config import OptimizerConfig
+from repro.experiments.report import render_figure
+from repro.experiments.runner import RunSettings
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+_seed_override = os.environ.get("REPRO_BENCH_SEEDS", "")
+if _seed_override:
+    SEEDS = tuple(int(s) for s in _seed_override.split(","))
+elif FULL:
+    SEEDS = (3, 7, 11, 13, 17)
+else:
+    SEEDS = (3, 7, 11)
+
+CACHE_FRACTIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
+SERVER_COUNTS = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10) if FULL else (1, 2, 3, 5, 7, 10)
+TWO_STEP_SERVER_COUNTS = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10) if FULL else (1, 5, 10)
+
+
+@pytest.fixture(scope="session")
+def settings() -> RunSettings:
+    return RunSettings(seeds=SEEDS, optimizer=OptimizerConfig.fast())
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(result, results_dir: pathlib.Path) -> str:
+    """Render a figure, print it, and persist it under results/."""
+    text = render_figure(result)
+    print("\n" + text)
+    (results_dir / f"{result.figure_id}.txt").write_text(text + "\n")
+    return text

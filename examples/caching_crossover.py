@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""The caching crossover: Figures 2, 3 and 5 in miniature.
+
+Sweeps the client-cache fraction for the 2-way join and prints three
+tables: pages sent (Figure 2), response time under minimum join-buffer
+allocation (Figure 3), and under maximum allocation (Figure 5).  Watch
+for the paper's three headline effects:
+
+- communication: DS falls linearly, QS is flat, they cross at 50 %;
+- min. allocation: caching *hurts* DS (client-disk contention) and HY
+  ignores the cache entirely;
+- max. allocation: caching helps DS, with the crossover pushed slightly
+  beyond 50 % by DS's synchronous page faulting.
+
+Run with::
+
+    python examples/caching_crossover.py        # quick (2 seeds)
+    python examples/caching_crossover.py full   # 5 seeds
+"""
+
+import sys
+
+from repro.experiments import figure2, figure3, figure5, render_figure
+from repro.experiments.runner import RunSettings
+
+
+def main() -> None:
+    full = len(sys.argv) > 1 and sys.argv[1] == "full"
+    settings = RunSettings() if full else RunSettings(seeds=(3, 7))
+    fractions = (0.0, 0.25, 0.5, 0.75, 1.0)
+    for figure in (figure2, figure3, figure5):
+        print(render_figure(figure(settings, cache_fractions=fractions)))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Quickstart: optimize and simulate one query under all three policies.
+
+Runs the paper's 2-way benchmark join (two 10,000-tuple relations on one
+server, half of each relation cached on the client disk) under
+data-shipping, query-shipping, and hybrid-shipping, and shows the plan the
+hybrid optimizer picked.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import api
+
+
+def main() -> None:
+    print("Comparing policies (2-way join, 1 server, 50% cached, min alloc):\n")
+    print(api.compare_policies(num_relations=2, num_servers=1, cached_fraction=0.5))
+
+    outcome = api.run_query(
+        policy="hybrid",
+        num_relations=2,
+        num_servers=1,
+        cached_fraction=0.5,
+    )
+    print("\nHybrid-shipping plan (annotations and runtime binding):\n")
+    print(api.explain(outcome.plan, outcome.scenario))
+    print(
+        f"\npredicted response time: {outcome.predicted.response_time:.2f}s, "
+        f"simulated: {outcome.result.response_time:.2f}s"
+    )
+    print(
+        f"pages sent: {outcome.result.pages_sent}, "
+        f"result tuples: {outcome.result.result_tuples}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Scaling servers under the complex 10-way join: Figures 6-8 in miniature.
+
+Sweeps the server count for the 10-way chain join and prints communication
+volume with and without client caching (Figures 6 and 7) and response time
+under minimum allocation (Figure 8).  The three effects to look for:
+
+- no caching: query-shipping's communication grows from 250 pages toward
+  data-shipping's constant 2500 as relations scatter across servers;
+- 5 relations cached: hybrid-shipping sends *less than either* pure policy
+  at mid-range server counts;
+- response time: data-shipping is flat (the client is the bottleneck),
+  query-shipping improves steeply with added disks, hybrid-shipping uses
+  client and servers together when servers are scarce.
+
+Run with::
+
+    python examples/scaleout_10way.py        # quick (2 seeds, 4 points)
+    python examples/scaleout_10way.py full   # 5 seeds, all 10 points
+"""
+
+import sys
+
+from repro.experiments import figure6, figure7, figure8, render_figure
+from repro.experiments.runner import RunSettings
+
+
+def main() -> None:
+    full = len(sys.argv) > 1 and sys.argv[1] == "full"
+    settings = RunSettings() if full else RunSettings(seeds=(3, 7))
+    counts = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10) if full else (1, 2, 5, 10)
+    for figure in (figure6, figure7, figure8):
+        print(render_figure(figure(settings, server_counts=counts)))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has no ``wheel`` package (and no network), so PEP
+517 editable installs cannot build a wheel.  This shim lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` path.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

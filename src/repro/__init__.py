@@ -1,0 +1,26 @@
+"""repro: reproduction of "Performance Tradeoffs for Client-Server Query
+Processing" (Franklin, Jonsson & Kossmann, SIGMOD 1996).
+
+The package implements the paper's complete experimental apparatus:
+
+- a discrete-event simulator of a client-server DBMS (:mod:`repro.sim`,
+  :mod:`repro.hardware`, :mod:`repro.storage`, :mod:`repro.engine`);
+- annotated query plans and the data-/query-/hybrid-shipping execution
+  policies (:mod:`repro.plans`);
+- a randomized two-phase query optimizer with total-cost and response-time
+  cost models (:mod:`repro.optimizer`, :mod:`repro.costmodel`);
+- the paper's workloads and every table/figure experiment
+  (:mod:`repro.workloads`, :mod:`repro.experiments`).
+"""
+
+__version__ = "1.0.0"
+
+from repro.config import BufferAllocation, DiskParams, OptimizerConfig, SystemConfig
+
+__all__ = [
+    "BufferAllocation",
+    "DiskParams",
+    "OptimizerConfig",
+    "SystemConfig",
+    "__version__",
+]

@@ -1,0 +1,149 @@
+"""High-level convenience API.
+
+Wraps the full pipeline -- workload construction, randomized optimization,
+and simulated execution -- behind a couple of calls, for users who want to
+experiment with the policies without assembling the pieces by hand::
+
+    from repro import api
+
+    outcome = api.run_query(policy="hybrid", num_servers=2, num_relations=4)
+    print(outcome.result.response_time, outcome.result.pages_sent)
+    print(api.explain(outcome.plan, outcome.scenario))
+
+    table = api.compare_policies(num_servers=2, cached_fraction=0.5)
+    print(table)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import BufferAllocation, OptimizerConfig
+from repro.costmodel.model import Objective, PlanCost
+from repro.engine.executor import ExecutionResult
+from repro.errors import ConfigurationError
+from repro.optimizer.two_phase import RandomizedOptimizer
+from repro.plans.binding import bind_plan
+from repro.plans.operators import DisplayOp
+from repro.plans.policies import Policy
+from repro.plans.render import render_plan
+from repro.workloads.scenarios import Scenario, chain_scenario
+
+__all__ = ["QueryOutcome", "run_query", "compare_policies", "explain"]
+
+_POLICY_NAMES = {
+    "data": Policy.DATA_SHIPPING,
+    "data-shipping": Policy.DATA_SHIPPING,
+    "ds": Policy.DATA_SHIPPING,
+    "query": Policy.QUERY_SHIPPING,
+    "query-shipping": Policy.QUERY_SHIPPING,
+    "qs": Policy.QUERY_SHIPPING,
+    "hybrid": Policy.HYBRID_SHIPPING,
+    "hybrid-shipping": Policy.HYBRID_SHIPPING,
+    "hy": Policy.HYBRID_SHIPPING,
+}
+
+_OBJECTIVE_NAMES = {
+    "response-time": Objective.RESPONSE_TIME,
+    "response_time": Objective.RESPONSE_TIME,
+    "total-cost": Objective.TOTAL_COST,
+    "total_cost": Objective.TOTAL_COST,
+    "pages-sent": Objective.PAGES_SENT,
+    "pages_sent": Objective.PAGES_SENT,
+    "communication": Objective.PAGES_SENT,
+}
+
+
+def _parse_policy(policy: "str | Policy") -> Policy:
+    if isinstance(policy, Policy):
+        return policy
+    try:
+        return _POLICY_NAMES[policy.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown policy {policy!r}; choose from {sorted(_POLICY_NAMES)}"
+        ) from None
+
+
+def _parse_objective(objective: "str | Objective") -> Objective:
+    if isinstance(objective, Objective):
+        return objective
+    try:
+        return _OBJECTIVE_NAMES[objective.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown objective {objective!r}; choose from {sorted(_OBJECTIVE_NAMES)}"
+        ) from None
+
+
+@dataclass
+class QueryOutcome:
+    """Everything produced by one optimize-and-execute round trip."""
+
+    scenario: Scenario
+    policy: Policy
+    plan: DisplayOp
+    predicted: PlanCost
+    result: ExecutionResult
+
+
+def run_query(
+    policy: "str | Policy" = "hybrid",
+    objective: "str | Objective" = "response-time",
+    num_relations: int = 2,
+    num_servers: int = 1,
+    cached_fraction: float = 0.0,
+    allocation: "str | BufferAllocation" = BufferAllocation.MINIMUM,
+    selectivity: "str | float" = "moderate",
+    server_load: float = 0.0,
+    seed: int = 0,
+    optimizer: OptimizerConfig | None = None,
+) -> QueryOutcome:
+    """Optimize and simulate one chain-join query end to end."""
+    if isinstance(allocation, str):
+        allocation = BufferAllocation(allocation)
+    parsed_policy = _parse_policy(policy)
+    parsed_objective = _parse_objective(objective)
+    scenario = chain_scenario(
+        num_relations=num_relations,
+        num_servers=num_servers,
+        allocation=allocation,
+        cached_fraction=cached_fraction,
+        placement_seed=seed,
+        selectivity=selectivity,
+        server_load=server_load,
+    )
+    optimization = RandomizedOptimizer(
+        scenario.query,
+        scenario.environment(),
+        policy=parsed_policy,
+        objective=parsed_objective,
+        config=optimizer or OptimizerConfig.fast(),
+        seed=seed,
+    ).optimize()
+    result = scenario.execute(optimization.plan, seed=seed)
+    return QueryOutcome(scenario, parsed_policy, optimization.plan, optimization.cost, result)
+
+
+def compare_policies(
+    objective: "str | Objective" = "response-time",
+    seed: int = 0,
+    **scenario_kwargs,
+) -> str:
+    """Run all three policies on the same scenario; return a text table."""
+    lines = [
+        f"{'policy':18s}{'response time [s]':>20s}{'pages sent':>14s}{'messages':>12s}"
+    ]
+    for policy in (Policy.DATA_SHIPPING, Policy.QUERY_SHIPPING, Policy.HYBRID_SHIPPING):
+        outcome = run_query(policy=policy, objective=objective, seed=seed, **scenario_kwargs)
+        r = outcome.result
+        lines.append(
+            f"{policy.value:18s}{r.response_time:>20.3f}{r.pages_sent:>14d}"
+            f"{r.control_messages:>12d}"
+        )
+    return "\n".join(lines)
+
+
+def explain(plan: DisplayOp, scenario: Scenario) -> str:
+    """Render a plan with its runtime site bindings (like Figure 1)."""
+    return render_plan(bind_plan(plan, scenario.catalog))

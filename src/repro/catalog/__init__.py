@@ -1,0 +1,7 @@
+"""Catalog: relation schemas, statistics, and physical data placement."""
+
+from repro.catalog.schema import Relation
+from repro.catalog.placement import Placement, random_placement
+from repro.catalog.catalog import Catalog
+
+__all__ = ["Catalog", "Placement", "Relation", "random_placement"]

@@ -1,0 +1,79 @@
+"""Physical placement of primary copies on servers.
+
+Each relation's primary copy resides on exactly one server (no declustering,
+no replication; section 3.2.1).  The 10-way-join experiments place the ten
+base relations randomly among the servers "ensuring that each server has at
+least one base relation" (section 4.3); :func:`random_placement` implements
+exactly that.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import CatalogError
+
+__all__ = ["Placement", "random_placement"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Mapping of relation name to the id of the server storing it."""
+
+    assignments: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for relation, server_id in self.assignments.items():
+            if server_id < 1:
+                raise CatalogError(
+                    f"relation {relation!r} assigned to site {server_id}; "
+                    "primary copies live on servers (ids >= 1)"
+                )
+
+    def server_of(self, relation: str) -> int:
+        try:
+            return self.assignments[relation]
+        except KeyError:
+            raise CatalogError(f"relation {relation!r} has no placement") from None
+
+    def relations_on(self, server_id: int) -> list[str]:
+        return sorted(r for r, s in self.assignments.items() if s == server_id)
+
+    @property
+    def servers_used(self) -> set[int]:
+        return set(self.assignments.values())
+
+    def __contains__(self, relation: str) -> bool:
+        return relation in self.assignments
+
+    def __len__(self) -> int:
+        return len(self.assignments)
+
+
+def random_placement(
+    relations: list[str],
+    num_servers: int,
+    rng: random.Random,
+) -> Placement:
+    """Assign relations to servers uniformly, each server getting >= 1.
+
+    Raises if there are more servers than relations (some server would
+    necessarily be empty).
+    """
+    if num_servers < 1:
+        raise CatalogError("need at least one server")
+    if len(relations) < num_servers:
+        raise CatalogError(
+            f"cannot give each of {num_servers} servers at least one of "
+            f"{len(relations)} relations"
+        )
+    shuffled = list(relations)
+    rng.shuffle(shuffled)
+    assignments: dict[str, int] = {}
+    # One guaranteed relation per server, then uniform for the rest.
+    for server_index, relation in enumerate(shuffled[:num_servers]):
+        assignments[relation] = server_index + 1
+    for relation in shuffled[num_servers:]:
+        assignments[relation] = rng.randint(1, num_servers)
+    return Placement(assignments)

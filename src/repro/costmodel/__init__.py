@@ -1,0 +1,37 @@
+"""Cost model: cardinality estimates, total cost, and response time.
+
+Following the paper (section 3.1.2), the optimizer's cost model estimates
+
+- the **total cost** of a plan, after Mackert & Lohman [ML86]: the sum of
+  all resource-seconds consumed (CPU, disk, network), and
+- the **response time**, after Ganguly, Hasan & Krishnamurthy [GHK92]:
+  operators connected by pipelines run concurrently, independent subtrees
+  run in parallel, and a pipeline phase is bounded below both by its
+  critical path and by the busiest physical resource it uses.
+
+The same machinery also predicts the communication volume (pages sent), the
+metric minimized in the paper's communication experiments.
+"""
+
+from repro.costmodel.estimates import Estimator
+from repro.costmodel.tasks import Resource, ResourceVector, Stage, StageGraph
+from repro.costmodel.model import (
+    CostCalibration,
+    CostModel,
+    EnvironmentState,
+    Objective,
+    PlanCost,
+)
+
+__all__ = [
+    "CostCalibration",
+    "CostModel",
+    "EnvironmentState",
+    "Estimator",
+    "Objective",
+    "PlanCost",
+    "Resource",
+    "ResourceVector",
+    "Stage",
+    "StageGraph",
+]

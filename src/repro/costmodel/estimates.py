@@ -1,0 +1,119 @@
+"""Cardinality and size estimation for plan operators.
+
+Standard System-R style estimation: a join's output cardinality is the
+product of its inputs' cardinalities times the selectivities of every join
+predicate that crosses between the two input relation sets.  Join (and
+final) results are projected to the query's ``result_tuple_bytes`` (the
+paper projects all temporaries to 100-byte tuples, section 3.3).
+
+For the paper's synthetic workloads these estimates are *exact*, which the
+execution engine exploits: it sizes hybrid-hash allocations and output
+streams from the same estimator the optimizer uses.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.catalog.catalog import Catalog
+from repro.config import SystemConfig
+from repro.errors import PlanError
+from repro.plans.logical import Query
+from repro.plans.operators import DisplayOp, JoinOp, PlanOp, ScanOp, SelectOp
+
+__all__ = ["Estimator"]
+
+
+class Estimator:
+    """Per-plan-node cardinality, width, and page-count estimates.
+
+    Results are cached by node object identity; an estimator can be shared
+    across the many candidate plans of an optimization run (subtrees reused
+    between candidates hit the cache).
+    """
+
+    def __init__(self, query: Query, catalog: Catalog, config: SystemConfig) -> None:
+        self.query = query
+        self.catalog = catalog
+        self.config = config
+        self._cardinality: dict[int, float] = {}
+        self._keepalive: list[PlanOp] = []
+
+    # ------------------------------------------------------------------
+    # Cardinality
+    # ------------------------------------------------------------------
+    def cardinality(self, op: PlanOp) -> float:
+        """Estimated output tuples of ``op``."""
+        cached = self._cardinality.get(id(op))
+        if cached is not None:
+            return cached
+        value = self._compute_cardinality(op)
+        self._cardinality[id(op)] = value
+        self._keepalive.append(op)  # ids stay valid while cached
+        return value
+
+    def _compute_cardinality(self, op: PlanOp) -> float:
+        if isinstance(op, ScanOp):
+            return float(self.catalog.relation(op.relation).tuples)
+        if isinstance(op, SelectOp):
+            return self.cardinality(op.child) * op.selectivity
+        if isinstance(op, JoinOp):
+            inner_card = self.cardinality(op.inner)
+            outer_card = self.cardinality(op.outer)
+            selectivity = self.join_selectivity(op)
+            return inner_card * outer_card * selectivity
+        if isinstance(op, DisplayOp):
+            return self.cardinality(op.child)
+        raise PlanError(f"cannot estimate cardinality of {op.kind}")
+
+    def join_selectivity(self, op: JoinOp) -> float:
+        """Combined selectivity of all predicates crossing this join.
+
+        A join with no connecting predicate is a Cartesian product
+        (selectivity 1.0) -- hugely expensive, which is how the optimizer
+        learns to avoid it.
+        """
+        crossing = self.query.predicates_between(op.inner.relations(), op.outer.relations())
+        selectivity = 1.0
+        for predicate in crossing:
+            selectivity *= predicate.selectivity
+        return selectivity
+
+    def is_cartesian(self, op: JoinOp) -> bool:
+        return not self.query.predicates_between(op.inner.relations(), op.outer.relations())
+
+    # ------------------------------------------------------------------
+    # Widths and page counts
+    # ------------------------------------------------------------------
+    def tuple_bytes(self, op: PlanOp) -> int:
+        """Width of the tuples ``op`` produces."""
+        if isinstance(op, ScanOp):
+            return self.catalog.relation(op.relation).tuple_bytes
+        if isinstance(op, SelectOp):
+            return self.tuple_bytes(op.child)
+        if isinstance(op, (JoinOp, DisplayOp)):
+            return self.query.result_tuple_bytes
+        raise PlanError(f"cannot estimate width of {op.kind}")
+
+    def tuples_per_page(self, op: PlanOp) -> int:
+        return self.config.tuples_per_page(self.tuple_bytes(op))
+
+    def pages(self, op: PlanOp) -> int:
+        """Pages of ``op``'s output stream (last page may be partial)."""
+        cardinality = self.cardinality(op)
+        if cardinality <= 0:
+            return 0
+        return math.ceil(cardinality / self.tuples_per_page(op))
+
+    # ------------------------------------------------------------------
+    # Base-data placement helpers used all over the cost model
+    # ------------------------------------------------------------------
+    def base_pages(self, relation: str) -> int:
+        return self.catalog.pages_of(relation, self.config)
+
+    def cached_pages(self, relation: str) -> int:
+        return self.catalog.cached_pages_of(relation, self.config)
+
+    def missing_pages(self, relation: str) -> int:
+        """Pages a client scan must fault in from the relation's server."""
+        return self.base_pages(relation) - self.cached_pages(relation)

@@ -1,0 +1,134 @@
+"""Physical operator protocol and the page abstraction.
+
+Simulated operators implement ``open`` / ``next`` / ``close`` as simulation
+generators (they yield events while consuming resources).  ``next`` returns
+a :class:`Page` or ``None`` at end of stream.  The engine works at page
+granularity: per-tuple CPU costs are charged in page-sized batches, which is
+the level of detail the paper models.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+from repro.errors import ExecutionError
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.executor import ExecutionContext
+    from repro.hardware.site import Site
+
+__all__ = ["Page", "PhysicalOp", "PageAssembler"]
+
+
+@dataclass(frozen=True)
+class Page:
+    """One page travelling through the engine: a batch of tuples."""
+
+    tuples: int
+    tuple_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.tuples < 0:
+            raise ExecutionError(f"page with negative tuple count: {self.tuples}")
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.tuples * self.tuple_bytes
+
+
+class PhysicalOp:
+    """Base class for simulated operators (open-next-close iterators)."""
+
+    def __init__(self, context: "ExecutionContext", site: "Site") -> None:
+        self.context = context
+        self.site = site
+        self.pages_produced = 0
+        self.tuples_produced = 0
+        self._opened = False
+        self._closed = False
+
+    @property
+    def env(self):
+        return self.context.env
+
+    @property
+    def config(self):
+        return self.context.config
+
+    def open(self) -> typing.Generator:
+        """Prepare the operator (allocate memory, position scans, build)."""
+        if self._opened:
+            raise ExecutionError(f"{type(self).__name__} opened twice")
+        self._opened = True
+        yield from self._open()
+
+    def next(self) -> typing.Generator:
+        """Produce the next page, or None at end of stream."""
+        if not self._opened or self._closed:
+            raise ExecutionError(f"next() on unopened/closed {type(self).__name__}")
+        page = yield from self._next()
+        if page is not None:
+            self.pages_produced += 1
+            self.tuples_produced += page.tuples
+        return page
+
+    def close(self) -> typing.Generator:
+        """Release resources; safe to call exactly once after open."""
+        if not self._opened:
+            raise ExecutionError(f"close() on unopened {type(self).__name__}")
+        if self._closed:
+            raise ExecutionError(f"{type(self).__name__} closed twice")
+        self._closed = True
+        yield from self._close()
+
+    # Subclass hooks -----------------------------------------------------
+    def _open(self) -> typing.Generator:
+        return
+        yield  # pragma: no cover
+
+    def _next(self) -> typing.Generator:
+        raise NotImplementedError
+
+    def _close(self) -> typing.Generator:
+        return
+        yield  # pragma: no cover
+
+
+class PageAssembler:
+    """Packs a fractional stream of result tuples into full pages.
+
+    Join output cardinalities are computed analytically, so output arrives
+    as fractional tuple counts per probe page; the assembler accumulates
+    them and emits whole pages of ``tuples_per_page`` tuples, with one final
+    partial page at flush.
+    """
+
+    def __init__(self, tuples_per_page: int, tuple_bytes: int) -> None:
+        if tuples_per_page < 1:
+            raise ExecutionError("tuples_per_page must be at least 1")
+        self.tuples_per_page = tuples_per_page
+        self.tuple_bytes = tuple_bytes
+        self._accumulated = 0.0
+        self.total_emitted = 0
+
+    def add(self, tuples: float) -> list[Page]:
+        """Accumulate tuples; return the full pages now ready."""
+        if tuples < 0:
+            raise ExecutionError(f"negative tuple contribution: {tuples}")
+        self._accumulated += tuples
+        pages: list[Page] = []
+        while self._accumulated >= self.tuples_per_page:
+            pages.append(Page(self.tuples_per_page, self.tuple_bytes))
+            self._accumulated -= self.tuples_per_page
+            self.total_emitted += self.tuples_per_page
+        return pages
+
+    def flush(self) -> list[Page]:
+        """Emit the final partial page, if any tuples remain."""
+        remaining = round(self._accumulated)
+        self._accumulated = 0.0
+        if remaining <= 0:
+            return []
+        self.total_emitted += remaining
+        return [Page(remaining, self.tuple_bytes)]

@@ -1,0 +1,219 @@
+"""Query executor: builds physical operator trees and drives them.
+
+One :class:`QueryExecutor` owns one simulation run: it creates the
+environment and topology, installs the catalog, starts any external load
+generators, converts a bound plan into physical iterators (inserting
+exchange pairs on cross-site edges), and runs the root display to
+completion.  The result carries the study's two metrics -- response time
+and pages sent -- plus detailed resource statistics.
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import Catalog
+from repro.config import SystemConfig
+from repro.costmodel.estimates import Estimator
+from repro.engine.base import PhysicalOp
+from repro.engine.exchange import ExchangeReceiver
+from repro.engine.joins import HashJoinIterator
+from repro.engine.loadgen import DiskLoadGenerator
+from repro.engine.scans import ScanIterator
+from repro.engine.selects import SelectIterator
+from repro.engine.sinks import DisplayIterator
+from repro.errors import ExecutionError
+from repro.hardware.site import Site
+from repro.hardware.topology import Topology
+from repro.plans.binding import BoundPlan, bind_plan
+from repro.plans.logical import Query
+from repro.plans.operators import DisplayOp, JoinOp, PlanOp, ScanOp, SelectOp
+from repro.plans.validate import validate_plan
+from repro.sim import Environment, Process
+
+__all__ = ["ExecutionContext", "ExecutionResult", "QueryExecutor"]
+
+
+class ExecutionContext:
+    """Shared state all physical operators of one run see."""
+
+    def __init__(
+        self,
+        env: Environment,
+        topology: Topology,
+        catalog: Catalog,
+        query: Query,
+        estimator: Estimator,
+    ) -> None:
+        self.env = env
+        self.topology = topology
+        self.catalog = catalog
+        self.query = query
+        self.estimator = estimator
+        self.config = topology.config
+        self.network = topology.network
+        self.processes: list[Process] = []
+
+    def spawn(self, generator: typing.Generator, name: str = "") -> Process:
+        process = self.env.process(generator, name=name)
+        self.processes.append(process)
+        return process
+
+
+@dataclass
+class ExecutionResult:
+    """Metrics of one simulated query execution."""
+
+    response_time: float
+    pages_sent: int
+    control_messages: int
+    bytes_sent: int
+    result_tuples: int
+    result_pages: int
+    disk_utilizations: dict[str, float] = field(default_factory=dict)
+    cpu_utilizations: dict[str, float] = field(default_factory=dict)
+    network_utilization: float = 0.0
+    disk_reads: int = 0
+    disk_writes: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"response_time={self.response_time:.3f}s pages_sent={self.pages_sent} "
+            f"result_tuples={self.result_tuples}"
+        )
+
+
+class QueryExecutor:
+    """Runs one bound plan on a freshly built simulated system."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        catalog: Catalog,
+        query: Query,
+        seed: int = 0,
+        server_loads: dict[int, float] | None = None,
+    ) -> None:
+        self.config = config
+        self.catalog = catalog
+        self.query = query
+        self.seed = seed
+        self.env = Environment()
+        self.topology = Topology(self.env, config, seed=seed)
+        catalog.install(self.topology)
+        self.estimator = Estimator(query, catalog, config)
+        self.context = ExecutionContext(
+            self.env, self.topology, catalog, query, self.estimator
+        )
+        self.load_generators: list[DiskLoadGenerator] = []
+        for site_id, rate in (server_loads or {}).items():
+            self.load_generators.append(
+                DiskLoadGenerator(
+                    self.env,
+                    self.topology.site(site_id),
+                    rate,
+                    rng=random.Random(seed * 7919 + site_id),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Physical plan construction
+    # ------------------------------------------------------------------
+    def build_physical(self, bound: BoundPlan) -> DisplayIterator:
+        """Translate a bound plan into physical iterators with exchanges."""
+        root = bound.root
+        if not isinstance(root, DisplayOp):
+            raise ExecutionError("bound plan root must be a display operator")
+        display_site = self.topology.site(bound.site_of(root))
+        child = self._build_op(root.child, bound)
+        child = self._maybe_exchange(display_site, root.child, child, bound)
+        return DisplayIterator(self.context, display_site, child)
+
+    def _build_op(self, op: PlanOp, bound: BoundPlan) -> PhysicalOp:
+        site = self.topology.site(bound.site_of(op))
+        if isinstance(op, ScanOp):
+            return ScanIterator(self.context, site, op.relation)
+        if isinstance(op, SelectOp):
+            child = self._build_op(op.child, bound)
+            child = self._maybe_exchange(site, op.child, child, bound)
+            return SelectIterator(self.context, site, child, op.selectivity)
+        if isinstance(op, JoinOp):
+            inner = self._build_op(op.inner, bound)
+            inner = self._maybe_exchange(site, op.inner, inner, bound)
+            outer = self._build_op(op.outer, bound)
+            outer = self._maybe_exchange(site, op.outer, outer, bound)
+            est = self.estimator
+            return HashJoinIterator(
+                self.context,
+                site,
+                inner,
+                outer,
+                est_inner_pages=est.pages(op.inner),
+                est_outer_pages=est.pages(op.outer),
+                est_outer_tuples=est.cardinality(op.outer),
+                est_output_tuples=est.cardinality(op),
+                output_tuple_bytes=est.tuple_bytes(op),
+            )
+        raise ExecutionError(f"cannot build physical operator for {op.kind}")
+
+    def _maybe_exchange(
+        self,
+        consumer_site: Site,
+        child_op: PlanOp,
+        child_phys: PhysicalOp,
+        bound: BoundPlan,
+    ) -> PhysicalOp:
+        producer_site = self.topology.site(bound.site_of(child_op))
+        if producer_site is consumer_site:
+            return child_phys
+        return ExchangeReceiver(self.context, consumer_site, producer_site, child_phys)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, plan: "DisplayOp | BoundPlan") -> ExecutionResult:
+        """Bind (if needed), build, and run a plan; return its metrics."""
+        if isinstance(plan, BoundPlan):
+            bound = plan
+        else:
+            validate_plan(plan, self.query)
+            bound = bind_plan(plan, self.catalog)
+        root = self.build_physical(bound)
+        driver = self.env.process(self._drive(root), name="query-driver")
+        self.env.run(until=driver)
+        return self._collect(root)
+
+    def _drive(self, root: DisplayIterator) -> typing.Generator:
+        yield from root.open()
+        while True:
+            page = yield from root.next()
+            if page is None:
+                break
+        yield from root.close()
+
+    def _collect(self, root: DisplayIterator) -> ExecutionResult:
+        network = self.topology.network
+        disk_util: dict[str, float] = {}
+        cpu_util: dict[str, float] = {}
+        reads = writes = 0
+        for site in self.topology.sites:
+            cpu_util[site.name] = site.cpu.utilization()
+            for disk in site.disks:
+                disk_util[disk.name] = disk.utilization()
+                reads += disk.reads
+                writes += disk.writes
+        return ExecutionResult(
+            response_time=self.env.now,
+            pages_sent=network.data_pages_sent,
+            control_messages=network.control_messages_sent,
+            bytes_sent=network.bytes_sent,
+            result_tuples=root.result_tuples,
+            result_pages=root.result_pages,
+            disk_utilizations=disk_util,
+            cpu_utilizations=cpu_util,
+            network_utilization=network.utilization(),
+            disk_reads=reads,
+            disk_writes=writes,
+        )

@@ -1,0 +1,259 @@
+"""Hybrid-hash join [Sha86] at page granularity.
+
+The build phase (inside ``open``) consumes the inner (left) input: a
+memory-resident fraction *q* of it goes into the in-memory hash table and
+the rest is written to partition files on the join site's disk.  The probe
+phase consumes the outer input, emitting the resident share of the output
+immediately (pipelined) and spilling the rest of the outer to partition
+files.  Finally the spilled partition pairs are read back and joined.
+
+Spill writes are asynchronous (the engine queues them on the disk and
+continues), so a join's temp I/O overlaps with its inputs' scans -- when
+they share a disk this creates exactly the seek interference the paper
+blames for query-shipping's poor minimum-allocation performance (4.2.2).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.config import BufferAllocation
+from repro.engine.base import Page, PageAssembler, PhysicalOp
+from repro.errors import ExecutionError
+from repro.sim import AllOf, Event
+from repro.storage.memory import join_allocation, plan_hybrid_hash
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.executor import ExecutionContext
+    from repro.hardware.site import Site, TempFile
+
+__all__ = ["HashJoinIterator"]
+
+
+class _PartitionSet:
+    """The spill files of one join input: round-robin page placement."""
+
+    def __init__(
+        self,
+        site: "Site",
+        num_partitions: int,
+        expected_pages: int,
+        disk_index: int = 0,
+    ) -> None:
+        self.site = site
+        per_partition = -(-max(expected_pages, num_partitions) // num_partitions) + 2
+        self.files: list[TempFile] = [
+            site.allocate_temp(per_partition, disk_index) for _ in range(num_partitions)
+        ]
+        self._cursor = 0
+        self._fill = [0] * num_partitions
+        self.pages_written = 0
+
+    def next_write_page(self) -> int:
+        """Disk page for the next spilled page (round-robin partitions)."""
+        start = self._cursor
+        while True:
+            index = self._cursor
+            self._cursor = (self._cursor + 1) % len(self.files)
+            if self._fill[index] < self.files[index].extent.pages:
+                self._fill[index] += 1
+                self.pages_written += 1
+                return self.files[index].page(self._fill[index] - 1)
+            if self._cursor == start:
+                raise ExecutionError("hybrid-hash partition files overflowed")
+
+    def partition_pages(self, index: int) -> list[int]:
+        """Disk pages written to partition ``index``, in write order."""
+        return [self.files[index].page(i) for i in range(self._fill[index])]
+
+    def release(self) -> None:
+        for file in self.files:
+            file.release()
+
+    def __len__(self) -> int:
+        return len(self.files)
+
+
+class HashJoinIterator(PhysicalOp):
+    """Hybrid-hash equi-join; left input builds, right input probes."""
+
+    def __init__(
+        self,
+        context: "ExecutionContext",
+        site: "Site",
+        inner: PhysicalOp,
+        outer: PhysicalOp,
+        est_inner_pages: int,
+        est_outer_pages: int,
+        est_outer_tuples: float,
+        est_output_tuples: float,
+        output_tuple_bytes: int,
+    ) -> None:
+        super().__init__(context, site)
+        self.inner = inner
+        self.outer = outer
+        self.est_inner_pages = max(1, est_inner_pages)
+        self.est_outer_pages = max(1, est_outer_pages)
+        self.est_outer_tuples = max(1.0, est_outer_tuples)
+        self.est_output_tuples = est_output_tuples
+        self.output_tuple_bytes = output_tuple_bytes
+        self._buffer_pages = 0
+        self._hh = None
+        self._assembler = PageAssembler(
+            context.config.tuples_per_page(output_tuple_bytes), output_tuple_bytes
+        )
+        self._ready: list[Page] = []
+        self._inner_parts: _PartitionSet | None = None
+        self._outer_parts: _PartitionSet | None = None
+        self._pending_writes: list[Event] = []
+        self._inner_tuples_seen = 0
+        self._outer_tuples_seen = 0
+        self._inner_tuple_bytes = 100
+        self._outer_tuple_bytes = 100
+        self._spill_accum_inner = 0.0
+        self._spill_accum_outer = 0.0
+        self._phase = "build"
+        self._partition_cursor = 0
+
+    # ------------------------------------------------------------------
+    # Build phase
+    # ------------------------------------------------------------------
+    def _open(self) -> typing.Generator:
+        config = self.config
+        self._buffer_pages = join_allocation(self.est_inner_pages, config.buffer_allocation)
+        self.site.memory.allocate(self._buffer_pages)
+        self._hh = plan_hybrid_hash(
+            self.est_inner_pages, self.est_outer_pages, self._buffer_pages
+        )
+        if not self._hh.in_memory:
+            self._inner_parts = _PartitionSet(
+                self.site, self._hh.spill_partitions, self._hh.spilled_inner_pages
+            )
+        yield from self.inner.open()
+        spill_fraction = 1.0 - self._hh.resident_fraction
+        while True:
+            page = yield from self.inner.next()
+            if page is None:
+                break
+            self._inner_tuples_seen += page.tuples
+            self._inner_tuple_bytes = page.tuple_bytes
+            cpu = config.hash_inst * page.tuples
+            cpu += config.move_instructions(page.payload_bytes)
+            yield from self.site.cpu.execute(cpu)
+            if spill_fraction > 0.0:
+                self._spill_accum_inner += spill_fraction
+                yield from self._drain_spill("inner", page.tuple_bytes)
+        yield from self._flush_spill("inner")
+        yield from self.inner.close()
+        yield from self._await_writes()
+        self._phase = "probe"
+        yield from self.outer.open()
+        if not self._hh.in_memory:
+            self._outer_parts = _PartitionSet(
+                self.site, self._hh.spill_partitions, self._hh.spilled_outer_pages
+            )
+
+    def _drain_spill(self, which: str, tuple_bytes: int) -> typing.Generator:
+        """Write a spilled page whenever a full page has accumulated."""
+        parts = self._inner_parts if which == "inner" else self._outer_parts
+        accum_attr = "_spill_accum_inner" if which == "inner" else "_spill_accum_outer"
+        while getattr(self, accum_attr) >= 1.0 and parts is not None:
+            setattr(self, accum_attr, getattr(self, accum_attr) - 1.0)
+            yield from self._spill_page(parts)
+
+    def _flush_spill(self, which: str) -> typing.Generator:
+        """Write the final partial spilled page of a phase, if any."""
+        parts = self._inner_parts if which == "inner" else self._outer_parts
+        accum_attr = "_spill_accum_inner" if which == "inner" else "_spill_accum_outer"
+        if parts is not None and getattr(self, accum_attr) >= 0.5:
+            yield from self._spill_page(parts)
+        setattr(self, accum_attr, 0.0)
+
+    def _spill_page(self, parts: _PartitionSet) -> typing.Generator:
+        """Asynchronously write one spilled page (CPU charged now)."""
+        yield from self.site.cpu.execute(self.config.disk_inst)
+        request = self.site.disk.submit("write", parts.next_write_page())
+        self._pending_writes.append(request.done)
+
+    def _await_writes(self) -> typing.Generator:
+        if self._pending_writes:
+            yield AllOf(self.env, self._pending_writes)
+            self._pending_writes = []
+
+    # ------------------------------------------------------------------
+    # Probe phase and spilled-partition processing
+    # ------------------------------------------------------------------
+    def _next(self) -> typing.Generator:
+        while not self._ready:
+            if self._phase == "probe":
+                yield from self._probe_step()
+            elif self._phase == "partitions":
+                yield from self._partition_step()
+            elif self._phase == "flush":
+                self._ready.extend(self._assembler.flush())
+                self._phase = "done"
+            else:
+                return None
+        page = self._ready.pop(0)
+        yield from self.site.cpu.execute(self.config.move_instructions(page.payload_bytes))
+        return page
+
+    def _probe_step(self) -> typing.Generator:
+        config = self.config
+        page = yield from self.outer.next()
+        if page is None:
+            yield from self._flush_spill("outer")
+            yield from self.outer.close()
+            yield from self._await_writes()
+            self._phase = "partitions" if not self._hh.in_memory else "flush"
+            return
+        self._outer_tuples_seen += page.tuples
+        self._outer_tuple_bytes = page.tuple_bytes
+        cpu = config.hash_inst * page.tuples + config.move_instructions(page.payload_bytes)
+        yield from self.site.cpu.execute(cpu)
+        resident = self._hh.resident_fraction
+        if resident > 0.0:
+            contribution = (
+                self.est_output_tuples * resident * page.tuples / self.est_outer_tuples
+            )
+            self._ready.extend(self._assembler.add(contribution))
+        if resident < 1.0:
+            self._spill_accum_outer += 1.0 - resident
+            yield from self._drain_spill("outer", page.tuple_bytes)
+
+    def _partition_step(self) -> typing.Generator:
+        """Join one spilled partition pair (build from inner, probe outer)."""
+        assert self._inner_parts is not None and self._outer_parts is not None
+        if self._partition_cursor >= len(self._inner_parts):
+            self._phase = "flush"
+            return
+        index = self._partition_cursor
+        self._partition_cursor += 1
+        config = self.config
+        for disk_page in self._inner_parts.partition_pages(index):
+            yield from self.site.cpu.execute(config.disk_inst)
+            yield self.site.disk.read(disk_page)
+            cpu = config.hash_inst * config.tuples_per_page(self._inner_tuple_bytes)
+            cpu += config.move_instructions(config.page_size)
+            yield from self.site.cpu.execute(cpu)
+        outer_pages = self._outer_parts.partition_pages(index)
+        spilled_output = self.est_output_tuples * (1.0 - self._hh.resident_fraction)
+        per_page_output = spilled_output / max(1, self._outer_parts.pages_written)
+        for disk_page in outer_pages:
+            yield from self.site.cpu.execute(config.disk_inst)
+            yield self.site.disk.read(disk_page)
+            cpu = config.hash_inst * config.tuples_per_page(self._outer_tuple_bytes)
+            cpu += config.move_instructions(config.page_size)
+            yield from self.site.cpu.execute(cpu)
+            self._ready.extend(self._assembler.add(per_page_output))
+
+    def _close(self) -> typing.Generator:
+        if self._inner_parts is not None:
+            self._inner_parts.release()
+        if self._outer_parts is not None:
+            self._outer_parts.release()
+        if self._buffer_pages:
+            self.site.memory.release(self._buffer_pages)
+            self._buffer_pages = 0
+        return
+        yield  # pragma: no cover

@@ -1,0 +1,106 @@
+"""Scan operators: sequential server scans and client scans with faulting.
+
+A scan annotated ``primary copy`` reads the relation's extent sequentially
+from the server disk.  A scan annotated ``client`` reads the cached prefix
+from the client disk and *faults in* every missing page from the relation's
+server, one page at a time via a synchronous request/response exchange --
+the paper notes this page-at-a-time behaviour denies data-shipping the
+communication/processing overlap query-shipping gets (section 4.2.3).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.engine.base import Page, PhysicalOp
+from repro.errors import ExecutionError
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.executor import ExecutionContext
+    from repro.hardware.site import Site
+
+__all__ = ["ScanIterator"]
+
+
+class ScanIterator(PhysicalOp):
+    """Produces all pages of one base relation at its bound site."""
+
+    def __init__(
+        self,
+        context: "ExecutionContext",
+        site: "Site",
+        relation: str,
+    ) -> None:
+        super().__init__(context, site)
+        self.relation = relation
+        schema = context.catalog.relation(relation)
+        self.tuple_bytes = schema.tuple_bytes
+        self.tuples_per_page = context.config.tuples_per_page(schema.tuple_bytes)
+        self.total_tuples = schema.tuples
+        self.total_pages = schema.pages(context.config)
+        self._page_index = 0
+        # Resolved in _open:
+        self._home_server: "Site | None" = None
+        self._home_disk_index = 0
+        self._home_extent = None
+        self._cached = None  # CachedRelation when scanning at the client
+
+    def _open(self) -> typing.Generator:
+        topology = self.context.topology
+        home = topology.server_storing(self.relation)
+        self._home_server = home
+        self._home_disk_index, self._home_extent = home.relation_location(self.relation)
+        if self.site.is_client:
+            assert self.site.cache is not None
+            self._cached = self.site.cache.lookup(self.relation)
+        elif self.site is not home:
+            raise ExecutionError(
+                f"primary-copy scan of {self.relation!r} bound to {self.site.name}, "
+                f"but the relation lives on {home.name}"
+            )
+        return
+        yield  # pragma: no cover
+
+    def _tuples_on_page(self, index: int) -> int:
+        if index < self.total_pages - 1:
+            return self.tuples_per_page
+        return self.total_tuples - self.tuples_per_page * (self.total_pages - 1)
+
+    def _next(self) -> typing.Generator:
+        if self._page_index >= self.total_pages:
+            return None
+        index = self._page_index
+        self._page_index += 1
+        if not self.site.is_client:
+            yield from self._read_local_primary(index)
+        elif self._cached is not None and self._cached.contains(index):
+            yield from self._read_client_cache(index)
+        else:
+            yield from self._fault_from_server(index)
+        return Page(self._tuples_on_page(index), self.tuple_bytes)
+
+    def _read_local_primary(self, index: int) -> typing.Generator:
+        """Sequential read from this server's own disk."""
+        yield from self.site.cpu.execute(self.config.disk_inst)
+        disk = self.site.disks[self._home_disk_index]
+        yield disk.read(self._home_extent.page(index))
+
+    def _read_client_cache(self, index: int) -> typing.Generator:
+        """Sequential read of a cached page from the client disk."""
+        yield from self.site.cpu.execute(self.config.disk_inst)
+        yield self.site.disk.read(self._cached.disk_page(index))
+
+    def _fault_from_server(self, index: int) -> typing.Generator:
+        """Synchronous page-at-a-time fault from the relation's server."""
+        server = self._home_server
+        assert server is not None
+        network = self.context.network
+        yield from network.send_request(self.site, server)
+        yield from server.cpu.execute(self.config.disk_inst)
+        disk = server.disks[self._home_disk_index]
+        yield disk.read(self._home_extent.page(index))
+        yield from network.send_page(server, self.site)
+
+    def _close(self) -> typing.Generator:
+        return
+        yield  # pragma: no cover

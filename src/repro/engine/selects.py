@@ -1,0 +1,62 @@
+"""Select operator: applies a predicate, reducing the stream.
+
+Charges ``Compare`` instructions per input tuple and ``MoveInst``-based copy
+costs for the surviving tuples, repacking survivors into full output pages.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.engine.base import Page, PageAssembler, PhysicalOp
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.executor import ExecutionContext
+    from repro.hardware.site import Site
+
+__all__ = ["SelectIterator"]
+
+
+class SelectIterator(PhysicalOp):
+    """Filters its input stream with a predicate of known selectivity."""
+
+    def __init__(
+        self,
+        context: "ExecutionContext",
+        site: "Site",
+        child: PhysicalOp,
+        selectivity: float,
+    ) -> None:
+        super().__init__(context, site)
+        self.child = child
+        self.selectivity = selectivity
+        self._assembler: PageAssembler | None = None
+        self._ready: list[Page] = []
+        self._input_done = False
+
+    def _open(self) -> typing.Generator:
+        yield from self.child.open()
+
+    def _next(self) -> typing.Generator:
+        while not self._ready and not self._input_done:
+            page = yield from self.child.next()
+            if page is None:
+                self._input_done = True
+                if self._assembler is not None:
+                    self._ready.extend(self._assembler.flush())
+                break
+            if self._assembler is None:
+                self._assembler = PageAssembler(
+                    self.config.tuples_per_page(page.tuple_bytes), page.tuple_bytes
+                )
+            surviving = page.tuples * self.selectivity
+            cpu = self.config.compare_inst * page.tuples
+            cpu += self.config.move_instructions(round(surviving) * page.tuple_bytes)
+            yield from self.site.cpu.execute(cpu)
+            self._ready.extend(self._assembler.add(surviving))
+        if self._ready:
+            return self._ready.pop(0)
+        return None
+
+    def _close(self) -> typing.Generator:
+        yield from self.child.close()

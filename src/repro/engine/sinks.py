@@ -1,0 +1,39 @@
+"""Display operator: presents the query result at the client."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.engine.base import PhysicalOp
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.executor import ExecutionContext
+    from repro.hardware.site import Site
+
+__all__ = ["DisplayIterator"]
+
+
+class DisplayIterator(PhysicalOp):
+    """Root of every physical plan; charges ``Display`` per result tuple."""
+
+    def __init__(self, context: "ExecutionContext", site: "Site", child: PhysicalOp) -> None:
+        super().__init__(context, site)
+        self.child = child
+        self.result_tuples = 0
+        self.result_pages = 0
+
+    def _open(self) -> typing.Generator:
+        yield from self.child.open()
+
+    def _next(self) -> typing.Generator:
+        page = yield from self.child.next()
+        if page is None:
+            return None
+        if self.config.display_inst:
+            yield from self.site.cpu.execute(self.config.display_inst * page.tuples)
+        self.result_tuples += page.tuples
+        self.result_pages += 1
+        return page
+
+    def _close(self) -> typing.Generator:
+        yield from self.child.close()

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "CatalogError",
+    "PlanError",
+    "IllFormedPlanError",
+    "PolicyViolationError",
+    "BindingError",
+    "ExecutionError",
+    "OptimizationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid system, workload, or optimizer configuration."""
+
+
+class CatalogError(ReproError):
+    """Unknown relation, bad placement, or inconsistent statistics."""
+
+
+class PlanError(ReproError):
+    """Structurally invalid query plan."""
+
+
+class IllFormedPlanError(PlanError):
+    """Plan whose site annotations contain a cycle (section 2.2.3)."""
+
+
+class PolicyViolationError(PlanError):
+    """Annotation outside the policy's allowed set (Table 1)."""
+
+
+class BindingError(PlanError):
+    """Logical annotations could not be resolved to physical sites."""
+
+
+class ExecutionError(ReproError):
+    """Failure inside the simulated execution engine."""
+
+
+class OptimizationError(ReproError):
+    """Optimizer failed to produce a plan."""

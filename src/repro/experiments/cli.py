@@ -1,0 +1,118 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Examples::
+
+    repro-experiments table1
+    repro-experiments fig3 --seeds 3 7 11
+    repro-experiments fig8 --servers 1 2 5 10 --paper
+    repro-experiments all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.config import OptimizerConfig
+from repro.experiments import figures
+from repro.experiments.report import render_figure
+from repro.experiments.runner import RunSettings
+
+__all__ = ["main"]
+
+_FIGURES = {
+    "fig2": figures.figure2,
+    "fig3": figures.figure3,
+    "fig4": figures.figure4,
+    "fig5": figures.figure5,
+    "fig6": figures.figure6,
+    "fig7": figures.figure7,
+    "fig8": figures.figure8,
+    "fig10": figures.figure10,
+    "fig11": figures.figure11,
+    "qs-load": figures.qs_under_load_text,
+}
+_SERVER_FIGURES = {"fig6", "fig7", "fig8", "fig10", "fig11"}
+_CACHE_FIGURES = {"fig2", "fig3", "fig4", "fig5"}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables and figures of 'Performance Tradeoffs for "
+            "Client-Server Query Processing' (SIGMOD 1996)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["table1", "table2", "all", *sorted(_FIGURES)],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--seeds", type=int, nargs="+", default=None, help="run seeds (placements)"
+    )
+    parser.add_argument(
+        "--servers", type=int, nargs="+", default=None, help="server counts to sweep"
+    )
+    parser.add_argument(
+        "--cache", type=float, nargs="+", default=None,
+        help="cache fractions to sweep (0..1)",
+    )
+    parser.add_argument(
+        "--paper", action="store_true",
+        help="use the slower, higher-quality optimizer preset",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="three seeds and a sparse sweep"
+    )
+    return parser
+
+
+def _settings(args: argparse.Namespace) -> RunSettings:
+    optimizer = OptimizerConfig.paper() if args.paper else OptimizerConfig.fast()
+    settings = RunSettings(optimizer=optimizer)
+    if args.seeds:
+        settings = RunSettings(seeds=tuple(args.seeds), optimizer=optimizer)
+    elif args.quick:
+        settings = settings.quick()
+    return settings
+
+
+def _run_one(name: str, args: argparse.Namespace) -> None:
+    settings = _settings(args)
+    function = _FIGURES[name]
+    kwargs: dict = {"settings": settings}
+    if name in _SERVER_FIGURES:
+        if args.servers:
+            kwargs["server_counts"] = tuple(args.servers)
+        elif args.quick:
+            kwargs["server_counts"] = (1, 2, 5, 10)
+    if name in _CACHE_FIGURES and args.cache:
+        kwargs["cache_fractions"] = tuple(args.cache)
+    if name == "qs-load":
+        kwargs.pop("server_counts", None)
+    started = time.time()
+    result = function(**kwargs)
+    print(render_figure(result))
+    print(f"\n[{name} regenerated in {time.time() - started:.1f}s]")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.experiment == "table1":
+        print(figures.table1())
+        return 0
+    if args.experiment == "table2":
+        print(figures.table2())
+        return 0
+    names = sorted(_FIGURES) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        _run_one(name, args)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Text rendering of figure results, in the style of the paper's plots."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureResult
+
+__all__ = ["render_figure"]
+
+
+def render_figure(result: FigureResult, show_ci: bool = True) -> str:
+    """Render a figure's series as an aligned text table.
+
+    One row per x value, one column per series; each cell is the mean
+    (and, optionally, the 90 % confidence half-width).
+    """
+    labels = list(result.series)
+    xs = sorted({point.x for series in result.series.values() for point in series})
+    by_series = {
+        label: {point.x: point.estimate for point in points}
+        for label, points in result.series.items()
+    }
+    width = max(16, max((len(label) for label in labels), default=8) + 10)
+    lines = [
+        f"{result.figure_id}: {result.title}",
+        f"y = {result.y_label}",
+        "",
+        f"{result.x_label:>28s}" + "".join(f"{label:>{width}s}" for label in labels),
+    ]
+    for x in xs:
+        row = f"{x:>28g}"
+        for label in labels:
+            estimate = by_series[label].get(x)
+            if estimate is None:
+                cell = "-"
+            elif show_ci and estimate.count > 1:
+                cell = f"{estimate.mean:.4g} +/-{estimate.ci_half_width:.2g}"
+            else:
+                cell = f"{estimate.mean:.4g}"
+            row += f"{cell:>{width}s}"
+        lines.append(row)
+    if result.notes:
+        lines.extend(["", f"note: {result.notes}"])
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Simulated hardware: CPUs, disks, the network, and site/topology wiring.
+
+These map one-to-one onto the resources of the paper's simulator (section
+3.2.2): a FIFO CPU per site rated in MIPS, one or more disks per site with a
+detailed seek/rotation/transfer model (elevator scheduling, controller cache,
+read-ahead), and a single shared FIFO network of configurable bandwidth.
+"""
+
+from repro.hardware.cpu import CPU
+from repro.hardware.disk import Disk, DiskRequest
+from repro.hardware.network import Network
+from repro.hardware.site import Site, SiteKind
+from repro.hardware.topology import Topology
+
+__all__ = ["CPU", "Disk", "DiskRequest", "Network", "Site", "SiteKind", "Topology"]

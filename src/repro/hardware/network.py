@@ -1,0 +1,83 @@
+"""Network model: a single FIFO queue with a configured bandwidth.
+
+As in the paper (section 3.2.2), "the network is modeled simply as a FIFO
+queue with a specified bandwidth; the details of a particular technology
+(i.e., Ethernet, ATM, etc.) are not modeled."  The cost of a message is the
+time-on-the-wire (size / bandwidth) plus fixed and size-dependent CPU costs
+at both endpoints (``MsgInst`` and ``PerSizeMI``).
+
+The network also keeps the study's first metric: the number of *data pages*
+sent during a query (control messages are counted separately).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.config import SystemConfig
+from repro.sim import Environment, Resource
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.site import Site
+
+__all__ = ["Network"]
+
+
+class Network:
+    """The shared interconnect between the client and all servers."""
+
+    def __init__(self, env: Environment, config: SystemConfig) -> None:
+        self.env = env
+        self.config = config
+        self._wire = Resource(env, capacity=1, name="network")
+        self.data_pages_sent = 0
+        self.control_messages_sent = 0
+        self.bytes_sent = 0
+
+    def send(
+        self,
+        source: "Site",
+        destination: "Site",
+        num_bytes: int,
+        data_pages: int = 0,
+    ) -> typing.Generator:
+        """Ship one message from ``source`` to ``destination``.
+
+        Charges the sender CPU, holds the wire for the time-on-the-wire, then
+        charges the receiver CPU.  ``data_pages`` is the number of full data
+        pages carried (for the pages-sent metric); pass 0 for control
+        messages.
+        """
+        if source is destination:
+            # Local hand-off: no message costs at all.
+            return
+        cpu_instr = self.config.message_cpu_instructions(num_bytes)
+        yield from source.cpu.execute(cpu_instr)
+        yield from self._wire.serve(self.config.wire_time(num_bytes))
+        yield from destination.cpu.execute(cpu_instr)
+        self.bytes_sent += num_bytes
+        if data_pages:
+            self.data_pages_sent += data_pages
+        else:
+            self.control_messages_sent += 1
+
+    def send_page(self, source: "Site", destination: "Site") -> typing.Generator:
+        """Ship one full data page."""
+        yield from self.send(source, destination, self.config.page_size, data_pages=1)
+
+    def send_request(self, source: "Site", destination: "Site") -> typing.Generator:
+        """Ship one small control message (e.g. a page-fault request)."""
+        yield from self.send(source, destination, self.config.request_message_bytes)
+
+    def utilization(self) -> float:
+        """Busy fraction of the wire since time zero."""
+        return self._wire.utilization()
+
+    def reset_counters(self) -> None:
+        """Zero the traffic counters (used between benchmark repetitions)."""
+        self.data_pages_sent = 0
+        self.control_messages_sent = 0
+        self.bytes_sent = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Network pages_sent={self.data_pages_sent}>"

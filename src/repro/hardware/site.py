@@ -1,0 +1,151 @@
+"""Sites: client and server machines.
+
+Clients and servers "are similar in that they both have memory, CPU, disk
+resources, a buffer manager, and a query execution engine" (section 3.2.1),
+but differ in role: queries are submitted and displayed at the client, whose
+disk holds only cached copies and temporary join storage; servers manage the
+primary copies of relations (each on exactly one server -- no declustering,
+no replication) and also use their disks for join temp space.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+
+from repro.config import SystemConfig
+from repro.errors import CatalogError
+from repro.hardware.cpu import CPU
+from repro.hardware.disk import Disk
+from repro.sim import Environment
+from repro.storage.cache import ClientDiskCache
+from repro.storage.layout import Extent, ExtentAllocator
+from repro.storage.memory import MemoryManager
+
+__all__ = ["Site", "SiteKind", "TempFile", "CLIENT_SITE_ID"]
+
+CLIENT_SITE_ID = 0
+
+
+class SiteKind(enum.Enum):
+    CLIENT = "client"
+    SERVER = "server"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class TempFile:
+    """A temporary disk extent (e.g. one hybrid-hash partition file)."""
+
+    __slots__ = ("site", "disk_index", "extent", "_released", "pages_written")
+
+    def __init__(self, site: "Site", disk_index: int, extent: Extent) -> None:
+        self.site = site
+        self.disk_index = disk_index
+        self.extent = extent
+        self._released = False
+        self.pages_written = 0
+
+    @property
+    def disk(self) -> Disk:
+        return self.site.disks[self.disk_index]
+
+    def page(self, index: int) -> int:
+        return self.extent.page(index)
+
+    def release(self) -> None:
+        """Free the extent (idempotent)."""
+        if not self._released:
+            self.site.allocators[self.disk_index].free(self.extent)
+            self._released = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TempFile site={self.site.site_id} pages={self.extent.pages}>"
+
+
+class Site:
+    """One machine: CPU, disk(s), buffer memory, and stored relations."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: SystemConfig,
+        site_id: int,
+        kind: SiteKind,
+        rng: random.Random,
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.site_id = site_id
+        self.kind = kind
+        self.name = f"{kind.value}{site_id}" if kind is SiteKind.SERVER else "client"
+        self.cpu = CPU(env, config.mips, name=f"{self.name}.cpu")
+        self.disks = [
+            Disk(
+                env,
+                config.disk,
+                name=f"{self.name}.disk{d}",
+                rng=random.Random(rng.randrange(2**62)),
+            )
+            for d in range(config.num_disks)
+        ]
+        self.allocators = [ExtentAllocator(config.disk.capacity_pages) for _ in self.disks]
+        memory_pages = (
+            config.client_memory_pages if kind is SiteKind.CLIENT else config.server_memory_pages
+        )
+        self.memory = MemoryManager(memory_pages, name=f"{self.name}.memory")
+        # Primary copies stored at this site: relation -> (disk index, extent).
+        self._relations: dict[str, tuple[int, Extent]] = {}
+        self._next_disk = 0
+        # Client-only disk cache (servers do no inter-query caching, 3.2.1).
+        self.cache = ClientDiskCache(self.allocators[0]) if kind is SiteKind.CLIENT else None
+
+    @property
+    def is_client(self) -> bool:
+        return self.kind is SiteKind.CLIENT
+
+    @property
+    def disk(self) -> Disk:
+        """The site's first (usually only) disk."""
+        return self.disks[0]
+
+    # ------------------------------------------------------------------
+    # Primary copies
+    # ------------------------------------------------------------------
+    def store_relation(self, relation: str, pages: int) -> Extent:
+        """Allocate disk space for the primary copy of ``relation`` here."""
+        if self.is_client:
+            raise CatalogError("no primary copies are stored at the client (section 3.2.1)")
+        if relation in self._relations:
+            raise CatalogError(f"relation {relation!r} already stored at {self.name}")
+        disk_index = self._next_disk
+        self._next_disk = (self._next_disk + 1) % len(self.disks)
+        extent = self.allocators[disk_index].allocate(pages)
+        self._relations[relation] = (disk_index, extent)
+        return extent
+
+    def relation_location(self, relation: str) -> tuple[int, Extent]:
+        """Disk index and extent of a relation's primary copy at this site."""
+        try:
+            return self._relations[relation]
+        except KeyError:
+            raise CatalogError(f"relation {relation!r} is not stored at {self.name}") from None
+
+    def stores(self, relation: str) -> bool:
+        return relation in self._relations
+
+    @property
+    def stored_relations(self) -> list[str]:
+        return sorted(self._relations)
+
+    # ------------------------------------------------------------------
+    # Temporary storage
+    # ------------------------------------------------------------------
+    def allocate_temp(self, pages: int, disk_index: int = 0) -> TempFile:
+        """Carve a temp file (join partition, spooled stream) on a disk."""
+        extent = self.allocators[disk_index].allocate(pages)
+        return TempFile(self, disk_index, extent)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Site {self.name!r}>"

@@ -1,0 +1,57 @@
+"""Topology: one client plus one or more servers on a shared network.
+
+The paper configures its simulator as "a client-server system consisting of
+a single client and one or more servers" (section 3.2.1); multiple clients
+are modelled by adding load to server resources (see
+:mod:`repro.engine.loadgen`).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.config import SystemConfig
+from repro.errors import ConfigurationError
+from repro.hardware.network import Network
+from repro.hardware.site import CLIENT_SITE_ID, Site, SiteKind
+from repro.sim import Environment
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """The simulated machines of one experiment run."""
+
+    def __init__(self, env: Environment, config: SystemConfig, seed: int = 0) -> None:
+        self.env = env
+        self.config = config
+        self.rng = random.Random(seed)
+        self.network = Network(env, config)
+        self.client = Site(env, config, CLIENT_SITE_ID, SiteKind.CLIENT, self.rng)
+        self.servers = [
+            Site(env, config, server_id, SiteKind.SERVER, self.rng)
+            for server_id in range(1, config.num_servers + 1)
+        ]
+        self._sites = {site.site_id: site for site in [self.client, *self.servers]}
+
+    @property
+    def sites(self) -> list[Site]:
+        """All sites, client first."""
+        return [self.client, *self.servers]
+
+    def site(self, site_id: int) -> Site:
+        """Look a site up by id (0 is the client)."""
+        try:
+            return self._sites[site_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown site id {site_id}") from None
+
+    def server_storing(self, relation: str) -> Site:
+        """The server holding the primary copy of ``relation``."""
+        for server in self.servers:
+            if server.stores(relation):
+                return server
+        raise ConfigurationError(f"no server stores relation {relation!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Topology servers={len(self.servers)}>"

@@ -1,0 +1,173 @@
+"""Random plan generation: the starting points of iterative improvement.
+
+A random plan is a random join tree over the query's relations (avoiding
+Cartesian products whenever the join graph allows) with random policy-legal
+annotations, repaired to well-formedness.  Selections are always planned
+directly above their relation's scan, as in the paper's workloads.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+
+from repro.errors import OptimizationError
+from repro.plans.annotations import Annotation
+from repro.plans.logical import Query
+from repro.plans.operators import DisplayOp, JoinOp, PlanOp, ScanOp, SelectOp
+from repro.plans.policies import Policy, allowed_annotations
+from repro.plans.validate import find_annotation_cycles
+
+__all__ = ["PlanShape", "random_plan", "random_join_tree", "repair_annotations"]
+
+
+class PlanShape(enum.Enum):
+    """Optional structural constraint on generated join trees.
+
+    ``DEEP`` restricts plans to linear trees (every join has at most one
+    join child), the left-deep shape of the section-5 experiments; ``ANY``
+    permits bushy trees.
+    """
+
+    ANY = "any"
+    DEEP = "deep"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def is_deep(plan: PlanOp) -> bool:
+    """True if no join in the subtree has two join children."""
+    for op in plan.walk():
+        if isinstance(op, JoinOp):
+            join_children = sum(
+                1 for child in op.children if _strip_selects(child) and
+                isinstance(_strip_selects(child), JoinOp)
+            )
+            if join_children > 1:
+                return False
+    return True
+
+
+def _strip_selects(op: PlanOp) -> PlanOp:
+    while isinstance(op, SelectOp):
+        op = op.child
+    return op
+
+
+def _leaf(query: Query, relation: str, policy: Policy, rng: random.Random) -> PlanOp:
+    scan = ScanOp(_random_annotation(policy, "scan", rng), relation)
+    selectivity = query.selection_on(relation)
+    if selectivity is None:
+        return scan
+    return SelectOp(_random_annotation(policy, "select", rng), child=scan,
+                    selectivity=selectivity)
+
+
+def _random_annotation(policy: Policy, kind: str, rng: random.Random) -> Annotation:
+    choices = sorted(allowed_annotations(policy, kind), key=lambda a: a.value)
+    return rng.choice(choices)
+
+
+def random_join_tree(
+    query: Query,
+    policy: Policy,
+    rng: random.Random,
+    shape: PlanShape = PlanShape.ANY,
+) -> PlanOp:
+    """A random join tree over the query's relations.
+
+    Pairs of subtrees connected by a join predicate are preferred, so
+    Cartesian products only appear when the join graph is disconnected.
+    ``DEEP`` grows a single linear chain instead of merging random pairs.
+    """
+    forest: list[PlanOp] = [_leaf(query, r, policy, rng) for r in query.relations]
+    if shape is PlanShape.DEEP and len(forest) > 1:
+        rng.shuffle(forest)
+        current = forest.pop()
+        while forest:
+            connected = [
+                t for t in forest
+                if query.predicates_between(current.relations(), t.relations())
+            ]
+            pool = connected or forest
+            pick = rng.choice(pool)
+            forest.remove(pick)
+            annotation = _random_annotation(policy, "join", rng)
+            if rng.random() < 0.5:
+                current = JoinOp(annotation, inner=current, outer=pick)
+            else:
+                current = JoinOp(annotation, inner=pick, outer=current)
+        return current
+    while len(forest) > 1:
+        connected_pairs = [
+            (i, j)
+            for i in range(len(forest))
+            for j in range(i + 1, len(forest))
+            if query.predicates_between(forest[i].relations(), forest[j].relations())
+        ]
+        if connected_pairs:
+            i, j = rng.choice(connected_pairs)
+        else:
+            i, j = rng.sample(range(len(forest)), 2)
+            i, j = min(i, j), max(i, j)
+        right = forest.pop(j)
+        left = forest.pop(i)
+        if rng.random() < 0.5:
+            left, right = right, left
+        forest.append(JoinOp(_random_annotation(policy, "join", rng), inner=left, outer=right))
+    return forest[0]
+
+
+def repair_annotations(root: DisplayOp, policy: Policy, rng: random.Random) -> DisplayOp:
+    """Re-sample annotations until the plan is well-formed.
+
+    Only hybrid-shipping can produce two-node annotation cycles (a parent
+    pointing down at a ``consumer`` child); the repair re-draws the child's
+    annotation away from ``consumer``, which always succeeds because every
+    operator with a ``consumer`` option also has a non-``consumer`` option.
+    """
+    for _attempt in range(64):
+        cycles = find_annotation_cycles(root)
+        if not cycles:
+            return root
+        parent, child = cycles[rng.randrange(len(cycles))]
+        options = [
+            a for a in allowed_annotations(policy, child) if a is not Annotation.CONSUMER
+        ]
+        if not options:  # pragma: no cover - Table 1 always offers one
+            raise OptimizationError(f"cannot repair cycle at {child.kind}")
+        replacement = child.with_annotation(rng.choice(sorted(options, key=lambda a: a.value)))
+        root = _replace_once(root, child, replacement)
+    raise OptimizationError("annotation repair did not converge")
+
+
+def _replace_once(root: DisplayOp, target: PlanOp, replacement: PlanOp) -> DisplayOp:
+    """Rebuild the tree with ``target`` (by identity) swapped out."""
+
+    def rebuild(op: PlanOp) -> PlanOp:
+        if op is target:
+            return replacement
+        if isinstance(op, DisplayOp):
+            return op.with_child(rebuild(op.child))
+        if isinstance(op, SelectOp):
+            return op.with_child(rebuild(op.child))
+        if isinstance(op, JoinOp):
+            return op.with_children(rebuild(op.inner), rebuild(op.outer))
+        return op
+
+    new_root = rebuild(root)
+    assert isinstance(new_root, DisplayOp)
+    return new_root
+
+
+def random_plan(
+    query: Query,
+    policy: Policy,
+    rng: random.Random,
+    shape: PlanShape = PlanShape.ANY,
+) -> DisplayOp:
+    """A complete random, policy-legal, well-formed plan for ``query``."""
+    tree = random_join_tree(query, policy, rng, shape)
+    root = DisplayOp(Annotation.CLIENT, child=tree)
+    return repair_annotations(root, policy, rng)

@@ -1,0 +1,167 @@
+"""The search space: the seven plan transformations of section 3.1.1.
+
+Join-order moves (A, B, C are base or temporary relations)::
+
+    1. (A join B) join C  ->  A join (B join C)
+    2. (A join B) join C  ->  B join (A join C)
+    3. A join (B join C)  ->  (A join B) join C
+    4. A join (B join C)  ->  (A join C) join B
+
+Annotation moves::
+
+    5. change a join's annotation to consumer / outer / inner relation
+    6. flip a select between consumer and producer
+    7. flip a scan between client and primary copy
+
+Policies restrict the move set exactly as in the paper: data-shipping
+enables only moves 1-4 (all operators stay at the client); query-shipping
+disables moves 6 and 7 and restricts move 5 to inner/outer relation
+(a join is never moved to its consumer's site).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.optimizer.random_plans import PlanShape, is_deep, repair_annotations
+from repro.plans.annotations import Annotation
+from repro.plans.logical import Query
+from repro.plans.operators import DisplayOp, JoinOp, PlanOp, ScanOp, SelectOp
+from repro.plans.policies import Policy, allowed_annotations
+
+__all__ = ["random_neighbor", "enumerate_candidates", "has_cartesian_join"]
+
+
+def has_cartesian_join(root: PlanOp, query: Query) -> bool:
+    """True if any join in the plan is a Cartesian product.
+
+    The paper's optimizer never introduces Cartesian products ("the
+    optimizer will not join them locally as the result would be a Cartesian
+    product", section 4.3.1); reorder moves that would create one are
+    rejected, unless the query's join graph is disconnected and products
+    are unavoidable.
+    """
+    for op in root.walk():
+        if isinstance(op, JoinOp) and not query.predicates_between(
+            op.inner.relations(), op.outer.relations()
+        ):
+            return True
+    return False
+
+
+def _rebuild(root: DisplayOp, target: PlanOp, replacement: PlanOp) -> DisplayOp:
+    """Copy of the tree with ``target`` (matched by identity) replaced."""
+
+    def visit(op: PlanOp) -> PlanOp:
+        if op is target:
+            return replacement
+        if isinstance(op, DisplayOp):
+            return op.with_child(visit(op.child))
+        if isinstance(op, SelectOp):
+            return op.with_child(visit(op.child))
+        if isinstance(op, JoinOp):
+            return op.with_children(visit(op.inner), visit(op.outer))
+        return op
+
+    result = visit(root)
+    assert isinstance(result, DisplayOp)
+    return result
+
+
+def _reorder_candidates(root: DisplayOp) -> list[tuple[int, JoinOp]]:
+    """All (move number, join node) pairs where a join-order move applies."""
+    candidates: list[tuple[int, JoinOp]] = []
+    for op in root.walk():
+        if not isinstance(op, JoinOp):
+            continue
+        if isinstance(op.inner, JoinOp):
+            candidates.append((1, op))
+            candidates.append((2, op))
+        if isinstance(op.outer, JoinOp):
+            candidates.append((3, op))
+            candidates.append((4, op))
+    return candidates
+
+
+def _apply_reorder(move: int, join: JoinOp) -> JoinOp:
+    """Apply a join-order move at ``join``, reusing existing annotations."""
+    if move in (1, 2):
+        lower = join.inner
+        assert isinstance(lower, JoinOp)
+        a, b, c = lower.inner, lower.outer, join.outer
+        if move == 1:  # (A  B)  C -> A  (B  C)
+            return join.with_children(a, lower.with_children(b, c))
+        return join.with_children(b, lower.with_children(a, c))  # move 2
+    lower = join.outer
+    assert isinstance(lower, JoinOp)
+    a, b, c = join.inner, lower.inner, lower.outer
+    if move == 3:  # A  (B  C) -> (A  B)  C
+        return join.with_children(lower.with_children(a, b), c)
+    return join.with_children(lower.with_children(a, c), b)  # move 4
+
+
+def _annotation_candidates(
+    root: DisplayOp, policy: Policy
+) -> list[tuple[PlanOp, Annotation]]:
+    """All (node, new annotation) pairs for moves 5-7 under ``policy``."""
+    candidates: list[tuple[PlanOp, Annotation]] = []
+    for op in root.walk():
+        if isinstance(op, (JoinOp, SelectOp, ScanOp)):
+            for annotation in sorted(
+                allowed_annotations(policy, op), key=lambda a: a.value
+            ):
+                if annotation is not op.annotation:
+                    candidates.append((op, annotation))
+    return candidates
+
+
+def enumerate_candidates(
+    root: DisplayOp,
+    policy: Policy,
+    annotation_moves_only: bool = False,
+) -> list[tuple[str, object]]:
+    """All applicable concrete moves, tagged 'reorder' or 'annotate'.
+
+    Data-shipping has no annotation freedom (every set in Table 1 is a
+    singleton), so only reorder moves remain; query-shipping's annotation
+    candidates are automatically restricted to inner/outer relation.
+    """
+    candidates: list[tuple[str, object]] = []
+    if not annotation_moves_only:
+        candidates.extend(("reorder", c) for c in _reorder_candidates(root))
+    candidates.extend(("annotate", c) for c in _annotation_candidates(root, policy))
+    return candidates
+
+
+def random_neighbor(
+    root: DisplayOp,
+    query: Query,
+    policy: Policy,
+    rng: random.Random,
+    shape: PlanShape = PlanShape.ANY,
+    annotation_moves_only: bool = False,
+) -> DisplayOp | None:
+    """One random move applied to ``root``; None if no move applies.
+
+    The result is repaired to well-formedness (only hybrid plans can become
+    ill-formed) and, under a ``DEEP`` shape constraint, structural moves
+    that would create a bushy tree are rejected.
+    """
+    candidates = enumerate_candidates(root, policy, annotation_moves_only)
+    if not candidates:
+        return None
+    root_has_cartesian = has_cartesian_join(root, query)
+    for _attempt in range(8):
+        kind, payload = candidates[rng.randrange(len(candidates))]
+        if kind == "reorder":
+            move, join = payload  # type: ignore[misc]
+            new_root = _rebuild(root, join, _apply_reorder(move, join))
+            if shape is PlanShape.DEEP and not is_deep(new_root.child):
+                continue
+            if not root_has_cartesian and has_cartesian_join(new_root, query):
+                continue
+        else:
+            op, annotation = payload  # type: ignore[misc]
+            new_root = _rebuild(root, op, op.with_annotation(annotation))
+        return repair_annotations(new_root, policy, rng)
+    return None

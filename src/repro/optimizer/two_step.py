@@ -1,0 +1,136 @@
+"""Static and 2-step optimization (section 5).
+
+Pre-compiling queries avoids optimization cost at every execution but bakes
+in compile-time beliefs about the system state.  The paper studies:
+
+- **static** plans: fully optimized (join order *and* annotations) at
+  compile time under an assumed state; at run time only the logical->
+  physical binding adapts to the true state;
+- **2-step** plans: the compile step fixes the join ordering but the site
+  selection (annotation assignment) is redone just before execution using
+  the true state -- "at execution time, carry out site selection and
+  determine where to execute every operator of the plan (e.g., using
+  simulated annealing)".
+
+The compile-time belief is expressed as an :class:`EnvironmentState` whose
+catalog may place relations differently from the truth (e.g. "centralized":
+everything on one server, which yields left-deep plans; "fully
+distributed": one relation per server, which yields bushy plans).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import OptimizerConfig
+from repro.costmodel.model import EnvironmentState, Objective
+from repro.optimizer.random_plans import PlanShape
+from repro.optimizer.two_phase import OptimizationResult, RandomizedOptimizer
+from repro.plans.logical import Query
+from repro.plans.operators import DisplayOp
+from repro.plans.policies import Policy
+
+__all__ = ["CompiledQuery", "TwoStepOptimizer", "site_selection_only"]
+
+
+def site_selection_only(
+    query: Query,
+    plan: DisplayOp,
+    environment: EnvironmentState,
+    objective: Objective = Objective.RESPONSE_TIME,
+    config: OptimizerConfig | None = None,
+    seed: int = 0,
+    policy: Policy = Policy.HYBRID_SHIPPING,
+) -> OptimizationResult:
+    """Re-optimize only the annotations of ``plan`` (join order fixed).
+
+    This is the run-time half of 2-step optimization: simulated annealing
+    over the annotation moves (5-7), starting from the compiled plan.
+    """
+    optimizer = RandomizedOptimizer(
+        query,
+        environment,
+        policy=policy,
+        objective=objective,
+        config=config,
+        seed=seed,
+        annotation_moves_only=True,
+        initial_plan=plan,
+    )
+    return optimizer.optimize()
+
+
+@dataclass
+class CompiledQuery:
+    """The compile-time product: a fully annotated plan plus provenance.
+
+    Used directly it is a *static* plan; passed through
+    :meth:`TwoStepOptimizer.runtime_plan` its annotations are redone.
+    """
+
+    query: Query
+    plan: DisplayOp
+    assumed_environment: EnvironmentState
+    objective: Objective
+    shape: PlanShape
+
+
+class TwoStepOptimizer:
+    """Compile once under an assumed state, re-select sites at run time."""
+
+    def __init__(
+        self,
+        objective: Objective = Objective.RESPONSE_TIME,
+        config: OptimizerConfig | None = None,
+        policy: Policy = Policy.HYBRID_SHIPPING,
+    ) -> None:
+        self.objective = objective
+        self.config = config
+        self.policy = policy
+
+    def compile(
+        self,
+        query: Query,
+        assumed_environment: EnvironmentState,
+        shape: PlanShape = PlanShape.ANY,
+        seed: int = 0,
+    ) -> CompiledQuery:
+        """Full 2PO under the *assumed* environment (join order + sites)."""
+        result = RandomizedOptimizer(
+            query,
+            assumed_environment,
+            policy=self.policy,
+            objective=self.objective,
+            config=self.config,
+            seed=seed,
+            shape=shape,
+        ).optimize()
+        return CompiledQuery(
+            query=query,
+            plan=result.plan,
+            assumed_environment=assumed_environment,
+            objective=self.objective,
+            shape=shape,
+        )
+
+    def static_plan(self, compiled: CompiledQuery) -> DisplayOp:
+        """The static execution plan: exactly what compile time produced."""
+        return compiled.plan
+
+    def runtime_plan(
+        self,
+        compiled: CompiledQuery,
+        true_environment: EnvironmentState,
+        seed: int = 0,
+    ) -> DisplayOp:
+        """2-step execution plan: compiled join order, fresh site selection."""
+        result = site_selection_only(
+            compiled.query,
+            compiled.plan,
+            true_environment,
+            objective=self.objective,
+            config=self.config,
+            seed=seed,
+            policy=self.policy,
+        )
+        return result.plan

@@ -1,0 +1,44 @@
+"""Logical site annotations (section 2.1).
+
+Annotations refer to *logical* sites and "are not bound to physical machines
+until query execution time":
+
+- ``client`` -- the site where the query is submitted;
+- ``primary copy`` -- the server where the scanned relation resides;
+- ``consumer`` -- the site of the operator consuming this operator's output;
+- ``producer`` -- the site of a unary operator's child;
+- ``inner relation`` -- the site producing a join's left-hand input;
+- ``outer relation`` -- the site producing a join's right-hand input.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Annotation"]
+
+
+class Annotation(enum.Enum):
+    CLIENT = "client"
+    PRIMARY_COPY = "primary copy"
+    CONSUMER = "consumer"
+    PRODUCER = "producer"
+    INNER_RELATION = "inner relation"
+    OUTER_RELATION = "outer relation"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def points_up(self) -> bool:
+        """True if this annotation resolves to the parent operator's site."""
+        return self is Annotation.CONSUMER
+
+    @property
+    def points_down(self) -> bool:
+        """True if this annotation resolves to a child operator's site."""
+        return self in (
+            Annotation.PRODUCER,
+            Annotation.INNER_RELATION,
+            Annotation.OUTER_RELATION,
+        )

@@ -1,0 +1,125 @@
+"""Run-time binding of logical annotations to physical sites.
+
+"At runtime, the logical annotations are bound to actual sites in the
+network.  First the locations of the display and scan operators are
+resolved; then, the locations of the other operators are resolved given
+their annotations" (section 2.1).  Well-formed plans always resolve.
+
+Binding consults only a :class:`~repro.catalog.Catalog` (for primary-copy
+locations) and the client site id, so the *same* annotated plan binds
+differently as data migrates between servers -- the behaviour the 2-step
+optimization experiments exercise.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.catalog.catalog import Catalog
+from repro.errors import BindingError
+from repro.hardware.site import CLIENT_SITE_ID
+from repro.plans.annotations import Annotation
+from repro.plans.operators import DisplayOp, JoinOp, PlanOp, ScanOp, SelectOp
+
+__all__ = ["BoundPlan", "bind_plan"]
+
+
+class BoundPlan:
+    """An annotated plan whose every operator is pinned to a physical site."""
+
+    def __init__(self, root: DisplayOp, sites: dict[int, int]) -> None:
+        self.root = root
+        self._sites = sites
+
+    def site_of(self, op: PlanOp) -> int:
+        """The physical site id (0 = client) an operator runs at."""
+        try:
+            return self._sites[id(op)]
+        except KeyError:
+            raise BindingError(f"operator {op.kind} is not part of this bound plan") from None
+
+    def operators(self) -> typing.Iterator[PlanOp]:
+        return self.root.walk()
+
+    def edges(self) -> typing.Iterator[tuple[PlanOp, PlanOp]]:
+        """All (parent, child) producer-consumer edges."""
+        for op in self.root.walk():
+            for child in op.children:
+                yield op, child
+
+    def crossing_edges(self) -> list[tuple[PlanOp, PlanOp]]:
+        """Edges whose endpoints run at different sites (network shipping)."""
+        return [
+            (parent, child)
+            for parent, child in self.edges()
+            if self.site_of(parent) != self.site_of(child)
+        ]
+
+    def sites_used(self) -> set[int]:
+        return {self.site_of(op) for op in self.operators()}
+
+    def operators_at(self, site_id: int) -> list[PlanOp]:
+        return [op for op in self.operators() if self.site_of(op) == site_id]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<BoundPlan sites={sorted(self.sites_used())}>"
+
+
+def bind_plan(
+    root: DisplayOp,
+    catalog: Catalog,
+    client_site: int = CLIENT_SITE_ID,
+) -> BoundPlan:
+    """Resolve every operator's logical annotation to a physical site id."""
+    parents: dict[int, PlanOp] = {}
+    for op in root.walk():
+        for child in op.children:
+            parents[id(child)] = op
+
+    sites: dict[int, int] = {}
+
+    # Pass 1: fixed locations (display and scans).
+    unresolved: list[PlanOp] = []
+    for op in root.walk():
+        if isinstance(op, DisplayOp):
+            sites[id(op)] = client_site
+        elif isinstance(op, ScanOp):
+            if op.annotation is Annotation.CLIENT:
+                sites[id(op)] = client_site
+            else:
+                sites[id(op)] = catalog.server_of(op.relation)
+        else:
+            unresolved.append(op)
+
+    # Pass 2: propagate through annotations until a fixed point.
+    def reference_of(op: PlanOp) -> PlanOp:
+        if op.annotation is Annotation.CONSUMER:
+            return parents[id(op)]
+        if isinstance(op, JoinOp):
+            target = op.annotation_target()
+            if target is None:  # pragma: no cover - guarded by operator ctor
+                raise BindingError(f"join has unresolvable annotation {op.annotation}")
+            return target
+        if isinstance(op, SelectOp) and op.annotation is Annotation.PRODUCER:
+            return op.child
+        raise BindingError(f"{op.kind} has unresolvable annotation {op.annotation}")
+
+    pending = unresolved
+    while pending:
+        progressed = False
+        still_pending: list[PlanOp] = []
+        for op in pending:
+            reference = reference_of(op)
+            if id(reference) in sites:
+                sites[id(op)] = sites[id(reference)]
+                progressed = True
+            else:
+                still_pending.append(op)
+        if not progressed:
+            raise BindingError(
+                "binding did not converge; the plan is ill-formed "
+                "(annotation cycle between operators)"
+            )
+        pending = still_pending
+
+    return BoundPlan(root, sites)

@@ -1,0 +1,139 @@
+"""Logical queries: select-project-join over named relations.
+
+A :class:`Query` is independent of any execution plan: it names the
+relations, the equi-join predicates connecting them (with selectivities),
+optional selection predicates on base relations, and the width of projected
+result tuples.  The paper's benchmark queries are chain joins whose every
+join result is projected to 100-byte tuples (section 3.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+
+__all__ = ["JoinPredicate", "Query"]
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """An equi-join edge between two relations.
+
+    ``selectivity`` is the classic join selectivity factor:
+    ``|A join B| = selectivity * |A| * |B|``.  The paper's *moderate*
+    selectivity makes a join of two equal-sized base relations return the
+    cardinality of one base relation (selectivity = 1/|A|); the *HiSel*
+    variant lets only 20 % of each input's tuples participate.
+    """
+
+    left: str
+    right: str
+    selectivity: float
+
+    def __post_init__(self) -> None:
+        if self.left == self.right:
+            raise PlanError(f"self-join edge on {self.left!r} is not supported")
+        if self.selectivity <= 0.0:
+            raise PlanError(f"join selectivity must be positive, got {self.selectivity}")
+
+    def connects(self, left_set: frozenset[str], right_set: frozenset[str]) -> bool:
+        """True if this edge crosses between the two relation sets."""
+        return (self.left in left_set and self.right in right_set) or (
+            self.right in left_set and self.left in right_set
+        )
+
+    def endpoints(self) -> frozenset[str]:
+        return frozenset((self.left, self.right))
+
+
+@dataclass(frozen=True)
+class Query:
+    """A select-project-join query.
+
+    Parameters
+    ----------
+    relations:
+        Names of the base relations referenced.
+    predicates:
+        Join edges; relations without a connecting edge can only be combined
+        by Cartesian product (the optimizer will avoid that when possible).
+    selections:
+        Optional per-relation selection selectivities in (0, 1]; a value of
+        1.0 (or absence) means no selection operator is planned for that
+        relation.
+    result_tuple_bytes:
+        Width of tuples in join results and the final result after
+        projection (the paper projects everything to 100 bytes).
+    """
+
+    relations: tuple[str, ...]
+    predicates: tuple[JoinPredicate, ...] = ()
+    selections: dict[str, float] = field(default_factory=dict)
+    result_tuple_bytes: int = 100
+
+    def __post_init__(self) -> None:
+        if not self.relations:
+            raise PlanError("a query needs at least one relation")
+        if len(set(self.relations)) != len(self.relations):
+            raise PlanError("duplicate relation in query")
+        known = set(self.relations)
+        for predicate in self.predicates:
+            if predicate.left not in known or predicate.right not in known:
+                raise PlanError(
+                    f"predicate {predicate.left} = {predicate.right} references "
+                    "a relation not in the query"
+                )
+        for name, selectivity in self.selections.items():
+            if name not in known:
+                raise PlanError(f"selection on unknown relation {name!r}")
+            if not 0.0 < selectivity <= 1.0:
+                raise PlanError(f"selection selectivity for {name!r} must be in (0, 1]")
+        if self.result_tuple_bytes <= 0:
+            raise PlanError("result tuple width must be positive")
+
+    @property
+    def num_joins(self) -> int:
+        """Joins in any plan for this query (relations - 1)."""
+        return len(self.relations) - 1
+
+    def predicates_between(
+        self, left_set: frozenset[str], right_set: frozenset[str]
+    ) -> list[JoinPredicate]:
+        """All join edges crossing between two disjoint relation sets."""
+        return [p for p in self.predicates if p.connects(left_set, right_set)]
+
+    def selection_on(self, relation: str) -> float | None:
+        """Selection selectivity for ``relation`` or None if none planned."""
+        selectivity = self.selections.get(relation)
+        if selectivity is None or selectivity >= 1.0:
+            return None
+        return selectivity
+
+    def is_connected(self) -> bool:
+        """True if the join graph connects all relations (no forced products)."""
+        if len(self.relations) == 1:
+            return True
+        adjacency: dict[str, set[str]] = {r: set() for r in self.relations}
+        for predicate in self.predicates:
+            adjacency[predicate.left].add(predicate.right)
+            adjacency[predicate.right].add(predicate.left)
+        seen = {self.relations[0]}
+        frontier = [self.relations[0]]
+        while frontier:
+            for neighbour in adjacency[frontier.pop()]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return len(seen) == len(self.relations)
+
+    def join_graph_edges(self) -> list[tuple[str, str]]:
+        """Sorted edge list, useful for rendering and tests."""
+        return sorted((min(p.left, p.right), max(p.left, p.right)) for p in self.predicates)
+
+    def validate_unique_edges(self) -> None:
+        """Raise if two predicates connect the same pair of relations."""
+        for a, b in itertools.combinations(self.predicates, 2):
+            if a.endpoints() == b.endpoints():
+                raise PlanError(f"duplicate join edge between {sorted(a.endpoints())}")

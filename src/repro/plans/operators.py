@@ -1,0 +1,151 @@
+"""Plan operators: display, join, select, scan (section 2.1).
+
+Plans are immutable binary trees.  Following the paper's convention, a
+join's *left-hand* input is the **inner** relation (the hybrid-hash build
+side) and its *right-hand* input is the **outer** relation (the probe side):
+"an inner relation annotation indicates that the operator should be executed
+at the same site as the operator that produces its left-hand input".
+
+Optimizer moves never mutate nodes; they rebuild the spine of the tree, so
+plans can be shared, hashed, and compared structurally.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, replace
+
+from repro.errors import PlanError
+from repro.plans.annotations import Annotation
+
+__all__ = ["PlanOp", "ScanOp", "SelectOp", "JoinOp", "DisplayOp"]
+
+
+@dataclass(frozen=True)
+class PlanOp:
+    """Base class for all plan operators."""
+
+    annotation: Annotation
+
+    @property
+    def children(self) -> tuple["PlanOp", ...]:
+        return ()
+
+    @property
+    def kind(self) -> str:
+        """Short lowercase operator name ('scan', 'join', ...)."""
+        return type(self).__name__.removesuffix("Op").lower()
+
+    def with_annotation(self, annotation: Annotation) -> "PlanOp":
+        """Copy of this node with a different site annotation."""
+        return replace(self, annotation=annotation)
+
+    def walk(self) -> typing.Iterator["PlanOp"]:
+        """Pre-order traversal of the subtree rooted here."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def relations(self) -> frozenset[str]:
+        """Names of all base relations scanned in this subtree."""
+        return frozenset(op.relation for op in self.walk() if isinstance(op, ScanOp))
+
+    def count(self, op_type: type) -> int:
+        return sum(1 for op in self.walk() if isinstance(op, op_type))
+
+
+@dataclass(frozen=True)
+class ScanOp(PlanOp):
+    """Produces all tuples of a base relation.
+
+    Annotated ``primary copy`` (run at the relation's server) or ``client``
+    (run at the query's client, reading cached pages from the local disk and
+    faulting missing pages in from the server).
+    """
+
+    relation: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.relation:
+            raise PlanError("scan needs a relation name")
+        if self.annotation not in (Annotation.PRIMARY_COPY, Annotation.CLIENT):
+            raise PlanError(f"scan cannot be annotated {self.annotation}")
+
+
+@dataclass(frozen=True)
+class SelectOp(PlanOp):
+    """Applies a predicate; annotated ``consumer`` or ``producer``."""
+
+    child: PlanOp = None  # type: ignore[assignment]
+    selectivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.child is None:
+            raise PlanError("select needs a child operator")
+        if not 0.0 < self.selectivity <= 1.0:
+            raise PlanError(f"select selectivity must be in (0, 1], got {self.selectivity}")
+        if self.annotation not in (Annotation.CONSUMER, Annotation.PRODUCER):
+            raise PlanError(f"select cannot be annotated {self.annotation}")
+
+    @property
+    def children(self) -> tuple[PlanOp, ...]:
+        return (self.child,)
+
+    def with_child(self, child: PlanOp) -> "SelectOp":
+        return replace(self, child=child)
+
+
+@dataclass(frozen=True)
+class JoinOp(PlanOp):
+    """Equi-join; left input is the inner (build) side, right is the outer.
+
+    Annotated ``consumer``, ``inner relation``, or ``outer relation``.
+    """
+
+    inner: PlanOp = None  # type: ignore[assignment]
+    outer: PlanOp = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.inner is None or self.outer is None:
+            raise PlanError("join needs two children")
+        if self.annotation not in (
+            Annotation.CONSUMER,
+            Annotation.INNER_RELATION,
+            Annotation.OUTER_RELATION,
+        ):
+            raise PlanError(f"join cannot be annotated {self.annotation}")
+
+    @property
+    def children(self) -> tuple[PlanOp, ...]:
+        return (self.inner, self.outer)
+
+    def with_children(self, inner: PlanOp, outer: PlanOp) -> "JoinOp":
+        return replace(self, inner=inner, outer=outer)
+
+    def annotation_target(self) -> PlanOp | None:
+        """The child whose site this join's annotation points to, if any."""
+        if self.annotation is Annotation.INNER_RELATION:
+            return self.inner
+        if self.annotation is Annotation.OUTER_RELATION:
+            return self.outer
+        return None
+
+
+@dataclass(frozen=True)
+class DisplayOp(PlanOp):
+    """Presents the result to the application; always at the client."""
+
+    child: PlanOp = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.child is None:
+            raise PlanError("display needs a child operator")
+        if self.annotation is not Annotation.CLIENT:
+            raise PlanError("display is always annotated client (section 2.1)")
+
+    @property
+    def children(self) -> tuple[PlanOp, ...]:
+        return (self.child,)
+
+    def with_child(self, child: PlanOp) -> "DisplayOp":
+        return replace(self, child=child)

@@ -1,0 +1,93 @@
+"""The three execution policies as annotation restrictions (Table 1).
+
+============  ==================  ===============  ==========================
+Operator      data-shipping       query-shipping   hybrid-shipping
+============  ==================  ===============  ==========================
+display       client              client           client
+join          consumer            inner or outer   consumer, inner or outer
+select        consumer            producer         consumer or producer
+scan          client              primary copy     client or primary copy
+============  ==================  ===============  ==========================
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import PolicyViolationError
+from repro.plans.annotations import Annotation
+from repro.plans.operators import DisplayOp, JoinOp, PlanOp, ScanOp, SelectOp
+
+__all__ = ["Policy", "allowed_annotations", "check_policy"]
+
+
+class Policy(enum.Enum):
+    """The site-selection policy a plan must conform to."""
+
+    DATA_SHIPPING = "data-shipping"
+    QUERY_SHIPPING = "query-shipping"
+    HYBRID_SHIPPING = "hybrid-shipping"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def short_name(self) -> str:
+        return {"data-shipping": "DS", "query-shipping": "QS", "hybrid-shipping": "HY"}[
+            self.value
+        ]
+
+
+_TABLE_1: dict[Policy, dict[str, frozenset[Annotation]]] = {
+    Policy.DATA_SHIPPING: {
+        "display": frozenset({Annotation.CLIENT}),
+        "join": frozenset({Annotation.CONSUMER}),
+        "select": frozenset({Annotation.CONSUMER}),
+        "scan": frozenset({Annotation.CLIENT}),
+    },
+    Policy.QUERY_SHIPPING: {
+        "display": frozenset({Annotation.CLIENT}),
+        "join": frozenset({Annotation.INNER_RELATION, Annotation.OUTER_RELATION}),
+        "select": frozenset({Annotation.PRODUCER}),
+        "scan": frozenset({Annotation.PRIMARY_COPY}),
+    },
+    Policy.HYBRID_SHIPPING: {
+        "display": frozenset({Annotation.CLIENT}),
+        "join": frozenset(
+            {Annotation.CONSUMER, Annotation.INNER_RELATION, Annotation.OUTER_RELATION}
+        ),
+        "select": frozenset({Annotation.CONSUMER, Annotation.PRODUCER}),
+        "scan": frozenset({Annotation.CLIENT, Annotation.PRIMARY_COPY}),
+    },
+}
+
+_OP_KINDS = {ScanOp: "scan", SelectOp: "select", JoinOp: "join", DisplayOp: "display"}
+
+
+def allowed_annotations(policy: Policy, op: "PlanOp | type | str") -> frozenset[Annotation]:
+    """Annotations Table 1 allows for an operator under ``policy``.
+
+    ``op`` may be an operator instance, an operator class, or the kind name
+    (``"scan"``, ``"select"``, ``"join"``, ``"display"``).
+    """
+    if isinstance(op, str):
+        kind = op
+    elif isinstance(op, type):
+        kind = _OP_KINDS.get(op, "")
+    else:
+        kind = op.kind
+    table = _TABLE_1[policy]
+    if kind not in table:
+        raise PolicyViolationError(f"unknown operator kind {kind!r}")
+    return table[kind]
+
+
+def check_policy(plan: PlanOp, policy: Policy) -> None:
+    """Raise :class:`PolicyViolationError` if any annotation is disallowed."""
+    for op in plan.walk():
+        allowed = allowed_annotations(policy, op)
+        if op.annotation not in allowed:
+            raise PolicyViolationError(
+                f"{op.kind} annotated {op.annotation} violates {policy} "
+                f"(allowed: {sorted(a.value for a in allowed)})"
+            )

@@ -1,0 +1,49 @@
+"""Text rendering of annotated (and optionally bound) plans.
+
+Produces trees in the spirit of the paper's Figure 1, e.g.::
+
+    display [client] @client
+    '-- join [consumer] @client
+        |-- join [inner relation] @server1
+        |   |-- scan(A) [primary copy] @server1
+        |   '-- scan(B) [primary copy] @server1
+        '-- scan(C) [client] @client
+"""
+
+from __future__ import annotations
+
+from repro.plans.binding import BoundPlan
+from repro.plans.operators import PlanOp, ScanOp
+
+__all__ = ["render_plan"]
+
+
+def _label(op: PlanOp, bound: BoundPlan | None) -> str:
+    name = f"scan({op.relation})" if isinstance(op, ScanOp) else op.kind
+    label = f"{name} [{op.annotation}]"
+    if bound is not None:
+        site = bound.site_of(op)
+        label += f" @{'client' if site == 0 else f'server{site}'}"
+    return label
+
+
+def render_plan(plan: "PlanOp | BoundPlan") -> str:
+    """Render a plan (bound or not) as an ASCII tree."""
+    bound = plan if isinstance(plan, BoundPlan) else None
+    root = plan.root if isinstance(plan, BoundPlan) else plan
+    lines: list[str] = []
+
+    def visit(op: PlanOp, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(_label(op, bound))
+            child_prefix = ""
+        else:
+            connector = "'-- " if is_last else "|-- "
+            lines.append(prefix + connector + _label(op, bound))
+            child_prefix = prefix + ("    " if is_last else "|   ")
+        children = op.children
+        for index, child in enumerate(children):
+            visit(child, child_prefix, index == len(children) - 1, False)
+
+    visit(root, "", True, True)
+    return "\n".join(lines)

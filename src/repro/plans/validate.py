@@ -1,0 +1,83 @@
+"""Plan validation: structure and well-formedness.
+
+A *well-formed* plan's annotations contain no cycles, so every operator has
+a path (via annotations) to a leaf or to the root, and the runtime binding
+scheme always resolves (section 2.2.3).  Because plans are trees, "only
+cycles with two nodes can occur": a parent whose annotation points *down* to
+a child whose annotation is ``consumer`` (pointing back *up*).
+"""
+
+from __future__ import annotations
+
+from repro.errors import IllFormedPlanError, PlanError
+from repro.plans.annotations import Annotation
+from repro.plans.operators import DisplayOp, JoinOp, PlanOp, ScanOp, SelectOp
+from repro.plans.logical import Query
+
+__all__ = ["is_well_formed", "find_annotation_cycles", "validate_plan"]
+
+
+def _downward_targets(op: PlanOp) -> tuple[PlanOp, ...]:
+    """Children whose site this operator's annotation resolves to."""
+    if isinstance(op, JoinOp):
+        target = op.annotation_target()
+        return (target,) if target is not None else ()
+    if isinstance(op, SelectOp) and op.annotation is Annotation.PRODUCER:
+        return (op.child,)
+    return ()
+
+
+def find_annotation_cycles(plan: PlanOp) -> list[tuple[PlanOp, PlanOp]]:
+    """All (parent, child) pairs whose annotations point at each other."""
+    cycles: list[tuple[PlanOp, PlanOp]] = []
+    for op in plan.walk():
+        for target in _downward_targets(op):
+            if target.annotation is Annotation.CONSUMER:
+                cycles.append((op, target))
+    return cycles
+
+
+def is_well_formed(plan: PlanOp) -> bool:
+    """True if the plan's annotations contain no two-node cycle."""
+    return not find_annotation_cycles(plan)
+
+
+def validate_plan(plan: PlanOp, query: Query | None = None) -> None:
+    """Full structural validation of an execution plan.
+
+    Checks that the root is a display, that scans cover each query relation
+    exactly once (when a query is given), that no operator appears twice in
+    the tree, and that the plan is well-formed.
+    """
+    if not isinstance(plan, DisplayOp):
+        raise PlanError(f"plan root must be a display operator, got {plan.kind}")
+    seen_ids: set[int] = set()
+    scans: list[ScanOp] = []
+    displays = 0
+    for op in plan.walk():
+        if id(op) in seen_ids:
+            raise PlanError("operator object appears twice in the plan tree")
+        seen_ids.add(id(op))
+        if isinstance(op, ScanOp):
+            scans.append(op)
+        elif isinstance(op, DisplayOp):
+            displays += 1
+    if displays != 1:
+        raise PlanError(f"plan must contain exactly one display, found {displays}")
+    scanned = [scan.relation for scan in scans]
+    if len(set(scanned)) != len(scanned):
+        raise PlanError("a relation is scanned more than once")
+    if query is not None:
+        missing = set(query.relations) - set(scanned)
+        extra = set(scanned) - set(query.relations)
+        if missing or extra:
+            raise PlanError(
+                f"plan scans {sorted(scanned)} but query needs {sorted(query.relations)}"
+            )
+    cycles = find_annotation_cycles(plan)
+    if cycles:
+        parent, child = cycles[0]
+        raise IllFormedPlanError(
+            f"annotation cycle: {parent.kind} ({parent.annotation}) <-> "
+            f"{child.kind} ({child.annotation})"
+        )

@@ -1,0 +1,110 @@
+"""Bounded FIFO channels between producer and consumer processes.
+
+A :class:`Channel` with capacity 1 gives exactly the paper's pipelining
+behaviour: "each producer has a process that tries to stay one page ahead of
+its consumer so that requests can be satisfied immediately" (section 3.2.1).
+The producer blocks on :meth:`Channel.put` while the buffer is full and the
+consumer blocks on :meth:`Channel.get` while it is empty.
+"""
+
+from __future__ import annotations
+
+import typing
+from collections import deque
+
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+__all__ = ["Channel", "ChannelClosed"]
+
+
+class ChannelClosed(Exception):
+    """Raised in a consumer waiting on a channel that was closed empty."""
+
+
+_SENTINEL = object()
+
+
+class Channel:
+    """A bounded FIFO buffer connecting simulated processes.
+
+    Items are arbitrary Python objects (the execution engine ships page
+    descriptors).  A closed channel delivers its remaining buffered items,
+    after which further :meth:`get` events fail with :class:`ChannelClosed`.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError(f"channel capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self.closed = False
+        self.items_passed = 0
+        self._buffer: deque[typing.Any] = deque()
+        self._putters: deque[tuple[Event, typing.Any]] = deque()
+        self._getters: deque[Event] = deque()
+
+    def put(self, item: typing.Any) -> Event:
+        """Offer ``item``; the event fires once the item is buffered/consumed."""
+        if self.closed:
+            raise ChannelClosed(f"put() on closed channel {self.name!r}")
+        event = Event(self.env)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            self.items_passed += 1
+            event.succeed()
+        elif len(self._buffer) < self.capacity:
+            self._buffer.append(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Take the next item; fails with :class:`ChannelClosed` at end."""
+        event = Event(self.env)
+        if self._buffer:
+            item = self._buffer.popleft()
+            self.items_passed += 1
+            event.succeed(item)
+            self._admit_waiting_putter()
+        elif self._putters:
+            putter, item = self._putters.popleft()
+            putter.succeed()
+            self.items_passed += 1
+            event.succeed(item)
+        elif self.closed:
+            event.fail(ChannelClosed(self.name))
+        else:
+            self._getters.append(event)
+        return event
+
+    def _admit_waiting_putter(self) -> None:
+        if self._putters and len(self._buffer) < self.capacity:
+            putter, item = self._putters.popleft()
+            self._buffer.append(item)
+            putter.succeed()
+
+    def close(self) -> None:
+        """Mark end-of-stream; waiting consumers beyond the buffer fail."""
+        if self.closed:
+            return
+        self.closed = True
+        while self._getters and self._buffer:
+            getter = self._getters.popleft()
+            self.items_passed += 1
+            getter.succeed(self._buffer.popleft())
+        for getter in self._getters:
+            getter.fail(ChannelClosed(self.name))
+        self._getters.clear()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self.closed else "open"
+        return f"<Channel {self.name!r} {state} buffered={len(self._buffer)}>"

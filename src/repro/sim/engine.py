@@ -1,0 +1,166 @@
+"""The simulation environment: clock, event queue, and process scheduler."""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.sim.events import Event, Timeout
+
+__all__ = ["Environment", "Process", "SimulationError"]
+
+ProcessGenerator = typing.Generator[Event, typing.Any, typing.Any]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation kernel."""
+
+
+class Process(Event):
+    """A simulated process driving a generator of events.
+
+    A process is itself an :class:`Event` that fires when the generator
+    returns, delivering the generator's return value.  This lets processes
+    wait for each other with ``result = yield other_process``.
+    """
+
+    __slots__ = ("generator", "name")
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator, name: str = "") -> None:
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def _resume(self, trigger: Event) -> None:
+        """Advance the generator with the value (or exception) of ``trigger``."""
+        try:
+            if trigger.ok:
+                target = self.generator.send(trigger._value)
+            else:
+                target = self.generator.throw(trigger.exception)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if self.env.strict:
+                raise
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield events"
+            )
+        if target.processed:
+            # The target already fired; resume on the next scheduler pass so
+            # that sibling events scheduled "now" keep FIFO order.
+            rebound = Event(self.env)
+            rebound.callbacks.append(self._resume)
+            if target.ok:
+                rebound.succeed(target._value)
+            else:
+                rebound.fail(target.exception)  # type: ignore[arg-type]
+        else:
+            target.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Process {self.name!r} {'done' if self._triggered else 'alive'}>"
+
+
+class Environment:
+    """Discrete-event simulation environment.
+
+    Parameters
+    ----------
+    strict:
+        When true (the default), an exception escaping a process propagates
+        out of :meth:`run` immediately instead of being stored on the process
+        event.  This surfaces bugs in simulation code early.
+    """
+
+    def __init__(self, strict: bool = True) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+        self.strict = strict
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Queue a triggered event to be processed ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+
+    def event(self) -> Event:
+        """Create a new pending event bound to this environment."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: typing.Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        time, _seq, event = heapq.heappop(self._queue)
+        self._now = time
+        event._run_callbacks()
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: "Event | float | None" = None) -> typing.Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        - ``None``: run until no events remain;
+        - a number: run until the clock reaches that time;
+        - an :class:`Event` (e.g. a :class:`Process`): run until it fires and
+          return its value (re-raising its exception if it failed).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            while not until.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "deadlock: event queue empty but run-until event never fired"
+                    )
+                self.step()
+            return until.value
+        deadline = float(until)
+        if deadline < self._now:
+            raise SimulationError(f"run(until={deadline}) is in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None
+
+    def run_all(self, limit: float | None = None) -> None:
+        """Run until the queue drains (or ``limit`` is reached, if given)."""
+        if limit is None:
+            self.run()
+        else:
+            self.run(until=limit)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Environment t={self._now:.6f} pending={len(self._queue)}>"

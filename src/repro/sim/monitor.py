@@ -1,0 +1,101 @@
+"""Lightweight statistics collectors for simulation runs."""
+
+from __future__ import annotations
+
+import math
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+__all__ = ["Counter", "Tally", "UtilizationMonitor"]
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Counter {self.name!r}={self.value}>"
+
+
+class Tally:
+    """Streaming mean / variance / extrema of observed samples."""
+
+    __slots__ = ("name", "count", "_mean", "_m2", "minimum", "maximum")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def record(self, sample: float) -> None:
+        """Add one observation (Welford's online update)."""
+        self.count += 1
+        delta = sample - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (sample - self._mean)
+        self.minimum = min(self.minimum, sample)
+        self.maximum = max(self.maximum, sample)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator)."""
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Tally {self.name!r} n={self.count} mean={self.mean:.6g}>"
+
+
+class UtilizationMonitor:
+    """Tracks the busy fraction of a device over simulated time."""
+
+    __slots__ = ("env", "name", "_busy_since", "busy_time")
+
+    def __init__(self, env: "Environment", name: str = "") -> None:
+        self.env = env
+        self.name = name
+        self._busy_since: float | None = None
+        self.busy_time = 0.0
+
+    def busy(self) -> None:
+        """Mark the device busy (idempotent)."""
+        if self._busy_since is None:
+            self._busy_since = self.env.now
+
+    def idle(self) -> None:
+        """Mark the device idle (idempotent)."""
+        if self._busy_since is not None:
+            self.busy_time += self.env.now - self._busy_since
+            self._busy_since = None
+
+    def utilization(self) -> float:
+        """Busy fraction since time zero."""
+        total = self.busy_time
+        if self._busy_since is not None:
+            total += self.env.now - self._busy_since
+        return total / self.env.now if self.env.now > 0 else 0.0

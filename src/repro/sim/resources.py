@@ -1,0 +1,167 @@
+"""Resources: FIFO servers and selectable request pools.
+
+The paper models CPUs and the network as FIFO queues (section 3.2.2); those
+map onto :class:`Resource`.  The disk has its own scheduling discipline
+(elevator), so it consumes requests from a :class:`RequestPool` whose server
+process chooses which pending request to serve next.
+"""
+
+from __future__ import annotations
+
+import typing
+from collections import deque
+
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+__all__ = ["Resource", "Request", "RequestPool"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` (fires when granted)."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, env: "Environment", resource: "Resource") -> None:
+        super().__init__(env)
+        self.resource = resource
+
+
+class Resource:
+    """A FIFO resource with a fixed number of identical servers.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        yield env.timeout(service_time)
+        resource.release(req)
+
+    or the equivalent one-liner ``yield from resource.serve(service_time)``.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._queue: deque[Request] = deque()
+        self._in_service: set[Request] = set()
+        # Monitoring.
+        self._busy_since: float | None = None
+        self.busy_time = 0.0
+        self.completed = 0
+
+    @property
+    def in_use(self) -> int:
+        """Number of servers currently granted."""
+        return len(self._in_service)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a server."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Ask for a server; the returned event fires when one is granted."""
+        req = Request(self.env, self)
+        if len(self._in_service) < self.capacity:
+            self._grant(req)
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self, req: Request) -> None:
+        """Return a previously granted server and wake the next waiter."""
+        if req in self._in_service:
+            self._in_service.remove(req)
+            self.completed += 1
+        elif req in self._queue:  # released before being granted
+            self._queue.remove(req)
+        else:
+            raise ValueError("release() of a request not held on this resource")
+        while self._queue and len(self._in_service) < self.capacity:
+            self._grant(self._queue.popleft())
+        if not self._in_service and self._busy_since is not None:
+            self.busy_time += self.env.now - self._busy_since
+            self._busy_since = None
+
+    def _grant(self, req: Request) -> None:
+        if not self._in_service and self._busy_since is None:
+            self._busy_since = self.env.now
+        self._in_service.add(req)
+        req.succeed(req)
+
+    def serve(self, duration: float) -> typing.Generator[Event, typing.Any, None]:
+        """Acquire a server, hold it for ``duration``, release it."""
+        req = self.request()
+        yield req
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.release(req)
+
+    def utilization(self, elapsed: float | None = None) -> float:
+        """Fraction of time at least one server was busy."""
+        total_busy = self.busy_time
+        if self._busy_since is not None:
+            total_busy += self.env.now - self._busy_since
+        horizon = self.env.now if elapsed is None else elapsed
+        return total_busy / horizon if horizon > 0 else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Resource {self.name!r} cap={self.capacity} "
+            f"busy={self.in_use} queued={self.queue_length}>"
+        )
+
+
+class RequestPool:
+    """An unordered pool of work items with a single consumer.
+
+    Producers :meth:`put` items; the consumer :meth:`get`\\ s an event that
+    fires with the *pool itself* once at least one item is available, then
+    calls :meth:`take` with a selector to remove the item of its choice.
+    This supports schedulers (like the disk elevator) that do not serve FIFO.
+    """
+
+    def __init__(self, env: "Environment", name: str = "") -> None:
+        self.env = env
+        self.name = name
+        self.items: list[typing.Any] = []
+        self._waiter: Event | None = None
+
+    def put(self, item: typing.Any) -> None:
+        """Add an item and wake the consumer if it is waiting."""
+        self.items.append(item)
+        if self._waiter is not None:
+            waiter, self._waiter = self._waiter, None
+            waiter.succeed(self)
+
+    def wait_for_item(self) -> Event:
+        """Event that fires as soon as the pool is non-empty."""
+        event = Event(self.env)
+        if self.items:
+            event.succeed(self)
+        else:
+            if self._waiter is not None:
+                raise RuntimeError(f"RequestPool {self.name!r} supports a single consumer")
+            self._waiter = event
+        return event
+
+    def take(self, chooser: typing.Callable[[list[typing.Any]], typing.Any]) -> typing.Any:
+        """Remove and return the item selected by ``chooser(items)``."""
+        if not self.items:
+            raise LookupError(f"take() from empty RequestPool {self.name!r}")
+        item = chooser(self.items)
+        self.items.remove(item)
+        return item
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RequestPool {self.name!r} items={len(self.items)}>"

@@ -1,0 +1,15 @@
+"""Storage management: disk extents, buffer memory, and the client cache."""
+
+from repro.storage.layout import Extent, ExtentAllocator
+from repro.storage.memory import HybridHashPlan, MemoryManager, plan_hybrid_hash
+from repro.storage.cache import CachedRelation, ClientDiskCache
+
+__all__ = [
+    "CachedRelation",
+    "ClientDiskCache",
+    "Extent",
+    "ExtentAllocator",
+    "HybridHashPlan",
+    "MemoryManager",
+    "plan_hybrid_hash",
+]

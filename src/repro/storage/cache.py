@@ -1,0 +1,97 @@
+"""Client disk cache.
+
+The client's disk is used "as a cache (i.e., to temporarily store copies of
+relations or relation parts that are brought in from the server), and for
+temporary storage for join processing" (section 3.2.1).  The cache is managed
+in large segments -- here, one contiguous extent per cached relation -- "so
+that scans of cached relations can be done efficiently".
+
+The experiments cache *contiguous prefixes*: with a caching percentage of
+25 %, the first 25 % of each relation's pages are on the client's disk
+(footnote 8).  Data cached at the client is assumed to be resident on the
+client's local disk before the query starts, so reading it costs disk I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CatalogError
+from repro.storage.layout import Extent, ExtentAllocator
+
+__all__ = ["CachedRelation", "ClientDiskCache"]
+
+
+@dataclass(frozen=True)
+class CachedRelation:
+    """The cached prefix of one relation on the client disk."""
+
+    relation: str
+    total_pages: int
+    cached_pages: int
+    extent: Extent
+
+    @property
+    def fraction(self) -> float:
+        return self.cached_pages / self.total_pages if self.total_pages else 0.0
+
+    def contains(self, page_index: int) -> bool:
+        """True if the relation's ``page_index``-th page is cached."""
+        return 0 <= page_index < self.cached_pages
+
+    def disk_page(self, page_index: int) -> int:
+        """Absolute client-disk page holding relation page ``page_index``."""
+        if not self.contains(page_index):
+            raise CatalogError(
+                f"page {page_index} of {self.relation!r} is not cached "
+                f"(cached prefix: {self.cached_pages} pages)"
+            )
+        return self.extent.page(page_index)
+
+
+class ClientDiskCache:
+    """All cached relation prefixes on one client's disk."""
+
+    def __init__(self, allocator: ExtentAllocator) -> None:
+        self._allocator = allocator
+        self._entries: dict[str, CachedRelation] = {}
+
+    def install(self, relation: str, total_pages: int, fraction: float) -> CachedRelation:
+        """Place the first ``fraction`` of ``relation`` on the client disk."""
+        if relation in self._entries:
+            raise CatalogError(f"relation {relation!r} already cached")
+        if not 0.0 <= fraction <= 1.0:
+            raise CatalogError(f"cache fraction must be in [0, 1], got {fraction}")
+        cached_pages = round(total_pages * fraction)
+        extent = self._allocator.allocate(cached_pages) if cached_pages else Extent(0, 0)
+        entry = CachedRelation(relation, total_pages, cached_pages, extent)
+        self._entries[relation] = entry
+        return entry
+
+    def lookup(self, relation: str) -> CachedRelation | None:
+        """The cache entry for ``relation``, or None if nothing is cached."""
+        entry = self._entries.get(relation)
+        if entry is not None and entry.cached_pages == 0:
+            return None
+        return entry
+
+    def cached_pages(self, relation: str) -> int:
+        entry = self._entries.get(relation)
+        return entry.cached_pages if entry else 0
+
+    def evict(self, relation: str) -> None:
+        """Drop a relation's cached prefix and free its disk extent."""
+        entry = self._entries.pop(relation, None)
+        if entry is None:
+            raise CatalogError(f"relation {relation!r} is not cached")
+        if entry.cached_pages:
+            self._allocator.free(entry.extent)
+
+    def __contains__(self, relation: str) -> bool:
+        return self.lookup(relation) is not None
+
+    def __len__(self) -> int:
+        return sum(1 for entry in self._entries.values() if entry.cached_pages)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ClientDiskCache relations={len(self)}>"

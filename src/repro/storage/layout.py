@@ -1,0 +1,123 @@
+"""Disk space layout: contiguous extents of pages.
+
+Base relations, cached relation copies, and hybrid-hash temporary partitions
+all live in contiguous extents so that scans see sequential page numbers
+(and therefore sequential disk costs), while hopping between extents incurs
+seeks -- exactly the contention effects the paper studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Extent", "ExtentAllocator"]
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous run of pages on one disk."""
+
+    start: int
+    pages: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.pages < 0:
+            raise ConfigurationError(f"invalid extent ({self.start}, {self.pages})")
+
+    @property
+    def end(self) -> int:
+        """One past the last page."""
+        return self.start + self.pages
+
+    def page(self, index: int) -> int:
+        """Absolute page number of the ``index``-th page in this extent."""
+        if not 0 <= index < self.pages:
+            raise IndexError(f"page index {index} outside extent of {self.pages} pages")
+        return self.start + index
+
+    def __iter__(self):
+        return iter(range(self.start, self.end))
+
+    def __len__(self) -> int:
+        return self.pages
+
+
+class ExtentAllocator:
+    """First-fit allocator over a disk's page address space."""
+
+    def __init__(self, capacity_pages: int) -> None:
+        if capacity_pages <= 0:
+            raise ConfigurationError("allocator capacity must be positive")
+        self.capacity_pages = capacity_pages
+        # Sorted, non-adjacent free runs as (start, pages).
+        self._free: list[tuple[int, int]] = [(0, capacity_pages)]
+
+    @property
+    def free_pages(self) -> int:
+        return sum(pages for _start, pages in self._free)
+
+    @property
+    def used_pages(self) -> int:
+        return self.capacity_pages - self.free_pages
+
+    def allocate(self, pages: int) -> Extent:
+        """Carve a contiguous extent of ``pages`` pages (first fit).
+
+        A zero-page request yields an empty extent (freeing it is a no-op);
+        empty relations occupy no disk space.
+        """
+        if pages == 0:
+            return Extent(0, 0)
+        if pages < 0:
+            raise ConfigurationError(f"cannot allocate {pages} pages")
+        for i, (start, run) in enumerate(self._free):
+            if run >= pages:
+                if run == pages:
+                    del self._free[i]
+                else:
+                    self._free[i] = (start + pages, run - pages)
+                return Extent(start, pages)
+        raise ConfigurationError(
+            f"disk full: cannot allocate {pages} pages "
+            f"({self.free_pages} free of {self.capacity_pages})"
+        )
+
+    def free(self, extent: Extent) -> None:
+        """Return an extent, coalescing with adjacent free runs."""
+        if extent.pages == 0:
+            return
+        if extent.end > self.capacity_pages:
+            raise ConfigurationError("extent outside this allocator's address space")
+        start, pages = extent.start, extent.pages
+        merged: list[tuple[int, int]] = []
+        inserted = False
+        for run_start, run_pages in self._free:
+            if self._overlaps(start, pages, run_start, run_pages):
+                raise ConfigurationError("double free of disk extent")
+            if not inserted and run_start > start:
+                merged.append((start, pages))
+                inserted = True
+            merged.append((run_start, run_pages))
+        if not inserted:
+            merged.append((start, pages))
+        self._free = self._coalesce(merged)
+
+    @staticmethod
+    def _overlaps(a_start: int, a_pages: int, b_start: int, b_pages: int) -> bool:
+        return a_start < b_start + b_pages and b_start < a_start + a_pages
+
+    @staticmethod
+    def _coalesce(runs: list[tuple[int, int]]) -> list[tuple[int, int]]:
+        coalesced: list[tuple[int, int]] = []
+        for start, pages in runs:
+            if coalesced and coalesced[-1][0] + coalesced[-1][1] == start:
+                prev_start, prev_pages = coalesced[-1]
+                coalesced[-1] = (prev_start, prev_pages + pages)
+            else:
+                coalesced.append((start, pages))
+        return coalesced
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ExtentAllocator used={self.used_pages}/{self.capacity_pages}>"

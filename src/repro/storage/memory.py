@@ -1,0 +1,161 @@
+"""Buffer memory accounting and Shapiro's hybrid-hash allocation rules.
+
+The paper gives joins either the *minimum* or the *maximum* allocation, both
+defined following Shapiro [Sha86] (section 3.2.2):
+
+- **maximum**: the hash table for the inner relation is built entirely in
+  main memory -- ``ceil(F * M)`` buffer frames for an inner of ``M`` pages,
+  with fudge factor ``F = 1.2``;
+- **minimum**: ``ceil(sqrt(F * M))`` frames; the inner and outer relations
+  are split into partitions, all but one of which are written to and re-read
+  from temporary disk storage.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config import HYBRID_HASH_FUDGE_FACTOR, BufferAllocation
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "MemoryManager",
+    "HybridHashPlan",
+    "minimum_join_allocation",
+    "maximum_join_allocation",
+    "join_allocation",
+    "plan_hybrid_hash",
+]
+
+
+def minimum_join_allocation(inner_pages: int, fudge: float = HYBRID_HASH_FUDGE_FACTOR) -> int:
+    """Shapiro's minimum hybrid-hash allocation: ``ceil(sqrt(F * M))``."""
+    if inner_pages < 0:
+        raise ConfigurationError(f"negative inner size: {inner_pages}")
+    return max(2, math.ceil(math.sqrt(fudge * max(1, inner_pages))))
+
+
+def maximum_join_allocation(inner_pages: int, fudge: float = HYBRID_HASH_FUDGE_FACTOR) -> int:
+    """Allocation letting the inner hash table reside fully in memory."""
+    if inner_pages < 0:
+        raise ConfigurationError(f"negative inner size: {inner_pages}")
+    return max(2, math.ceil(fudge * max(1, inner_pages)))
+
+
+def join_allocation(
+    inner_pages: int,
+    allocation: BufferAllocation,
+    fudge: float = HYBRID_HASH_FUDGE_FACTOR,
+) -> int:
+    """Buffer frames granted to one join under the configured discipline."""
+    if allocation is BufferAllocation.MINIMUM:
+        return minimum_join_allocation(inner_pages, fudge)
+    return maximum_join_allocation(inner_pages, fudge)
+
+
+@dataclass(frozen=True)
+class HybridHashPlan:
+    """Derived hybrid-hash execution shape for one join.
+
+    ``resident_fraction`` (Shapiro's *q*) is the fraction of the inner (and,
+    assuming uniform hashing, of the outer) processed without touching disk;
+    the remaining fraction is written once and read once on the join's
+    temporary disk, in ``spill_partitions`` partition files.
+    """
+
+    inner_pages: int
+    outer_pages: int
+    buffer_pages: int
+    spill_partitions: int
+    resident_fraction: float
+
+    @property
+    def spilled_inner_pages(self) -> int:
+        return round((1.0 - self.resident_fraction) * self.inner_pages)
+
+    @property
+    def spilled_outer_pages(self) -> int:
+        return round((1.0 - self.resident_fraction) * self.outer_pages)
+
+    @property
+    def temp_io_pages(self) -> int:
+        """Total temp-disk page transfers (each spilled page written + read)."""
+        return 2 * (self.spilled_inner_pages + self.spilled_outer_pages)
+
+    @property
+    def in_memory(self) -> bool:
+        return self.spill_partitions == 0
+
+
+def plan_hybrid_hash(
+    inner_pages: int,
+    outer_pages: int,
+    buffer_pages: int,
+    fudge: float = HYBRID_HASH_FUDGE_FACTOR,
+) -> HybridHashPlan:
+    """Compute the hybrid-hash shape for the given buffer allocation.
+
+    With ``B`` buffer frames and an inner of ``M`` pages: if ``B >= F * M``
+    the join runs entirely in memory.  Otherwise ``k`` spill partitions are
+    chosen so each fits in memory when processed later, one output frame is
+    reserved per spill partition, and the remaining frames hold the
+    memory-resident part of the hash table.
+    """
+    if inner_pages < 0 or outer_pages < 0:
+        raise ConfigurationError("relation sizes must be non-negative")
+    if buffer_pages < 2:
+        raise ConfigurationError(f"a join needs at least 2 buffer pages, got {buffer_pages}")
+    needed = fudge * inner_pages
+    if buffer_pages >= needed or inner_pages == 0:
+        return HybridHashPlan(inner_pages, outer_pages, buffer_pages, 0, 1.0)
+    partitions = math.ceil((needed - buffer_pages) / max(1, buffer_pages - 1))
+    partitions = max(1, min(partitions, buffer_pages - 1))
+    resident_frames = buffer_pages - partitions
+    resident_fraction = min(1.0, max(0.0, resident_frames / needed))
+    return HybridHashPlan(inner_pages, outer_pages, buffer_pages, partitions, resident_fraction)
+
+
+class MemoryManager:
+    """Tracks buffer-pool pages granted to operators at one site.
+
+    The paper assumes all buffers are empty at query start and that no data
+    is cached in main memory across queries (section 4.1), so this manager
+    only does capacity accounting -- there is no page replacement to model.
+    """
+
+    def __init__(self, capacity_pages: int, name: str = "") -> None:
+        if capacity_pages < 1:
+            raise ConfigurationError("memory capacity must be at least one page")
+        self.capacity_pages = capacity_pages
+        self.name = name
+        self.allocated_pages = 0
+        self.high_water_mark = 0
+
+    @property
+    def available_pages(self) -> int:
+        return self.capacity_pages - self.allocated_pages
+
+    def allocate(self, pages: int) -> int:
+        """Grant ``pages`` frames; raises if the pool would be oversubscribed."""
+        if pages < 0:
+            raise ConfigurationError(f"cannot allocate {pages} pages")
+        if pages > self.available_pages:
+            raise ConfigurationError(
+                f"buffer pool {self.name!r} exhausted: requested {pages}, "
+                f"available {self.available_pages} of {self.capacity_pages}"
+            )
+        self.allocated_pages += pages
+        self.high_water_mark = max(self.high_water_mark, self.allocated_pages)
+        return pages
+
+    def release(self, pages: int) -> None:
+        """Return previously granted frames."""
+        if pages < 0 or pages > self.allocated_pages:
+            raise ConfigurationError(
+                f"bad release of {pages} pages (allocated {self.allocated_pages})"
+            )
+        self.allocated_pages -= pages
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<MemoryManager {self.name!r} {self.allocated_pages}/{self.capacity_pages}>"

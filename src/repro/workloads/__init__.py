@@ -1,0 +1,20 @@
+"""Benchmark workloads: the paper's chain-join queries and scenarios."""
+
+from repro.workloads.chains import (
+    HISEL_PARTICIPATION,
+    chain_query,
+    chain_selectivity,
+    star_query,
+)
+from repro.workloads.relations import benchmark_relations
+from repro.workloads.scenarios import Scenario, chain_scenario
+
+__all__ = [
+    "HISEL_PARTICIPATION",
+    "Scenario",
+    "benchmark_relations",
+    "chain_query",
+    "chain_scenario",
+    "chain_selectivity",
+    "star_query",
+]

@@ -1,0 +1,93 @@
+"""Chain-join queries with the paper's selectivities (section 3.3).
+
+"The benchmark queries are chain joins with moderate selectivity ... the
+relations are arranged in a linear chain and each relation except the first
+and the last is joined with exactly two other relations."
+
+- *moderate* selectivity: a join of two equal-sized base relations returns
+  the size and cardinality of one base relation, i.e. a join selectivity
+  factor of ``1 / |R|`` ("functional" joins);
+- *HiSel*: "only 20% of the tuples of every input relation participate in
+  the output of a join" (section 5.2), i.e. a factor of ``0.2 / |R|``.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import Relation
+from repro.errors import ConfigurationError
+from repro.plans.logical import JoinPredicate, Query
+
+__all__ = ["HISEL_PARTICIPATION", "chain_query", "chain_selectivity", "star_query"]
+
+HISEL_PARTICIPATION = 0.2
+
+
+def chain_selectivity(selectivity: "str | float", tuples: int) -> float:
+    """Resolve a selectivity spec to a join selectivity factor.
+
+    ``"moderate"`` and ``"hisel"`` are the paper's two settings; a float is
+    taken as the factor itself.
+    """
+    if isinstance(selectivity, str):
+        key = selectivity.lower()
+        if key == "moderate":
+            return 1.0 / tuples
+        if key == "hisel":
+            return HISEL_PARTICIPATION / tuples
+        raise ConfigurationError(
+            f"unknown selectivity {selectivity!r}; use 'moderate', 'hisel', or a float"
+        )
+    if selectivity <= 0.0:
+        raise ConfigurationError(f"selectivity factor must be positive, got {selectivity}")
+    return float(selectivity)
+
+
+def chain_query(
+    relations: list[Relation],
+    selectivity: "str | float" = "moderate",
+    result_tuple_bytes: int = 100,
+) -> Query:
+    """A chain join over ``relations`` in order, all equi-joins.
+
+    The join of a connected sub-chain of moderate-selectivity relations has
+    exactly one base relation's cardinality, which "simplifies the analysis
+    of the experimental results".
+    """
+    if len(relations) < 1:
+        raise ConfigurationError("chain query needs at least one relation")
+    factor = chain_selectivity(selectivity, relations[0].tuples)
+    predicates = tuple(
+        JoinPredicate(relations[i].name, relations[i + 1].name, factor)
+        for i in range(len(relations) - 1)
+    )
+    return Query(
+        relations=tuple(r.name for r in relations),
+        predicates=predicates,
+        result_tuple_bytes=result_tuple_bytes,
+    )
+
+
+def star_query(
+    relations: list[Relation],
+    selectivity: "str | float" = "moderate",
+    result_tuple_bytes: int = 100,
+) -> Query:
+    """A star join: the first relation is the hub, the rest are spokes.
+
+    The paper reports having "experimented with a variety of join graphs"
+    (section 3.3); star graphs are the common alternative to chains, as in
+    denormalized fact/dimension schemas.  Every spoke joins only the hub,
+    so -- unlike a chain -- no two spokes can be joined without the hub.
+    """
+    if len(relations) < 1:
+        raise ConfigurationError("star query needs at least one relation")
+    factor = chain_selectivity(selectivity, relations[0].tuples)
+    hub = relations[0]
+    predicates = tuple(
+        JoinPredicate(hub.name, spoke.name, factor) for spoke in relations[1:]
+    )
+    return Query(
+        relations=tuple(r.name for r in relations),
+        predicates=predicates,
+        result_tuple_bytes=result_tuple_bytes,
+    )

@@ -1,0 +1,26 @@
+"""The benchmark relations: 10,000 tuples of 100 bytes each (section 3.3)."""
+
+from __future__ import annotations
+
+from repro.catalog.schema import Relation
+
+__all__ = ["benchmark_relations", "DEFAULT_TUPLES", "DEFAULT_TUPLE_BYTES"]
+
+DEFAULT_TUPLES = 10_000
+DEFAULT_TUPLE_BYTES = 100
+
+
+def benchmark_relations(
+    count: int,
+    tuples: int = DEFAULT_TUPLES,
+    tuple_bytes: int = DEFAULT_TUPLE_BYTES,
+    prefix: str = "R",
+) -> list[Relation]:
+    """``count`` identical benchmark relations named R0, R1, ...
+
+    With the default 4096-byte pages this is 40 tuples per page and 250
+    pages per relation, matching the page counts the paper reports.
+    """
+    if count < 1:
+        raise ValueError(f"need at least one relation, got {count}")
+    return [Relation(f"{prefix}{i}", tuples, tuple_bytes) for i in range(count)]

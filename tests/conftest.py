@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.catalog import Catalog, Placement, Relation
+from repro.config import BufferAllocation, OptimizerConfig, SystemConfig
+from repro.costmodel import EnvironmentState
+from repro.plans import JoinPredicate, Query
+from repro.sim import Environment
+
+MODERATE = 1e-4  # join selectivity making |A join B| = |A| for 10k-tuple inputs
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(42)
+
+
+@pytest.fixture
+def two_way_query() -> Query:
+    return Query(("A", "B"), (JoinPredicate("A", "B", MODERATE),))
+
+
+@pytest.fixture
+def two_way_catalog() -> Catalog:
+    return Catalog(
+        [Relation("A", 10_000), Relation("B", 10_000)],
+        Placement({"A": 1, "B": 1}),
+    )
+
+
+@pytest.fixture
+def one_server_config() -> SystemConfig:
+    return SystemConfig(num_servers=1)
+
+
+def make_chain(num_relations: int, selectivity: float = MODERATE) -> Query:
+    names = tuple(f"R{i}" for i in range(num_relations))
+    predicates = tuple(
+        JoinPredicate(names[i], names[i + 1], selectivity)
+        for i in range(num_relations - 1)
+    )
+    return Query(names, predicates)
+
+
+def make_catalog(
+    num_relations: int,
+    num_servers: int,
+    cache: dict[str, float] | None = None,
+    seed: int = 0,
+) -> Catalog:
+    from repro.catalog import random_placement
+
+    names = [f"R{i}" for i in range(num_relations)]
+    placement = random_placement(names, num_servers, random.Random(seed))
+    return Catalog([Relation(n, 10_000) for n in names], placement, cache or {})
+
+
+@pytest.fixture
+def fast_optimizer() -> OptimizerConfig:
+    return OptimizerConfig.fast()
+
+
+@pytest.fixture
+def min_alloc_config() -> SystemConfig:
+    return SystemConfig(num_servers=1, buffer_allocation=BufferAllocation.MINIMUM)
+
+
+@pytest.fixture
+def environment(two_way_catalog, one_server_config) -> EnvironmentState:
+    return EnvironmentState(two_way_catalog, one_server_config)

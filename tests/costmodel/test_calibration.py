@@ -1,0 +1,97 @@
+"""Cost model vs simulator agreement on canonical plans.
+
+The paper's optimizer only needs estimates good enough to *rank* plans;
+these tests pin (a) absolute agreement within a generous band on the
+canonical 2-way plans, and (b) the rankings that decide every figure.
+"""
+
+import pytest
+
+from repro.catalog import Catalog, Placement, Relation
+from repro.config import BufferAllocation, SystemConfig
+from repro.costmodel import CostModel, EnvironmentState
+from repro.engine import QueryExecutor
+from repro.plans import DisplayOp, JoinOp, JoinPredicate, Query, ScanOp
+from repro.plans.annotations import Annotation
+
+A = Annotation
+
+
+def build(cache, allocation):
+    config = SystemConfig(num_servers=1, buffer_allocation=allocation)
+    catalog = Catalog(
+        [Relation("A", 10_000), Relation("B", 10_000)],
+        Placement({"A": 1, "B": 1}),
+        {"A": cache, "B": cache} if cache else None,
+    )
+    query = Query(("A", "B"), (JoinPredicate("A", "B", 1e-4),))
+    return config, catalog, query
+
+
+def plans():
+    return {
+        "DS": DisplayOp(
+            A.CLIENT,
+            child=JoinOp(A.CONSUMER, inner=ScanOp(A.CLIENT, "A"), outer=ScanOp(A.CLIENT, "B")),
+        ),
+        "QS": DisplayOp(
+            A.CLIENT,
+            child=JoinOp(
+                A.INNER_RELATION,
+                inner=ScanOp(A.PRIMARY_COPY, "A"),
+                outer=ScanOp(A.PRIMARY_COPY, "B"),
+            ),
+        ),
+        "HYjc": DisplayOp(
+            A.CLIENT,
+            child=JoinOp(
+                A.CONSUMER,
+                inner=ScanOp(A.PRIMARY_COPY, "A"),
+                outer=ScanOp(A.PRIMARY_COPY, "B"),
+            ),
+        ),
+    }
+
+
+@pytest.mark.parametrize("allocation", [BufferAllocation.MINIMUM, BufferAllocation.MAXIMUM])
+@pytest.mark.parametrize("cache", [0.0, 0.5, 1.0])
+def test_model_within_35_percent_of_simulator(cache, allocation):
+    config, catalog, query = build(cache, allocation)
+    model = CostModel(query, EnvironmentState(catalog, config))
+    for name, plan in plans().items():
+        predicted = model.evaluate(plan).response_time
+        simulated = QueryExecutor(config, catalog, query, seed=1).execute(plan).response_time
+        assert predicted == pytest.approx(simulated, rel=0.35), (
+            f"{name} cache={cache} alloc={allocation}: "
+            f"model {predicted:.2f}s vs sim {simulated:.2f}s"
+        )
+
+
+@pytest.mark.parametrize("cache", [0.0, 0.5, 1.0])
+def test_model_ranks_min_alloc_plans_like_simulator(cache):
+    config, catalog, query = build(cache, BufferAllocation.MINIMUM)
+    model = CostModel(query, EnvironmentState(catalog, config))
+    predicted = {}
+    simulated = {}
+    for name, plan in plans().items():
+        predicted[name] = model.evaluate(plan).response_time
+        simulated[name] = (
+            QueryExecutor(config, catalog, query, seed=1).execute(plan).response_time
+        )
+    predicted_order = sorted(predicted, key=predicted.get)
+    simulated_order = sorted(simulated, key=simulated.get)
+    # The plan the model would choose must be near-optimal when simulated
+    # (DS and HYjc genuinely tie at 0% cached, so exact winner can differ).
+    chosen = predicted_order[0]
+    assert simulated[chosen] <= min(simulated.values()) * 1.15
+    # QS is the clear loser at minimum allocation in both views.
+    assert predicted_order[-1] == "QS" == simulated_order[-1]
+
+
+def test_model_pages_sent_matches_simulator_exactly():
+    config, catalog, query = build(0.5, BufferAllocation.MINIMUM)
+    model = CostModel(query, EnvironmentState(catalog, config))
+    for name, plan in plans().items():
+        predicted = model.evaluate(plan).pages_sent
+        simulated = QueryExecutor(config, catalog, query, seed=1).execute(plan).pages_sent
+        assert predicted == simulated, name

@@ -1,0 +1,101 @@
+"""Cardinality and size estimation tests."""
+
+import pytest
+
+from repro.catalog import Catalog, Placement, Relation
+from repro.config import SystemConfig
+from repro.costmodel import Estimator
+from repro.plans import DisplayOp, JoinOp, JoinPredicate, Query, ScanOp, SelectOp
+from repro.plans.annotations import Annotation
+
+A = Annotation
+MODERATE = 1e-4
+
+
+@pytest.fixture
+def setup():
+    relations = [Relation(n, 10_000) for n in ("A", "B", "C")]
+    catalog = Catalog(relations, Placement({"A": 1, "B": 1, "C": 1}))
+    query = Query(
+        ("A", "B", "C"),
+        (JoinPredicate("A", "B", MODERATE), JoinPredicate("B", "C", MODERATE)),
+        selections={"C": 0.1},
+    )
+    return Estimator(query, catalog, SystemConfig()), query
+
+
+def scan(name, annotation=A.PRIMARY_COPY):
+    return ScanOp(annotation, name)
+
+
+class TestCardinality:
+    def test_scan(self, setup):
+        estimator, _ = setup
+        assert estimator.cardinality(scan("A")) == 10_000
+
+    def test_moderate_join_preserves_cardinality(self, setup):
+        estimator, _ = setup
+        join = JoinOp(A.CONSUMER, inner=scan("A"), outer=scan("B"))
+        assert estimator.cardinality(join) == pytest.approx(10_000)
+
+    def test_chain_of_joins(self, setup):
+        estimator, _ = setup
+        lower = JoinOp(A.CONSUMER, inner=scan("A"), outer=scan("B"))
+        upper = JoinOp(A.CONSUMER, inner=lower, outer=scan("C"))
+        assert estimator.cardinality(upper) == pytest.approx(10_000)
+
+    def test_cartesian_product(self, setup):
+        estimator, _ = setup
+        join = JoinOp(A.CONSUMER, inner=scan("A"), outer=scan("C"))
+        assert estimator.is_cartesian(join)
+        assert estimator.cardinality(join) == pytest.approx(1e8)
+
+    def test_bushy_join_applies_crossing_edge_once(self, setup):
+        estimator, _ = setup
+        ab = JoinOp(A.CONSUMER, inner=scan("A"), outer=scan("B"))
+        join = JoinOp(A.CONSUMER, inner=ab, outer=scan("C"))
+        # |AB| = 10k, edge B-C crosses: 10k * 10k * 1e-4 = 10k.
+        assert estimator.cardinality(join) == pytest.approx(10_000)
+
+    def test_selection_scales_cardinality(self, setup):
+        estimator, _ = setup
+        select = SelectOp(A.PRODUCER, child=scan("C"), selectivity=0.1)
+        assert estimator.cardinality(select) == pytest.approx(1_000)
+
+    def test_display_passthrough(self, setup):
+        estimator, _ = setup
+        join = JoinOp(A.CONSUMER, inner=scan("A"), outer=scan("B"))
+        plan = DisplayOp(A.CLIENT, child=join)
+        assert estimator.cardinality(plan) == estimator.cardinality(join)
+
+    def test_caching_by_identity(self, setup):
+        estimator, _ = setup
+        node = scan("A")
+        assert estimator.cardinality(node) is not None
+        assert id(node) in estimator._cardinality
+
+
+class TestSizes:
+    def test_paper_page_counts(self, setup):
+        estimator, _ = setup
+        assert estimator.pages(scan("A")) == 250
+        join = JoinOp(A.CONSUMER, inner=scan("A"), outer=scan("B"))
+        assert estimator.pages(join) == 250  # projected to 100-byte tuples
+
+    def test_tuple_widths(self, setup):
+        estimator, _ = setup
+        assert estimator.tuple_bytes(scan("A")) == 100
+        join = JoinOp(A.CONSUMER, inner=scan("A"), outer=scan("B"))
+        assert estimator.tuple_bytes(join) == 100  # result projection
+
+    def test_base_and_cached_pages(self):
+        relations = [Relation("A", 10_000)]
+        catalog = Catalog(relations, Placement({"A": 1}), {"A": 0.25})
+        estimator = Estimator(Query(("A",)), catalog, SystemConfig())
+        assert estimator.base_pages("A") == 250
+        assert estimator.cached_pages("A") == 62
+        assert estimator.missing_pages("A") == 188
+
+    def test_tuples_per_page(self, setup):
+        estimator, _ = setup
+        assert estimator.tuples_per_page(scan("A")) == 40

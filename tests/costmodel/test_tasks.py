@@ -1,0 +1,130 @@
+"""Stage graph and response-time machinery tests."""
+
+import pytest
+
+from repro.costmodel.tasks import ResourceVector, Stage, StageGraph, StreamContribution
+
+
+class TestResourceVector:
+    def test_accumulation(self):
+        usage = ResourceVector()
+        usage.add(("disk", 1), 2.0)
+        usage.add(("disk", 1), 3.0)
+        usage.add(("cpu", 0), 1.0)
+        assert usage[("disk", 1)] == 5.0
+        assert usage.bottleneck == 5.0
+        assert usage.total == 6.0
+
+    def test_zero_not_stored(self):
+        usage = ResourceVector()
+        usage.add(("disk", 1), 0.0)
+        assert ("disk", 1) not in usage
+
+    def test_merge(self):
+        a, b = ResourceVector(), ResourceVector()
+        a.add(("net", 0), 1.0)
+        b.add(("net", 0), 2.0)
+        b.add(("cpu", 1), 4.0)
+        a.merge(b)
+        assert a[("net", 0)] == 3.0
+        assert a[("cpu", 1)] == 4.0
+
+    def test_empty_bottleneck(self):
+        assert ResourceVector().bottleneck == 0.0
+
+
+class TestStage:
+    def test_duration_is_max_of_latency_and_bottleneck(self):
+        stage = Stage("s")
+        stage.usage.add(("disk", 0), 2.0)
+        stage.latency = 1.0
+        assert stage.duration == 2.0
+        stage.latency = 5.0
+        assert stage.duration == 5.0
+
+
+class TestStageGraph:
+    def _stage(self, graph, name, disk, seconds, preds=()):
+        stage = graph.new_stage(name)
+        stage.usage.add(("disk", disk), seconds)
+        stage.preds = list(preds)
+        return stage
+
+    def test_critical_path_chains(self):
+        graph = StageGraph()
+        a = self._stage(graph, "a", 1, 2.0)
+        b = self._stage(graph, "b", 2, 3.0, [a])
+        self._stage(graph, "c", 3, 1.0, [b])
+        assert graph.critical_path() == pytest.approx(6.0)
+
+    def test_independent_stages_overlap(self):
+        graph = StageGraph()
+        self._stage(graph, "a", 1, 2.0)
+        self._stage(graph, "b", 2, 3.0)
+        assert graph.critical_path() == pytest.approx(3.0)
+        assert graph.response_time() == pytest.approx(3.0)
+
+    def test_same_disk_stages_serialize_in_schedule(self):
+        """Two independent stages on one disk cannot overlap."""
+        graph = StageGraph()
+        self._stage(graph, "a", 1, 2.0)
+        self._stage(graph, "b", 1, 3.0)
+        assert graph.critical_path() == pytest.approx(3.0)  # naive CP overlaps
+        assert graph.scheduled_makespan() == pytest.approx(5.0)
+        assert graph.response_time() == pytest.approx(5.0)
+
+    def test_bottleneck_lower_bound(self):
+        graph = StageGraph()
+        for i in range(4):
+            self._stage(graph, f"s{i}", 1, 1.0)
+        assert graph.total_usage().bottleneck == pytest.approx(4.0)
+        assert graph.response_time() >= 4.0
+
+    def test_total_cost_sums_everything(self):
+        graph = StageGraph()
+        a = self._stage(graph, "a", 1, 2.0)
+        a.usage.add(("cpu", 0), 0.5)
+        self._stage(graph, "b", 2, 3.0)
+        assert graph.total_cost() == pytest.approx(5.5)
+
+    def test_empty_graph(self):
+        graph = StageGraph()
+        assert graph.response_time() == 0.0
+        assert graph.total_cost() == 0.0
+
+    def test_describe_lists_stages(self):
+        graph = StageGraph()
+        a = self._stage(graph, "build@1", 1, 2.0)
+        self._stage(graph, "final", 0, 1.0, [a])
+        text = graph.describe()
+        assert "build@1" in text
+        assert "preds=[build@1]" in text
+
+
+class TestStreamContribution:
+    def test_absorb(self):
+        graph = StageGraph()
+        pred = graph.new_stage("pred")
+        a = StreamContribution()
+        a.usage.add(("disk", 1), 1.0)
+        a.latency = 0.5
+        b = StreamContribution()
+        b.usage.add(("disk", 1), 2.0)
+        b.latency = 0.25
+        b.preds.append(pred)
+        b.spill_preds.append(pred)
+        a.absorb(b)
+        assert a.usage[("disk", 1)] == 3.0
+        assert a.latency == 0.75
+        assert a.preds == [pred]
+        assert a.spill_preds == [pred]
+
+    def test_into_stage_final_includes_spill_preds(self):
+        graph = StageGraph()
+        spill = graph.new_stage("spill")
+        contribution = StreamContribution()
+        contribution.spill_preds.append(spill)
+        pipelined = contribution.into_stage(graph, "consumer")
+        assert spill not in pipelined.preds
+        final = contribution.into_stage(graph, "final", final=True)
+        assert spill in final.preds

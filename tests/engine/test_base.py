@@ -1,0 +1,63 @@
+"""Page and PageAssembler unit tests."""
+
+import pytest
+
+from repro.engine.base import Page, PageAssembler
+from repro.errors import ExecutionError
+
+
+class TestPage:
+    def test_payload(self):
+        page = Page(40, 100)
+        assert page.payload_bytes == 4000
+
+    def test_negative_tuples_rejected(self):
+        with pytest.raises(ExecutionError):
+            Page(-1, 100)
+
+    def test_empty_page_allowed(self):
+        assert Page(0, 100).payload_bytes == 0
+
+
+class TestPageAssembler:
+    def test_emits_full_pages(self):
+        assembler = PageAssembler(40, 100)
+        pages = assembler.add(100.0)
+        assert [p.tuples for p in pages] == [40, 40]
+        assert assembler.flush()[0].tuples == 20
+
+    def test_fractional_accumulation(self):
+        assembler = PageAssembler(40, 100)
+        emitted = []
+        for _ in range(100):
+            emitted.extend(assembler.add(0.5))  # 50 tuples total
+        emitted.extend(assembler.flush())
+        assert sum(p.tuples for p in emitted) == 50
+        assert emitted[0].tuples == 40
+
+    def test_flush_empty(self):
+        assembler = PageAssembler(40, 100)
+        assert assembler.flush() == []
+
+    def test_flush_rounds_remainder(self):
+        assembler = PageAssembler(40, 100)
+        assembler.add(0.4)  # rounds down to zero tuples
+        assert assembler.flush() == []
+        assembler.add(0.6)
+        flushed = assembler.flush()
+        assert flushed[0].tuples == 1
+
+    def test_total_emitted_tracks_everything(self):
+        assembler = PageAssembler(40, 100)
+        assembler.add(95.0)
+        assembler.flush()
+        assert assembler.total_emitted == 95
+
+    def test_negative_contribution_rejected(self):
+        assembler = PageAssembler(40, 100)
+        with pytest.raises(ExecutionError):
+            assembler.add(-1.0)
+
+    def test_invalid_page_capacity(self):
+        with pytest.raises(ExecutionError):
+            PageAssembler(0, 100)

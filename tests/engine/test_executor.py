@@ -1,0 +1,127 @@
+"""Executor integration tests: whole plans through the simulator."""
+
+import pytest
+
+from repro.catalog import Catalog, Placement, Relation
+from repro.config import BufferAllocation, SystemConfig
+from repro.engine import QueryExecutor
+from repro.errors import ExecutionError, PlanError
+from repro.plans import DisplayOp, JoinOp, JoinPredicate, Query, ScanOp, SelectOp
+from repro.plans.annotations import Annotation
+
+A = Annotation
+MODERATE = 1e-4
+
+
+def three_way_setup(num_servers=2):
+    config = SystemConfig(num_servers=num_servers)
+    catalog = Catalog(
+        [Relation(n, 10_000) for n in ("A", "B", "C")],
+        Placement({"A": 1, "B": 1, "C": min(2, num_servers)}),
+    )
+    query = Query(
+        ("A", "B", "C"),
+        (JoinPredicate("A", "B", MODERATE), JoinPredicate("B", "C", MODERATE)),
+    )
+    return config, catalog, query
+
+
+def test_three_way_join_across_servers():
+    config, catalog, query = three_way_setup()
+    lower = JoinOp(
+        A.INNER_RELATION, inner=ScanOp(A.PRIMARY_COPY, "A"), outer=ScanOp(A.PRIMARY_COPY, "B")
+    )
+    upper = JoinOp(A.OUTER_RELATION, inner=lower, outer=ScanOp(A.PRIMARY_COPY, "C"))
+    plan = DisplayOp(A.CLIENT, child=upper)
+    result = QueryExecutor(config, catalog, query, seed=1).execute(plan)
+    assert result.result_tuples == pytest.approx(10_000, abs=2)
+    # AB result ships server1 -> server2, final result ships to client.
+    assert result.pages_sent == 500
+
+
+def test_selection_reduces_stream():
+    config, catalog, query = three_way_setup()
+    query = Query(("A",), selections={"A": 0.25})
+    select = SelectOp(A.PRODUCER, child=ScanOp(A.PRIMARY_COPY, "A"), selectivity=0.25)
+    plan = DisplayOp(A.CLIENT, child=select)
+    result = QueryExecutor(config, catalog, query, seed=1).execute(plan)
+    assert result.result_tuples == pytest.approx(2_500, abs=2)
+    assert result.pages_sent == 63  # repacked survivors only
+
+def test_select_at_consumer_ships_unfiltered():
+    config, catalog, _ = three_way_setup()
+    query = Query(("A",), selections={"A": 0.25})
+    select = SelectOp(A.CONSUMER, child=ScanOp(A.PRIMARY_COPY, "A"), selectivity=0.25)
+    plan = DisplayOp(A.CLIENT, child=select)
+    result = QueryExecutor(config, catalog, query, seed=1).execute(plan)
+    assert result.result_tuples == pytest.approx(2_500, abs=2)
+    assert result.pages_sent == 250  # the whole relation crosses the wire
+
+
+def test_validate_rejects_wrong_relations():
+    config, catalog, query = three_way_setup()
+    plan = DisplayOp(A.CLIENT, child=ScanOp(A.PRIMARY_COPY, "A"))
+    with pytest.raises(PlanError):
+        QueryExecutor(config, catalog, query, seed=1).execute(plan)
+
+
+def test_utilizations_reported():
+    config, catalog, query = three_way_setup()
+    lower = JoinOp(
+        A.INNER_RELATION, inner=ScanOp(A.PRIMARY_COPY, "A"), outer=ScanOp(A.PRIMARY_COPY, "B")
+    )
+    upper = JoinOp(A.CONSUMER, inner=lower, outer=ScanOp(A.PRIMARY_COPY, "C"))
+    plan = DisplayOp(A.CLIENT, child=upper)
+    result = QueryExecutor(config, catalog, query, seed=1).execute(plan)
+    assert 0.0 < result.disk_utilizations["server1.disk0"] <= 1.0
+    assert 0.0 <= result.network_utilization <= 1.0
+    assert result.disk_reads > 0
+
+
+def test_bushy_plan_scans_in_parallel():
+    """Independent parallelism: scans on different servers overlap."""
+    config, catalog, query = three_way_setup()
+    # AB at server1, then join with C at server2's site.
+    lower = JoinOp(
+        A.INNER_RELATION, inner=ScanOp(A.PRIMARY_COPY, "A"), outer=ScanOp(A.PRIMARY_COPY, "B")
+    )
+    upper = JoinOp(A.OUTER_RELATION, inner=lower, outer=ScanOp(A.PRIMARY_COPY, "C"))
+    parallel = QueryExecutor(config, catalog, query, seed=1).execute(
+        DisplayOp(A.CLIENT, child=upper)
+    )
+    # Same shape but single-server placement: no overlap possible.
+    config1 = SystemConfig(num_servers=1)
+    catalog1 = Catalog(
+        [Relation(n, 10_000) for n in ("A", "B", "C")],
+        Placement({"A": 1, "B": 1, "C": 1}),
+    )
+    serial = QueryExecutor(config1, catalog1, query, seed=1).execute(
+        DisplayOp(A.CLIENT, child=upper)
+    )
+    assert parallel.response_time < serial.response_time
+
+
+def test_seed_determinism_full_pipeline():
+    config, catalog, query = three_way_setup()
+    lower = JoinOp(
+        A.INNER_RELATION, inner=ScanOp(A.PRIMARY_COPY, "A"), outer=ScanOp(A.PRIMARY_COPY, "B")
+    )
+    upper = JoinOp(A.CONSUMER, inner=lower, outer=ScanOp(A.PRIMARY_COPY, "C"))
+    plan = DisplayOp(A.CLIENT, child=upper)
+    first = QueryExecutor(config, catalog, query, seed=9).execute(plan)
+    second = QueryExecutor(config, catalog, query, seed=9).execute(plan)
+    assert first.response_time == second.response_time
+
+
+def test_server_load_slows_query():
+    config, catalog, query = three_way_setup(num_servers=2)
+    join = JoinOp(
+        A.INNER_RELATION, inner=ScanOp(A.PRIMARY_COPY, "A"), outer=ScanOp(A.PRIMARY_COPY, "B")
+    )
+    upper = JoinOp(A.CONSUMER, inner=join, outer=ScanOp(A.PRIMARY_COPY, "C"))
+    plan = DisplayOp(A.CLIENT, child=upper)
+    quiet = QueryExecutor(config, catalog, query, seed=1).execute(plan)
+    loaded = QueryExecutor(
+        config, catalog, query, seed=1, server_loads={1: 60.0}
+    ).execute(plan)
+    assert loaded.response_time > 1.3 * quiet.response_time

@@ -1,0 +1,111 @@
+"""Hybrid-hash join engine tests."""
+
+import pytest
+
+from repro.catalog import Catalog, Placement, Relation
+from repro.config import BufferAllocation, SystemConfig
+from repro.engine import QueryExecutor
+from repro.plans import DisplayOp, JoinOp, JoinPredicate, Query, ScanOp
+from repro.plans.annotations import Annotation
+
+A = Annotation
+MODERATE = 1e-4
+
+
+def run_join(
+    allocation,
+    annotation=A.INNER_RELATION,
+    scan_annotation=A.PRIMARY_COPY,
+    tuples=10_000,
+    selectivity=MODERATE,
+    seed=1,
+):
+    config = SystemConfig(num_servers=1, buffer_allocation=allocation)
+    catalog = Catalog(
+        [Relation("A", tuples), Relation("B", tuples)],
+        Placement({"A": 1, "B": 1}),
+    )
+    query = Query(("A", "B"), (JoinPredicate("A", "B", selectivity),))
+    join = JoinOp(
+        annotation,
+        inner=ScanOp(scan_annotation, "A"),
+        outer=ScanOp(scan_annotation, "B"),
+    )
+    plan = DisplayOp(A.CLIENT, child=join)
+    executor = QueryExecutor(config, catalog, query, seed=seed)
+    return executor.execute(plan), executor
+
+
+class TestMaximumAllocation:
+    def test_no_temp_io(self):
+        result, executor = run_join(BufferAllocation.MAXIMUM)
+        server_disk = executor.topology.servers[0].disk
+        assert server_disk.writes == 0  # in-memory join writes nothing
+        assert result.result_tuples == 10_000
+
+    def test_result_cardinality(self):
+        result, _ = run_join(BufferAllocation.MAXIMUM)
+        assert result.result_tuples == 10_000
+        assert result.result_pages == 250
+
+    def test_memory_released_after_query(self):
+        _result, executor = run_join(BufferAllocation.MAXIMUM)
+        assert executor.topology.servers[0].memory.allocated_pages == 0
+        assert executor.topology.servers[0].memory.high_water_mark >= 300
+
+
+class TestMinimumAllocation:
+    def test_spills_and_rereads(self):
+        result, executor = run_join(BufferAllocation.MINIMUM)
+        server_disk = executor.topology.servers[0].disk
+        # Nearly all of both 250-page inputs spilled once.
+        assert 400 <= server_disk.writes <= 520
+        assert result.result_tuples == 10_000
+
+    def test_temp_space_freed(self):
+        _result, executor = run_join(BufferAllocation.MINIMUM)
+        server = executor.topology.servers[0]
+        # Only the two base relations remain on disk.
+        assert server.allocators[0].used_pages == 500
+
+    def test_slower_than_maximum(self):
+        slow, _ = run_join(BufferAllocation.MINIMUM)
+        fast, _ = run_join(BufferAllocation.MAXIMUM)
+        assert slow.response_time > 3.0 * fast.response_time
+
+
+class TestJoinPlacement:
+    def test_join_at_client_pulls_both_inputs(self):
+        result, _ = run_join(BufferAllocation.MAXIMUM, annotation=A.CONSUMER)
+        assert result.pages_sent == 500  # both relations shipped up
+
+    def test_join_at_server_ships_result(self):
+        result, _ = run_join(BufferAllocation.MAXIMUM, annotation=A.INNER_RELATION)
+        assert result.pages_sent == 250
+
+    def test_client_join_avoids_server_disk_contention(self):
+        """The Figure 3 effect: at minimum allocation, moving the join to
+        the client beats co-locating it with the scans."""
+        co_located, _ = run_join(BufferAllocation.MINIMUM, annotation=A.INNER_RELATION)
+        split, _ = run_join(BufferAllocation.MINIMUM, annotation=A.CONSUMER)
+        assert split.response_time < 0.6 * co_located.response_time
+
+
+class TestSelectivities:
+    def test_hisel_output(self):
+        result, _ = run_join(BufferAllocation.MAXIMUM, selectivity=0.2 / 10_000)
+        assert result.result_tuples == pytest.approx(2_000, abs=2)
+
+    def test_small_relations_fit_in_memory_even_min_alloc(self):
+        result, executor = run_join(
+            BufferAllocation.MINIMUM, tuples=40, selectivity=1.0 / 40
+        )
+        # One page per side: minimum allocation is still enough.
+        assert executor.topology.servers[0].disk.writes == 0
+        assert result.result_tuples == pytest.approx(40, abs=1)
+
+    def test_deterministic_given_seed(self):
+        a, _ = run_join(BufferAllocation.MINIMUM, seed=5)
+        b, _ = run_join(BufferAllocation.MINIMUM, seed=5)
+        assert a.response_time == b.response_time
+        assert a.pages_sent == b.pages_sent

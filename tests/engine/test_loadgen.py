@@ -1,0 +1,53 @@
+"""External disk load generator tests."""
+
+import random
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.engine import DiskLoadGenerator
+from repro.hardware import Topology
+from repro.sim import Environment
+
+
+@pytest.fixture
+def server(env):
+    return Topology(env, SystemConfig(num_servers=1), seed=1).servers[0]
+
+
+def test_utilization_matches_paper_calibration(env, server):
+    """The paper's load levels: 40 req/s ~ 50% utilization."""
+    DiskLoadGenerator(env, server, 40.0, rng=random.Random(2))
+    env.run(until=30.0)
+    assert server.disk.utilization() == pytest.approx(0.5, abs=0.08)
+
+
+def test_heavy_load_high_utilization(env, server):
+    DiskLoadGenerator(env, server, 70.0, rng=random.Random(2))
+    env.run(until=30.0)
+    assert server.disk.utilization() > 0.75
+
+
+def test_request_rate(env, server):
+    generator = DiskLoadGenerator(env, server, 50.0, rng=random.Random(3))
+    env.run(until=20.0)
+    assert generator.requests_issued == pytest.approx(1000, rel=0.15)
+
+
+def test_zero_rate_is_inert(env, server):
+    generator = DiskLoadGenerator(env, server, 0.0)
+    assert generator.process is None
+    env.run(until=1.0)
+    assert server.disk.reads == 0
+
+
+def test_negative_rate_rejected(env, server):
+    with pytest.raises(ValueError):
+        DiskLoadGenerator(env, server, -1.0)
+
+
+def test_open_arrivals_do_not_wait_for_completions(env, server):
+    """At an offered load beyond capacity the queue builds up."""
+    DiskLoadGenerator(env, server, 500.0, rng=random.Random(4))
+    env.run(until=5.0)
+    assert server.disk.queue_length > 50

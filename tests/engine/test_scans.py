@@ -1,0 +1,85 @@
+"""Scan operator tests: server scans, cached reads, page faulting."""
+
+import pytest
+
+from repro.catalog import Catalog, Placement, Relation
+from repro.config import SystemConfig
+from repro.engine import QueryExecutor
+from repro.plans import DisplayOp, JoinPredicate, Query, ScanOp
+from repro.plans.annotations import Annotation
+
+A = Annotation
+
+
+def run_scan(annotation, cache_fraction=0.0, tuples=10_000):
+    config = SystemConfig(num_servers=1)
+    catalog = Catalog(
+        [Relation("R", tuples)],
+        Placement({"R": 1}),
+        {"R": cache_fraction} if cache_fraction else None,
+    )
+    query = Query(("R",))
+    plan = DisplayOp(A.CLIENT, child=ScanOp(annotation, "R"))
+    executor = QueryExecutor(config, catalog, query, seed=1)
+    return executor.execute(plan)
+
+
+class TestServerScan:
+    def test_produces_all_tuples(self):
+        result = run_scan(A.PRIMARY_COPY)
+        assert result.result_tuples == 10_000
+        assert result.result_pages == 250
+
+    def test_ships_every_page_to_client(self):
+        result = run_scan(A.PRIMARY_COPY)
+        assert result.pages_sent == 250
+        assert result.control_messages == 0
+
+    def test_sequential_cost(self):
+        """250 sequential pages at ~3.5 ms plus shipping."""
+        result = run_scan(A.PRIMARY_COPY)
+        assert 0.8 < result.response_time < 1.6
+
+    def test_partial_last_page(self):
+        result = run_scan(A.PRIMARY_COPY, tuples=10_019)
+        assert result.result_tuples == 10_019
+        assert result.result_pages == 251
+
+
+class TestClientScan:
+    def test_faults_everything_uncached(self):
+        result = run_scan(A.CLIENT)
+        assert result.pages_sent == 250
+        assert result.control_messages == 250  # one request per faulted page
+        assert result.result_tuples == 10_000
+
+    def test_cached_prefix_read_locally(self):
+        result = run_scan(A.CLIENT, cache_fraction=0.6)
+        assert result.pages_sent == 100  # only the missing 40%
+        assert result.control_messages == 100
+
+    def test_fully_cached_no_communication(self):
+        result = run_scan(A.CLIENT, cache_fraction=1.0)
+        assert result.pages_sent == 0
+        assert result.control_messages == 0
+        assert result.result_tuples == 10_000
+
+    def test_faulting_slower_than_shipping(self):
+        """Page-at-a-time synchronous faulting beats pipelined shipping
+        on communication but loses on elapsed time (section 4.2.3)."""
+        faulted = run_scan(A.CLIENT)
+        shipped = run_scan(A.PRIMARY_COPY)
+        assert faulted.response_time > shipped.response_time
+
+    def test_fully_cached_fastest(self):
+        cached = run_scan(A.CLIENT, cache_fraction=1.0)
+        shipped = run_scan(A.PRIMARY_COPY)
+        assert cached.response_time < shipped.response_time
+
+
+class TestEmptyRelation:
+    def test_scan_of_empty_relation(self):
+        result = run_scan(A.PRIMARY_COPY, tuples=0)
+        assert result.result_tuples == 0
+        assert result.result_pages == 0
+        assert result.pages_sent == 0

@@ -1,0 +1,72 @@
+"""Select iterator tests, including selects inside join plans."""
+
+import pytest
+
+from repro.catalog import Catalog, Placement, Relation
+from repro.config import BufferAllocation, SystemConfig
+from repro.engine import QueryExecutor
+from repro.plans import (
+    DisplayOp,
+    JoinOp,
+    JoinPredicate,
+    Query,
+    ScanOp,
+    SelectOp,
+)
+from repro.plans.annotations import Annotation
+
+A = Annotation
+
+
+def run_select(selectivity, annotation=A.PRODUCER, tuples=10_000):
+    config = SystemConfig(num_servers=1)
+    catalog = Catalog([Relation("R", tuples)], Placement({"R": 1}))
+    query = Query(("R",), selections={"R": selectivity})
+    select = SelectOp(annotation, child=ScanOp(A.PRIMARY_COPY, "R"),
+                      selectivity=selectivity)
+    plan = DisplayOp(A.CLIENT, child=select)
+    return QueryExecutor(config, catalog, query, seed=1).execute(plan)
+
+
+class TestSelectCardinality:
+    @pytest.mark.parametrize("selectivity", [0.01, 0.1, 0.5, 0.9])
+    def test_output_cardinality(self, selectivity):
+        result = run_select(selectivity)
+        assert result.result_tuples == pytest.approx(10_000 * selectivity, abs=2)
+
+    def test_output_repacked_into_full_pages(self):
+        result = run_select(0.5)
+        assert result.result_pages == 125  # 5000 tuples / 40 per page
+
+    def test_tiny_selectivity(self):
+        result = run_select(0.0001)
+        assert result.result_tuples == pytest.approx(1, abs=1)
+
+
+class TestSelectPlacement:
+    def test_producer_select_reduces_communication(self):
+        at_server = run_select(0.1, A.PRODUCER)
+        at_client = run_select(0.1, A.CONSUMER)
+        assert at_server.pages_sent == 25
+        assert at_client.pages_sent == 250
+        assert at_server.result_tuples == at_client.result_tuples
+
+
+class TestSelectUnderJoin:
+    def test_select_feeding_join(self):
+        config = SystemConfig(num_servers=1, buffer_allocation=BufferAllocation.MAXIMUM)
+        catalog = Catalog(
+            [Relation("A", 10_000), Relation("B", 10_000)],
+            Placement({"A": 1, "B": 1}),
+        )
+        query = Query(
+            ("A", "B"),
+            (JoinPredicate("A", "B", 1e-4),),
+            selections={"A": 0.2},
+        )
+        select = SelectOp(A.PRODUCER, child=ScanOp(A.PRIMARY_COPY, "A"), selectivity=0.2)
+        join = JoinOp(A.INNER_RELATION, inner=select, outer=ScanOp(A.PRIMARY_COPY, "B"))
+        plan = DisplayOp(A.CLIENT, child=join)
+        result = QueryExecutor(config, catalog, query, seed=1).execute(plan)
+        # 2000 * 10000 * 1e-4 = 2000 result tuples.
+        assert result.result_tuples == pytest.approx(2_000, abs=5)

@@ -1,0 +1,43 @@
+"""CLI tests (fast paths only; figure sweeps are exercised in benchmarks)."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "hybrid-shipping" in out
+
+
+def test_table2(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "PageSize" in out
+
+
+def test_figure_with_tiny_sweep(capsys):
+    code = main(["fig2", "--seeds", "3", "--cache", "0", "1.0"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "figure2" in out
+    assert "regenerated in" in out
+
+
+def test_server_figure_with_tiny_sweep(capsys):
+    code = main(["fig6", "--seeds", "3", "--servers", "1", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "figure6" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_qs_load(capsys):
+    code = main(["qs-load", "--seeds", "3"])
+    assert code == 0
+    assert "QS" in capsys.readouterr().out

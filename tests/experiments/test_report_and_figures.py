@@ -1,0 +1,98 @@
+"""Figure result containers, rendering, and the definitional tables."""
+
+import pytest
+
+from repro.experiments import (
+    FigureResult,
+    PointEstimate,
+    SeriesPoint,
+    render_figure,
+    summarize,
+    table1,
+    table2,
+)
+
+
+def _estimate(mean, half=0.0, n=3):
+    return PointEstimate(mean, half, n, mean - half, mean + half)
+
+
+class TestFigureResult:
+    def test_add_and_values(self):
+        result = FigureResult("f", "t", "x", "y")
+        result.add("DS", 0.0, _estimate(500))
+        result.add("DS", 50.0, _estimate(250))
+        assert result.values("DS") == [(0.0, 500), (50.0, 250)]
+        assert result.series_means("DS") == {0.0: 500, 50.0: 250}
+
+    def test_series_point_y(self):
+        point = SeriesPoint(1.0, _estimate(42.0))
+        assert point.y == 42.0
+
+
+class TestRenderFigure:
+    def _figure(self):
+        result = FigureResult("figure9x", "A Title", "servers", "seconds")
+        result.add("DS", 1, _estimate(10.0, 0.5))
+        result.add("DS", 2, _estimate(9.0, 0.4))
+        result.add("QS", 1, _estimate(20.0, 1.0))
+        result.notes = "a note"
+        return result
+
+    def test_contains_everything(self):
+        text = render_figure(self._figure())
+        assert "figure9x: A Title" in text
+        assert "y = seconds" in text
+        assert "DS" in text and "QS" in text
+        assert "note: a note" in text
+
+    def test_missing_points_dash(self):
+        text = render_figure(self._figure())
+        row_for_2 = [line for line in text.splitlines() if line.strip().startswith("2")][0]
+        assert "-" in row_for_2  # QS has no x=2 point
+
+    def test_ci_shown_and_hidden(self):
+        with_ci = render_figure(self._figure(), show_ci=True)
+        without = render_figure(self._figure(), show_ci=False)
+        assert "+/-" in with_ci
+        assert "+/-" not in without
+
+    def test_single_run_no_ci(self):
+        result = FigureResult("f", "t", "x", "y")
+        result.add("DS", 1, PointEstimate(5.0, 0.0, 1, 5.0, 5.0))
+        assert "+/-" not in render_figure(result)
+
+
+class TestTables:
+    def test_table1_matches_paper(self):
+        text = table1()
+        assert "data-shipping" in text
+        assert "hybrid-shipping" in text
+        rows = {line.split()[0]: line for line in text.splitlines()[2:]}
+        assert set(rows) == {"display", "join", "select", "scan"}
+        # DS column: everything at the client.
+        assert rows["scan"].count("client") >= 2  # DS and HY columns
+
+    def test_table2_defaults(self):
+        text = table2()
+        assert "50" in text and "4096" in text and "20000" in text
+
+    def test_table2_custom_config(self):
+        from repro.config import SystemConfig
+
+        text = table2(SystemConfig(mips=25.0))
+        assert "25" in text.splitlines()[2]
+
+
+class TestRunSettings:
+    def test_quick_reduces_seeds(self):
+        from repro.experiments.runner import RunSettings
+
+        settings = RunSettings(seeds=(1, 2, 3, 4, 5))
+        assert settings.quick().seeds == (1, 2, 3)
+
+    def test_defaults(self):
+        from repro.experiments.runner import RunSettings
+
+        settings = RunSettings()
+        assert len(settings.seeds) >= 3

@@ -1,0 +1,57 @@
+"""Statistics helper tests."""
+
+import math
+
+import pytest
+
+from repro.experiments.stats import PointEstimate, summarize, t_quantile_90
+
+
+class TestTQuantile:
+    def test_table_values(self):
+        assert t_quantile_90(1) == pytest.approx(6.314)
+        assert t_quantile_90(4) == pytest.approx(2.132)
+        assert t_quantile_90(30) == pytest.approx(1.697)
+
+    def test_interpolation(self):
+        value = t_quantile_90(22)
+        assert t_quantile_90(25) < value < t_quantile_90(20)
+
+    def test_large_df_approaches_normal(self):
+        assert t_quantile_90(10_000) == pytest.approx(1.645)
+
+    def test_invalid_df(self):
+        with pytest.raises(ValueError):
+            t_quantile_90(0)
+
+
+class TestSummarize:
+    def test_single_value(self):
+        estimate = summarize([5.0])
+        assert estimate.mean == 5.0
+        assert estimate.ci_half_width == 0.0
+        assert estimate.count == 1
+
+    def test_known_interval(self):
+        values = [10.0, 12.0, 14.0]
+        estimate = summarize(values)
+        assert estimate.mean == pytest.approx(12.0)
+        stderr = math.sqrt(4.0 / 3.0)  # var=4 (n-1), n=3
+        assert estimate.ci_half_width == pytest.approx(2.920 * stderr)
+        assert estimate.minimum == 10.0
+        assert estimate.maximum == 14.0
+
+    def test_identical_values_zero_width(self):
+        estimate = summarize([3.0, 3.0, 3.0, 3.0])
+        assert estimate.ci_half_width == 0.0
+
+    def test_relative_ci(self):
+        estimate = PointEstimate(100.0, 4.0, 5, 95.0, 105.0)
+        assert estimate.relative_ci == pytest.approx(0.04)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_zero_mean_relative_ci(self):
+        assert summarize([0.0, 0.0]).relative_ci == 0.0

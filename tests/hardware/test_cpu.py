@@ -1,0 +1,68 @@
+"""Unit tests for the CPU model."""
+
+import pytest
+
+from repro.hardware import CPU
+from repro.sim import Environment
+
+
+def test_instruction_timing(env):
+    cpu = CPU(env, mips=50.0)
+
+    def worker():
+        yield from cpu.execute(5000)  # DiskInst at 50 MIPS = 0.1 ms
+
+    env.run(until=env.process(worker()))
+    assert env.now == pytest.approx(1e-4)
+
+
+def test_fifo_queueing(env):
+    cpu = CPU(env, mips=1.0)  # 1 instruction per microsecond
+    finish = {}
+
+    def worker(name, instructions):
+        yield from cpu.execute(instructions)
+        finish[name] = env.now
+
+    env.process(worker("a", 1_000_000))  # 1 s
+    env.process(worker("b", 2_000_000))  # 2 s, queued behind a
+    env.run()
+    assert finish["a"] == pytest.approx(1.0)
+    assert finish["b"] == pytest.approx(3.0)
+
+
+def test_zero_instructions_free(env):
+    cpu = CPU(env, mips=50.0)
+
+    def worker():
+        yield from cpu.execute(0)
+
+    env.run(until=env.process(worker()))
+    assert env.now == 0.0
+
+
+def test_negative_instructions_rejected(env):
+    cpu = CPU(env, mips=50.0)
+
+    def worker():
+        yield from cpu.execute(-1)
+
+    with pytest.raises(ValueError):
+        env.run(until=env.process(worker()))
+
+
+def test_invalid_mips():
+    with pytest.raises(ValueError):
+        CPU(Environment(), mips=0.0)
+
+
+def test_utilization_and_counter(env):
+    cpu = CPU(env, mips=1.0)
+
+    def worker():
+        yield from cpu.execute(1_000_000)
+        yield env.timeout(1.0)
+
+    env.run(until=env.process(worker()))
+    assert cpu.utilization() == pytest.approx(0.5)
+    assert cpu.instructions_executed == 1_000_000

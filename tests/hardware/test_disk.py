@@ -1,0 +1,191 @@
+"""Unit tests and calibration for the detailed disk model."""
+
+import random
+
+import pytest
+
+from repro.config import DiskParams
+from repro.hardware import Disk
+from repro.sim import Environment
+
+
+@pytest.fixture
+def params() -> DiskParams:
+    return DiskParams(sample_rotation=False)
+
+
+def _read_pages(env, disk, pages):
+    def reader():
+        start = env.now
+        for page in pages:
+            yield disk.read(page)
+        return env.now - start
+
+    return env.run(until=env.process(reader()))
+
+
+class TestGeometry:
+    def test_cylinder_mapping(self, env, params):
+        disk = Disk(env, params)
+        per_cylinder = params.pages_per_cylinder
+        assert disk.cylinder_of(0) == 0
+        assert disk.cylinder_of(per_cylinder - 1) == 0
+        assert disk.cylinder_of(per_cylinder) == 1
+
+    def test_out_of_range_page_rejected(self, env, params):
+        disk = Disk(env, params)
+        with pytest.raises(ValueError):
+            disk.read(params.capacity_pages)
+        with pytest.raises(ValueError):
+            disk.read(-1)
+
+    def test_capacity(self, params):
+        assert params.capacity_pages == (
+            params.cylinders * params.tracks_per_cylinder * params.pages_per_track
+        )
+
+
+class TestServiceCosts:
+    def test_sequential_cheaper_than_random(self, params):
+        env1 = Environment()
+        disk1 = Disk(env1, params, rng=random.Random(1))
+        seq = _read_pages(env1, disk1, range(200)) / 200
+
+        env2 = Environment()
+        disk2 = Disk(env2, params, rng=random.Random(1))
+        rng = random.Random(7)
+        pages = [rng.randrange(params.capacity_pages) for _ in range(200)]
+        rand = _read_pages(env2, disk2, pages) / 200
+        assert rand > 2.5 * seq
+
+    def test_controller_cache_hits_are_cheap(self, env, params):
+        disk = Disk(env, params)
+
+        def reader():
+            yield disk.read(0)
+            yield disk.read(1)  # sequential; prefetches rest of track
+            before = env.now
+            yield disk.read(2)  # prefetched -> cache hit
+            return env.now - before
+
+        hit_time = env.run(until=env.process(reader()))
+        assert hit_time == pytest.approx(params.cache_hit_time)
+        assert disk.cache_hits >= 1
+
+    def test_write_refreshes_cache_copy(self, env, params):
+        disk = Disk(env, params)
+
+        def worker():
+            yield disk.read(0)
+            yield disk.read(1)
+            yield disk.write(2)  # media updated; cache holds the new copy
+            before = env.now
+            yield disk.read(2)
+            return env.now - before
+
+        reread = env.run(until=env.process(worker()))
+        assert reread == pytest.approx(params.cache_hit_time)
+
+    def test_write_costs_media_time(self, env, params):
+        disk = Disk(env, params)
+
+        def worker():
+            before = env.now
+            yield disk.write(params.pages_per_cylinder * 500)
+            return env.now - before
+
+        elapsed = env.run(until=env.process(worker()))
+        assert elapsed > params.transfer_time  # seek + rotation + transfer
+
+    def test_interleaving_destroys_sequential_pattern(self, params):
+        """Two interleaved scans cost far more than two back-to-back scans."""
+        far = params.pages_per_cylinder * (params.cylinders // 2)
+
+        def measure(pages):
+            env = Environment()
+            disk = Disk(env, params, rng=random.Random(3))
+            return _read_pages(env, disk, pages)
+
+        back_to_back = measure(list(range(100)) + list(range(far, far + 100)))
+        interleaved_pages = [
+            page for pair in zip(range(100), range(far, far + 100)) for page in pair
+        ]
+        interleaved = measure(interleaved_pages)
+        assert interleaved > 2.0 * back_to_back
+
+
+class TestElevator:
+    def test_elevator_orders_by_cylinder(self, env, params):
+        disk = Disk(env, params)
+        order = []
+        per_cyl = params.pages_per_cylinder
+        # Current head is at cylinder 0; submit far, near, middle at once.
+        for cylinder in (900, 10, 450):
+            request = disk.submit("read", cylinder * per_cyl)
+            request.done.callbacks.append(
+                lambda _e, c=cylinder: order.append(c)
+            )
+        env.run()
+        assert order == [10, 450, 900]
+
+    def test_direction_reversal(self, env, params):
+        disk = Disk(env, params)
+        per_cyl = params.pages_per_cylinder
+        served = []
+
+        def submit_all():
+            # Move the head up to cylinder 500 first.
+            yield disk.read(500 * per_cyl)
+            for cylinder in (600, 400, 700):
+                request = disk.submit("read", cylinder * per_cyl)
+                request.done.callbacks.append(
+                    lambda _e, c=cylinder: served.append(c)
+                )
+            yield env.timeout(10.0)
+
+        env.run(until=env.process(submit_all()))
+        # Upward direction first (600, 700), then reverse to 400.
+        assert served == [600, 700, 400]
+
+
+class TestStatistics:
+    def test_read_write_counters(self, env, params):
+        disk = Disk(env, params)
+
+        def worker():
+            yield disk.read(0)
+            yield disk.write(100)
+            yield disk.write(101)
+
+        env.run(until=env.process(worker()))
+        assert disk.reads == 1
+        assert disk.writes == 2
+
+    def test_utilization_saturated(self, env, params):
+        disk = Disk(env, params)
+
+        def worker():
+            for page in range(50):
+                yield disk.read(page)
+
+        env.run(until=env.process(worker()))
+        assert disk.utilization() == pytest.approx(1.0, abs=0.01)
+
+
+class TestCalibration:
+    """The paper's disk averages: ~3.5 ms sequential, ~11.8 ms random."""
+
+    def test_sequential_page_cost(self, params):
+        env = Environment()
+        disk = Disk(env, params, rng=random.Random(1))
+        per_page = _read_pages(env, disk, range(250)) / 250
+        assert per_page == pytest.approx(0.0035, rel=0.05)
+
+    def test_random_page_cost(self):
+        params = DiskParams(sample_rotation=True)
+        env = Environment()
+        disk = Disk(env, params, rng=random.Random(11))
+        rng = random.Random(13)
+        pages = [rng.randrange(params.capacity_pages) for _ in range(2000)]
+        per_page = _read_pages(env, disk, pages) / 2000
+        assert per_page == pytest.approx(0.0118, rel=0.05)

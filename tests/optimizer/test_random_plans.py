@@ -1,0 +1,95 @@
+"""Random plan generation tests."""
+
+import random
+
+import pytest
+
+from repro.optimizer import PlanShape, random_plan
+from repro.optimizer.random_plans import is_deep, random_join_tree
+from repro.plans import JoinPredicate, Policy, Query, check_policy, validate_plan
+from repro.plans.operators import JoinOp, ScanOp, SelectOp
+from tests.conftest import make_chain
+
+
+@pytest.fixture
+def chain10():
+    return make_chain(10)
+
+
+class TestRandomPlan:
+    @pytest.mark.parametrize("policy", list(Policy))
+    def test_valid_and_policy_conformant(self, chain10, policy):
+        for seed in range(10):
+            plan = random_plan(chain10, policy, random.Random(seed))
+            validate_plan(plan, chain10)
+            check_policy(plan, policy)
+
+    def test_avoids_cartesian_products_on_connected_graphs(self, chain10):
+        rng = random.Random(0)
+        for _ in range(20):
+            plan = random_plan(chain10, Policy.HYBRID_SHIPPING, rng)
+            for op in plan.walk():
+                if isinstance(op, JoinOp):
+                    crossing = chain10.predicates_between(
+                        op.inner.relations(), op.outer.relations()
+                    )
+                    assert crossing, "random plan contains a Cartesian product"
+
+    def test_deep_shape_constraint(self, chain10):
+        rng = random.Random(1)
+        for _ in range(10):
+            plan = random_plan(chain10, Policy.HYBRID_SHIPPING, rng, PlanShape.DEEP)
+            assert is_deep(plan.child)
+            validate_plan(plan, chain10)
+
+    def test_bushy_trees_occur_without_constraint(self, chain10):
+        rng = random.Random(2)
+        shapes = {is_deep(random_plan(chain10, Policy.HYBRID_SHIPPING, rng).child)
+                  for _ in range(20)}
+        assert False in shapes  # at least one bushy tree generated
+
+    def test_single_relation_query(self):
+        query = Query(("A",))
+        plan = random_plan(query, Policy.DATA_SHIPPING, random.Random(0))
+        validate_plan(plan, query)
+        assert plan.count(JoinOp) == 0
+
+    def test_selections_planned_above_scans(self):
+        query = Query(
+            ("A", "B"),
+            (JoinPredicate("A", "B", 1e-4),),
+            selections={"A": 0.3},
+        )
+        plan = random_plan(query, Policy.QUERY_SHIPPING, random.Random(0))
+        selects = [op for op in plan.walk() if isinstance(op, SelectOp)]
+        assert len(selects) == 1
+        assert isinstance(selects[0].child, ScanOp)
+        assert selects[0].child.relation == "A"
+        assert selects[0].selectivity == 0.3
+
+    def test_well_formed_despite_random_annotations(self, chain10):
+        from repro.plans import is_well_formed
+
+        rng = random.Random(3)
+        for _ in range(50):
+            assert is_well_formed(random_plan(chain10, Policy.HYBRID_SHIPPING, rng))
+
+    def test_determinism(self, chain10):
+        a = random_plan(chain10, Policy.HYBRID_SHIPPING, random.Random(7))
+        b = random_plan(chain10, Policy.HYBRID_SHIPPING, random.Random(7))
+        assert a == b
+
+
+class TestRandomJoinTree:
+    def test_all_relations_present(self, chain10):
+        tree = random_join_tree(chain10, Policy.DATA_SHIPPING, random.Random(0))
+        assert tree.relations() == frozenset(chain10.relations)
+
+    def test_join_count(self, chain10):
+        tree = random_join_tree(chain10, Policy.DATA_SHIPPING, random.Random(0))
+        assert tree.count(JoinOp) == 9
+
+    def test_disconnected_query_still_builds(self):
+        query = Query(("A", "B", "C"), (JoinPredicate("A", "B", 1e-4),))
+        tree = random_join_tree(query, Policy.DATA_SHIPPING, random.Random(0))
+        assert tree.relations() == frozenset({"A", "B", "C"})

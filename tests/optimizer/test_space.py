@@ -1,0 +1,145 @@
+"""Search-space move tests."""
+
+import random
+
+import pytest
+
+from repro.optimizer import PlanShape, random_neighbor, random_plan
+from repro.optimizer.random_plans import is_deep
+from repro.optimizer.space import enumerate_candidates, has_cartesian_join
+from repro.plans import (
+    DisplayOp,
+    JoinOp,
+    Policy,
+    ScanOp,
+    check_policy,
+    is_well_formed,
+    validate_plan,
+)
+from repro.plans.annotations import Annotation
+from tests.conftest import make_chain
+
+A = Annotation
+
+
+@pytest.fixture
+def chain4():
+    return make_chain(4)
+
+
+def left_deep_plan(query, scan_annotation=A.CLIENT, join_annotation=A.CONSUMER):
+    names = list(query.relations)
+    tree = ScanOp(scan_annotation, names[0])
+    for name in names[1:]:
+        tree = JoinOp(join_annotation, inner=ScanOp(scan_annotation, name), outer=tree)
+    return DisplayOp(A.CLIENT, child=tree)
+
+
+class TestEnumerateCandidates:
+    def test_data_shipping_has_only_reorder_moves(self, chain4):
+        plan = left_deep_plan(chain4)
+        candidates = enumerate_candidates(plan, Policy.DATA_SHIPPING)
+        assert candidates
+        assert all(kind == "reorder" for kind, _payload in candidates)
+
+    def test_query_shipping_join_annotations_restricted(self, chain4):
+        plan = left_deep_plan(chain4, A.PRIMARY_COPY, A.INNER_RELATION)
+        candidates = enumerate_candidates(plan, Policy.QUERY_SHIPPING)
+        annotations = {
+            payload[1] for kind, payload in candidates if kind == "annotate"
+        }
+        # Never to the consumer's site (the paper's restriction of move 5).
+        assert A.CONSUMER not in annotations
+        assert A.OUTER_RELATION in annotations
+
+    def test_annotation_moves_only_filter(self, chain4):
+        plan = left_deep_plan(chain4, A.PRIMARY_COPY, A.INNER_RELATION)
+        candidates = enumerate_candidates(
+            plan, Policy.HYBRID_SHIPPING, annotation_moves_only=True
+        )
+        assert candidates
+        assert all(kind == "annotate" for kind, _payload in candidates)
+
+    def test_hybrid_has_both_kinds(self, chain4):
+        plan = left_deep_plan(chain4)
+        kinds = {kind for kind, _ in enumerate_candidates(plan, Policy.HYBRID_SHIPPING)}
+        assert kinds == {"reorder", "annotate"}
+
+
+class TestRandomNeighbor:
+    @pytest.mark.parametrize("policy", list(Policy))
+    def test_neighbors_stay_valid(self, chain4, policy):
+        rng = random.Random(0)
+        plan = random_plan(chain4, policy, rng)
+        for _ in range(100):
+            neighbor = random_neighbor(plan, chain4, policy, rng)
+            if neighbor is None:
+                continue
+            validate_plan(neighbor, chain4)
+            check_policy(neighbor, policy)
+            assert is_well_formed(neighbor)
+            plan = neighbor
+
+    def test_reorder_moves_change_structure(self, chain4):
+        rng = random.Random(1)
+        plan = random_plan(chain4, Policy.DATA_SHIPPING, rng)
+        structures = {plan.child}
+        for _ in range(50):
+            neighbor = random_neighbor(plan, chain4, Policy.DATA_SHIPPING, rng)
+            if neighbor is not None:
+                structures.add(neighbor.child)
+                plan = neighbor
+        assert len(structures) > 5  # the walk explores many join orders
+
+    def test_deep_constraint_preserved(self, chain4):
+        rng = random.Random(2)
+        plan = random_plan(chain4, Policy.HYBRID_SHIPPING, rng, PlanShape.DEEP)
+        for _ in range(100):
+            neighbor = random_neighbor(
+                plan, chain4, Policy.HYBRID_SHIPPING, rng, shape=PlanShape.DEEP
+            )
+            if neighbor is not None:
+                assert is_deep(neighbor.child)
+                plan = neighbor
+
+    def test_never_introduces_cartesian(self, chain4):
+        rng = random.Random(3)
+        plan = random_plan(chain4, Policy.HYBRID_SHIPPING, rng)
+        assert not has_cartesian_join(plan, chain4)
+        for _ in range(200):
+            neighbor = random_neighbor(plan, chain4, Policy.HYBRID_SHIPPING, rng)
+            if neighbor is not None:
+                assert not has_cartesian_join(neighbor, chain4)
+                plan = neighbor
+
+    def test_annotation_moves_preserve_join_order(self, chain4):
+        def order_signature(root):
+            return [
+                (sorted(op.inner.relations()), sorted(op.outer.relations()))
+                for op in root.walk()
+                if isinstance(op, JoinOp)
+            ]
+
+        rng = random.Random(4)
+        plan = random_plan(chain4, Policy.HYBRID_SHIPPING, rng)
+        signature = order_signature(plan)
+        for _ in range(50):
+            neighbor = random_neighbor(
+                plan, chain4, Policy.HYBRID_SHIPPING, rng, annotation_moves_only=True
+            )
+            if neighbor is not None:
+                assert order_signature(neighbor) == signature
+                plan = neighbor
+
+    def test_two_way_ds_has_no_moves(self):
+        query = make_chain(2)
+        plan = left_deep_plan(query)
+        assert random_neighbor(plan, query, Policy.DATA_SHIPPING, random.Random(0)) is None
+
+    def test_original_plan_not_mutated(self, chain4):
+        rng = random.Random(5)
+        plan = random_plan(chain4, Policy.HYBRID_SHIPPING, rng)
+        snapshot = plan
+        for _ in range(20):
+            random_neighbor(plan, chain4, Policy.HYBRID_SHIPPING, rng)
+        assert plan == snapshot

@@ -1,0 +1,168 @@
+"""2PO optimizer tests, including validation against exhaustive search."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.catalog import Catalog, Placement, Relation
+from repro.config import BufferAllocation, OptimizerConfig, SystemConfig
+from repro.costmodel import CostModel, EnvironmentState, Objective
+from repro.optimizer import RandomizedOptimizer, optimize
+from repro.plans import (
+    DisplayOp,
+    JoinOp,
+    Policy,
+    ScanOp,
+    check_policy,
+    is_well_formed,
+    validate_plan,
+)
+from repro.plans.annotations import Annotation
+from tests.conftest import make_chain
+
+A = Annotation
+
+
+def environment(cache=None, num_servers=1, allocation=BufferAllocation.MINIMUM,
+                num_relations=2, placement=None):
+    config = SystemConfig(num_servers=num_servers, buffer_allocation=allocation)
+    names = [f"R{i}" for i in range(num_relations)]
+    placement = placement or {name: 1 + i % num_servers for i, name in enumerate(names)}
+    catalog = Catalog(
+        [Relation(name, 10_000) for name in names],
+        Placement(placement),
+        cache,
+    )
+    return EnvironmentState(catalog, config)
+
+
+def exhaustive_two_way_optimum(query, env, objective):
+    """Enumerate every 2-way plan in the hybrid space, return min metric."""
+    model = CostModel(query, env)
+    best = None
+    names = query.relations
+    for inner_name, outer_name in itertools.permutations(names, 2):
+        for inner_ann in (A.CLIENT, A.PRIMARY_COPY):
+            for outer_ann in (A.CLIENT, A.PRIMARY_COPY):
+                for join_ann in (A.CONSUMER, A.INNER_RELATION, A.OUTER_RELATION):
+                    join = JoinOp(
+                        join_ann,
+                        inner=ScanOp(inner_ann, inner_name),
+                        outer=ScanOp(outer_ann, outer_name),
+                    )
+                    plan = DisplayOp(A.CLIENT, child=join)
+                    if not is_well_formed(plan):
+                        continue
+                    metric = model.evaluate(plan).metric(objective)
+                    if best is None or metric < best:
+                        best = metric
+    return best
+
+
+class TestFindsOptimum:
+    @pytest.mark.parametrize("objective", [Objective.RESPONSE_TIME, Objective.PAGES_SENT])
+    @pytest.mark.parametrize("cache", [None, {"R0": 0.5, "R1": 0.5}, {"R0": 1.0, "R1": 1.0}])
+    def test_two_way_matches_exhaustive(self, objective, cache):
+        query = make_chain(2)
+        env = environment(cache)
+        best = exhaustive_two_way_optimum(query, env, objective)
+        result = optimize(query, env, Policy.HYBRID_SHIPPING, objective,
+                          OptimizerConfig.fast(), seed=11)
+        assert result.cost.metric(objective)[0] == pytest.approx(best[0], rel=1e-9)
+
+
+class TestPolicyConformance:
+    @pytest.mark.parametrize("policy", list(Policy))
+    def test_result_satisfies_policy(self, policy):
+        query = make_chain(4)
+        env = environment(num_servers=2, num_relations=4)
+        result = optimize(query, env, policy, Objective.RESPONSE_TIME,
+                          OptimizerConfig.fast(), seed=3)
+        validate_plan(result.plan, query)
+        check_policy(result.plan, policy)
+
+    def test_ds_plan_runs_everything_at_client(self):
+        query = make_chain(3)
+        env = environment(num_servers=2, num_relations=3)
+        result = optimize(query, env, Policy.DATA_SHIPPING, Objective.RESPONSE_TIME,
+                          OptimizerConfig.fast(), seed=3)
+        from repro.plans import bind_plan
+
+        bound = bind_plan(result.plan, env.catalog)
+        assert bound.sites_used() - {0} == set()  # only the client
+
+    def test_qs_plan_never_uses_client_for_work(self):
+        query = make_chain(3)
+        env = environment(num_servers=2, num_relations=3)
+        result = optimize(query, env, Policy.QUERY_SHIPPING, Objective.RESPONSE_TIME,
+                          OptimizerConfig.fast(), seed=3)
+        from repro.plans import bind_plan
+
+        bound = bind_plan(result.plan, env.catalog)
+        for op in result.plan.walk():
+            if not isinstance(op, DisplayOp):
+                assert bound.site_of(op) != 0
+
+
+class TestHybridDominance:
+    """Section 2.2.3: hybrid's space contains both pure spaces, so its
+    optimized metric can never be worse than either pure policy's."""
+
+    @pytest.mark.parametrize("objective", [Objective.RESPONSE_TIME, Objective.PAGES_SENT])
+    @pytest.mark.parametrize("seed", [3, 7])
+    def test_hybrid_at_least_matches_pure_policies(self, objective, seed):
+        query = make_chain(5)
+        env = environment(num_servers=3, num_relations=5)
+        config = OptimizerConfig.fast()
+        costs = {
+            policy: optimize(query, env, policy, objective, config, seed=seed).cost
+            for policy in Policy
+        }
+        hybrid = costs[Policy.HYBRID_SHIPPING].metric(objective)[0]
+        assert hybrid <= costs[Policy.DATA_SHIPPING].metric(objective)[0] + 1e-9
+        assert hybrid <= costs[Policy.QUERY_SHIPPING].metric(objective)[0] + 1e-9
+
+
+class TestMechanics:
+    def test_evaluations_counted(self):
+        query = make_chain(3)
+        env = environment(num_relations=3)
+        optimizer = RandomizedOptimizer(query, env, config=OptimizerConfig.fast(), seed=1)
+        result = optimizer.optimize()
+        assert result.evaluations > 50
+        assert result.evaluations == optimizer.evaluations
+
+    def test_deterministic_for_seed(self):
+        query = make_chain(4)
+        env = environment(num_servers=2, num_relations=4)
+        a = optimize(query, env, seed=9, config=OptimizerConfig.fast())
+        b = optimize(query, env, seed=9, config=OptimizerConfig.fast())
+        assert a.plan == b.plan
+        assert a.cost == b.cost
+
+    def test_initial_plan_respected(self):
+        query = make_chain(2)
+        env = environment()
+        seed_plan = DisplayOp(
+            A.CLIENT,
+            child=JoinOp(
+                A.CONSUMER, inner=ScanOp(A.CLIENT, "R0"), outer=ScanOp(A.CLIENT, "R1")
+            ),
+        )
+        optimizer = RandomizedOptimizer(
+            query, env, annotation_moves_only=True, initial_plan=seed_plan,
+            config=OptimizerConfig.fast(), seed=1,
+        )
+        result = optimizer.optimize()
+        # Join order is frozen; only annotations may differ.
+        assert result.plan.child.inner.relation == "R0"
+        assert result.plan.child.outer.relation == "R1"
+
+    def test_single_relation_query(self):
+        from repro.plans import Query
+
+        query = Query(("R0",))
+        env = environment(num_relations=1)
+        result = optimize(query, env, config=OptimizerConfig.fast(), seed=1)
+        validate_plan(result.plan, query)

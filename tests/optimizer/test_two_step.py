@@ -1,0 +1,120 @@
+"""Static and 2-step optimization tests (section 5)."""
+
+import pytest
+
+from repro.catalog import Catalog, Placement, Relation
+from repro.config import OptimizerConfig, SystemConfig
+from repro.costmodel import CostModel, EnvironmentState, Objective
+from repro.optimizer import PlanShape, RandomizedOptimizer, TwoStepOptimizer
+from repro.optimizer.random_plans import is_deep
+from repro.plans import JoinOp, Policy, bind_plan, validate_plan
+from tests.conftest import make_chain
+
+
+def _catalog(placement):
+    names = sorted(placement)
+    return Catalog([Relation(n, 10_000) for n in names], Placement(placement))
+
+
+@pytest.fixture
+def figure9_setup():
+    """The paper's Figure 9: 4-way join, data migrates before run time."""
+    query = make_chain(4)
+    config = SystemConfig(num_servers=2)
+    compile_env = EnvironmentState(
+        _catalog({"R0": 1, "R1": 1, "R2": 2, "R3": 2}), config
+    )
+    runtime_env = EnvironmentState(
+        _catalog({"R1": 1, "R2": 1, "R0": 2, "R3": 2}), config
+    )
+    return query, compile_env, runtime_env
+
+
+class TestCompile:
+    def test_compiled_plan_is_valid(self, figure9_setup):
+        query, compile_env, _ = figure9_setup
+        two_step = TwoStepOptimizer(Objective.PAGES_SENT, OptimizerConfig.fast())
+        compiled = two_step.compile(query, compile_env, seed=1)
+        validate_plan(compiled.plan, query)
+
+    def test_deep_shape_respected(self, figure9_setup):
+        query, compile_env, _ = figure9_setup
+        two_step = TwoStepOptimizer(Objective.RESPONSE_TIME, OptimizerConfig.fast())
+        compiled = two_step.compile(query, compile_env, shape=PlanShape.DEEP, seed=1)
+        assert is_deep(compiled.plan.child)
+
+
+class TestJoinOrderFrozen:
+    def _order_signature(self, plan):
+        return [
+            (tuple(sorted(op.inner.relations())), tuple(sorted(op.outer.relations())))
+            for op in plan.walk()
+            if isinstance(op, JoinOp)
+        ]
+
+    def test_runtime_plan_keeps_compiled_join_order(self, figure9_setup):
+        query, compile_env, runtime_env = figure9_setup
+        two_step = TwoStepOptimizer(Objective.PAGES_SENT, OptimizerConfig.fast())
+        compiled = two_step.compile(query, compile_env, seed=2)
+        runtime = two_step.runtime_plan(compiled, runtime_env, seed=2)
+        assert self._order_signature(runtime) == self._order_signature(compiled.plan)
+
+    def test_runtime_plan_is_valid(self, figure9_setup):
+        query, compile_env, runtime_env = figure9_setup
+        two_step = TwoStepOptimizer(Objective.PAGES_SENT, OptimizerConfig.fast())
+        compiled = two_step.compile(query, compile_env, seed=2)
+        runtime = two_step.runtime_plan(compiled, runtime_env, seed=2)
+        validate_plan(runtime, query)
+
+
+class TestFigure9Ordering:
+    """Migration penalty: static >= 2-step >= fully re-optimized ideal."""
+
+    def test_communication_ordering(self, figure9_setup):
+        query, compile_env, runtime_env = figure9_setup
+        two_step = TwoStepOptimizer(Objective.PAGES_SENT, OptimizerConfig.fast())
+        compiled = two_step.compile(query, compile_env, seed=5)
+        runtime_model = CostModel(query, runtime_env)
+
+        static_pages = runtime_model.evaluate(two_step.static_plan(compiled)).pages_sent
+        two_step_pages = runtime_model.evaluate(
+            two_step.runtime_plan(compiled, runtime_env, seed=5)
+        ).pages_sent
+        ideal = RandomizedOptimizer(
+            query, runtime_env, Policy.HYBRID_SHIPPING, Objective.PAGES_SENT,
+            OptimizerConfig.fast(), seed=5,
+        ).optimize()
+
+        assert two_step_pages <= static_pages
+        assert ideal.cost.pages_sent <= two_step_pages
+
+    def test_static_plan_still_optimal_without_migration(self, figure9_setup):
+        """No migration: the static plan keeps its compile-time cost."""
+        query, compile_env, _ = figure9_setup
+        two_step = TwoStepOptimizer(Objective.PAGES_SENT, OptimizerConfig.fast())
+        compiled = two_step.compile(query, compile_env, seed=5)
+        model = CostModel(query, compile_env)
+        static_pages = model.evaluate(two_step.static_plan(compiled)).pages_sent
+        ideal = RandomizedOptimizer(
+            query, compile_env, Policy.HYBRID_SHIPPING, Objective.PAGES_SENT,
+            OptimizerConfig.fast(), seed=5,
+        ).optimize()
+        assert static_pages == pytest.approx(ideal.cost.pages_sent)
+
+
+class TestBindingAdaptation:
+    def test_static_plan_binds_to_new_servers(self, figure9_setup):
+        """Logical annotations follow the data: a primary-copy scan binds
+        to wherever the relation lives *now* (section 5)."""
+        query, compile_env, runtime_env = figure9_setup
+        two_step = TwoStepOptimizer(Objective.PAGES_SENT, OptimizerConfig.fast())
+        compiled = two_step.compile(query, compile_env, seed=1)
+        before = bind_plan(compiled.plan, compile_env.catalog)
+        after = bind_plan(compiled.plan, runtime_env.catalog)
+        from repro.plans.operators import ScanOp
+
+        for op in compiled.plan.walk():
+            if isinstance(op, ScanOp) and op.relation == "R0":
+                assert before.site_of(op) in (0, 1)
+                if op.annotation.value == "primary copy":
+                    assert after.site_of(op) == 2

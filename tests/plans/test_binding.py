@@ -1,0 +1,118 @@
+"""Run-time binding of logical annotations to physical sites."""
+
+import pytest
+
+from repro.catalog import Catalog, Placement, Relation
+from repro.errors import BindingError
+from repro.plans import DisplayOp, JoinOp, ScanOp, SelectOp, bind_plan
+from repro.plans.annotations import Annotation
+
+A = Annotation
+
+
+@pytest.fixture
+def catalog():
+    return Catalog(
+        [Relation("A", 10_000), Relation("B", 10_000), Relation("C", 10_000)],
+        Placement({"A": 1, "B": 1, "C": 2}),
+        {"C": 0.5},
+    )
+
+
+def test_fixed_operators(catalog):
+    join = JoinOp(
+        A.CONSUMER, inner=ScanOp(A.PRIMARY_COPY, "A"), outer=ScanOp(A.CLIENT, "C")
+    )
+    plan = DisplayOp(A.CLIENT, child=join)
+    bound = bind_plan(plan, catalog)
+    assert bound.site_of(plan) == 0
+    assert bound.site_of(join.inner) == 1  # primary copy of A
+    assert bound.site_of(join.outer) == 0  # client scan
+
+
+def test_consumer_follows_parent(catalog):
+    join = JoinOp(
+        A.CONSUMER, inner=ScanOp(A.PRIMARY_COPY, "A"), outer=ScanOp(A.PRIMARY_COPY, "B")
+    )
+    plan = DisplayOp(A.CLIENT, child=join)
+    bound = bind_plan(plan, catalog)
+    assert bound.site_of(join) == 0  # display's site
+
+
+def test_inner_outer_follow_children(catalog):
+    scan_a = ScanOp(A.PRIMARY_COPY, "A")
+    scan_c = ScanOp(A.PRIMARY_COPY, "C")
+    inner_join = JoinOp(A.INNER_RELATION, inner=scan_a, outer=scan_c)
+    outer_join = JoinOp(A.OUTER_RELATION, inner=scan_a, outer=scan_c)
+    assert bind_plan(DisplayOp(A.CLIENT, child=inner_join), catalog).site_of(inner_join) == 1
+    assert bind_plan(DisplayOp(A.CLIENT, child=outer_join), catalog).site_of(outer_join) == 2
+
+
+def test_chained_resolution(catalog):
+    """A consumer chain resolves through multiple hops."""
+    lower = JoinOp(
+        A.INNER_RELATION, inner=ScanOp(A.PRIMARY_COPY, "A"), outer=ScanOp(A.PRIMARY_COPY, "B")
+    )
+    select = SelectOp(A.CONSUMER, child=ScanOp(A.PRIMARY_COPY, "C"), selectivity=0.5)
+    upper = JoinOp(A.INNER_RELATION, inner=lower, outer=select)
+    plan = DisplayOp(A.CLIENT, child=upper)
+    bound = bind_plan(plan, catalog)
+    assert bound.site_of(lower) == 1
+    assert bound.site_of(upper) == 1  # follows lower
+    assert bound.site_of(select) == 1  # consumer -> upper -> lower -> scan A
+
+
+def test_binding_adapts_to_migration(catalog):
+    """The same annotated plan binds differently after data moves."""
+    scan_a = ScanOp(A.PRIMARY_COPY, "A")
+    join = JoinOp(A.INNER_RELATION, inner=scan_a, outer=ScanOp(A.PRIMARY_COPY, "C"))
+    plan = DisplayOp(A.CLIENT, child=join)
+    before = bind_plan(plan, catalog)
+    moved = catalog.with_placement(Placement({"A": 2, "B": 1, "C": 2}))
+    after = bind_plan(plan, moved)
+    assert before.site_of(join) == 1
+    assert after.site_of(join) == 2
+
+
+def test_ill_formed_plan_fails_binding(catalog):
+    lower = JoinOp(
+        A.CONSUMER, inner=ScanOp(A.PRIMARY_COPY, "A"), outer=ScanOp(A.PRIMARY_COPY, "B")
+    )
+    upper = JoinOp(A.INNER_RELATION, inner=lower, outer=ScanOp(A.PRIMARY_COPY, "C"))
+    with pytest.raises(BindingError):
+        bind_plan(DisplayOp(A.CLIENT, child=upper), catalog)
+
+
+def test_crossing_edges(catalog):
+    join = JoinOp(
+        A.CONSUMER, inner=ScanOp(A.PRIMARY_COPY, "A"), outer=ScanOp(A.PRIMARY_COPY, "C")
+    )
+    plan = DisplayOp(A.CLIENT, child=join)
+    bound = bind_plan(plan, catalog)
+    crossing = bound.crossing_edges()
+    # Both scans ship to the client join; the display edge is local.
+    assert len(crossing) == 2
+    assert bound.sites_used() == {0, 1, 2}
+
+
+def test_operators_at(catalog):
+    join = JoinOp(
+        A.INNER_RELATION, inner=ScanOp(A.PRIMARY_COPY, "A"), outer=ScanOp(A.PRIMARY_COPY, "B")
+    )
+    plan = DisplayOp(A.CLIENT, child=join)
+    bound = bind_plan(plan, catalog)
+    assert len(bound.operators_at(1)) == 3  # join + both scans
+    assert len(bound.operators_at(0)) == 1  # display
+
+
+def test_site_of_foreign_operator_rejected(catalog):
+    plan = DisplayOp(
+        A.CLIENT,
+        child=JoinOp(
+            A.CONSUMER, inner=ScanOp(A.PRIMARY_COPY, "A"), outer=ScanOp(A.PRIMARY_COPY, "B")
+        ),
+    )
+    bound = bind_plan(plan, catalog)
+    stranger = ScanOp(A.CLIENT, "C")
+    with pytest.raises(BindingError):
+        bound.site_of(stranger)

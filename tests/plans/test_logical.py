@@ -1,0 +1,83 @@
+"""Unit tests for logical queries."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.plans import JoinPredicate, Query
+
+
+class TestJoinPredicate:
+    def test_connects(self):
+        predicate = JoinPredicate("A", "B", 1e-4)
+        assert predicate.connects(frozenset({"A"}), frozenset({"B"}))
+        assert predicate.connects(frozenset({"B"}), frozenset({"A"}))
+        assert not predicate.connects(frozenset({"A"}), frozenset({"C"}))
+        assert not predicate.connects(frozenset({"A", "B"}), frozenset({"C"}))
+
+    def test_self_join_rejected(self):
+        with pytest.raises(PlanError):
+            JoinPredicate("A", "A", 0.5)
+
+    def test_nonpositive_selectivity_rejected(self):
+        with pytest.raises(PlanError):
+            JoinPredicate("A", "B", 0.0)
+
+
+class TestQuery:
+    def test_chain_is_connected(self):
+        query = Query(
+            ("A", "B", "C"),
+            (JoinPredicate("A", "B", 1e-4), JoinPredicate("B", "C", 1e-4)),
+        )
+        assert query.is_connected()
+        assert query.num_joins == 2
+        assert query.join_graph_edges() == [("A", "B"), ("B", "C")]
+
+    def test_disconnected_graph(self):
+        query = Query(("A", "B", "C"), (JoinPredicate("A", "B", 1e-4),))
+        assert not query.is_connected()
+
+    def test_single_relation_connected(self):
+        assert Query(("A",)).is_connected()
+
+    def test_predicates_between(self):
+        ab = JoinPredicate("A", "B", 1e-4)
+        bc = JoinPredicate("B", "C", 1e-4)
+        query = Query(("A", "B", "C"), (ab, bc))
+        crossing = query.predicates_between(frozenset({"A", "B"}), frozenset({"C"}))
+        assert crossing == [bc]
+        assert query.predicates_between(frozenset({"A"}), frozenset({"C"})) == []
+
+    def test_selection_lookup(self):
+        query = Query(("A",), selections={"A": 0.3})
+        assert query.selection_on("A") == 0.3
+        query_none = Query(("A",), selections={"A": 1.0})
+        assert query_none.selection_on("A") is None
+
+    def test_duplicate_relation_rejected(self):
+        with pytest.raises(PlanError):
+            Query(("A", "A"))
+
+    def test_predicate_on_unknown_relation_rejected(self):
+        with pytest.raises(PlanError):
+            Query(("A", "B"), (JoinPredicate("A", "C", 1e-4),))
+
+    def test_selection_on_unknown_relation_rejected(self):
+        with pytest.raises(PlanError):
+            Query(("A",), selections={"B": 0.5})
+
+    def test_bad_selection_value(self):
+        with pytest.raises(PlanError):
+            Query(("A",), selections={"A": 0.0})
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(PlanError):
+            Query(())
+
+    def test_duplicate_edge_detection(self):
+        query = Query(
+            ("A", "B"),
+            (JoinPredicate("A", "B", 1e-4), JoinPredicate("B", "A", 1e-3)),
+        )
+        with pytest.raises(PlanError):
+            query.validate_unique_edges()

@@ -1,0 +1,126 @@
+"""Unit tests for plan operators and annotations."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.plans import DisplayOp, JoinOp, ScanOp, SelectOp
+from repro.plans.annotations import Annotation
+
+
+def scan(name, annotation=Annotation.PRIMARY_COPY):
+    return ScanOp(annotation, name)
+
+
+class TestAnnotations:
+    def test_direction_flags(self):
+        assert Annotation.CONSUMER.points_up
+        assert not Annotation.CONSUMER.points_down
+        for a in (Annotation.PRODUCER, Annotation.INNER_RELATION, Annotation.OUTER_RELATION):
+            assert a.points_down
+            assert not a.points_up
+        for a in (Annotation.CLIENT, Annotation.PRIMARY_COPY):
+            assert not a.points_up and not a.points_down
+
+
+class TestScan:
+    def test_valid_annotations(self):
+        ScanOp(Annotation.CLIENT, "A")
+        ScanOp(Annotation.PRIMARY_COPY, "A")
+
+    def test_invalid_annotation(self):
+        with pytest.raises(PlanError):
+            ScanOp(Annotation.CONSUMER, "A")
+
+    def test_requires_relation(self):
+        with pytest.raises(PlanError):
+            ScanOp(Annotation.CLIENT, "")
+
+    def test_kind(self):
+        assert scan("A").kind == "scan"
+
+
+class TestSelect:
+    def test_valid(self):
+        select = SelectOp(Annotation.PRODUCER, child=scan("A"), selectivity=0.5)
+        assert select.children == (select.child,)
+
+    def test_invalid_annotation(self):
+        with pytest.raises(PlanError):
+            SelectOp(Annotation.CLIENT, child=scan("A"), selectivity=0.5)
+
+    def test_invalid_selectivity(self):
+        with pytest.raises(PlanError):
+            SelectOp(Annotation.PRODUCER, child=scan("A"), selectivity=0.0)
+
+    def test_requires_child(self):
+        with pytest.raises(PlanError):
+            SelectOp(Annotation.PRODUCER, child=None)
+
+
+class TestJoin:
+    def test_children_order_inner_then_outer(self):
+        join = JoinOp(Annotation.CONSUMER, inner=scan("A"), outer=scan("B"))
+        assert join.children[0].relation == "A"
+        assert join.children[1].relation == "B"
+
+    def test_annotation_target(self):
+        a, b = scan("A"), scan("B")
+        inner_join = JoinOp(Annotation.INNER_RELATION, inner=a, outer=b)
+        outer_join = JoinOp(Annotation.OUTER_RELATION, inner=a, outer=b)
+        consumer_join = JoinOp(Annotation.CONSUMER, inner=a, outer=b)
+        assert inner_join.annotation_target() is a
+        assert outer_join.annotation_target() is b
+        assert consumer_join.annotation_target() is None
+
+    def test_invalid_annotation(self):
+        with pytest.raises(PlanError):
+            JoinOp(Annotation.CLIENT, inner=scan("A"), outer=scan("B"))
+
+    def test_with_children_preserves_annotation(self):
+        join = JoinOp(Annotation.CONSUMER, inner=scan("A"), outer=scan("B"))
+        rebuilt = join.with_children(scan("C"), scan("D"))
+        assert rebuilt.annotation is Annotation.CONSUMER
+        assert rebuilt.relations() == frozenset({"C", "D"})
+
+
+class TestDisplay:
+    def test_must_be_client(self):
+        with pytest.raises(PlanError):
+            DisplayOp(Annotation.CONSUMER, child=scan("A"))
+
+    def test_walk_preorder(self):
+        join = JoinOp(Annotation.CONSUMER, inner=scan("A"), outer=scan("B"))
+        root = DisplayOp(Annotation.CLIENT, child=join)
+        kinds = [op.kind for op in root.walk()]
+        assert kinds == ["display", "join", "scan", "scan"]
+
+    def test_relations(self):
+        join = JoinOp(Annotation.CONSUMER, inner=scan("A"), outer=scan("B"))
+        root = DisplayOp(Annotation.CLIENT, child=join)
+        assert root.relations() == frozenset({"A", "B"})
+
+    def test_count(self):
+        join = JoinOp(Annotation.CONSUMER, inner=scan("A"), outer=scan("B"))
+        root = DisplayOp(Annotation.CLIENT, child=join)
+        assert root.count(ScanOp) == 2
+        assert root.count(JoinOp) == 1
+
+
+class TestImmutability:
+    def test_with_annotation_returns_copy(self):
+        original = scan("A")
+        changed = original.with_annotation(Annotation.CLIENT)
+        assert original.annotation is Annotation.PRIMARY_COPY
+        assert changed.annotation is Annotation.CLIENT
+        assert changed.relation == "A"
+
+    def test_nodes_are_frozen(self):
+        node = scan("A")
+        with pytest.raises(Exception):
+            node.relation = "B"  # type: ignore[misc]
+
+    def test_structural_equality(self):
+        a1 = JoinOp(Annotation.CONSUMER, inner=scan("A"), outer=scan("B"))
+        a2 = JoinOp(Annotation.CONSUMER, inner=scan("A"), outer=scan("B"))
+        assert a1 == a2
+        assert a1 is not a2

@@ -1,0 +1,118 @@
+"""Table 1: the policies as annotation restrictions."""
+
+import pytest
+
+from repro.errors import PolicyViolationError
+from repro.plans import DisplayOp, JoinOp, Policy, ScanOp, SelectOp, check_policy
+from repro.plans.annotations import Annotation
+from repro.plans.policies import allowed_annotations
+
+A = Annotation
+
+
+class TestTable1:
+    """Each cell of the paper's Table 1, verbatim."""
+
+    def test_display_always_client(self):
+        for policy in Policy:
+            assert allowed_annotations(policy, "display") == {A.CLIENT}
+
+    def test_join_row(self):
+        assert allowed_annotations(Policy.DATA_SHIPPING, "join") == {A.CONSUMER}
+        assert allowed_annotations(Policy.QUERY_SHIPPING, "join") == {
+            A.INNER_RELATION,
+            A.OUTER_RELATION,
+        }
+        assert allowed_annotations(Policy.HYBRID_SHIPPING, "join") == {
+            A.CONSUMER,
+            A.INNER_RELATION,
+            A.OUTER_RELATION,
+        }
+
+    def test_select_row(self):
+        assert allowed_annotations(Policy.DATA_SHIPPING, "select") == {A.CONSUMER}
+        assert allowed_annotations(Policy.QUERY_SHIPPING, "select") == {A.PRODUCER}
+        assert allowed_annotations(Policy.HYBRID_SHIPPING, "select") == {
+            A.CONSUMER,
+            A.PRODUCER,
+        }
+
+    def test_scan_row(self):
+        assert allowed_annotations(Policy.DATA_SHIPPING, "scan") == {A.CLIENT}
+        assert allowed_annotations(Policy.QUERY_SHIPPING, "scan") == {A.PRIMARY_COPY}
+        assert allowed_annotations(Policy.HYBRID_SHIPPING, "scan") == {
+            A.CLIENT,
+            A.PRIMARY_COPY,
+        }
+
+    def test_hybrid_is_union_of_pure_policies(self):
+        """Section 2.2.3: hybrid allows anything DS or QS allows."""
+        for kind in ("display", "join", "select", "scan"):
+            union = allowed_annotations(Policy.DATA_SHIPPING, kind) | allowed_annotations(
+                Policy.QUERY_SHIPPING, kind
+            )
+            assert allowed_annotations(Policy.HYBRID_SHIPPING, kind) == union
+
+
+class TestLookupForms:
+    def test_by_instance_class_and_name(self):
+        scan = ScanOp(A.CLIENT, "R")
+        by_instance = allowed_annotations(Policy.DATA_SHIPPING, scan)
+        by_class = allowed_annotations(Policy.DATA_SHIPPING, ScanOp)
+        by_name = allowed_annotations(Policy.DATA_SHIPPING, "scan")
+        assert by_instance == by_class == by_name
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PolicyViolationError):
+            allowed_annotations(Policy.DATA_SHIPPING, "sort")
+
+
+class TestCheckPolicy:
+    def _ds_plan(self):
+        join = JoinOp(A.CONSUMER, inner=ScanOp(A.CLIENT, "A"), outer=ScanOp(A.CLIENT, "B"))
+        return DisplayOp(A.CLIENT, child=join)
+
+    def _qs_plan(self):
+        join = JoinOp(
+            A.INNER_RELATION,
+            inner=ScanOp(A.PRIMARY_COPY, "A"),
+            outer=ScanOp(A.PRIMARY_COPY, "B"),
+        )
+        return DisplayOp(A.CLIENT, child=join)
+
+    def test_pure_plans_satisfy_their_policies(self):
+        check_policy(self._ds_plan(), Policy.DATA_SHIPPING)
+        check_policy(self._qs_plan(), Policy.QUERY_SHIPPING)
+
+    def test_pure_plans_are_valid_hybrid_plans(self):
+        check_policy(self._ds_plan(), Policy.HYBRID_SHIPPING)
+        check_policy(self._qs_plan(), Policy.HYBRID_SHIPPING)
+
+    def test_cross_policy_violations(self):
+        with pytest.raises(PolicyViolationError):
+            check_policy(self._qs_plan(), Policy.DATA_SHIPPING)
+        with pytest.raises(PolicyViolationError):
+            check_policy(self._ds_plan(), Policy.QUERY_SHIPPING)
+
+    def test_mixed_plan_only_hybrid(self):
+        join = JoinOp(
+            A.CONSUMER, inner=ScanOp(A.PRIMARY_COPY, "A"), outer=ScanOp(A.CLIENT, "B")
+        )
+        plan = DisplayOp(A.CLIENT, child=join)
+        check_policy(plan, Policy.HYBRID_SHIPPING)
+        with pytest.raises(PolicyViolationError):
+            check_policy(plan, Policy.DATA_SHIPPING)
+        with pytest.raises(PolicyViolationError):
+            check_policy(plan, Policy.QUERY_SHIPPING)
+
+    def test_select_annotations(self):
+        select = SelectOp(A.PRODUCER, child=ScanOp(A.PRIMARY_COPY, "A"), selectivity=0.5)
+        plan = DisplayOp(A.CLIENT, child=select)
+        check_policy(plan, Policy.QUERY_SHIPPING)
+        with pytest.raises(PolicyViolationError):
+            check_policy(plan, Policy.DATA_SHIPPING)
+
+    def test_short_names(self):
+        assert Policy.DATA_SHIPPING.short_name == "DS"
+        assert Policy.QUERY_SHIPPING.short_name == "QS"
+        assert Policy.HYBRID_SHIPPING.short_name == "HY"

@@ -1,0 +1,52 @@
+"""Plan rendering tests."""
+
+from repro.catalog import Catalog, Placement, Relation
+from repro.plans import DisplayOp, JoinOp, ScanOp, bind_plan, render_plan
+from repro.plans.annotations import Annotation
+
+A = Annotation
+
+
+def _plan():
+    join = JoinOp(
+        A.CONSUMER, inner=ScanOp(A.PRIMARY_COPY, "A"), outer=ScanOp(A.CLIENT, "B")
+    )
+    return DisplayOp(A.CLIENT, child=join)
+
+
+def test_render_unbound():
+    text = render_plan(_plan())
+    lines = text.splitlines()
+    assert lines[0] == "display [client]"
+    assert "join [consumer]" in lines[1]
+    assert "scan(A) [primary copy]" in text
+    assert "scan(B) [client]" in text
+    # No site bindings shown for an unbound plan.
+    assert "@" not in text
+
+
+def test_render_bound():
+    catalog = Catalog(
+        [Relation("A", 10_000), Relation("B", 10_000)],
+        Placement({"A": 1, "B": 2}),
+    )
+    text = render_plan(bind_plan(_plan(), catalog))
+    assert "display [client] @client" in text
+    assert "scan(A) [primary copy] @server1" in text
+    assert "scan(B) [client] @client" in text
+
+
+def test_tree_connectors():
+    text = render_plan(_plan())
+    assert "|--" in text
+    assert "'--" in text
+
+
+def test_deep_tree_indentation():
+    lower = JoinOp(
+        A.CONSUMER, inner=ScanOp(A.CLIENT, "A"), outer=ScanOp(A.CLIENT, "B")
+    )
+    upper = JoinOp(A.CONSUMER, inner=lower, outer=ScanOp(A.CLIENT, "C"))
+    text = render_plan(DisplayOp(A.CLIENT, child=upper))
+    # Leaf scans of the lower join are indented two levels.
+    assert "    |   |-- scan(A) [client]" in text

@@ -1,0 +1,109 @@
+"""Well-formedness and structural validation tests."""
+
+import pytest
+
+from repro.errors import IllFormedPlanError, PlanError
+from repro.plans import (
+    DisplayOp,
+    JoinOp,
+    JoinPredicate,
+    Query,
+    ScanOp,
+    SelectOp,
+    is_well_formed,
+    validate_plan,
+)
+from repro.plans.annotations import Annotation
+from repro.plans.validate import find_annotation_cycles
+
+A = Annotation
+
+
+def scan(name, annotation=A.PRIMARY_COPY):
+    return ScanOp(annotation, name)
+
+
+def two_way_plan(join_annotation=A.CONSUMER):
+    join = JoinOp(join_annotation, inner=scan("A"), outer=scan("B"))
+    return DisplayOp(A.CLIENT, child=join)
+
+
+class TestWellFormedness:
+    def test_simple_plans_are_well_formed(self):
+        assert is_well_formed(two_way_plan())
+        assert is_well_formed(two_way_plan(A.INNER_RELATION))
+
+    def test_join_cycle_detected(self):
+        """Section 2.2.3's example: A produces for B; A says consumer, B
+        says producer-side -- neither site can be resolved."""
+        lower = JoinOp(A.CONSUMER, inner=scan("A"), outer=scan("B"))
+        upper = JoinOp(A.INNER_RELATION, inner=lower, outer=scan("C"))
+        plan = DisplayOp(A.CLIENT, child=upper)
+        assert not is_well_formed(plan)
+        cycles = find_annotation_cycles(plan)
+        assert len(cycles) == 1
+        assert cycles[0] == (upper, lower)
+
+    def test_outer_relation_cycle(self):
+        lower = JoinOp(A.CONSUMER, inner=scan("A"), outer=scan("B"))
+        upper = JoinOp(A.OUTER_RELATION, inner=scan("C"), outer=lower)
+        assert not is_well_formed(DisplayOp(A.CLIENT, child=upper))
+
+    def test_select_producer_over_consumer_join(self):
+        join = JoinOp(A.CONSUMER, inner=scan("A"), outer=scan("B"))
+        select = SelectOp(A.PRODUCER, child=join, selectivity=0.5)
+        assert not is_well_formed(DisplayOp(A.CLIENT, child=select))
+
+    def test_consumer_chain_is_fine(self):
+        lower = JoinOp(A.CONSUMER, inner=scan("A"), outer=scan("B"))
+        upper = JoinOp(A.CONSUMER, inner=lower, outer=scan("C"))
+        assert is_well_formed(DisplayOp(A.CLIENT, child=upper))
+
+    def test_downward_chain_is_fine(self):
+        lower = JoinOp(A.INNER_RELATION, inner=scan("A"), outer=scan("B"))
+        upper = JoinOp(A.INNER_RELATION, inner=lower, outer=scan("C"))
+        assert is_well_formed(DisplayOp(A.CLIENT, child=upper))
+
+    def test_consumer_pointing_at_non_target_child_is_fine(self):
+        """A consumer child is only a cycle if the parent points AT it."""
+        lower = JoinOp(A.CONSUMER, inner=scan("A"), outer=scan("B"))
+        upper = JoinOp(A.OUTER_RELATION, inner=lower, outer=scan("C"))
+        assert is_well_formed(DisplayOp(A.CLIENT, child=upper))
+
+
+class TestValidatePlan:
+    def _query(self):
+        return Query(("A", "B"), (JoinPredicate("A", "B", 1e-4),))
+
+    def test_valid_plan_passes(self):
+        validate_plan(two_way_plan(), self._query())
+
+    def test_root_must_be_display(self):
+        join = JoinOp(A.CONSUMER, inner=scan("A"), outer=scan("B"))
+        with pytest.raises(PlanError):
+            validate_plan(join)  # type: ignore[arg-type]
+
+    def test_missing_relation_detected(self):
+        query = Query(
+            ("A", "B", "C"),
+            (JoinPredicate("A", "B", 1e-4), JoinPredicate("B", "C", 1e-4)),
+        )
+        with pytest.raises(PlanError, match="query needs"):
+            validate_plan(two_way_plan(), query)
+
+    def test_duplicate_scan_detected(self):
+        join = JoinOp(A.CONSUMER, inner=scan("A"), outer=scan("A"))
+        with pytest.raises(PlanError):
+            validate_plan(DisplayOp(A.CLIENT, child=join))
+
+    def test_shared_node_object_detected(self):
+        shared = scan("A")
+        join = JoinOp(A.CONSUMER, inner=shared, outer=shared)
+        with pytest.raises(PlanError):
+            validate_plan(DisplayOp(A.CLIENT, child=join))
+
+    def test_ill_formed_plan_raises(self):
+        lower = JoinOp(A.CONSUMER, inner=scan("A"), outer=scan("B"))
+        upper = JoinOp(A.INNER_RELATION, inner=lower, outer=scan("C"))
+        with pytest.raises(IllFormedPlanError):
+            validate_plan(DisplayOp(A.CLIENT, child=upper))

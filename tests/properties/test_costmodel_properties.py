@@ -1,0 +1,123 @@
+"""Property-based tests over the cost model and hybrid-hash arithmetic."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import Catalog, Relation, random_placement
+from repro.config import (
+    HYBRID_HASH_FUDGE_FACTOR,
+    BufferAllocation,
+    SystemConfig,
+)
+from repro.costmodel import CostModel, EnvironmentState
+from repro.optimizer import random_plan
+from repro.plans import Policy
+from repro.storage.memory import (
+    join_allocation,
+    minimum_join_allocation,
+    plan_hybrid_hash,
+)
+from tests.conftest import make_chain
+
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+@given(
+    st.integers(min_value=0, max_value=5_000),
+    st.integers(min_value=0, max_value=5_000),
+    st.integers(min_value=2, max_value=6_000),
+)
+@settings(max_examples=200, deadline=None)
+def test_hybrid_hash_plan_invariants(inner, outer, buffers):
+    plan = plan_hybrid_hash(inner, outer, buffers)
+    assert 0.0 <= plan.resident_fraction <= 1.0
+    assert plan.spilled_inner_pages <= inner
+    assert plan.spilled_outer_pages <= outer
+    assert plan.temp_io_pages >= 0
+    if buffers >= HYBRID_HASH_FUDGE_FACTOR * inner:
+        assert plan.in_memory
+    if plan.in_memory:
+        assert plan.temp_io_pages == 0
+    else:
+        assert 1 <= plan.spill_partitions < buffers
+        if buffers >= minimum_join_allocation(inner):
+            # At or above Shapiro's minimum allocation, each spilled
+            # partition fits in memory when reprocessed.  (Below it, real
+            # systems would partition recursively -- out of scope, and the
+            # engine never allocates below the minimum.)
+            per_partition = plan.spilled_inner_pages / plan.spill_partitions
+            assert per_partition * HYBRID_HASH_FUDGE_FACTOR <= buffers + 1
+
+
+@given(st.integers(min_value=1, max_value=100_000))
+@settings(max_examples=100, deadline=None)
+def test_minimum_allocation_is_never_more_than_maximum(inner):
+    assert join_allocation(inner, BufferAllocation.MINIMUM) <= join_allocation(
+        inner, BufferAllocation.MAXIMUM
+    )
+    assert minimum_join_allocation(inner) >= 2
+
+
+@st.composite
+def evaluation_case(draw):
+    num_relations = draw(st.integers(min_value=1, max_value=6))
+    num_servers = draw(st.integers(min_value=1, max_value=num_relations))
+    seed = draw(seeds)
+    allocation = draw(st.sampled_from(list(BufferAllocation)))
+    policy = draw(st.sampled_from(list(Policy)))
+    return num_relations, num_servers, seed, allocation, policy
+
+
+@given(evaluation_case())
+@settings(max_examples=60, deadline=None)
+def test_cost_model_outputs_are_sane(case):
+    """Every legal plan gets finite, non-negative metrics, and response
+    time never exceeds total cost (perfect-overlap lower bound)."""
+    num_relations, num_servers, seed, allocation, policy = case
+    rng = random.Random(seed)
+    query = make_chain(num_relations)
+    names = list(query.relations)
+    placement = random_placement(names, num_servers, rng)
+    catalog = Catalog([Relation(n, 10_000) for n in names], placement)
+    config = SystemConfig(num_servers=num_servers, buffer_allocation=allocation)
+    model = CostModel(query, EnvironmentState(catalog, config))
+    plan = random_plan(query, policy, rng)
+    cost = model.evaluate(plan)
+    assert cost.pages_sent >= 0
+    assert cost.total_cost > 0
+    assert cost.response_time > 0
+    assert cost.response_time <= cost.total_cost * 1.0000001
+
+
+@given(evaluation_case())
+@settings(max_examples=30, deadline=None)
+def test_evaluation_is_deterministic(case):
+    num_relations, num_servers, seed, allocation, policy = case
+    rng = random.Random(seed)
+    query = make_chain(num_relations)
+    names = list(query.relations)
+    placement = random_placement(names, num_servers, rng)
+    catalog = Catalog([Relation(n, 10_000) for n in names], placement)
+    config = SystemConfig(num_servers=num_servers, buffer_allocation=allocation)
+    plan = random_plan(query, policy, rng)
+    a = CostModel(query, EnvironmentState(catalog, config)).evaluate(plan)
+    b = CostModel(query, EnvironmentState(catalog, config)).evaluate(plan)
+    assert a == b
+
+
+@given(st.integers(min_value=1, max_value=4), seeds)
+@settings(max_examples=30, deadline=None)
+def test_data_shipping_pages_equal_uncached_base_data(num_relations, seed):
+    """DS must fault in exactly the uncached base pages, regardless of
+    join order (a figure-2/6 invariant)."""
+    rng = random.Random(seed)
+    query = make_chain(num_relations)
+    names = list(query.relations)
+    placement = random_placement(names, 1, rng)
+    catalog = Catalog([Relation(n, 10_000) for n in names], placement)
+    config = SystemConfig(num_servers=1)
+    model = CostModel(query, EnvironmentState(catalog, config))
+    plan = random_plan(query, Policy.DATA_SHIPPING, rng)
+    assert model.evaluate(plan).pages_sent == 250 * num_relations

@@ -1,0 +1,89 @@
+"""Cross-validation: the cost model and the engine must agree exactly on
+communication volume for arbitrary legal plans.
+
+Pages sent is a *deterministic* function of the bound plan (crossing edges
+plus faulted pages), so any disagreement means one side mis-implements the
+shipping rules.  Response time is also sanity-bounded (the model within a
+factor band of the simulator).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import Catalog, Relation, random_placement
+from repro.config import BufferAllocation, SystemConfig
+from repro.costmodel import CostModel, EnvironmentState
+from repro.engine import QueryExecutor
+from repro.optimizer import random_plan
+from repro.plans import Policy
+from tests.conftest import make_chain
+
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+@st.composite
+def execution_case(draw):
+    num_relations = draw(st.integers(min_value=1, max_value=4))
+    num_servers = draw(st.integers(min_value=1, max_value=num_relations))
+    cache_level = draw(st.sampled_from([0.0, 0.5, 1.0]))
+    allocation = draw(st.sampled_from(list(BufferAllocation)))
+    policy = draw(st.sampled_from(list(Policy)))
+    seed = draw(seeds)
+    return num_relations, num_servers, cache_level, allocation, policy, seed
+
+
+def _build(case):
+    num_relations, num_servers, cache_level, allocation, policy, seed = case
+    rng = random.Random(seed)
+    query = make_chain(num_relations)
+    names = list(query.relations)
+    placement = random_placement(names, num_servers, rng)
+    cache = {name: cache_level for name in names} if cache_level else {}
+    catalog = Catalog([Relation(n, 10_000) for n in names], placement, cache)
+    config = SystemConfig(num_servers=num_servers, buffer_allocation=allocation)
+    plan = random_plan(query, policy, rng)
+    return query, catalog, config, plan, seed
+
+
+@given(execution_case())
+@settings(max_examples=25, deadline=None)
+def test_pages_sent_agrees_exactly(case):
+    query, catalog, config, plan, seed = _build(case)
+    model = CostModel(query, EnvironmentState(catalog, config))
+    predicted = model.evaluate(plan).pages_sent
+    simulated = QueryExecutor(config, catalog, query, seed=seed).execute(plan).pages_sent
+    assert predicted == simulated
+
+
+@given(execution_case())
+@settings(max_examples=15, deadline=None)
+def test_response_time_within_factor_band(case):
+    """The model need only *rank* plans, but it should never be wildly off
+    on arbitrary (not just optimized) plans.  The band is asymmetric: like
+    the paper's model, ours "assumes costs can be fully overlapped" within
+    a pipeline, so underestimates up to ~2.5x occur on adversarial plans,
+    while overestimates stay tight."""
+    query, catalog, config, plan, seed = _build(case)
+    model = CostModel(query, EnvironmentState(catalog, config))
+    predicted = model.evaluate(plan).response_time
+    simulated = (
+        QueryExecutor(config, catalog, query, seed=seed).execute(plan).response_time
+    )
+    assert predicted <= 2.0 * simulated
+    assert predicted >= simulated / 3.0
+
+
+@given(execution_case())
+@settings(max_examples=15, deadline=None)
+def test_result_cardinality_matches_estimate(case):
+    """The engine's produced tuple count equals the estimator's prediction
+    (exact statistics on these synthetic workloads)."""
+    query, catalog, config, plan, seed = _build(case)
+    from repro.costmodel import Estimator
+
+    estimator = Estimator(query, catalog, config)
+    expected = estimator.cardinality(plan)
+    result = QueryExecutor(config, catalog, query, seed=seed).execute(plan)
+    assert abs(result.result_tuples - expected) <= max(2, expected * 0.001)

@@ -1,0 +1,118 @@
+"""Property-based tests over plans, moves, and binding (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import Catalog, Placement, Relation
+from repro.optimizer import PlanShape, random_neighbor, random_plan
+from repro.plans import (
+    Policy,
+    bind_plan,
+    check_policy,
+    is_well_formed,
+    validate_plan,
+)
+from repro.plans.operators import JoinOp, ScanOp
+from tests.conftest import make_chain
+
+policies = st.sampled_from(list(Policy))
+seeds = st.integers(min_value=0, max_value=2**31)
+sizes = st.integers(min_value=1, max_value=8)
+
+
+@st.composite
+def query_and_catalog(draw):
+    num_relations = draw(sizes)
+    num_servers = draw(st.integers(min_value=1, max_value=num_relations))
+    query = make_chain(num_relations)
+    names = list(query.relations)
+    rng = random.Random(draw(seeds))
+    from repro.catalog import random_placement
+
+    placement = random_placement(names, num_servers, rng)
+    cache = {
+        name: draw(st.sampled_from([0.0, 0.25, 0.5, 1.0])) for name in names
+    }
+    catalog = Catalog([Relation(n, 10_000) for n in names], placement, cache)
+    return query, catalog
+
+
+@given(query_and_catalog(), policies, seeds)
+@settings(max_examples=60, deadline=None)
+def test_random_plans_are_always_valid(setup, policy, seed):
+    """Every generated plan validates, satisfies its policy, is
+    well-formed, and binds to physical sites."""
+    query, catalog = setup
+    plan = random_plan(query, policy, random.Random(seed))
+    validate_plan(plan, query)
+    check_policy(plan, policy)
+    assert is_well_formed(plan)
+    bound = bind_plan(plan, catalog)
+    for op in plan.walk():
+        site = bound.site_of(op)
+        assert 0 <= site <= len(catalog.placement.servers_used)
+
+
+@given(query_and_catalog(), policies, seeds, st.integers(min_value=1, max_value=30))
+@settings(max_examples=40, deadline=None)
+def test_moves_preserve_all_invariants(setup, policy, seed, steps):
+    """A random walk through the move space never leaves the legal space."""
+    query, catalog = setup
+    rng = random.Random(seed)
+    plan = random_plan(query, policy, rng)
+    for _ in range(steps):
+        neighbor = random_neighbor(plan, query, policy, rng)
+        if neighbor is None:
+            break
+        plan = neighbor
+    validate_plan(plan, query)
+    check_policy(plan, policy)
+    assert is_well_formed(plan)
+    bind_plan(plan, catalog)  # must not raise
+
+
+@given(query_and_catalog(), seeds)
+@settings(max_examples=40, deadline=None)
+def test_moves_preserve_relation_set(setup, seed):
+    """Join-order moves permute relations but never lose or duplicate."""
+    query, _catalog = setup
+    rng = random.Random(seed)
+    plan = random_plan(query, Policy.HYBRID_SHIPPING, rng)
+    expected = frozenset(query.relations)
+    for _ in range(20):
+        neighbor = random_neighbor(plan, query, Policy.HYBRID_SHIPPING, rng)
+        if neighbor is None:
+            break
+        plan = neighbor
+        assert plan.relations() == expected
+        scans = [op for op in plan.walk() if isinstance(op, ScanOp)]
+        assert len(scans) == len(expected)
+
+
+@given(query_and_catalog(), seeds)
+@settings(max_examples=30, deadline=None)
+def test_deep_shape_closed_under_moves(setup, seed):
+    query, _catalog = setup
+    rng = random.Random(seed)
+    from repro.optimizer.random_plans import is_deep
+
+    plan = random_plan(query, Policy.HYBRID_SHIPPING, rng, PlanShape.DEEP)
+    assert is_deep(plan.child)
+    for _ in range(20):
+        neighbor = random_neighbor(
+            plan, query, Policy.HYBRID_SHIPPING, rng, shape=PlanShape.DEEP
+        )
+        if neighbor is None:
+            break
+        plan = neighbor
+        assert is_deep(plan.child)
+
+
+@given(query_and_catalog(), seeds)
+@settings(max_examples=30, deadline=None)
+def test_join_count_is_relations_minus_one(setup, seed):
+    query, _catalog = setup
+    plan = random_plan(query, Policy.HYBRID_SHIPPING, random.Random(seed))
+    assert plan.count(JoinOp) == len(query.relations) - 1

@@ -1,0 +1,156 @@
+"""Unit tests for the environment and process scheduler."""
+
+import pytest
+
+from repro.sim import Environment, Event, Timeout
+from repro.sim.engine import SimulationError
+
+
+class TestEnvironment:
+    def test_clock_starts_at_zero(self, env):
+        assert env.now == 0.0
+
+    def test_run_until_time(self, env):
+        Timeout(env, 10.0)
+        env.run(until=4.0)
+        assert env.now == 4.0
+        env.run(until=11.0)
+        assert env.now == 11.0
+
+    def test_run_until_past_rejected(self, env):
+        env.run(until=5.0)
+        with pytest.raises(SimulationError):
+            env.run(until=1.0)
+
+    def test_run_drains_queue(self, env):
+        timeouts = [Timeout(env, t) for t in (1.0, 2.0, 3.0)]
+        env.run()
+        assert all(t.processed for t in timeouts)
+        assert env.now == 3.0
+
+    def test_peek(self, env):
+        assert env.peek() == float("inf")
+        Timeout(env, 7.0)
+        assert env.peek() == 7.0
+
+    def test_schedule_into_past_rejected(self, env):
+        event = Event(env)
+        with pytest.raises(SimulationError):
+            env.schedule(event, delay=-0.5)
+
+    def test_fifo_order_at_same_timestamp(self, env):
+        order = []
+        for tag in ("a", "b", "c"):
+            event = Timeout(env, 1.0, value=tag)
+            event.callbacks.append(lambda e: order.append(e.value))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestProcess:
+    def test_return_value(self, env):
+        def worker():
+            yield env.timeout(2.0)
+            return "done"
+
+        process = env.process(worker())
+        assert env.run(until=process) == "done"
+        assert env.now == 2.0
+
+    def test_processes_interleave(self, env):
+        trace = []
+
+        def worker(name, delay):
+            for _ in range(3):
+                yield env.timeout(delay)
+                trace.append((name, env.now))
+
+        env.process(worker("fast", 1.0))
+        env.process(worker("slow", 1.5))
+        env.run()
+        # At t=3.0 both fire; "slow" was scheduled earlier (at t=1.5) so its
+        # event sits ahead in the queue.
+        assert trace == [
+            ("fast", 1.0), ("slow", 1.5), ("fast", 2.0),
+            ("slow", 3.0), ("fast", 3.0), ("slow", 4.5),
+        ]
+
+    def test_process_waits_for_process(self, env):
+        def child():
+            yield env.timeout(3.0)
+            return 41
+
+        def parent():
+            value = yield env.process(child())
+            return value + 1
+
+        assert env.run(until=env.process(parent())) == 42
+
+    def test_yielding_non_event_raises(self, env):
+        def bad():
+            yield 5
+
+        with pytest.raises(SimulationError):
+            env.process(bad())
+            env.run()
+
+    def test_exception_propagates_in_strict_mode(self, env):
+        def failing():
+            yield env.timeout(1.0)
+            raise ValueError("inside process")
+
+        env.process(failing())
+        with pytest.raises(ValueError, match="inside process"):
+            env.run()
+
+    def test_exception_stored_in_lenient_mode(self):
+        env = Environment(strict=False)
+
+        def failing():
+            yield env.timeout(1.0)
+            raise ValueError("inside process")
+
+        process = env.process(failing())
+        env.run()
+        assert process.triggered and not process.ok
+
+    def test_failed_event_rethrown_inside_process(self, env):
+        event = Event(env)
+
+        def waiter():
+            try:
+                yield event
+            except RuntimeError:
+                return "caught"
+            return "missed"
+
+        process = env.process(waiter())
+        event.fail(RuntimeError("fail over"))
+        assert env.run(until=process) == "caught"
+
+    def test_wait_on_already_processed_event(self, env):
+        timeout = Timeout(env, 1.0, value="early")
+        env.run()
+
+        def late_waiter():
+            value = yield timeout
+            return value
+
+        assert env.run(until=env.process(late_waiter())) == "early"
+
+    def test_deadlock_detected(self, env):
+        def waiter():
+            yield Event(env)  # never triggered
+
+        process = env.process(waiter())
+        with pytest.raises(SimulationError, match="deadlock"):
+            env.run(until=process)
+
+    def test_is_alive(self, env):
+        def worker():
+            yield env.timeout(1.0)
+
+        process = env.process(worker())
+        assert process.is_alive
+        env.run()
+        assert not process.is_alive

@@ -1,0 +1,78 @@
+"""Unit tests for the statistics collectors."""
+
+import pytest
+
+from repro.sim import Counter, Environment, Tally, UtilizationMonitor
+
+
+class TestCounter:
+    def test_add(self):
+        counter = Counter("pages")
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+        assert int(counter) == 5
+
+    def test_cannot_decrease(self):
+        counter = Counter()
+        with pytest.raises(ValueError):
+            counter.add(-1)
+
+
+class TestTally:
+    def test_mean_and_extrema(self):
+        tally = Tally()
+        for sample in (2.0, 4.0, 6.0):
+            tally.record(sample)
+        assert tally.mean == pytest.approx(4.0)
+        assert tally.minimum == 2.0
+        assert tally.maximum == 6.0
+        assert tally.count == 3
+
+    def test_variance_matches_numpy_definition(self):
+        tally = Tally()
+        samples = [1.0, 2.0, 3.0, 4.0]
+        for sample in samples:
+            tally.record(sample)
+        mean = sum(samples) / 4
+        expected = sum((s - mean) ** 2 for s in samples) / 3
+        assert tally.variance == pytest.approx(expected)
+        assert tally.stddev == pytest.approx(expected**0.5)
+
+    def test_empty_tally_is_safe(self):
+        tally = Tally()
+        assert tally.mean == 0.0
+        assert tally.variance == 0.0
+
+
+class TestUtilizationMonitor:
+    def test_busy_fraction(self, env):
+        monitor = UtilizationMonitor(env)
+
+        def worker():
+            monitor.busy()
+            yield env.timeout(3.0)
+            monitor.idle()
+            yield env.timeout(1.0)
+
+        env.run(until=env.process(worker()))
+        assert monitor.utilization() == pytest.approx(0.75)
+
+    def test_idempotent_transitions(self, env):
+        monitor = UtilizationMonitor(env)
+        monitor.busy()
+        monitor.busy()
+        env.run(until=env.timeout(2.0))
+        monitor.idle()
+        monitor.idle()
+        assert monitor.busy_time == pytest.approx(2.0)
+
+    def test_open_busy_interval_counted(self, env):
+        monitor = UtilizationMonitor(env)
+        monitor.busy()
+        env.run(until=env.timeout(4.0))
+        assert monitor.utilization() == pytest.approx(1.0)
+
+    def test_zero_time_utilization(self, env):
+        monitor = UtilizationMonitor(env)
+        assert monitor.utilization() == 0.0

@@ -1,0 +1,78 @@
+"""Unit tests for the client disk cache."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.storage import ClientDiskCache, ExtentAllocator
+
+
+@pytest.fixture
+def cache():
+    return ClientDiskCache(ExtentAllocator(1000))
+
+
+def test_install_prefix(cache):
+    entry = cache.install("A", 250, 0.5)
+    assert entry.cached_pages == 125
+    assert entry.fraction == pytest.approx(0.5)
+    assert cache.cached_pages("A") == 125
+    assert "A" in cache
+
+
+def test_prefix_containment(cache):
+    entry = cache.install("A", 250, 0.25)
+    assert entry.contains(0)
+    assert entry.contains(61)
+    assert not entry.contains(62)  # round(250 * 0.25) = 62 pages cached
+
+
+def test_disk_page_mapping(cache):
+    entry = cache.install("A", 250, 1.0)
+    assert entry.disk_page(0) == entry.extent.start
+    assert entry.disk_page(249) == entry.extent.start + 249
+
+
+def test_uncached_page_rejected(cache):
+    entry = cache.install("A", 250, 0.1)
+    with pytest.raises(CatalogError):
+        entry.disk_page(200)
+
+
+def test_zero_fraction_not_reported_cached(cache):
+    cache.install("A", 250, 0.0)
+    assert cache.lookup("A") is None
+    assert "A" not in cache
+    assert len(cache) == 0
+
+
+def test_duplicate_install_rejected(cache):
+    cache.install("A", 250, 0.5)
+    with pytest.raises(CatalogError):
+        cache.install("A", 250, 0.5)
+
+
+def test_invalid_fraction_rejected(cache):
+    with pytest.raises(CatalogError):
+        cache.install("A", 250, 1.5)
+
+
+def test_evict_frees_disk_space(cache):
+    allocator_free_before = cache._allocator.free_pages
+    cache.install("A", 250, 1.0)
+    assert cache._allocator.free_pages == allocator_free_before - 250
+    cache.evict("A")
+    assert cache._allocator.free_pages == allocator_free_before
+    assert "A" not in cache
+
+
+def test_evict_unknown_rejected(cache):
+    with pytest.raises(CatalogError):
+        cache.evict("missing")
+
+
+def test_multiple_relations(cache):
+    cache.install("A", 250, 0.5)
+    cache.install("B", 250, 1.0)
+    assert len(cache) == 2
+    assert cache.cached_pages("B") == 250
+    assert cache.cached_pages("unknown") == 0

@@ -1,0 +1,91 @@
+"""Unit tests for extents and the first-fit allocator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.storage import Extent, ExtentAllocator
+
+
+class TestExtent:
+    def test_page_addressing(self):
+        extent = Extent(100, 10)
+        assert extent.page(0) == 100
+        assert extent.page(9) == 109
+        assert extent.end == 110
+        assert len(extent) == 10
+        assert list(extent) == list(range(100, 110))
+
+    def test_page_out_of_range(self):
+        extent = Extent(0, 4)
+        with pytest.raises(IndexError):
+            extent.page(4)
+        with pytest.raises(IndexError):
+            extent.page(-1)
+
+    def test_invalid_extent(self):
+        with pytest.raises(ConfigurationError):
+            Extent(-1, 5)
+
+
+class TestExtentAllocator:
+    def test_first_fit(self):
+        allocator = ExtentAllocator(100)
+        a = allocator.allocate(30)
+        b = allocator.allocate(30)
+        assert (a.start, b.start) == (0, 30)
+        assert allocator.free_pages == 40
+        assert allocator.used_pages == 60
+
+    def test_exhaustion(self):
+        allocator = ExtentAllocator(10)
+        allocator.allocate(10)
+        with pytest.raises(ConfigurationError, match="disk full"):
+            allocator.allocate(1)
+
+    def test_free_and_reuse(self):
+        allocator = ExtentAllocator(100)
+        a = allocator.allocate(40)
+        allocator.allocate(40)
+        allocator.free(a)
+        c = allocator.allocate(40)
+        assert c.start == 0  # reused the freed hole
+
+    def test_coalescing(self):
+        allocator = ExtentAllocator(100)
+        a = allocator.allocate(30)
+        b = allocator.allocate(30)
+        c = allocator.allocate(40)
+        allocator.free(a)
+        allocator.free(c)
+        allocator.free(b)  # merges all three back into one run
+        big = allocator.allocate(100)
+        assert big.start == 0
+
+    def test_double_free_detected(self):
+        allocator = ExtentAllocator(50)
+        a = allocator.allocate(10)
+        allocator.free(a)
+        with pytest.raises(ConfigurationError, match="double free"):
+            allocator.free(a)
+
+    def test_free_outside_space_rejected(self):
+        allocator = ExtentAllocator(50)
+        with pytest.raises(ConfigurationError):
+            allocator.free(Extent(45, 10))
+
+    def test_zero_page_free_is_noop(self):
+        allocator = ExtentAllocator(50)
+        allocator.free(Extent(0, 0))
+        assert allocator.free_pages == 50
+
+    def test_negative_allocation_rejected(self):
+        allocator = ExtentAllocator(50)
+        with pytest.raises(ConfigurationError):
+            allocator.allocate(-1)
+
+    def test_zero_allocation_is_empty_extent(self):
+        allocator = ExtentAllocator(50)
+        empty = allocator.allocate(0)
+        assert empty.pages == 0
+        assert allocator.free_pages == 50
+        allocator.free(empty)  # no-op

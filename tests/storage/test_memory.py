@@ -1,0 +1,106 @@
+"""Unit tests for buffer accounting and Shapiro's hybrid-hash formulas."""
+
+import math
+
+import pytest
+
+from repro.config import HYBRID_HASH_FUDGE_FACTOR, BufferAllocation
+from repro.errors import ConfigurationError
+from repro.storage import MemoryManager, plan_hybrid_hash
+from repro.storage.memory import (
+    join_allocation,
+    maximum_join_allocation,
+    minimum_join_allocation,
+)
+
+
+class TestAllocationFormulas:
+    def test_minimum_is_sqrt_fm(self):
+        # Paper relations: 250 pages; F * M = 300; sqrt = 17.3 -> 18 frames.
+        assert minimum_join_allocation(250) == 18
+
+    def test_maximum_fits_inner(self):
+        assert maximum_join_allocation(250) == 300
+
+    def test_join_allocation_dispatch(self):
+        assert join_allocation(250, BufferAllocation.MINIMUM) == 18
+        assert join_allocation(250, BufferAllocation.MAXIMUM) == 300
+
+    def test_tiny_relations_get_floor(self):
+        assert minimum_join_allocation(0) >= 2
+        assert maximum_join_allocation(1) >= 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            minimum_join_allocation(-1)
+
+
+class TestHybridHashPlan:
+    def test_maximum_allocation_runs_in_memory(self):
+        plan = plan_hybrid_hash(250, 250, maximum_join_allocation(250))
+        assert plan.in_memory
+        assert plan.spill_partitions == 0
+        assert plan.resident_fraction == 1.0
+        assert plan.temp_io_pages == 0
+
+    def test_minimum_allocation_spills_almost_everything(self):
+        plan = plan_hybrid_hash(250, 250, minimum_join_allocation(250))
+        assert not plan.in_memory
+        assert plan.resident_fraction < 0.02
+        assert plan.spilled_inner_pages >= 245
+        # Every spilled page is written once and read once.
+        assert plan.temp_io_pages == 2 * (
+            plan.spilled_inner_pages + plan.spilled_outer_pages
+        )
+
+    def test_partitions_fit_when_reprocessed(self):
+        buffers = minimum_join_allocation(250)
+        plan = plan_hybrid_hash(250, 250, buffers)
+        per_partition = plan.spilled_inner_pages / plan.spill_partitions
+        # Each spilled inner partition must fit in memory with fudge factor.
+        assert per_partition * HYBRID_HASH_FUDGE_FACTOR <= buffers + 1
+
+    def test_intermediate_allocation(self):
+        plan = plan_hybrid_hash(250, 250, 150)
+        assert 0.0 < plan.resident_fraction < 1.0
+        assert plan.spilled_inner_pages < 250
+
+    def test_empty_inner(self):
+        plan = plan_hybrid_hash(0, 250, 10)
+        assert plan.in_memory
+
+    def test_too_few_buffers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_hybrid_hash(250, 250, 1)
+
+
+class TestMemoryManager:
+    def test_allocate_release(self):
+        memory = MemoryManager(100)
+        memory.allocate(60)
+        assert memory.available_pages == 40
+        memory.release(60)
+        assert memory.available_pages == 100
+
+    def test_oversubscription_rejected(self):
+        memory = MemoryManager(100)
+        memory.allocate(80)
+        with pytest.raises(ConfigurationError, match="exhausted"):
+            memory.allocate(30)
+
+    def test_high_water_mark(self):
+        memory = MemoryManager(100)
+        memory.allocate(50)
+        memory.allocate(30)
+        memory.release(70)
+        assert memory.high_water_mark == 80
+
+    def test_bad_release_rejected(self):
+        memory = MemoryManager(100)
+        memory.allocate(10)
+        with pytest.raises(ConfigurationError):
+            memory.release(20)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            MemoryManager(0)

@@ -1,0 +1,68 @@
+"""High-level API tests."""
+
+import pytest
+
+from repro import api
+from repro.config import BufferAllocation
+from repro.errors import ConfigurationError
+from repro.plans import Policy
+
+
+def test_run_query_end_to_end():
+    outcome = api.run_query(policy="hybrid", num_relations=2, seed=1)
+    assert outcome.result.result_tuples == 10_000
+    assert outcome.result.response_time > 0
+    assert outcome.predicted.response_time > 0
+    assert outcome.policy is Policy.HYBRID_SHIPPING
+
+
+@pytest.mark.parametrize("name,policy", [
+    ("ds", Policy.DATA_SHIPPING),
+    ("data", Policy.DATA_SHIPPING),
+    ("qs", Policy.QUERY_SHIPPING),
+    ("query-shipping", Policy.QUERY_SHIPPING),
+    ("HY", Policy.HYBRID_SHIPPING),
+])
+def test_policy_aliases(name, policy):
+    outcome = api.run_query(policy=name, num_relations=2, seed=1)
+    assert outcome.policy is policy
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ConfigurationError):
+        api.run_query(policy="teleportation")
+
+
+def test_unknown_objective_rejected():
+    with pytest.raises(ConfigurationError):
+        api.run_query(objective="vibes")
+
+
+def test_objective_aliases():
+    outcome = api.run_query(objective="communication", num_relations=2, seed=1)
+    assert outcome.result.result_tuples == 10_000
+
+
+def test_allocation_string():
+    outcome = api.run_query(allocation="max", num_relations=2, seed=1)
+    assert outcome.scenario.config.buffer_allocation is BufferAllocation.MAXIMUM
+
+
+def test_compare_policies_table():
+    table = api.compare_policies(num_relations=2, cached_fraction=0.5, seed=1)
+    assert "data-shipping" in table
+    assert "query-shipping" in table
+    assert "hybrid-shipping" in table
+    assert len(table.splitlines()) == 4
+
+
+def test_explain_renders_bound_plan():
+    outcome = api.run_query(policy="qs", num_relations=2, seed=1)
+    text = api.explain(outcome.plan, outcome.scenario)
+    assert "@server1" in text
+    assert "display [client] @client" in text
+
+
+def test_hisel_selectivity():
+    outcome = api.run_query(selectivity="hisel", num_relations=2, seed=1)
+    assert outcome.result.result_tuples == pytest.approx(2000, abs=2)

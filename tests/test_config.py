@@ -1,0 +1,116 @@
+"""Configuration validation and derived-cost tests."""
+
+import pytest
+
+from repro.config import (
+    BufferAllocation,
+    DiskParams,
+    OptimizerConfig,
+    SystemConfig,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSystemConfig:
+    def test_table2_defaults(self):
+        config = SystemConfig()
+        assert config.mips == 50.0
+        assert config.num_disks == 1
+        assert config.disk_inst == 5000
+        assert config.page_size == 4096
+        assert config.net_bandwidth_mbit == 100.0
+        assert config.msg_inst == 20000
+        assert config.per_size_mi == 12000
+        assert config.display_inst == 0
+        assert config.compare_inst == 2
+        assert config.hash_inst == 9
+        assert config.move_inst_per_4_bytes == 1
+
+    def test_derived_costs(self):
+        config = SystemConfig()
+        # 5000 instructions at 50 MIPS = 0.1 ms.
+        assert config.instructions_time(5000) == pytest.approx(1e-4)
+        # A full page on a 100 Mbit/s wire = 4096*8/1e8 s.
+        assert config.wire_time(4096) == pytest.approx(0.00032768)
+        # Message endpoint cost for a full page: MsgInst + PerSizeMI.
+        assert config.message_cpu_instructions(4096) == 32000
+        # Copying 100 bytes at 1 instruction per 4 bytes.
+        assert config.move_instructions(100) == 25.0
+
+    def test_tuples_per_page(self):
+        config = SystemConfig()
+        assert config.tuples_per_page(100) == 40
+        assert config.tuples_per_page(4096) == 1
+        with pytest.raises(ConfigurationError):
+            config.tuples_per_page(5000)
+        with pytest.raises(ConfigurationError):
+            config.tuples_per_page(0)
+
+    def test_with_helpers(self):
+        config = SystemConfig()
+        assert config.with_servers(5).num_servers == 5
+        assert (
+            config.with_allocation(BufferAllocation.MAXIMUM).buffer_allocation
+            is BufferAllocation.MAXIMUM
+        )
+        # Originals untouched (frozen dataclass).
+        assert config.num_servers == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mips": 0},
+            {"page_size": 0},
+            {"net_bandwidth_mbit": 0},
+            {"num_servers": 0},
+            {"num_disks": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(**kwargs)
+
+
+class TestDiskParams:
+    def test_derived_geometry(self):
+        params = DiskParams()
+        assert params.pages_per_cylinder == 16
+        assert params.capacity_pages == 16_000
+        assert params.transfer_time == pytest.approx(params.revolution_time / 4)
+        assert params.average_rotational_latency == pytest.approx(
+            params.revolution_time / 2
+        )
+
+    def test_seek_time(self):
+        params = DiskParams()
+        assert params.seek_time(0) == 0.0
+        assert params.seek_time(100) == pytest.approx(
+            params.min_seek_time + 100 * params.seek_factor
+        )
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            DiskParams(cylinders=0)
+        with pytest.raises(ConfigurationError):
+            DiskParams(revolution_time=0.0)
+
+
+class TestOptimizerConfig:
+    def test_presets_are_valid(self):
+        paper = OptimizerConfig.paper()
+        fast = OptimizerConfig.fast()
+        assert paper.ii_starts > fast.ii_starts
+        assert paper.ii_local_minimum_patience > fast.ii_local_minimum_patience
+
+    def test_invalid_values(self):
+        with pytest.raises(ConfigurationError):
+            OptimizerConfig(ii_starts=0)
+        with pytest.raises(ConfigurationError):
+            OptimizerConfig(sa_temperature_decay=1.0)
+
+
+class TestBufferAllocation:
+    def test_values_match_paper(self):
+        assert BufferAllocation("min") is BufferAllocation.MINIMUM
+        assert BufferAllocation("max") is BufferAllocation.MAXIMUM
+        assert str(BufferAllocation.MINIMUM) == "min"

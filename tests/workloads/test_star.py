@@ -1,0 +1,101 @@
+"""Star-join workload tests: a different join graph, same machinery."""
+
+import random
+
+import pytest
+
+from repro.catalog import Catalog, Placement
+from repro.config import OptimizerConfig, SystemConfig
+from repro.costmodel import EnvironmentState, Estimator, Objective
+from repro.engine import QueryExecutor
+from repro.errors import ConfigurationError
+from repro.optimizer import optimize, random_plan
+from repro.plans import Policy, validate_plan
+from repro.plans.operators import JoinOp
+from repro.workloads import benchmark_relations, star_query
+
+
+@pytest.fixture
+def star5():
+    relations = benchmark_relations(5)
+    query = star_query(relations)
+    catalog = Catalog(
+        relations, Placement({r.name: 1 + i % 2 for i, r in enumerate(relations)})
+    )
+    return query, catalog
+
+
+def test_structure():
+    query = star_query(benchmark_relations(4))
+    assert query.is_connected()
+    assert all(edge[0] == "R0" for edge in query.join_graph_edges())
+
+
+def test_single_relation_star():
+    query = star_query(benchmark_relations(1))
+    assert query.num_joins == 0
+
+
+def test_empty_star_rejected():
+    with pytest.raises(ConfigurationError):
+        star_query([])
+
+
+def test_spoke_pairs_are_cartesian(star5):
+    """Two spokes share no predicate -- joining them without the hub is a
+    Cartesian product, which the optimizer must avoid."""
+    query, catalog = star5
+    estimator = Estimator(query, catalog, SystemConfig(num_servers=2))
+    from repro.plans.annotations import Annotation as A
+    from repro.plans.operators import ScanOp
+
+    spokes = JoinOp(
+        A.CONSUMER,
+        inner=ScanOp(A.PRIMARY_COPY, "R1"),
+        outer=ScanOp(A.PRIMARY_COPY, "R2"),
+    )
+    assert estimator.is_cartesian(spokes)
+
+
+def test_random_plans_avoid_spoke_spoke_joins(star5):
+    query, catalog = star5
+    rng = random.Random(0)
+    for _ in range(20):
+        plan = random_plan(query, Policy.HYBRID_SHIPPING, rng)
+        validate_plan(plan, query)
+        estimator = Estimator(query, catalog, SystemConfig(num_servers=2))
+        for op in plan.walk():
+            if isinstance(op, JoinOp):
+                assert not estimator.is_cartesian(op)
+
+
+def test_optimize_and_execute_star(star5):
+    query, catalog = star5
+    config = SystemConfig(num_servers=2)
+    result = optimize(
+        query,
+        EnvironmentState(catalog, config),
+        Policy.HYBRID_SHIPPING,
+        Objective.RESPONSE_TIME,
+        OptimizerConfig.fast(),
+        seed=1,
+    )
+    executed = QueryExecutor(config, catalog, query, seed=1).execute(result.plan)
+    # Moderate star: every join keeps the hub's 10k cardinality.
+    assert executed.result_tuples == pytest.approx(10_000, abs=5)
+
+
+def test_star_hybrid_at_least_matches_pure(star5):
+    query, catalog = star5
+    config = SystemConfig(num_servers=2)
+    environment = EnvironmentState(catalog, config)
+    costs = {
+        policy: optimize(
+            query, environment, policy, Objective.PAGES_SENT,
+            OptimizerConfig.fast(), seed=3,
+        ).cost.pages_sent
+        for policy in Policy
+    }
+    assert costs[Policy.HYBRID_SHIPPING] <= min(
+        costs[Policy.DATA_SHIPPING], costs[Policy.QUERY_SHIPPING]
+    )

@@ -1,0 +1,162 @@
+"""Workload construction tests."""
+
+import pytest
+
+from repro.catalog import Relation
+from repro.config import BufferAllocation, SystemConfig
+from repro.costmodel import Estimator
+from repro.errors import ConfigurationError
+from repro.plans import DisplayOp, JoinOp, ScanOp
+from repro.plans.annotations import Annotation
+from repro.workloads import (
+    benchmark_relations,
+    chain_query,
+    chain_scenario,
+    chain_selectivity,
+)
+
+A = Annotation
+
+
+class TestBenchmarkRelations:
+    def test_paper_defaults(self):
+        relations = benchmark_relations(10)
+        assert len(relations) == 10
+        assert relations[0].name == "R0"
+        assert all(r.tuples == 10_000 and r.tuple_bytes == 100 for r in relations)
+        assert relations[3].pages(SystemConfig()) == 250
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            benchmark_relations(0)
+
+
+class TestChainSelectivity:
+    def test_moderate(self):
+        assert chain_selectivity("moderate", 10_000) == pytest.approx(1e-4)
+
+    def test_hisel(self):
+        assert chain_selectivity("hisel", 10_000) == pytest.approx(2e-5)
+
+    def test_explicit_float(self):
+        assert chain_selectivity(0.5, 10_000) == 0.5
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            chain_selectivity("extreme", 10_000)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            chain_selectivity(0.0, 10_000)
+
+
+class TestChainQuery:
+    def test_chain_structure(self):
+        query = chain_query(benchmark_relations(5))
+        assert query.num_joins == 4
+        assert query.is_connected()
+        assert query.join_graph_edges() == [
+            ("R0", "R1"), ("R1", "R2"), ("R2", "R3"), ("R3", "R4")
+        ]
+
+    def test_moderate_join_is_functional(self):
+        """Any connected sub-chain joins to one base relation's size."""
+        relations = benchmark_relations(4)
+        query = chain_query(relations)
+        from repro.catalog import Catalog, Placement
+
+        catalog = Catalog(relations, Placement({r.name: 1 for r in relations}))
+        estimator = Estimator(query, catalog, SystemConfig())
+        tree = ScanOp(A.PRIMARY_COPY, "R0")
+        for name in ("R1", "R2", "R3"):
+            tree = JoinOp(A.CONSUMER, inner=ScanOp(A.PRIMARY_COPY, name), outer=tree)
+            assert estimator.cardinality(tree) == pytest.approx(10_000)
+
+    def test_hisel_shrinks_deep_but_inflates_bushy(self):
+        """Section 5.2: bushy HiSel intermediates grow."""
+        relations = benchmark_relations(4)
+        query = chain_query(relations, "hisel")
+        from repro.catalog import Catalog, Placement
+
+        catalog = Catalog(relations, Placement({r.name: 1 for r in relations}))
+        estimator = Estimator(query, catalog, SystemConfig())
+        deep = JoinOp(
+            A.CONSUMER,
+            inner=ScanOp(A.PRIMARY_COPY, "R2"),
+            outer=JoinOp(
+                A.CONSUMER,
+                inner=ScanOp(A.PRIMARY_COPY, "R0"),
+                outer=ScanOp(A.PRIMARY_COPY, "R1"),
+            ),
+        )
+        bushy = JoinOp(
+            A.CONSUMER,
+            inner=JoinOp(
+                A.CONSUMER,
+                inner=ScanOp(A.PRIMARY_COPY, "R0"),
+                outer=ScanOp(A.PRIMARY_COPY, "R1"),
+            ),
+            outer=JoinOp(
+                A.CONSUMER,
+                inner=ScanOp(A.PRIMARY_COPY, "R2"),
+                outer=ScanOp(A.PRIMARY_COPY, "R3"),
+            ),
+        )
+        # Final cardinality is plan-independent; the *intermediates* differ:
+        # deep shrinks each step (2000 then 400 here), while the bushy plan
+        # carries two 2000-tuple intermediates into its top join.
+        assert estimator.cardinality(deep) == pytest.approx(400)
+        assert estimator.cardinality(bushy.inner) == pytest.approx(2_000)
+        assert estimator.cardinality(bushy.outer) == pytest.approx(2_000)
+        assert estimator.cardinality(bushy.outer) > estimator.cardinality(deep)
+
+
+class TestChainScenario:
+    def test_defaults(self):
+        scenario = chain_scenario(num_relations=10, num_servers=3, placement_seed=1)
+        assert scenario.config.num_servers == 3
+        assert len(scenario.catalog.relation_names) == 10
+        assert scenario.query.num_joins == 9
+        assert scenario.catalog.placement.servers_used == {1, 2, 3}
+
+    def test_cached_fraction(self):
+        scenario = chain_scenario(num_relations=2, cached_fraction=0.5)
+        assert scenario.catalog.cached_fraction("R0") == 0.5
+        assert scenario.catalog.cached_fraction("R1") == 0.5
+
+    def test_cached_relations(self):
+        scenario = chain_scenario(num_relations=10, cached_relations=5)
+        cached = [n for n in scenario.catalog.relation_names
+                  if scenario.catalog.cached_fraction(n) == 1.0]
+        assert cached == ["R0", "R1", "R2", "R3", "R4"]
+
+    def test_both_cache_specs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            chain_scenario(cached_fraction=0.5, cached_relations=2)
+
+    def test_server_load_applied_to_all_servers(self):
+        scenario = chain_scenario(num_relations=4, num_servers=2, server_load=40.0)
+        assert scenario.server_loads == {1: 40.0, 2: 40.0}
+
+    def test_allocation_setting(self):
+        scenario = chain_scenario(allocation=BufferAllocation.MAXIMUM)
+        assert scenario.config.buffer_allocation is BufferAllocation.MAXIMUM
+
+    def test_environment_reflects_truth(self):
+        scenario = chain_scenario(num_relations=2, server_load=40.0)
+        environment = scenario.environment()
+        assert environment.catalog is scenario.catalog
+        assert environment.server_loads == {1: 40.0}
+
+    def test_execute_runs_a_plan(self):
+        scenario = chain_scenario(num_relations=2)
+        plan = DisplayOp(
+            A.CLIENT,
+            child=JoinOp(
+                A.INNER_RELATION,
+                inner=ScanOp(A.PRIMARY_COPY, "R0"),
+                outer=ScanOp(A.PRIMARY_COPY, "R1"),
+            ),
+        )
+        result = scenario.execute(plan, seed=1)
+        assert result.result_tuples == 10_000
