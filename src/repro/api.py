@@ -22,6 +22,8 @@ from repro.config import BufferAllocation, OptimizerConfig
 from repro.costmodel.model import Objective, PlanCost
 from repro.engine.executor import ExecutionResult
 from repro.errors import ConfigurationError
+from repro.faults.recovery import RecoveryPolicy
+from repro.faults.schedule import FaultSchedule
 from repro.optimizer.two_phase import RandomizedOptimizer
 from repro.plans.binding import bind_plan
 from repro.plans.operators import DisplayOp
@@ -98,12 +100,25 @@ def run_query(
     server_load: float = 0.0,
     seed: int = 0,
     optimizer: OptimizerConfig | None = None,
+    faults: FaultSchedule | None = None,
+    recovery: RecoveryPolicy | None = None,
 ) -> QueryOutcome:
-    """Optimize and simulate one chain-join query end to end."""
+    """Optimize and simulate one chain-join query end to end.
+
+    ``faults`` injects a :class:`~repro.faults.FaultSchedule` (server
+    crashes, network outages, slow disks, message drops) into the run;
+    ``recovery`` tunes the client's retry/replan behaviour.  With faults the
+    executor may re-optimize mid-run and the returned result carries the
+    recovery metrics (``retries``, ``replans``, ``wasted_work_pages``,
+    ``time_to_recover``); an unrecoverable run raises
+    :class:`~repro.errors.SiteUnavailableError` (or another
+    :class:`~repro.errors.TransientFaultError`).
+    """
     if isinstance(allocation, str):
         allocation = BufferAllocation(allocation)
     parsed_policy = _parse_policy(policy)
     parsed_objective = _parse_objective(objective)
+    optimizer_config = optimizer or OptimizerConfig.fast()
     scenario = chain_scenario(
         num_relations=num_relations,
         num_servers=num_servers,
@@ -118,10 +133,18 @@ def run_query(
         scenario.environment(),
         policy=parsed_policy,
         objective=parsed_objective,
-        config=optimizer or OptimizerConfig.fast(),
+        config=optimizer_config,
         seed=seed,
     ).optimize()
-    result = scenario.execute(optimization.plan, seed=seed)
+    result = scenario.execute(
+        optimization.plan,
+        seed=seed,
+        faults=faults,
+        recovery=recovery,
+        policy=parsed_policy,
+        objective=parsed_objective,
+        optimizer_config=optimizer_config,
+    )
     return QueryOutcome(scenario, parsed_policy, optimization.plan, optimization.cost, result)
 
 

@@ -47,6 +47,7 @@ class PhysicalOp:
         self.tuples_produced = 0
         self._opened = False
         self._closed = False
+        context.register_op(self)
 
     @property
     def env(self):
@@ -61,12 +62,20 @@ class PhysicalOp:
         if self._opened:
             raise ExecutionError(f"{type(self).__name__} opened twice")
         self._opened = True
+        self.site.check_available()
         yield from self._open()
 
     def next(self) -> typing.Generator:
-        """Produce the next page, or None at end of stream."""
+        """Produce the next page, or None at end of stream.
+
+        An operator bound to a crashed site fails here with
+        :class:`~repro.errors.SiteUnavailableError` -- faults surface at
+        page granularity, matching the engine's level of detail (finer
+        in-flight failures come from the disk and network models).
+        """
         if not self._opened or self._closed:
             raise ExecutionError(f"next() on unopened/closed {type(self).__name__}")
+        self.site.check_available()
         page = yield from self._next()
         if page is not None:
             self.pages_produced += 1

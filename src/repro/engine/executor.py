@@ -6,6 +6,15 @@ generators, converts a bound plan into physical iterators (inserting
 exchange pairs on cross-site edges), and runs the root display to
 completion.  The result carries the study's two metrics -- response time
 and pages sent -- plus detailed resource statistics.
+
+With a :class:`~repro.faults.FaultSchedule` attached, the executor becomes
+fault tolerant: a :class:`~repro.faults.FaultInjector` crashes servers,
+partitions the network, and slows disks mid-run, and a client-side
+*recovery loop* reacts to the resulting
+:class:`~repro.errors.TransientFaultError`\\ s with bounded retries
+(exponential backoff + jitter, all in sim time), re-optimizing around
+crashed sites -- falling back to the client's cached copies exactly where
+the paper predicts data- and hybrid-shipping shine.
 """
 
 from __future__ import annotations
@@ -15,8 +24,9 @@ import typing
 from dataclasses import dataclass, field
 
 from repro.catalog.catalog import Catalog
-from repro.config import SystemConfig
+from repro.config import OptimizerConfig, SystemConfig
 from repro.costmodel.estimates import Estimator
+from repro.costmodel.model import EnvironmentState, Objective
 from repro.engine.base import PhysicalOp
 from repro.engine.exchange import ExchangeReceiver
 from repro.engine.joins import HashJoinIterator
@@ -24,20 +34,37 @@ from repro.engine.loadgen import DiskLoadGenerator
 from repro.engine.scans import ScanIterator
 from repro.engine.selects import SelectIterator
 from repro.engine.sinks import DisplayIterator
-from repro.errors import ExecutionError
+from repro.errors import (
+    ExecutionError,
+    OptimizationError,
+    PolicyViolationError,
+    QueryTimeoutError,
+    TransientFaultError,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import RecoveryPolicy, RecoveryStats
+from repro.faults.schedule import FaultSchedule
 from repro.hardware.site import Site
 from repro.hardware.topology import Topology
+from repro.plans.annotations import Annotation
 from repro.plans.binding import BoundPlan, bind_plan
 from repro.plans.logical import Query
 from repro.plans.operators import DisplayOp, JoinOp, PlanOp, ScanOp, SelectOp
+from repro.plans.policies import Policy, allowed_annotations, check_policy
 from repro.plans.validate import validate_plan
-from repro.sim import Environment, Process
+from repro.sim import AnyOf, Environment, Event, Process
 
 __all__ = ["ExecutionContext", "ExecutionResult", "QueryExecutor"]
 
 
 class ExecutionContext:
-    """Shared state all physical operators of one run see."""
+    """Shared state all physical operators of one run (or attempt) see.
+
+    Under fault-tolerant execution each attempt gets its own supervised
+    context: processes it spawns catch :class:`TransientFaultError` and
+    report it to :attr:`fault_event` instead of letting it escape, so the
+    recovery loop can abort the attempt and retry.
+    """
 
     def __init__(
         self,
@@ -46,6 +73,7 @@ class ExecutionContext:
         catalog: Catalog,
         query: Query,
         estimator: Estimator,
+        supervised: bool = False,
     ) -> None:
         self.env = env
         self.topology = topology
@@ -55,11 +83,36 @@ class ExecutionContext:
         self.config = topology.config
         self.network = topology.network
         self.processes: list[Process] = []
+        self.operators: list[PhysicalOp] = []
+        self.fault_event: Event | None = Event(env) if supervised else None
+
+    def register_op(self, op: PhysicalOp) -> None:
+        self.operators.append(op)
+
+    def pages_produced(self) -> int:
+        """Pages produced so far by every operator of this context."""
+        return sum(op.pages_produced for op in self.operators)
+
+    def report_fault(self, exc: TransientFaultError) -> None:
+        """Signal the recovery loop (first fault wins; later ones no-op)."""
+        if self.fault_event is not None and not self.fault_event.triggered:
+            self.fault_event.fail(exc)
 
     def spawn(self, generator: typing.Generator, name: str = "") -> Process:
+        if self.fault_event is not None:
+            generator = self._supervise(generator)
         process = self.env.process(generator, name=name)
         self.processes.append(process)
         return process
+
+    def _supervise(self, generator: typing.Generator) -> typing.Generator:
+        """Convert an escaping transient fault into a fault-event report."""
+        try:
+            result = yield from generator
+        except TransientFaultError as exc:
+            self.report_fault(exc)
+            return None
+        return result
 
 
 @dataclass
@@ -77,12 +130,25 @@ class ExecutionResult:
     network_utilization: float = 0.0
     disk_reads: int = 0
     disk_writes: int = 0
+    # Recovery observability (all zero on a fault-free run).
+    retries: int = 0
+    replans: int = 0
+    wasted_work_pages: int = 0
+    time_to_recover: float = 0.0
+    faults_seen: int = 0
+    messages_dropped: int = 0
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return (
+        text = (
             f"response_time={self.response_time:.3f}s pages_sent={self.pages_sent} "
             f"result_tuples={self.result_tuples}"
         )
+        if self.retries or self.replans:
+            text += (
+                f" retries={self.retries} replans={self.replans} "
+                f"time_to_recover={self.time_to_recover:.3f}s"
+            )
+        return text
 
 
 class QueryExecutor:
@@ -95,11 +161,17 @@ class QueryExecutor:
         query: Query,
         seed: int = 0,
         server_loads: dict[int, float] | None = None,
+        faults: FaultSchedule | None = None,
+        recovery: RecoveryPolicy | None = None,
+        policy: Policy | None = None,
+        objective: Objective = Objective.RESPONSE_TIME,
+        optimizer_config: OptimizerConfig | None = None,
     ) -> None:
         self.config = config
         self.catalog = catalog
         self.query = query
         self.seed = seed
+        self.server_loads = dict(server_loads or {})
         self.env = Environment()
         self.topology = Topology(self.env, config, seed=seed)
         catalog.install(self.topology)
@@ -108,7 +180,7 @@ class QueryExecutor:
             self.env, self.topology, catalog, query, self.estimator
         )
         self.load_generators: list[DiskLoadGenerator] = []
-        for site_id, rate in (server_loads or {}).items():
+        for site_id, rate in self.server_loads.items():
             self.load_generators.append(
                 DiskLoadGenerator(
                     self.env,
@@ -117,36 +189,58 @@ class QueryExecutor:
                     rng=random.Random(seed * 7919 + site_id),
                 )
             )
+        # Fault tolerance: only engaged when there is something to survive,
+        # so fault-free runs are event-for-event identical to the seed
+        # behaviour (see tests/properties/test_fault_determinism.py).
+        self.faults = faults
+        self.recovery = recovery
+        self.policy = policy
+        self.objective = objective
+        self.optimizer_config = optimizer_config
+        self.recovery_stats = RecoveryStats()
+        self.injector: FaultInjector | None = None
+        if faults is not None and not faults.is_empty:
+            self.injector = FaultInjector(self.env, self.topology, faults, seed=seed)
+
+    @property
+    def fault_tolerant(self) -> bool:
+        """True when execution goes through the recovery loop."""
+        return self.injector is not None or self.recovery is not None
 
     # ------------------------------------------------------------------
     # Physical plan construction
     # ------------------------------------------------------------------
-    def build_physical(self, bound: BoundPlan) -> DisplayIterator:
+    def build_physical(
+        self, bound: BoundPlan, context: ExecutionContext | None = None
+    ) -> DisplayIterator:
         """Translate a bound plan into physical iterators with exchanges."""
+        context = context or self.context
         root = bound.root
         if not isinstance(root, DisplayOp):
             raise ExecutionError("bound plan root must be a display operator")
         display_site = self.topology.site(bound.site_of(root))
-        child = self._build_op(root.child, bound)
-        child = self._maybe_exchange(display_site, root.child, child, bound)
-        return DisplayIterator(self.context, display_site, child)
+        child = self._build_op(root.child, bound, context)
+        child = self._maybe_exchange(display_site, root.child, child, bound, context)
+        return DisplayIterator(context, display_site, child)
 
-    def _build_op(self, op: PlanOp, bound: BoundPlan) -> PhysicalOp:
+    def _build_op(
+        self, op: PlanOp, bound: BoundPlan, context: ExecutionContext
+    ) -> PhysicalOp:
         site = self.topology.site(bound.site_of(op))
         if isinstance(op, ScanOp):
-            return ScanIterator(self.context, site, op.relation)
+            return ScanIterator(context, site, op.relation)
         if isinstance(op, SelectOp):
-            child = self._build_op(op.child, bound)
-            child = self._maybe_exchange(site, op.child, child, bound)
-            return SelectIterator(self.context, site, child, op.selectivity)
+            child = self._build_op(op.child, bound, context)
+            child = self._maybe_exchange(site, op.child, child, bound, context)
+            return SelectIterator(context, site, child, op.selectivity)
         if isinstance(op, JoinOp):
-            inner = self._build_op(op.inner, bound)
-            inner = self._maybe_exchange(site, op.inner, inner, bound)
-            outer = self._build_op(op.outer, bound)
-            outer = self._maybe_exchange(site, op.outer, outer, bound)
+            inner = self._build_op(op.inner, bound, context)
+            inner = self._maybe_exchange(site, op.inner, inner, bound, context)
+            outer = self._build_op(op.outer, bound, context)
+            outer = self._maybe_exchange(site, op.outer, outer, bound, context)
             est = self.estimator
             return HashJoinIterator(
-                self.context,
+                context,
                 site,
                 inner,
                 outer,
@@ -164,17 +258,27 @@ class QueryExecutor:
         child_op: PlanOp,
         child_phys: PhysicalOp,
         bound: BoundPlan,
+        context: ExecutionContext,
     ) -> PhysicalOp:
         producer_site = self.topology.site(bound.site_of(child_op))
         if producer_site is consumer_site:
             return child_phys
-        return ExchangeReceiver(self.context, consumer_site, producer_site, child_phys)
+        return ExchangeReceiver(context, consumer_site, producer_site, child_phys)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def execute(self, plan: "DisplayOp | BoundPlan") -> ExecutionResult:
-        """Bind (if needed), build, and run a plan; return its metrics."""
+        """Bind (if needed), build, and run a plan; return its metrics.
+
+        Without faults this is the classic single-attempt path.  With a
+        fault schedule (or an explicit recovery policy) the run goes
+        through the recovery loop: transient faults abort the attempt,
+        bounded retries follow, and the final failure -- if recovery is
+        exhausted -- propagates as the fault that caused it.
+        """
+        if self.fault_tolerant:
+            return self._execute_with_recovery(plan)
         if isinstance(plan, BoundPlan):
             bound = plan
         else:
@@ -193,8 +297,142 @@ class QueryExecutor:
                 break
         yield from root.close()
 
-    def _collect(self, root: DisplayIterator) -> ExecutionResult:
+    # ------------------------------------------------------------------
+    # Fault-tolerant execution
+    # ------------------------------------------------------------------
+    def _execute_with_recovery(self, plan: "DisplayOp | BoundPlan") -> ExecutionResult:
+        recovery = self.recovery or RecoveryPolicy()
+        if isinstance(plan, BoundPlan):
+            annotated: DisplayOp | None = None
+            bound: BoundPlan | None = plan
+        else:
+            validate_plan(plan, self.query)
+            annotated = plan
+            bound = None
+        driver = self.env.process(
+            self._recovery_loop(annotated, bound, recovery), name="recovery-driver"
+        )
+        return self.env.run(until=driver)
+
+    def _recovery_loop(
+        self,
+        annotated: DisplayOp | None,
+        prebound: BoundPlan | None,
+        recovery: RecoveryPolicy,
+    ) -> typing.Generator:
+        env = self.env
+        stats = self.recovery_stats
+        rng = random.Random(f"{self.seed}:recovery")
+        deadline = recovery.query_timeout
+        attempt = 0
+        while True:
+            attempt += 1
+            context = ExecutionContext(
+                env, self.topology, self.catalog, self.query, self.estimator,
+                supervised=True,
+            )
+            bound = prebound if annotated is None else bind_plan(annotated, self.catalog)
+            assert bound is not None
+            root = self.build_physical(bound, context)
+            consumer = context.spawn(self._drive(root), name=f"query-driver#{attempt}")
+            assert context.fault_event is not None
+            watchers: list[Event] = [consumer, context.fault_event]
+            if deadline is not None:
+                watchers.append(env.timeout(max(0.0, deadline - env.now)))
+            failure: TransientFaultError | None = None
+            try:
+                yield AnyOf(env, watchers)
+            except TransientFaultError as exc:
+                failure = exc
+            if failure is None:
+                if consumer.triggered and consumer.ok:
+                    time_to_recover = stats.record_success(env.now)
+                    return self._collect(root, context, time_to_recover)
+                failure = QueryTimeoutError(
+                    f"query timed out after {deadline}s (attempt {attempt})"
+                )
+            stats.record_fault(env.now)
+            stats.wasted_work_pages.add(context.pages_produced())
+            if deadline is not None and env.now >= deadline:
+                if not isinstance(failure, QueryTimeoutError):
+                    failure = QueryTimeoutError(
+                        f"query timed out after {deadline}s while recovering "
+                        f"from: {failure}"
+                    )
+                raise failure
+            if attempt >= recovery.max_attempts:
+                raise failure
+            stats.retries.add()
+            yield env.timeout(recovery.backoff(attempt, rng))
+            if recovery.replan and annotated is not None:
+                replanned = self._replan(annotated)
+                if replanned is not None:
+                    annotated = replanned
+                    stats.replans.add()
+
+    def _replan(self, annotated: DisplayOp) -> DisplayOp | None:
+        """Re-optimize around crashed sites; None if nothing useful to do.
+
+        Relations whose primary server is down are constrained to be
+        scanned at the client (from its cached prefix) -- the data-shipping
+        fallback.  Policies whose annotation space has no ``client`` scan
+        (query-shipping) cannot express that, so they keep their plan and
+        simply wait out the restart window.
+        """
+        from repro.optimizer.two_phase import RandomizedOptimizer
+
+        down = {site.site_id for site in self.topology.servers if not site.up}
+        if not down:
+            return None
+        excluded = frozenset(
+            name for name in self.query.relations if self.catalog.server_of(name) in down
+        )
+        if not excluded:
+            return None
+        policy = self.policy or self._infer_policy(annotated)
+        if Annotation.CLIENT not in allowed_annotations(policy, "scan"):
+            return None
+        environment = EnvironmentState(self.catalog, self.config, dict(self.server_loads))
+        try:
+            result = RandomizedOptimizer(
+                self.query,
+                environment,
+                policy=policy,
+                objective=self.objective,
+                config=self.optimizer_config or OptimizerConfig.fast(),
+                seed=self.seed,
+                forced_client_relations=excluded,
+            ).optimize()
+        except OptimizationError:
+            return None
+        return result.plan
+
+    @staticmethod
+    def _infer_policy(plan: DisplayOp) -> Policy:
+        """Strictest policy the plan's annotations conform to."""
+        for policy in (
+            Policy.DATA_SHIPPING,
+            Policy.QUERY_SHIPPING,
+            Policy.HYBRID_SHIPPING,
+        ):
+            try:
+                check_policy(plan, policy)
+                return policy
+            except PolicyViolationError:
+                continue
+        return Policy.HYBRID_SHIPPING
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def _collect(
+        self,
+        root: DisplayIterator,
+        context: ExecutionContext | None = None,
+        time_to_recover: float = 0.0,
+    ) -> ExecutionResult:
         network = self.topology.network
+        stats = self.recovery_stats
         disk_util: dict[str, float] = {}
         cpu_util: dict[str, float] = {}
         reads = writes = 0
@@ -216,4 +454,10 @@ class QueryExecutor:
             network_utilization=network.utilization(),
             disk_reads=reads,
             disk_writes=writes,
+            retries=stats.retries.value,
+            replans=stats.replans.value,
+            wasted_work_pages=stats.wasted_work_pages.value,
+            time_to_recover=time_to_recover,
+            faults_seen=stats.faults_seen.value,
+            messages_dropped=network.messages_dropped,
         )

@@ -12,6 +12,11 @@ __all__ = [
     "BindingError",
     "ExecutionError",
     "OptimizationError",
+    "SimulationError",
+    "TransientFaultError",
+    "SiteUnavailableError",
+    "NetworkPartitionError",
+    "QueryTimeoutError",
 ]
 
 
@@ -49,3 +54,38 @@ class ExecutionError(ReproError):
 
 class OptimizationError(ReproError):
     """Optimizer failed to produce a plan."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """Invalid use of the simulation kernel (double trigger, deadlock, ...).
+
+    Subclasses :class:`RuntimeError` for backwards compatibility with code
+    written against the kernel before it joined the :class:`ReproError`
+    hierarchy.
+    """
+
+
+class TransientFaultError(ExecutionError):
+    """A potentially recoverable runtime fault (crash, partition, timeout).
+
+    The recovery loop in :class:`~repro.engine.executor.QueryExecutor`
+    catches this branch of the hierarchy, aborts the running attempt, and
+    retries (possibly after re-optimization); any other error still aborts
+    the whole simulation.
+    """
+
+
+class SiteUnavailableError(TransientFaultError):
+    """An operation touched a site that is currently crashed."""
+
+    def __init__(self, message: str, site_id: int | None = None) -> None:
+        super().__init__(message)
+        self.site_id = site_id
+
+
+class NetworkPartitionError(TransientFaultError):
+    """A message could not be delivered: the network is down or too lossy."""
+
+
+class QueryTimeoutError(TransientFaultError):
+    """A query exceeded its per-query timeout (including all retries)."""

@@ -32,6 +32,7 @@ _FIGURES = {
     "fig10": figures.figure10,
     "fig11": figures.figure11,
     "qs-load": figures.qs_under_load_text,
+    "fault-sweep": figures.availability_sweep,
 }
 _SERVER_FIGURES = {"fig6", "fig7", "fig8", "fig10", "fig11"}
 _CACHE_FIGURES = {"fig2", "fig3", "fig4", "fig5"}
@@ -59,6 +60,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cache", type=float, nargs="+", default=None,
         help="cache fractions to sweep (0..1)",
+    )
+    parser.add_argument(
+        "--mtbf", type=float, nargs="+", default=None,
+        help="server MTBF values for the fault-sweep [s]",
     )
     parser.add_argument(
         "--paper", action="store_true",
@@ -93,6 +98,11 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
         kwargs["cache_fractions"] = tuple(args.cache)
     if name == "qs-load":
         kwargs.pop("server_counts", None)
+    if name == "fault-sweep":
+        if args.mtbf:
+            kwargs["mtbf_values"] = tuple(args.mtbf)
+        elif args.quick:
+            kwargs["mtbf_values"] = (5.0, 20.0)
     started = time.time()
     result = function(**kwargs)
     print(render_figure(result))

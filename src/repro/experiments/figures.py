@@ -14,8 +14,11 @@ from dataclasses import dataclass, field
 
 from repro.config import BufferAllocation, SystemConfig
 from repro.costmodel.model import Objective
+from repro.errors import TransientFaultError
 from repro.experiments.runner import Measurement, RunSettings, measure_plan, measure_policy
 from repro.experiments.stats import PointEstimate, summarize
+from repro.faults.recovery import RecoveryPolicy
+from repro.faults.schedule import FaultSchedule
 from repro.optimizer.random_plans import PlanShape
 from repro.optimizer.two_phase import RandomizedOptimizer
 from repro.optimizer.two_step import TwoStepOptimizer
@@ -28,6 +31,7 @@ from repro.workloads.relations import benchmark_relations
 __all__ = [
     "FigureResult",
     "SeriesPoint",
+    "availability_sweep",
     "table1",
     "table2",
     "figure2",
@@ -47,6 +51,7 @@ POLICIES = (Policy.DATA_SHIPPING, Policy.QUERY_SHIPPING, Policy.HYBRID_SHIPPING)
 CACHE_FRACTIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
 SERVER_COUNTS = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
 FIGURE4_LOADS = (0.0, 40.0, 60.0, 70.0)
+MTBF_VALUES = (5.0, 10.0, 20.0, 40.0)
 
 
 @dataclass(frozen=True)
@@ -375,6 +380,85 @@ def figure8(
         for policy in POLICIES:
             measurement = measure_policy(factory, policy, Objective.RESPONSE_TIME, settings)
             result.add(policy.short_name, count, measurement.response_time)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fault tolerance: availability sweep (not in the paper)
+# ----------------------------------------------------------------------
+def availability_sweep(
+    settings: RunSettings | None = None,
+    mtbf_values: tuple[float, ...] = MTBF_VALUES,
+    mttr: float = 2.0,
+    horizon: float = 120.0,
+    cached_fraction: float = 1.0,
+) -> FigureResult:
+    """Response time of the three policies under periodic server crashes.
+
+    The server of a fully-cached 2-way join crashes with exponential
+    times-to-failure (mean ``mtbf``) and restarts after ``mttr`` seconds.
+    Expected shape: data-shipping is immune (its plan never touches the
+    server when the relations are cached); hybrid-shipping degrades
+    gracefully -- each crash costs one replan and a client-cache fallback;
+    query-shipping suffers most, since it can only wait out each restart
+    window, and at low MTBF it may exhaust its retry budget entirely
+    (failed runs are censored at the query timeout).
+    """
+    settings = settings or RunSettings()
+    recovery = RecoveryPolicy(max_attempts=6, base_backoff=0.5, query_timeout=horizon)
+    result = FigureResult(
+        "availability-sweep",
+        "Response Time Under Periodic Server Crashes, 2-Way Join, Fully Cached",
+        "server MTBF [s]",
+        "response time [s]",
+        notes=(
+            f"mttr={mttr:g}s; runs that exhaust recovery are censored at the "
+            f"{horizon:g}s query timeout and excluded from 'completed [%]'"
+        ),
+    )
+    for mtbf in mtbf_values:
+        for policy in POLICIES:
+            times: list[float] = []
+            replans: list[float] = []
+            completions: list[float] = []
+            for seed in settings.seeds:
+                scenario = chain_scenario(
+                    num_relations=2,
+                    num_servers=1,
+                    cached_fraction=cached_fraction,
+                    placement_seed=seed,
+                )
+                plan = RandomizedOptimizer(
+                    scenario.query,
+                    scenario.environment(),
+                    policy=policy,
+                    objective=Objective.RESPONSE_TIME,
+                    config=settings.optimizer,
+                    seed=seed,
+                ).optimize().plan
+                faults = FaultSchedule.periodic_crashes(
+                    1, mtbf=mtbf, mttr=mttr, horizon=horizon, seed=seed
+                )
+                try:
+                    run = scenario.execute(
+                        plan,
+                        seed=seed,
+                        faults=faults,
+                        recovery=recovery,
+                        policy=policy,
+                        optimizer_config=settings.optimizer,
+                    )
+                except TransientFaultError:
+                    times.append(horizon)
+                    replans.append(0.0)
+                    completions.append(0.0)
+                else:
+                    times.append(run.response_time)
+                    replans.append(float(run.replans))
+                    completions.append(100.0)
+            result.add(policy.short_name, mtbf, summarize(times))
+            result.add(f"{policy.short_name} replans", mtbf, summarize(replans))
+            result.add(f"{policy.short_name} completed [%]", mtbf, summarize(completions))
     return result
 
 

@@ -1,0 +1,42 @@
+"""Fault injection and mid-query recovery.
+
+The paper's argument for client-side execution is ultimately about
+*robustness*: data-shipping and hybrid-shipping keep working from cached
+copies when a primary-copy server is unavailable or degraded.  This package
+lets experiments exercise that claim:
+
+- :class:`~repro.faults.schedule.FaultSchedule` -- a declarative, sim-time
+  description of server crash/restart windows, network outages, bandwidth
+  degradation, disk slowdowns, and per-page message drops;
+- :class:`~repro.faults.injector.FaultInjector` -- drives the schedule
+  against a live :class:`~repro.hardware.topology.Topology`, flipping
+  resources down, degraded, and back up at the scheduled times;
+- :class:`~repro.faults.recovery.RecoveryPolicy` -- how the client-side
+  executor reacts: per-query timeout, bounded retries with exponential
+  backoff + jitter (all in sim time, deterministic per seed), and
+  re-optimization with crashed sites excluded.
+
+All state transitions happen in simulated time, so a given seed and
+schedule always reproduce the identical trace, retries included.
+"""
+
+from repro.faults.schedule import (
+    CrashWindow,
+    DegradationWindow,
+    DiskSlowdownWindow,
+    FaultSchedule,
+    OutageWindow,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import RecoveryPolicy, RecoveryStats
+
+__all__ = [
+    "CrashWindow",
+    "DegradationWindow",
+    "DiskSlowdownWindow",
+    "FaultInjector",
+    "FaultSchedule",
+    "OutageWindow",
+    "RecoveryPolicy",
+    "RecoveryStats",
+]

@@ -1,0 +1,107 @@
+"""Client-side recovery policy and observability counters.
+
+The executor's recovery loop is parameterized by a :class:`RecoveryPolicy`:
+how many attempts to make, how long to back off between them (exponential
+with deterministic jitter, in *simulated* seconds), whether to re-optimize
+around crashed sites, and an optional per-query wall-clock (sim-time)
+timeout covering all attempts.
+
+:class:`RecoveryStats` aggregates what happened across a run using the
+simulation kernel's monitors, so experiment code can tally recovery
+behaviour the same way it tallies utilizations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.sim.monitor import Counter, Tally
+
+__all__ = ["RecoveryPolicy", "RecoveryStats"]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How the client reacts to transient faults during one query."""
+
+    #: Total execution attempts (first try included).
+    max_attempts: int = 5
+    #: Backoff before attempt ``n`` is ``base_backoff * multiplier**(n-1)``.
+    base_backoff: float = 0.5
+    backoff_multiplier: float = 2.0
+    #: Uniform jitter fraction added on top of the backoff (0 disables).
+    jitter_fraction: float = 0.1
+    #: Give up (raise QueryTimeoutError) once sim time exceeds this, even if
+    #: attempts remain.  ``None`` means no timeout.
+    query_timeout: float | None = None
+    #: Re-invoke the optimizer after a fault, excluding crashed sites.
+    replan: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_backoff < 0 or self.backoff_multiplier < 1.0:
+            raise ConfigurationError(
+                "backoff must be non-negative with multiplier >= 1 "
+                f"(got base={self.base_backoff}, mult={self.backoff_multiplier})"
+            )
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ConfigurationError(
+                f"jitter_fraction must be in [0, 1], got {self.jitter_fraction}"
+            )
+        if self.query_timeout is not None and self.query_timeout <= 0:
+            raise ConfigurationError(
+                f"query_timeout must be positive, got {self.query_timeout}"
+            )
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Sim-time delay before retry number ``attempt`` (1-based)."""
+        delay = self.base_backoff * self.backoff_multiplier ** max(0, attempt - 1)
+        if self.jitter_fraction:
+            delay *= 1.0 + self.jitter_fraction * rng.random()
+        return delay
+
+    @classmethod
+    def none(cls) -> "RecoveryPolicy":
+        """Fail fast: a single attempt, no replanning."""
+        return cls(max_attempts=1, replan=False)
+
+
+class RecoveryStats:
+    """Counters and tallies describing one run's recovery behaviour."""
+
+    def __init__(self) -> None:
+        self.faults_seen = Counter("faults_seen")
+        self.retries = Counter("retries")
+        self.replans = Counter("replans")
+        self.wasted_work_pages = Counter("wasted_work_pages")
+        self.recovery_times = Tally("time_to_recover")
+        #: Sim time of the first fault that aborted an attempt (or None).
+        self.first_fault_time: float | None = None
+
+    def record_fault(self, now: float) -> None:
+        self.faults_seen.add()
+        if self.first_fault_time is None:
+            self.first_fault_time = now
+
+    def record_success(self, now: float) -> float:
+        """Record completion; returns the time spent recovering (0 if clean)."""
+        if self.first_fault_time is None:
+            return 0.0
+        elapsed = now - self.first_fault_time
+        self.recovery_times.record(elapsed)
+        return elapsed
+
+    @property
+    def time_to_recover(self) -> float:
+        return self.recovery_times.maximum if self.recovery_times.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<RecoveryStats faults={self.faults_seen.value} "
+            f"retries={self.retries.value} replans={self.replans.value}>"
+        )

@@ -1,0 +1,208 @@
+"""Declarative fault schedules.
+
+A :class:`FaultSchedule` is plain data: a set of time windows during which
+some resource is down or degraded, plus a per-page message-drop
+probability.  Schedules are validated eagerly so a mis-specified experiment
+fails before any simulation work is done, and they are independent of any
+particular :class:`~repro.hardware.topology.Topology` until a
+:class:`~repro.faults.injector.FaultInjector` binds them to one.
+
+Times are simulated seconds.  ``end`` may be ``math.inf`` for a fault that
+never heals (e.g. a server that crashes and is not restarted within the
+experiment's horizon).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "CrashWindow",
+    "OutageWindow",
+    "DegradationWindow",
+    "DiskSlowdownWindow",
+    "FaultSchedule",
+]
+
+
+def _check_window(start: float, end: float, what: str) -> None:
+    if start < 0:
+        raise ConfigurationError(f"{what} starts in the past (start={start})")
+    if end <= start:
+        raise ConfigurationError(f"{what} is empty (start={start}, end={end})")
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """One server is down between ``start`` and ``end`` (restart time)."""
+
+    site_id: int
+    start: float
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.site_id <= 0:
+            raise ConfigurationError(
+                f"only servers can crash; got site id {self.site_id} "
+                "(0 is the client, which submits the query)"
+            )
+        _check_window(self.start, self.end, f"crash window for server {self.site_id}")
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """The whole network is unreachable between ``start`` and ``end``."""
+
+    start: float
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end, "network outage window")
+
+
+@dataclass(frozen=True)
+class DegradationWindow:
+    """Network bandwidth is divided by ``factor`` between ``start`` and ``end``."""
+
+    factor: float
+    start: float
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ConfigurationError(
+                f"degradation factor must be >= 1 (slower), got {self.factor}"
+            )
+        _check_window(self.start, self.end, "network degradation window")
+
+
+@dataclass(frozen=True)
+class DiskSlowdownWindow:
+    """All disks of one site serve ``factor`` times slower in the window."""
+
+    site_id: int
+    factor: float
+    start: float
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.site_id < 0:
+            raise ConfigurationError(f"bad site id {self.site_id}")
+        if self.factor < 1.0:
+            raise ConfigurationError(
+                f"disk slowdown factor must be >= 1 (slower), got {self.factor}"
+            )
+        _check_window(self.start, self.end, f"disk slowdown for site {self.site_id}")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Every fault of one simulated run, as declarative time windows."""
+
+    server_crashes: tuple[CrashWindow, ...] = ()
+    network_outages: tuple[OutageWindow, ...] = ()
+    network_degradations: tuple[DegradationWindow, ...] = ()
+    disk_slowdowns: tuple[DiskSlowdownWindow, ...] = ()
+    #: Probability that any one data-page message is dropped on the wire and
+    #: must be retransmitted (drawn from the injector's seeded RNG).
+    message_drop_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.message_drop_probability < 1.0:
+            raise ConfigurationError(
+                "message_drop_probability must be in [0, 1), got "
+                f"{self.message_drop_probability}"
+            )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the schedule injects no faults at all."""
+        return not (
+            self.server_crashes
+            or self.network_outages
+            or self.network_degradations
+            or self.disk_slowdowns
+            or self.message_drop_probability
+        )
+
+    def crashed_sites_at(self, time: float) -> set[int]:
+        """Server ids down at ``time`` (mainly for assertions and reports)."""
+        return {
+            w.site_id for w in self.server_crashes if w.start <= time < w.end
+        }
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def server_crash(
+        cls, site_id: int, at: float, duration: float = math.inf
+    ) -> "FaultSchedule":
+        """A single server crash, optionally healed after ``duration``."""
+        end = at + duration if math.isfinite(duration) else math.inf
+        return cls(server_crashes=(CrashWindow(site_id, at, end),))
+
+    @classmethod
+    def network_outage(cls, at: float, duration: float = math.inf) -> "FaultSchedule":
+        end = at + duration if math.isfinite(duration) else math.inf
+        return cls(network_outages=(OutageWindow(at, end),))
+
+    @classmethod
+    def periodic_crashes(
+        cls,
+        site_ids: "int | tuple[int, ...]",
+        mtbf: float,
+        mttr: float,
+        horizon: float,
+        seed: int = 0,
+    ) -> "FaultSchedule":
+        """Crash/restart windows with exponential times-to-failure.
+
+        Each listed server alternates up (exponential with mean ``mtbf``)
+        and down (``mttr`` seconds) until ``horizon``; the draw sequence is
+        fully determined by ``seed``, so the availability-sweep experiments
+        are reproducible.
+        """
+        if mtbf <= 0 or mttr <= 0 or horizon <= 0:
+            raise ConfigurationError("mtbf, mttr, and horizon must be positive")
+        if isinstance(site_ids, int):
+            site_ids = (site_ids,)
+        windows: list[CrashWindow] = []
+        for site_id in site_ids:
+            rng = random.Random(f"{seed}:site{site_id}")
+            clock = rng.expovariate(1.0 / mtbf)
+            while clock < horizon:
+                windows.append(CrashWindow(site_id, clock, clock + mttr))
+                clock += mttr + rng.expovariate(1.0 / mtbf)
+        return cls(server_crashes=tuple(windows))
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def merge(self, other: "FaultSchedule") -> "FaultSchedule":
+        """Union of two schedules (drop probabilities combine as 1-(1-p)(1-q))."""
+        p = 1.0 - (1.0 - self.message_drop_probability) * (
+            1.0 - other.message_drop_probability
+        )
+        return FaultSchedule(
+            server_crashes=self.server_crashes + other.server_crashes,
+            network_outages=self.network_outages + other.network_outages,
+            network_degradations=self.network_degradations + other.network_degradations,
+            disk_slowdowns=self.disk_slowdowns + other.disk_slowdowns,
+            message_drop_probability=p,
+        )
+
+    def with_drop_probability(self, probability: float) -> "FaultSchedule":
+        return replace(self, message_drop_probability=probability)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<FaultSchedule crashes={len(self.server_crashes)} "
+            f"outages={len(self.network_outages)} "
+            f"slowdowns={len(self.disk_slowdowns)} "
+            f"drop_p={self.message_drop_probability:g}>"
+        )

@@ -68,12 +68,18 @@ class Disk:
         self._last_page: int | None = None  # last physical page under the head
         # Controller cache: page -> True, LRU order.
         self._cache: OrderedDict[int, bool] = OrderedDict()
+        # Fault state (driven by the fault injector; healthy by default).
+        self.slow_factor = 1.0
+        self._off = False
+        self._offline_error: typing.Callable[[], Exception] | None = None
+        self._current: DiskRequest | None = None
         # Statistics.
         self.reads = 0
         self.writes = 0
         self.cache_hits = 0
         self.sequential_ios = 0
         self.random_ios = 0
+        self.faulted_requests = 0
         self.monitor = UtilizationMonitor(env, name=name)
         self._server = env.process(self._serve_loop(), name=f"{name}.server")
 
@@ -92,8 +98,50 @@ class Disk:
         """Queue a request without waiting for it."""
         self._check_page(page)
         request = DiskRequest(self.env, kind, page)
+        if self._off:
+            self.faulted_requests += 1
+            request.done.fail(self._make_offline_error())
+            return request
         self._pool.put(request)
         return request
+
+    # ------------------------------------------------------------------
+    # Fault hooks (driven by the fault injector through the owning site)
+    # ------------------------------------------------------------------
+    def power_off(self, error_factory: typing.Callable[[], Exception] | None = None) -> None:
+        """Fail every in-flight request and reject new ones until power-on."""
+        if self._off:
+            return
+        self._off = True
+        self._offline_error = error_factory
+        # Queued but unserved requests fail immediately.
+        for request in list(self._pool.items):
+            self.faulted_requests += 1
+            request.done.fail(self._make_offline_error())
+        self._pool.items.clear()
+        # The request being serviced loses its result: fail its completion
+        # now; the serve loop notices the event already fired and moves on.
+        current = self._current
+        if current is not None and not current.done.triggered:
+            self.faulted_requests += 1
+            current.done.fail(self._make_offline_error())
+        # A crash empties the volatile controller cache.
+        self._cache.clear()
+        self._last_page = None
+
+    def power_on(self) -> None:
+        """Accept requests again (head position is arbitrary but harmless)."""
+        self._off = False
+        self._offline_error = None
+
+    @property
+    def is_off(self) -> bool:
+        return self._off
+
+    def _make_offline_error(self) -> Exception:
+        if self._offline_error is not None:
+            return self._offline_error()
+        return RuntimeError(f"disk {self.name!r} is powered off")
 
     @property
     def queue_length(self) -> int:
@@ -129,13 +177,17 @@ class Disk:
         while True:
             yield self._pool.wait_for_item()
             request = self._pool.take(self._elevator_choose)
+            self._current = request
             self.monitor.busy()
-            duration = self._service(request)
+            duration = self._service(request) * self.slow_factor
             if duration > 0:
                 yield self.env.timeout(duration)
+            self._current = None
             if not len(self._pool):
                 self.monitor.idle()
-            request.done.succeed(duration)
+            # A power-off during service already failed the completion event.
+            if not request.done.triggered:
+                request.done.succeed(duration)
 
     def _elevator_choose(self, items: list[DiskRequest]) -> DiskRequest:
         """SCAN policy: nearest request in the travel direction, else reverse."""

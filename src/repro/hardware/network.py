@@ -12,15 +12,21 @@ sent during a query (control messages are counted separately).
 
 from __future__ import annotations
 
+import random
 import typing
 
 from repro.config import SystemConfig
+from repro.errors import NetworkPartitionError
 from repro.sim import Environment, Resource
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.hardware.site import Site
 
 __all__ = ["Network"]
+
+#: Consecutive retransmissions of one message before the link is declared
+#: partitioned (the sender gives up, as a transport layer eventually would).
+MAX_RETRANSMITS = 8
 
 
 class Network:
@@ -33,6 +39,41 @@ class Network:
         self.data_pages_sent = 0
         self.control_messages_sent = 0
         self.bytes_sent = 0
+        # Fault state (driven by the fault injector; healthy by default).
+        self.up = True
+        self.degradation_factor = 1.0
+        self.drop_probability = 0.0
+        self.drop_rng: random.Random | None = None
+        self.outage_count = 0
+        self.messages_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Fault hooks
+    # ------------------------------------------------------------------
+    def set_down(self) -> None:
+        """Begin a network outage: new and in-flight messages fail."""
+        if self.up:
+            self.up = False
+            self.outage_count += 1
+
+    def set_up(self) -> None:
+        self.up = True
+
+    def degrade(self, factor: float) -> None:
+        """Divide effective bandwidth by ``factor`` (1.0 restores it)."""
+        self.degradation_factor = factor
+
+    def configure_drops(self, probability: float, rng: random.Random) -> None:
+        """Drop each page-sized transmission with ``probability`` (seeded)."""
+        self.drop_probability = probability
+        self.drop_rng = rng
+
+    def check_available(self) -> None:
+        """Raise :class:`NetworkPartitionError` during an outage."""
+        if not self.up:
+            raise NetworkPartitionError(
+                f"network outage at t={self.env.now:.6f}: message undeliverable"
+            )
 
     def send(
         self,
@@ -47,19 +88,51 @@ class Network:
         charges the receiver CPU.  ``data_pages`` is the number of full data
         pages carried (for the pages-sent metric); pass 0 for control
         messages.
+
+        Faults: an outage (or a crash of either endpoint) before or during
+        the transfer raises the matching :class:`TransientFaultError`; a
+        lossy link retransmits (re-charging the wire) up to
+        :data:`MAX_RETRANSMITS` times before giving up.
         """
         if source is destination:
             # Local hand-off: no message costs at all.
             return
+        self.check_available()
+        source.check_available()
+        destination.check_available()
         cpu_instr = self.config.message_cpu_instructions(num_bytes)
         yield from source.cpu.execute(cpu_instr)
-        yield from self._wire.serve(self.config.wire_time(num_bytes))
+        transmissions = 0
+        while True:
+            transmissions += 1
+            yield from self._wire.serve(
+                self.config.wire_time(num_bytes) * self.degradation_factor
+            )
+            # The wire time has been spent even if the message is lost.
+            self.check_available()
+            source.check_available()
+            destination.check_available()
+            if not self._dropped():
+                break
+            self.messages_dropped += 1
+            if transmissions > MAX_RETRANSMITS:
+                raise NetworkPartitionError(
+                    f"message dropped {transmissions} times in a row "
+                    f"(drop probability {self.drop_probability:g}); giving up"
+                )
         yield from destination.cpu.execute(cpu_instr)
         self.bytes_sent += num_bytes
         if data_pages:
             self.data_pages_sent += data_pages
         else:
             self.control_messages_sent += 1
+
+    def _dropped(self) -> bool:
+        return (
+            self.drop_probability > 0.0
+            and self.drop_rng is not None
+            and self.drop_rng.random() < self.drop_probability
+        )
 
     def send_page(self, source: "Site", destination: "Site") -> typing.Generator:
         """Ship one full data page."""

@@ -14,7 +14,7 @@ import enum
 import random
 
 from repro.config import SystemConfig
-from repro.errors import CatalogError
+from repro.errors import CatalogError, SiteUnavailableError
 from repro.hardware.cpu import CPU
 from repro.hardware.disk import Disk
 from repro.sim import Environment
@@ -100,10 +100,57 @@ class Site:
         self._next_disk = 0
         # Client-only disk cache (servers do no inter-query caching, 3.2.1).
         self.cache = ClientDiskCache(self.allocators[0]) if kind is SiteKind.CLIENT else None
+        # Availability (driven by the fault injector; always up by default).
+        self.up = True
+        self.crash_count = 0
+        self.total_downtime = 0.0
+        self._down_since: float | None = None
 
     @property
     def is_client(self) -> bool:
         return self.kind is SiteKind.CLIENT
+
+    # ------------------------------------------------------------------
+    # Availability
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Take the site down; every in-flight disk request fails.
+
+        Volatile state (CPU queue, controller caches) is conceptually lost;
+        at the page granularity the engine models, failing outstanding I/O
+        and refusing new work until :meth:`restart` captures that.
+        """
+        if self.is_client:
+            raise SiteUnavailableError("the client site cannot crash", self.site_id)
+        if not self.up:
+            return
+        self.up = False
+        self.crash_count += 1
+        self._down_since = self.env.now
+        for disk in self.disks:
+            disk.power_off(self.unavailable_error)
+
+    def restart(self) -> None:
+        """Bring a crashed site back up (primary copies survive on disk)."""
+        if self.up:
+            return
+        self.up = True
+        if self._down_since is not None:
+            self.total_downtime += self.env.now - self._down_since
+            self._down_since = None
+        for disk in self.disks:
+            disk.power_on()
+
+    def unavailable_error(self) -> SiteUnavailableError:
+        return SiteUnavailableError(
+            f"site {self.name!r} is down (crashed at t={self._down_since})",
+            self.site_id,
+        )
+
+    def check_available(self) -> None:
+        """Raise :class:`SiteUnavailableError` if this site is crashed."""
+        if not self.up:
+            raise self.unavailable_error()
 
     @property
     def disk(self) -> Disk:

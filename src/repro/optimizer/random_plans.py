@@ -18,7 +18,13 @@ from repro.plans.operators import DisplayOp, JoinOp, PlanOp, ScanOp, SelectOp
 from repro.plans.policies import Policy, allowed_annotations
 from repro.plans.validate import find_annotation_cycles
 
-__all__ = ["PlanShape", "random_plan", "random_join_tree", "repair_annotations"]
+__all__ = [
+    "PlanShape",
+    "force_client_scans",
+    "random_plan",
+    "random_join_tree",
+    "repair_annotations",
+]
 
 
 class PlanShape(enum.Enum):
@@ -161,13 +167,50 @@ def _replace_once(root: DisplayOp, target: PlanOp, replacement: PlanOp) -> Displ
     return new_root
 
 
+def force_client_scans(root: DisplayOp, relations: frozenset[str]) -> DisplayOp:
+    """Pin the scans of ``relations`` to the client (crash exclusion).
+
+    Used when re-optimizing around crashed servers: a relation whose
+    primary copy is unreachable can only be read from the client's cached
+    prefix, so its scan annotation is forced to ``client``.
+    """
+    if not relations:
+        return root
+
+    def rebuild(op: PlanOp) -> PlanOp:
+        if isinstance(op, ScanOp):
+            if op.relation in relations and op.annotation is not Annotation.CLIENT:
+                return op.with_annotation(Annotation.CLIENT)
+            return op
+        if isinstance(op, DisplayOp):
+            return op.with_child(rebuild(op.child))
+        if isinstance(op, SelectOp):
+            return op.with_child(rebuild(op.child))
+        if isinstance(op, JoinOp):
+            return op.with_children(rebuild(op.inner), rebuild(op.outer))
+        return op
+
+    new_root = rebuild(root)
+    assert isinstance(new_root, DisplayOp)
+    return new_root
+
+
 def random_plan(
     query: Query,
     policy: Policy,
     rng: random.Random,
     shape: PlanShape = PlanShape.ANY,
+    forced_client_relations: frozenset[str] = frozenset(),
 ) -> DisplayOp:
     """A complete random, policy-legal, well-formed plan for ``query``."""
+    if forced_client_relations and Annotation.CLIENT not in allowed_annotations(
+        policy, "scan"
+    ):
+        raise OptimizationError(
+            f"{policy} cannot scan at the client, so it cannot exclude the "
+            f"primary sites of {sorted(forced_client_relations)}"
+        )
     tree = random_join_tree(query, policy, rng, shape)
     root = DisplayOp(Annotation.CLIENT, child=tree)
+    root = force_client_scans(root, forced_client_relations)
     return repair_annotations(root, policy, rng)

@@ -101,11 +101,19 @@ def _apply_reorder(move: int, join: JoinOp) -> JoinOp:
 
 
 def _annotation_candidates(
-    root: DisplayOp, policy: Policy
+    root: DisplayOp,
+    policy: Policy,
+    forced_client_relations: frozenset[str] = frozenset(),
 ) -> list[tuple[PlanOp, Annotation]]:
-    """All (node, new annotation) pairs for moves 5-7 under ``policy``."""
+    """All (node, new annotation) pairs for moves 5-7 under ``policy``.
+
+    Scans of ``forced_client_relations`` (relations whose primary server is
+    excluded, e.g. crashed) are pinned to ``client`` and generate no moves.
+    """
     candidates: list[tuple[PlanOp, Annotation]] = []
     for op in root.walk():
+        if isinstance(op, ScanOp) and op.relation in forced_client_relations:
+            continue
         if isinstance(op, (JoinOp, SelectOp, ScanOp)):
             for annotation in sorted(
                 allowed_annotations(policy, op), key=lambda a: a.value
@@ -119,6 +127,7 @@ def enumerate_candidates(
     root: DisplayOp,
     policy: Policy,
     annotation_moves_only: bool = False,
+    forced_client_relations: frozenset[str] = frozenset(),
 ) -> list[tuple[str, object]]:
     """All applicable concrete moves, tagged 'reorder' or 'annotate'.
 
@@ -129,7 +138,10 @@ def enumerate_candidates(
     candidates: list[tuple[str, object]] = []
     if not annotation_moves_only:
         candidates.extend(("reorder", c) for c in _reorder_candidates(root))
-    candidates.extend(("annotate", c) for c in _annotation_candidates(root, policy))
+    candidates.extend(
+        ("annotate", c)
+        for c in _annotation_candidates(root, policy, forced_client_relations)
+    )
     return candidates
 
 
@@ -140,6 +152,7 @@ def random_neighbor(
     rng: random.Random,
     shape: PlanShape = PlanShape.ANY,
     annotation_moves_only: bool = False,
+    forced_client_relations: frozenset[str] = frozenset(),
 ) -> DisplayOp | None:
     """One random move applied to ``root``; None if no move applies.
 
@@ -147,7 +160,9 @@ def random_neighbor(
     ill-formed) and, under a ``DEEP`` shape constraint, structural moves
     that would create a bushy tree are rejected.
     """
-    candidates = enumerate_candidates(root, policy, annotation_moves_only)
+    candidates = enumerate_candidates(
+        root, policy, annotation_moves_only, forced_client_relations
+    )
     if not candidates:
         return None
     root_has_cartesian = has_cartesian_join(root, query)

@@ -18,11 +18,13 @@ from dataclasses import dataclass
 
 from repro.config import OptimizerConfig
 from repro.costmodel.model import CostModel, EnvironmentState, Objective, PlanCost
-from repro.optimizer.random_plans import PlanShape, random_plan
+from repro.errors import OptimizationError
+from repro.optimizer.random_plans import PlanShape, force_client_scans, random_plan
 from repro.optimizer.space import random_neighbor
+from repro.plans.annotations import Annotation
 from repro.plans.logical import Query
 from repro.plans.operators import DisplayOp
-from repro.plans.policies import Policy
+from repro.plans.policies import Policy, allowed_annotations
 
 __all__ = ["OptimizationResult", "RandomizedOptimizer", "optimize"]
 
@@ -58,6 +60,7 @@ class RandomizedOptimizer:
         shape: PlanShape = PlanShape.ANY,
         annotation_moves_only: bool = False,
         initial_plan: DisplayOp | None = None,
+        forced_client_relations: frozenset[str] = frozenset(),
     ) -> None:
         self.query = query
         self.environment = environment
@@ -68,6 +71,16 @@ class RandomizedOptimizer:
         self.rng = random.Random(seed)
         self.shape = shape
         self.annotation_moves_only = annotation_moves_only
+        self.forced_client_relations = frozenset(forced_client_relations)
+        if self.forced_client_relations and Annotation.CLIENT not in allowed_annotations(
+            policy, "scan"
+        ):
+            raise OptimizationError(
+                f"{policy} has no client scans, so it cannot plan around the "
+                f"excluded primary sites of {sorted(self.forced_client_relations)}"
+            )
+        if initial_plan is not None:
+            initial_plan = force_client_scans(initial_plan, self.forced_client_relations)
         self.initial_plan = initial_plan
         self.cost_model = CostModel(query, environment)
         self.evaluations = 0
@@ -95,12 +108,19 @@ class RandomizedOptimizer:
             self.rng,
             shape=self.shape,
             annotation_moves_only=self.annotation_moves_only,
+            forced_client_relations=self.forced_client_relations,
         )
 
     def _start_plan(self, policy: Policy) -> DisplayOp:
         if self.initial_plan is not None:
             return self.initial_plan
-        return random_plan(self.query, policy, self.rng, self.shape)
+        return random_plan(
+            self.query,
+            policy,
+            self.rng,
+            self.shape,
+            forced_client_relations=self.forced_client_relations,
+        )
 
     # ------------------------------------------------------------------
     # Phase 1: iterative improvement
@@ -183,6 +203,9 @@ class RandomizedOptimizer:
             and self.initial_plan is None
             and self.config.seed_pure_subspaces
         ):
+            if self.forced_client_relations:
+                # Query-shipping cannot honour a client-scan exclusion.
+                return [Policy.HYBRID_SHIPPING, Policy.DATA_SHIPPING]
             return [
                 Policy.HYBRID_SHIPPING,
                 Policy.QUERY_SHIPPING,

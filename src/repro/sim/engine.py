@@ -4,16 +4,14 @@ from __future__ import annotations
 
 import heapq
 import typing
+import weakref
 
+from repro.errors import SimulationError
 from repro.sim.events import Event, Timeout
 
 __all__ = ["Environment", "Process", "SimulationError"]
 
 ProcessGenerator = typing.Generator[Event, typing.Any, typing.Any]
-
-
-class SimulationError(RuntimeError):
-    """Raised for invalid uses of the simulation kernel."""
 
 
 class Process(Event):
@@ -24,12 +22,13 @@ class Process(Event):
     wait for each other with ``result = yield other_process``.
     """
 
-    __slots__ = ("generator", "name")
+    __slots__ = ("generator", "name", "__weakref__")
 
     def __init__(self, env: "Environment", generator: ProcessGenerator, name: str = "") -> None:
         super().__init__(env)
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
+        env._register_process(self)
         bootstrap = Event(env)
         bootstrap.callbacks.append(self._resume)
         bootstrap.succeed()
@@ -90,6 +89,19 @@ class Environment:
         self._queue: list[tuple[float, int, Event]] = []
         self._sequence = 0
         self.strict = strict
+        self._processes: list[weakref.ref[Process]] = []
+
+    def _register_process(self, process: Process) -> None:
+        self._processes.append(weakref.ref(process))
+
+    def alive_processes(self) -> list[Process]:
+        """All processes whose generators have not finished (debug aid)."""
+        alive: list[Process] = []
+        for ref in self._processes:
+            process = ref()
+            if process is not None and process.is_alive:
+                alive.append(process)
+        return alive
 
     @property
     def now(self) -> float:
@@ -142,8 +154,11 @@ class Environment:
         if isinstance(until, Event):
             while not until.processed:
                 if not self._queue:
+                    alive = ", ".join(repr(p.name) for p in self.alive_processes())
                     raise SimulationError(
-                        "deadlock: event queue empty but run-until event never fired"
+                        f"deadlock at t={self._now:.6f}: event queue empty but "
+                        f"run-until event never fired; alive processes: "
+                        f"[{alive or 'none'}]"
                     )
                 self.step()
             return until.value

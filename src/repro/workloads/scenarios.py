@@ -14,13 +14,16 @@ from dataclasses import dataclass, field, replace
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.placement import Placement, random_placement
-from repro.config import BufferAllocation, SystemConfig
-from repro.costmodel.model import EnvironmentState
+from repro.config import BufferAllocation, OptimizerConfig, SystemConfig
+from repro.costmodel.model import EnvironmentState, Objective
 from repro.engine.executor import ExecutionResult, QueryExecutor
 from repro.errors import ConfigurationError
+from repro.faults.recovery import RecoveryPolicy
+from repro.faults.schedule import FaultSchedule
 from repro.plans.binding import BoundPlan
 from repro.plans.logical import Query
 from repro.plans.operators import DisplayOp
+from repro.plans.policies import Policy
 from repro.workloads.chains import chain_query
 from repro.workloads.relations import benchmark_relations
 
@@ -48,10 +51,35 @@ class Scenario:
             config = config.with_servers(num_servers)
         return EnvironmentState(catalog, config, {})
 
-    def execute(self, plan: "DisplayOp | BoundPlan", seed: int = 0) -> ExecutionResult:
-        """Simulate one plan in a freshly built system."""
+    def execute(
+        self,
+        plan: "DisplayOp | BoundPlan",
+        seed: int = 0,
+        faults: "FaultSchedule | None" = None,
+        recovery: "RecoveryPolicy | None" = None,
+        policy: "Policy | None" = None,
+        objective: Objective = Objective.RESPONSE_TIME,
+        optimizer_config: "OptimizerConfig | None" = None,
+    ) -> ExecutionResult:
+        """Simulate one plan in a freshly built system.
+
+        ``faults`` injects the schedule's crashes/outages/slowdowns into the
+        run and routes execution through the recovery loop; ``recovery``
+        tunes retries, backoff, timeout, and replanning (``policy`` /
+        ``objective`` / ``optimizer_config`` parameterize the re-optimization
+        performed after a fault).
+        """
         executor = QueryExecutor(
-            self.config, self.catalog, self.query, seed=seed, server_loads=self.server_loads
+            self.config,
+            self.catalog,
+            self.query,
+            seed=seed,
+            server_loads=self.server_loads,
+            faults=faults,
+            recovery=recovery,
+            policy=policy,
+            objective=objective,
+            optimizer_config=optimizer_config,
         )
         return executor.execute(plan)
 

@@ -1,0 +1,129 @@
+"""Executor-level recovery loop: retries, replans, timeouts, fallbacks."""
+
+import pytest
+
+from repro.config import OptimizerConfig
+from repro.costmodel.model import Objective
+from repro.errors import QueryTimeoutError, SiteUnavailableError, TransientFaultError
+from repro.faults import FaultSchedule, RecoveryPolicy
+from repro.optimizer.two_phase import RandomizedOptimizer
+from repro.plans.policies import Policy
+from repro.workloads.scenarios import chain_scenario
+
+FAST = OptimizerConfig.fast()
+
+
+def _optimized(scenario, policy, seed=0):
+    return RandomizedOptimizer(
+        scenario.query,
+        scenario.environment(),
+        policy=policy,
+        objective=Objective.RESPONSE_TIME,
+        config=FAST,
+        seed=seed,
+    ).optimize().plan
+
+
+def _run(policy, faults, recovery=None, cached_fraction=1.0, seed=0):
+    scenario = chain_scenario(
+        num_relations=2, num_servers=1, cached_fraction=cached_fraction, placement_seed=seed
+    )
+    plan = _optimized(scenario, policy, seed)
+    return scenario.execute(
+        plan,
+        seed=seed,
+        faults=faults,
+        recovery=recovery,
+        policy=policy,
+        optimizer_config=FAST,
+    )
+
+
+class TestRecoveryLoop:
+    def test_hybrid_replans_onto_client_cache_after_crash(self):
+        result = _run(Policy.HYBRID_SHIPPING, FaultSchedule.server_crash(1, at=0.2))
+        assert result.replans >= 1
+        assert result.retries >= 1
+        assert result.faults_seen >= 1
+        assert result.time_to_recover > 0.0
+        assert result.wasted_work_pages > 0
+        assert result.result_tuples > 0
+
+    def test_data_shipping_with_full_cache_is_immune(self):
+        result = _run(Policy.DATA_SHIPPING, FaultSchedule.server_crash(1, at=0.2))
+        assert result.replans == 0
+        assert result.retries == 0
+        assert result.result_tuples > 0
+
+    def test_query_shipping_exhausts_retries_without_restart(self):
+        with pytest.raises(SiteUnavailableError):
+            _run(
+                Policy.QUERY_SHIPPING,
+                FaultSchedule.server_crash(1, at=0.2),
+                recovery=RecoveryPolicy(max_attempts=3, base_backoff=0.2),
+            )
+
+    def test_query_shipping_recovers_after_restart_window(self):
+        result = _run(
+            Policy.QUERY_SHIPPING,
+            FaultSchedule.server_crash(1, at=0.2, duration=1.0),
+            recovery=RecoveryPolicy(max_attempts=8, base_backoff=0.5),
+        )
+        assert result.retries >= 1
+        assert result.replans == 0  # QS cannot plan around the crash
+        assert result.result_tuples > 0
+
+    def test_single_attempt_policy_fails_fast(self):
+        with pytest.raises(TransientFaultError):
+            _run(
+                Policy.HYBRID_SHIPPING,
+                FaultSchedule.server_crash(1, at=0.2),
+                recovery=RecoveryPolicy.none(),
+            )
+
+    def test_query_timeout_raises_timeout_error(self):
+        with pytest.raises(QueryTimeoutError):
+            _run(
+                Policy.QUERY_SHIPPING,
+                FaultSchedule.server_crash(1, at=0.2),
+                recovery=RecoveryPolicy(
+                    max_attempts=50, base_backoff=0.5, query_timeout=10.0
+                ),
+            )
+
+    def test_recovery_policy_without_faults_matches_plain_run(self):
+        scenario = chain_scenario(num_relations=2, num_servers=1, placement_seed=0)
+        plan = _optimized(scenario, Policy.QUERY_SHIPPING)
+        plain = scenario.execute(plan, seed=0)
+        supervised = scenario.execute(
+            plan, seed=0, recovery=RecoveryPolicy(), policy=Policy.QUERY_SHIPPING
+        )
+        assert supervised.response_time == pytest.approx(plain.response_time)
+        assert supervised.pages_sent == plain.pages_sent
+        assert supervised.retries == 0
+
+    def test_message_drops_survive_without_recovery_loop_faults(self):
+        result = _run(
+            Policy.QUERY_SHIPPING,
+            FaultSchedule(message_drop_probability=0.05),
+            cached_fraction=0.0,
+        )
+        assert result.messages_dropped > 0
+        assert result.retries == 0
+        assert result.result_tuples > 0
+
+    def test_network_outage_mid_stream_triggers_recovery(self):
+        # Outage opens immediately and heals: the initial control/open
+        # traffic of a query-shipping plan hits it and the client retries.
+        result = _run(
+            Policy.QUERY_SHIPPING,
+            FaultSchedule.network_outage(at=0.01, duration=1.0),
+            cached_fraction=0.0,
+            seed=1,
+        )
+        assert result.result_tuples > 0
+
+    def test_wasted_work_and_recovery_metrics_in_str(self):
+        result = _run(Policy.HYBRID_SHIPPING, FaultSchedule.server_crash(1, at=0.2))
+        text = str(result)
+        assert "retries=" in text and "replans=" in text

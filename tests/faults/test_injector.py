@@ -1,0 +1,86 @@
+"""Unit tests for the fault injector driving a live topology."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.faults import FaultInjector, FaultSchedule
+from repro.faults.schedule import DegradationWindow, DiskSlowdownWindow
+from repro.hardware.topology import Topology
+from repro.sim import Environment
+
+
+@pytest.fixture
+def topology(env):
+    return Topology(env, SystemConfig(num_servers=2))
+
+
+def test_crash_window_flips_site_down_then_up(env, topology):
+    schedule = FaultSchedule.server_crash(1, at=1.0, duration=2.0)
+    FaultInjector(env, topology, schedule)
+    server = topology.site(1)
+    env.run(until=env.timeout(0.5))
+    assert server.up
+    env.run(until=env.timeout(1.0))  # t = 1.5
+    assert not server.up
+    assert server.disk.is_off
+    env.run(until=env.timeout(2.0))  # t = 3.5
+    assert server.up
+    assert not server.disk.is_off
+    assert server.crash_count == 1
+    assert server.total_downtime == pytest.approx(2.0)
+
+
+def test_permanent_crash_never_restarts(env, topology):
+    FaultInjector(env, topology, FaultSchedule.server_crash(2, at=0.5))
+    env.run()
+    assert not topology.site(2).up
+    assert topology.site(1).up
+
+
+def test_outage_window_flips_network(env, topology):
+    FaultInjector(env, topology, FaultSchedule.network_outage(at=1.0, duration=1.0))
+    network = topology.network
+    env.run(until=env.timeout(1.5))
+    assert not network.up
+    env.run(until=env.timeout(1.0))
+    assert network.up
+    assert network.outage_count == 1
+
+
+def test_degradation_window_scales_bandwidth(env, topology):
+    schedule = FaultSchedule(
+        network_degradations=(DegradationWindow(factor=4.0, start=1.0, end=2.0),)
+    )
+    FaultInjector(env, topology, schedule)
+    env.run(until=env.timeout(1.5))
+    assert topology.network.degradation_factor == 4.0
+    env.run(until=env.timeout(1.0))
+    assert topology.network.degradation_factor == 1.0
+
+
+def test_slowdown_window_scales_every_disk_of_the_site(env, topology):
+    schedule = FaultSchedule(
+        disk_slowdowns=(DiskSlowdownWindow(site_id=1, factor=3.0, start=0.5, end=1.5),)
+    )
+    FaultInjector(env, topology, schedule)
+    env.run(until=env.timeout(1.0))
+    assert all(d.slow_factor == 3.0 for d in topology.site(1).disks)
+    assert all(d.slow_factor == 1.0 for d in topology.site(2).disks)
+    env.run(until=env.timeout(1.0))
+    assert all(d.slow_factor == 1.0 for d in topology.site(1).disks)
+
+
+def test_drop_probability_configured_eagerly(env, topology):
+    FaultInjector(env, topology, FaultSchedule(message_drop_probability=0.25), seed=3)
+    assert topology.network.drop_probability == 0.25
+    assert topology.network.drop_rng is not None
+
+
+def test_faults_injected_counter(env, topology):
+    schedule = FaultSchedule.server_crash(1, at=1.0, duration=1.0).merge(
+        FaultSchedule.network_outage(at=2.0, duration=1.0)
+    )
+    injector = FaultInjector(env, topology, schedule)
+    env.run()
+    assert injector.faults_injected.value == 2
+    assert injector.down_servers() == set()

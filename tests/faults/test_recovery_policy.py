@@ -1,0 +1,63 @@
+"""Unit tests for the recovery policy and its statistics."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import RecoveryPolicy, RecoveryStats
+
+
+class TestRecoveryPolicy:
+    def test_defaults_are_valid(self):
+        policy = RecoveryPolicy()
+        assert policy.max_attempts >= 1
+        assert policy.replan
+
+    def test_none_fails_fast(self):
+        policy = RecoveryPolicy.none()
+        assert policy.max_attempts == 1
+        assert not policy.replan
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_backoff": -1.0},
+            {"backoff_multiplier": 0.5},
+            {"jitter_fraction": 1.5},
+            {"query_timeout": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(**kwargs)
+
+    def test_backoff_grows_exponentially(self):
+        policy = RecoveryPolicy(base_backoff=1.0, backoff_multiplier=2.0, jitter_fraction=0.0)
+        rng = random.Random(0)
+        delays = [policy.backoff(n, rng) for n in (1, 2, 3)]
+        assert delays == [1.0, 2.0, 4.0]
+
+    def test_jitter_bounded_and_deterministic(self):
+        policy = RecoveryPolicy(base_backoff=1.0, backoff_multiplier=1.0, jitter_fraction=0.5)
+        a = [policy.backoff(1, random.Random(42)) for _ in range(3)]
+        b = [policy.backoff(1, random.Random(42)) for _ in range(3)]
+        assert a == b
+        assert all(1.0 <= delay <= 1.5 for delay in a)
+
+
+class TestRecoveryStats:
+    def test_clean_run_records_nothing(self):
+        stats = RecoveryStats()
+        assert stats.record_success(10.0) == 0.0
+        assert stats.faults_seen.value == 0
+        assert stats.time_to_recover == 0.0
+
+    def test_fault_then_success_measures_recovery_time(self):
+        stats = RecoveryStats()
+        stats.record_fault(2.0)
+        stats.record_fault(5.0)  # later faults do not move the clock
+        assert stats.faults_seen.value == 2
+        assert stats.record_success(9.0) == pytest.approx(7.0)
+        assert stats.time_to_recover == pytest.approx(7.0)

@@ -1,0 +1,108 @@
+"""Unit tests for the declarative fault schedules."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    CrashWindow,
+    DegradationWindow,
+    DiskSlowdownWindow,
+    FaultSchedule,
+    OutageWindow,
+)
+
+
+class TestWindows:
+    def test_crash_window_rejects_client(self):
+        with pytest.raises(ConfigurationError, match="client"):
+            CrashWindow(site_id=0, start=1.0)
+
+    def test_crash_window_rejects_empty_window(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            CrashWindow(site_id=1, start=5.0, end=5.0)
+
+    def test_crash_window_rejects_negative_start(self):
+        with pytest.raises(ConfigurationError, match="past"):
+            CrashWindow(site_id=1, start=-1.0)
+
+    def test_crash_window_defaults_to_forever(self):
+        assert CrashWindow(site_id=1, start=1.0).end == math.inf
+
+    def test_outage_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            OutageWindow(start=3.0, end=2.0)
+
+    def test_degradation_needs_factor_at_least_one(self):
+        with pytest.raises(ConfigurationError, match="factor"):
+            DegradationWindow(factor=0.5, start=0.0, end=1.0)
+
+    def test_slowdown_needs_factor_at_least_one(self):
+        with pytest.raises(ConfigurationError, match="factor"):
+            DiskSlowdownWindow(site_id=1, factor=0.0, start=0.0, end=1.0)
+
+
+class TestSchedule:
+    def test_empty_schedule(self):
+        schedule = FaultSchedule()
+        assert schedule.is_empty
+        assert schedule.crashed_sites_at(10.0) == set()
+
+    def test_drop_probability_alone_is_not_empty(self):
+        assert not FaultSchedule(message_drop_probability=0.1).is_empty
+
+    def test_drop_probability_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule(message_drop_probability=1.0)
+        with pytest.raises(ConfigurationError):
+            FaultSchedule(message_drop_probability=-0.1)
+
+    def test_server_crash_constructor(self):
+        schedule = FaultSchedule.server_crash(2, at=1.5, duration=3.0)
+        assert schedule.crashed_sites_at(1.4) == set()
+        assert schedule.crashed_sites_at(1.5) == {2}
+        assert schedule.crashed_sites_at(4.4) == {2}
+        assert schedule.crashed_sites_at(4.5) == set()
+
+    def test_server_crash_forever(self):
+        schedule = FaultSchedule.server_crash(1, at=0.2)
+        assert schedule.crashed_sites_at(1e9) == {1}
+
+    def test_network_outage_constructor(self):
+        schedule = FaultSchedule.network_outage(at=1.0, duration=2.0)
+        (window,) = schedule.network_outages
+        assert (window.start, window.end) == (1.0, 3.0)
+
+    def test_merge_unions_windows_and_combines_drops(self):
+        a = FaultSchedule.server_crash(1, at=1.0).with_drop_probability(0.5)
+        b = FaultSchedule.network_outage(at=2.0).with_drop_probability(0.5)
+        merged = a.merge(b)
+        assert len(merged.server_crashes) == 1
+        assert len(merged.network_outages) == 1
+        assert merged.message_drop_probability == pytest.approx(0.75)
+
+
+class TestPeriodicCrashes:
+    def test_windows_alternate_and_stay_in_horizon(self):
+        schedule = FaultSchedule.periodic_crashes(1, mtbf=5.0, mttr=2.0, horizon=60.0)
+        assert schedule.server_crashes
+        previous_end = 0.0
+        for window in schedule.server_crashes:
+            assert window.start >= previous_end
+            assert window.start < 60.0
+            assert window.end == pytest.approx(window.start + 2.0)
+            previous_end = window.end
+
+    def test_deterministic_per_seed(self):
+        a = FaultSchedule.periodic_crashes((1, 2), mtbf=5.0, mttr=1.0, horizon=50.0, seed=7)
+        b = FaultSchedule.periodic_crashes((1, 2), mtbf=5.0, mttr=1.0, horizon=50.0, seed=7)
+        c = FaultSchedule.periodic_crashes((1, 2), mtbf=5.0, mttr=1.0, horizon=50.0, seed=8)
+        assert a == b
+        assert a != c
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.periodic_crashes(1, mtbf=0.0, mttr=1.0, horizon=10.0)
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.periodic_crashes(1, mtbf=1.0, mttr=-1.0, horizon=10.0)

@@ -1,0 +1,98 @@
+"""Acceptance scenario: crash the primary server of one relation mid-scan.
+
+With ``cached_fraction=1.0`` every relation is fully cached at the client,
+so the paper's flexibility argument (section 4.2) extends to availability:
+policies that may read cached copies (data- and hybrid-shipping) survive a
+server crash by falling back to the client cache, while query-shipping --
+bound to primary copies -- must wait for the server to come back or fail.
+"""
+
+import math
+
+import pytest
+
+from repro import api
+from repro.errors import SiteUnavailableError, TransientFaultError
+from repro.faults import FaultSchedule, RecoveryPolicy
+
+CRASH = FaultSchedule.server_crash(1, at=0.2)  # mid-scan, never restarts
+
+
+class TestMidScanCrash:
+    def test_hybrid_falls_back_to_client_cache(self):
+        outcome = api.run_query(
+            policy="hybrid", num_relations=2, num_servers=1,
+            cached_fraction=1.0, faults=CRASH,
+        )
+        result = outcome.result
+        assert result.result_tuples > 0
+        assert result.replans >= 1
+        assert math.isfinite(result.time_to_recover) and result.time_to_recover > 0.0
+
+    def test_data_shipping_completes(self):
+        outcome = api.run_query(
+            policy="data", num_relations=2, num_servers=1,
+            cached_fraction=1.0, faults=CRASH,
+        )
+        assert outcome.result.result_tuples > 0
+
+    def test_query_shipping_fails_after_bounded_retries(self):
+        with pytest.raises(SiteUnavailableError):
+            api.run_query(
+                policy="query", num_relations=2, num_servers=1,
+                cached_fraction=1.0, faults=CRASH,
+                recovery=RecoveryPolicy(max_attempts=3, base_backoff=0.2),
+            )
+
+    def test_query_shipping_recovers_within_restart_window(self):
+        outcome = api.run_query(
+            policy="query", num_relations=2, num_servers=1, cached_fraction=1.0,
+            faults=FaultSchedule.server_crash(1, at=0.2, duration=1.0),
+            recovery=RecoveryPolicy(max_attempts=8, base_backoff=0.5),
+        )
+        assert outcome.result.result_tuples > 0
+        assert outcome.result.retries >= 1
+
+    def test_recovered_result_matches_fault_free_answer(self):
+        clean = api.run_query(
+            policy="hybrid", num_relations=2, num_servers=1, cached_fraction=1.0
+        )
+        recovered = api.run_query(
+            policy="hybrid", num_relations=2, num_servers=1,
+            cached_fraction=1.0, faults=CRASH,
+        )
+        assert recovered.result.result_tuples == clean.result.result_tuples
+
+    def test_availability_ordering(self):
+        """The paper's flexibility ranking carries over to availability:
+        under a permanent crash, HY and DS finish while QS cannot."""
+        finished = {}
+        for policy in ("data", "query", "hybrid"):
+            try:
+                outcome = api.run_query(
+                    policy=policy, num_relations=2, num_servers=1,
+                    cached_fraction=1.0, faults=CRASH,
+                    recovery=RecoveryPolicy(max_attempts=3, base_backoff=0.2),
+                )
+                finished[policy] = outcome.result.result_tuples > 0
+            except TransientFaultError:
+                finished[policy] = False
+        assert finished == {"data": True, "hybrid": True, "query": False}
+
+
+class TestAvailabilitySweepFigure:
+    def test_sweep_shape(self):
+        from repro.experiments.figures import availability_sweep
+        from repro.experiments.runner import RunSettings
+
+        result = availability_sweep(
+            settings=RunSettings(seeds=(3, 7)), mtbf_values=(5.0, 40.0)
+        )
+        # DS is immune: same completed fraction and no replans everywhere.
+        assert all(p.y == 100.0 for p in result.series["DS completed [%]"])
+        assert all(p.y == 0.0 for p in result.series["DS replans"])
+        # HY completes everywhere by falling back to the client cache.
+        assert all(p.y == 100.0 for p in result.series["HY completed [%]"])
+        # More reliable servers never hurt QS.
+        qs = result.series_means("QS")
+        assert qs[40.0] <= qs[5.0]

@@ -1,0 +1,80 @@
+"""Determinism properties of the fault-injection subsystem.
+
+Two guarantees matter for reproducible experiments:
+
+1. An *empty* fault schedule must be byte-identical to not passing one at
+   all -- the recovery machinery may not perturb the event timeline of a
+   fault-free run, for any policy.
+2. The same seed and the same schedule must reproduce the same run,
+   including every recovery decision (retries, replans, backoff jitter).
+"""
+
+import pytest
+
+from repro import api
+from repro.faults import FaultSchedule, RecoveryPolicy
+
+POLICIES = ("data", "query", "hybrid")
+
+
+def _result_fingerprint(result):
+    return (
+        result.response_time,
+        result.pages_sent,
+        result.control_messages,
+        result.bytes_sent,
+        result.result_tuples,
+        result.result_pages,
+        result.disk_reads,
+        result.disk_writes,
+        tuple(sorted(result.disk_utilizations.items())),
+        tuple(sorted(result.cpu_utilizations.items())),
+        result.network_utilization,
+        result.retries,
+        result.replans,
+        result.wasted_work_pages,
+        result.faults_seen,
+        result.messages_dropped,
+    )
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("seed", (0, 7))
+def test_empty_schedule_is_byte_identical_to_seed_behavior(policy, seed):
+    kwargs = dict(
+        policy=policy, num_relations=2, num_servers=1,
+        cached_fraction=0.5, seed=seed,
+    )
+    plain = api.run_query(**kwargs)
+    empty = api.run_query(faults=FaultSchedule(), **kwargs)
+    assert _result_fingerprint(plain.result) == _result_fingerprint(empty.result)
+
+
+@pytest.mark.parametrize("policy", ("data", "hybrid"))
+def test_same_seed_and_schedule_reproduce_the_run(policy):
+    kwargs = dict(
+        policy=policy, num_relations=2, num_servers=1, cached_fraction=1.0,
+        faults=FaultSchedule.server_crash(1, at=0.2), seed=3,
+    )
+    first = api.run_query(**kwargs)
+    second = api.run_query(**kwargs)
+    assert _result_fingerprint(first.result) == _result_fingerprint(second.result)
+    assert first.result.retries == second.result.retries
+    assert first.result.replans == second.result.replans
+
+
+def test_same_seed_reproduces_qs_wait_out_recovery():
+    kwargs = dict(
+        policy="query", num_relations=2, num_servers=1, cached_fraction=1.0,
+        faults=FaultSchedule.server_crash(1, at=0.2, duration=1.0),
+        recovery=RecoveryPolicy(max_attempts=8, base_backoff=0.5), seed=5,
+    )
+    first = api.run_query(**kwargs)
+    second = api.run_query(**kwargs)
+    assert _result_fingerprint(first.result) == _result_fingerprint(second.result)
+
+
+def test_different_seeds_draw_different_periodic_schedules():
+    a = FaultSchedule.periodic_crashes(1, mtbf=10.0, mttr=2.0, horizon=100.0, seed=1)
+    b = FaultSchedule.periodic_crashes(1, mtbf=10.0, mttr=2.0, horizon=100.0, seed=2)
+    assert a != b

@@ -146,6 +146,35 @@ class TestProcess:
         with pytest.raises(SimulationError, match="deadlock"):
             env.run(until=process)
 
+    def test_deadlock_message_names_time_and_alive_processes(self, env):
+        def stuck():
+            yield Event(env)  # never triggered
+
+        def bystander():
+            yield env.timeout(2.5)
+
+        process = env.process(stuck(), name="stuck-waiter")
+        env.process(bystander(), name="done-by-then")
+        with pytest.raises(SimulationError) as excinfo:
+            env.run(until=process)
+        message = str(excinfo.value)
+        assert "t=2.5" in message
+        assert "stuck-waiter" in message
+        assert "done-by-then" not in message  # finished processes not listed
+
+    def test_alive_processes_listing(self, env):
+        def forever():
+            yield Event(env)
+
+        def quick():
+            yield env.timeout(1.0)
+
+        immortal = env.process(forever(), name="immortal")
+        env.process(quick(), name="mortal")
+        env.run()
+        assert immortal in env.alive_processes()
+        assert all(p.name != "mortal" for p in env.alive_processes())
+
     def test_is_alive(self, env):
         def worker():
             yield env.timeout(1.0)
