@@ -1,0 +1,64 @@
+"""Throughput sweep: policies vs concurrent clients (multi-client workload).
+
+Not a paper figure -- the capacity question the paper's design implies:
+closed streams of 2-way joins, one server, 75 % of each relation cached at
+the clients.  Expected shape: data-shipping throughput scales nearly
+linearly with the client count (each client joins on its own disk);
+query-shipping saturates the single server disk, so its throughput stays
+flat while its p95 response time balloons; hybrid lands in between.
+
+Besides the rendered table, this benchmark writes machine-readable
+``results/BENCH_throughput.json``: throughput and p95 per policy at each
+client count, for CI trend tracking.
+"""
+
+import json
+
+from conftest import FULL, publish
+
+from repro.experiments import throughput_sweep
+
+CLIENT_COUNTS = (1, 4, 8) if FULL else (1, 4)
+
+
+def test_throughput_sweep(benchmark, settings, results_dir):
+    result = benchmark.pedantic(
+        lambda: throughput_sweep(settings, client_counts=CLIENT_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+    publish(result, results_dir)
+
+    payload = {
+        "figure_id": result.figure_id,
+        "client_counts": list(CLIENT_COUNTS),
+        "policies": {},
+    }
+    for label in ("DS", "QS", "HY"):
+        throughput = result.series_means(label)
+        p95 = result.series_means(f"{label} p95 [s]")
+        payload["policies"][label] = {
+            "throughput": {str(int(x)): throughput[x] for x in sorted(throughput)},
+            "p95_response_time": {str(int(x)): p95[x] for x in sorted(p95)},
+        }
+    out = results_dir / "BENCH_throughput.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n[wrote {out}]")
+
+    ds = result.series_means("DS")
+    qs = result.series_means("QS")
+    hy = result.series_means("HY")
+    qs_p95 = result.series_means("QS p95 [s]")
+    low, high = min(CLIENT_COUNTS), max(CLIENT_COUNTS)
+
+    # DS scales: adding cached clients adds nearly proportional throughput.
+    assert ds[high] > 0.6 * (high / low) * ds[low]
+    # QS saturates the server disk: throughput barely moves...
+    assert qs[high] < 1.5 * qs[low]
+    # ...and the tail pays for it.
+    assert qs_p95[high] > 2.0 * qs_p95[low]
+    # At scale, DS sustains a multiple of the QS throughput.
+    assert ds[high] > 2.0 * qs[high]
+    # Hybrid at least matches the better pure policy's throughput per point.
+    for x in hy:
+        assert hy[x] >= 0.95 * max(ds[x], qs[x]) or hy[x] >= qs[x]

@@ -29,9 +29,16 @@ from repro.plans.binding import bind_plan
 from repro.plans.operators import DisplayOp
 from repro.plans.policies import Policy
 from repro.plans.render import render_plan
+from repro.workload import (
+    AdmissionConfig,
+    AdmissionPolicy,
+    StreamConfig,
+    WorkloadResult,
+    WorkloadRunner,
+)
 from repro.workloads.scenarios import Scenario, chain_scenario
 
-__all__ = ["QueryOutcome", "run_query", "compare_policies", "explain"]
+__all__ = ["QueryOutcome", "run_query", "run_workload", "compare_policies", "explain"]
 
 _POLICY_NAMES = {
     "data": Policy.DATA_SHIPPING,
@@ -146,6 +153,89 @@ def run_query(
         optimizer_config=optimizer_config,
     )
     return QueryOutcome(scenario, parsed_policy, optimization.plan, optimization.cost, result)
+
+
+def run_workload(
+    policy: "str | Policy" = "hybrid",
+    objective: "str | Objective" = "response-time",
+    num_clients: int = 4,
+    arrival: str = "closed",
+    rate: float = 1.0,
+    think_time: float = 0.0,
+    queries_per_client: int = 4,
+    num_relations: int = 2,
+    num_servers: int = 1,
+    cached_fraction: float = 0.0,
+    allocation: "str | BufferAllocation" = BufferAllocation.MINIMUM,
+    selectivity: "str | float" = "moderate",
+    server_load: float = 0.0,
+    admission: "str | AdmissionConfig | None" = "wait",
+    max_concurrent: int = 4,
+    queue_limit: int = 16,
+    client_caches: "dict[int, dict[str, float]] | None" = None,
+    seed: int = 0,
+    optimizer: OptimizerConfig | None = None,
+    faults: FaultSchedule | None = None,
+    recovery: RecoveryPolicy | None = None,
+) -> WorkloadResult:
+    """Run a multi-client concurrent workload; returns throughput metrics.
+
+    ``num_clients`` client sites share one simulated system and submit the
+    same chain-join query concurrently.  ``arrival`` selects the stream
+    discipline: ``"open"`` (Poisson arrivals of ``rate`` queries/sec per
+    client) or ``"closed"`` (one query in flight per client, exponential
+    ``think_time`` between queries).  ``admission`` is ``"wait"`` (queue up
+    to ``queue_limit`` queries per server, shed beyond), ``"shed"`` (reject
+    immediately at ``max_concurrent``), ``"off"``/``None`` (no admission
+    control), or a full :class:`~repro.workload.AdmissionConfig`.
+    ``client_caches`` optionally gives individual clients their own cached
+    fractions (``{ordinal: {relation: fraction}}``).
+
+    The returned :class:`~repro.workload.WorkloadResult` has throughput
+    (completed queries per second of simulated time), mean/p50/p95/p99
+    response times, shed/failed counts, per-server admission statistics,
+    and per-resource utilizations.
+    """
+    if isinstance(allocation, str):
+        allocation = BufferAllocation(allocation)
+    parsed_policy = _parse_policy(policy)
+    parsed_objective = _parse_objective(objective)
+    if isinstance(admission, str):
+        if admission.lower() in ("off", "none"):
+            admission = None
+        else:
+            admission = AdmissionConfig(
+                max_concurrent=max_concurrent,
+                queue_limit=queue_limit,
+                policy=AdmissionPolicy(admission.lower()),
+            )
+    scenario = chain_scenario(
+        num_relations=num_relations,
+        num_servers=num_servers,
+        allocation=allocation,
+        cached_fraction=cached_fraction,
+        placement_seed=seed,
+        selectivity=selectivity,
+        server_load=server_load,
+    )
+    return WorkloadRunner(
+        scenario,
+        parsed_policy,
+        num_clients=num_clients,
+        stream=StreamConfig(
+            arrival=arrival,
+            rate=rate,
+            think_time=think_time,
+            queries_per_client=queries_per_client,
+        ),
+        admission=admission,
+        seed=seed,
+        objective=parsed_objective,
+        optimizer_config=optimizer or OptimizerConfig.fast(),
+        faults=faults,
+        recovery=recovery,
+        client_caches=client_caches,
+    ).run()
 
 
 def compare_policies(

@@ -79,8 +79,18 @@ class Catalog:
     # ------------------------------------------------------------------
     # Materialisation
     # ------------------------------------------------------------------
-    def install(self, topology: Topology) -> None:
-        """Create primary copies on servers and cached prefixes at the client."""
+    def install(
+        self,
+        topology: Topology,
+        client_caches: "dict[int, dict[str, float]] | None" = None,
+    ) -> None:
+        """Create primary copies on servers and cached prefixes at the clients.
+
+        Every client site receives this catalog's ``cache_fractions`` by
+        default; ``client_caches`` overrides the per-relation fractions for
+        individual clients (keyed by client *site id*: 0, -1, -2, ...), so
+        multi-client workloads can give each client its own cache contents.
+        """
         config = topology.config
         for name in self.relation_names:
             server_id = self.placement.server_of(name)
@@ -90,12 +100,20 @@ class Catalog:
                     f"topology has only {len(topology.servers)} servers"
                 )
             topology.site(server_id).store_relation(name, self.pages_of(name, config))
-        cache = topology.client.cache
-        assert cache is not None
-        for name in self.relation_names:
-            fraction = self.cached_fraction(name)
-            if fraction > 0.0:
-                cache.install(name, self.pages_of(name, config), fraction)
+        overrides = client_caches or {}
+        for unknown in set(overrides) - {site.site_id for site in topology.clients}:
+            raise CatalogError(f"cache override for unknown client site {unknown}")
+        for client in topology.clients:
+            cache = client.cache
+            assert cache is not None
+            fractions = overrides.get(client.site_id)
+            for name in self.relation_names:
+                if fractions is None:
+                    fraction = self.cached_fraction(name)
+                else:
+                    fraction = fractions.get(name, 0.0)
+                if fraction > 0.0:
+                    cache.install(name, self.pages_of(name, config), fraction)
 
     def with_placement(self, placement: Placement) -> "Catalog":
         """Copy of this catalog under a different placement (for 2-step)."""

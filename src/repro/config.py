@@ -125,6 +125,7 @@ class SystemConfig:
     move_inst_per_4_bytes: int = 1  # CPU instructions to copy 4 bytes
     buffer_allocation: BufferAllocation = BufferAllocation.MINIMUM
     num_servers: int = 1
+    num_clients: int = 1
     disk: DiskParams = field(default_factory=DiskParams)
     # Memory available for join processing at a site, in pages.  Large enough
     # by default that MAXIMUM allocation always fits the benchmark relations.
@@ -142,6 +143,8 @@ class SystemConfig:
             raise ConfigurationError("net_bandwidth_mbit must be positive")
         if self.num_servers < 1:
             raise ConfigurationError("need at least one server")
+        if self.num_clients < 1:
+            raise ConfigurationError("need at least one client")
         if self.num_disks < 1:
             raise ConfigurationError("need at least one disk per site")
 
@@ -178,6 +181,10 @@ class SystemConfig:
     def with_servers(self, num_servers: int) -> "SystemConfig":
         """Copy of this configuration with a different server count."""
         return replace(self, num_servers=num_servers)
+
+    def with_clients(self, num_clients: int) -> "SystemConfig":
+        """Copy of this configuration with a different client count."""
+        return replace(self, num_clients=num_clients)
 
     def with_allocation(self, allocation: BufferAllocation) -> "SystemConfig":
         """Copy of this configuration with a different join buffer policy."""

@@ -91,6 +91,16 @@ class PhysicalOp:
         self._closed = True
         yield from self._close()
 
+    def abort(self) -> None:
+        """Release held resources after an abandoned attempt (idempotent).
+
+        When a transient fault (or an admission decision) kills an attempt,
+        ``close`` never runs on its operators; the recovery and workload
+        layers call ``abort`` instead so buffer memory and temp extents flow
+        back to the site.  Unlike ``close`` this is not a simulation
+        generator: releasing bookkeeping costs no simulated time.
+        """
+
     # Subclass hooks -----------------------------------------------------
     def _open(self) -> typing.Generator:
         return

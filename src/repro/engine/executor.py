@@ -1,11 +1,17 @@
 """Query executor: builds physical operator trees and drives them.
 
-One :class:`QueryExecutor` owns one simulation run: it creates the
-environment and topology, installs the catalog, starts any external load
-generators, converts a bound plan into physical iterators (inserting
+One :class:`QueryExecutor` owns one simulated system: by default it creates
+the environment and topology, installs the catalog, starts any external
+load generators, converts a bound plan into physical iterators (inserting
 exchange pairs on cross-site edges), and runs the root display to
 completion.  The result carries the study's two metrics -- response time
 and pages sent -- plus detailed resource statistics.
+
+For multi-client workloads the executor can instead be built *around* an
+existing environment and topology, and :class:`QuerySession` runs one
+query as a simulated process on that shared system: many sessions execute
+concurrently, contending on the server CPUs, disks, and the network, with
+optional server-side admission control (see :mod:`repro.workload`).
 
 With a :class:`~repro.faults.FaultSchedule` attached, the executor becomes
 fault tolerant: a :class:`~repro.faults.FaultInjector` crashes servers,
@@ -35,16 +41,18 @@ from repro.engine.scans import ScanIterator
 from repro.engine.selects import SelectIterator
 from repro.engine.sinks import DisplayIterator
 from repro.errors import (
+    ConfigurationError,
     ExecutionError,
     OptimizationError,
     PolicyViolationError,
+    QueryShedError,
     QueryTimeoutError,
     TransientFaultError,
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.recovery import RecoveryPolicy, RecoveryStats
 from repro.faults.schedule import FaultSchedule
-from repro.hardware.site import Site
+from repro.hardware.site import CLIENT_SITE_ID, Site
 from repro.hardware.topology import Topology
 from repro.plans.annotations import Annotation
 from repro.plans.binding import BoundPlan, bind_plan
@@ -54,7 +62,13 @@ from repro.plans.policies import Policy, allowed_annotations, check_policy
 from repro.plans.validate import validate_plan
 from repro.sim import AnyOf, Environment, Event, Process
 
-__all__ = ["ExecutionContext", "ExecutionResult", "QueryExecutor"]
+__all__ = [
+    "ExecutionContext",
+    "ExecutionResult",
+    "QueryExecutor",
+    "QuerySession",
+    "SessionResult",
+]
 
 
 class ExecutionContext:
@@ -105,6 +119,17 @@ class ExecutionContext:
         self.processes.append(process)
         return process
 
+    def abort(self) -> None:
+        """Release resources held by this attempt's operators (idempotent).
+
+        Called when an attempt is abandoned mid-run: operators whose
+        ``close`` will never run give their buffer memory and temp extents
+        back, so later attempts (and concurrent sessions) are not starved
+        by leaked allocations.
+        """
+        for op in self.operators:
+            op.abort()
+
     def _supervise(self, generator: typing.Generator) -> typing.Generator:
         """Convert an escaping transient fault into a fault-event report."""
         try:
@@ -152,7 +177,15 @@ class ExecutionResult:
 
 
 class QueryExecutor:
-    """Runs one bound plan on a freshly built simulated system."""
+    """Runs bound plans on a simulated system.
+
+    By default the executor builds a fresh system (environment, topology,
+    installed catalog) and :meth:`execute` runs one plan to completion on
+    it.  Passing ``topology`` (and optionally ``env``) instead attaches the
+    executor to an existing, already-installed system -- the multi-client
+    workload mode, where :meth:`session` creates concurrently running
+    :class:`QuerySession`\\ s and the caller drives the environment.
+    """
 
     def __init__(
         self,
@@ -166,15 +199,27 @@ class QueryExecutor:
         policy: Policy | None = None,
         objective: Objective = Objective.RESPONSE_TIME,
         optimizer_config: OptimizerConfig | None = None,
+        env: Environment | None = None,
+        topology: Topology | None = None,
     ) -> None:
         self.config = config
         self.catalog = catalog
         self.query = query
         self.seed = seed
         self.server_loads = dict(server_loads or {})
-        self.env = Environment()
-        self.topology = Topology(self.env, config, seed=seed)
-        catalog.install(self.topology)
+        if topology is not None:
+            if env is not None and env is not topology.env:
+                raise ConfigurationError(
+                    "explicit env does not match the provided topology's env"
+                )
+            # Shared system: the caller created the topology and installed
+            # the catalog on it (possibly with per-client cache contents).
+            self.env = topology.env
+            self.topology = topology
+        else:
+            self.env = env if env is not None else Environment()
+            self.topology = Topology(self.env, config, seed=seed)
+            catalog.install(self.topology)
         self.estimator = Estimator(query, catalog, config)
         self.context = ExecutionContext(
             self.env, self.topology, catalog, query, self.estimator
@@ -353,6 +398,7 @@ class QueryExecutor:
                 )
             stats.record_fault(env.now)
             stats.wasted_work_pages.add(context.pages_produced())
+            context.abort()
             if deadline is not None and env.now >= deadline:
                 if not isinstance(failure, QueryTimeoutError):
                     failure = QueryTimeoutError(
@@ -423,6 +469,34 @@ class QueryExecutor:
         return Policy.HYBRID_SHIPPING
 
     # ------------------------------------------------------------------
+    # Sessions (multi-client workload mode)
+    # ------------------------------------------------------------------
+    def session(
+        self,
+        plan: "DisplayOp | BoundPlan",
+        client_site: int = CLIENT_SITE_ID,
+        admission: "typing.Mapping[int, typing.Any] | None" = None,
+        session_id: str = "q0",
+        recovery: RecoveryPolicy | None = None,
+    ) -> "QuerySession":
+        """Create one in-flight query on this executor's (shared) system.
+
+        ``admission`` maps server site ids to admission controllers (see
+        :class:`repro.workload.AdmissionController`); ``client_site`` pins
+        the plan's client-side operators to one of the topology's client
+        sites (0, -1, -2, ...).  The returned session's :meth:`~QuerySession.run`
+        generator is spawned as a simulated process by the caller.
+        """
+        return QuerySession(
+            self,
+            plan,
+            client_site=client_site,
+            admission=admission,
+            session_id=session_id,
+            recovery=recovery if recovery is not None else self.recovery,
+        )
+
+    # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
     def _collect(
@@ -460,4 +534,233 @@ class QueryExecutor:
             time_to_recover=time_to_recover,
             faults_seen=stats.faults_seen.value,
             messages_dropped=network.messages_dropped,
+        )
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """Outcome of one query session in a multi-client workload.
+
+    ``status`` is ``"completed"``, ``"shed"`` (rejected by a server's
+    admission controller), or ``"failed"`` (a fault exhausted recovery).
+    ``queue_delay`` is the total simulated time the session spent waiting
+    in admission queues, already included in ``response_time``.
+    """
+
+    session_id: str
+    client_site: int
+    submitted: float
+    completed: float
+    response_time: float
+    queue_delay: float
+    status: str
+    retries: int
+    replans: int
+    result_tuples: int
+    error: str | None = None
+    servers_used: tuple[int, ...] = ()
+
+
+class QuerySession:
+    """One query in flight on a shared simulated system.
+
+    The session binds its (shared, annotated) plan to its own client site,
+    passes the resulting server set through the admission controllers, and
+    drives the physical plan as a simulated process -- so concurrent
+    sessions contend for the server CPUs, disks, and the network exactly
+    like the single-query path does for one query.  With a recovery policy
+    (or an active fault injector) each session runs its own bounded
+    retry/replan loop; failures stay contained in the session's
+    :class:`SessionResult` instead of tearing down the whole workload.
+    """
+
+    def __init__(
+        self,
+        executor: QueryExecutor,
+        plan: "DisplayOp | BoundPlan",
+        client_site: int = CLIENT_SITE_ID,
+        admission: "typing.Mapping[int, typing.Any] | None" = None,
+        session_id: str = "q0",
+        recovery: RecoveryPolicy | None = None,
+    ) -> None:
+        self.executor = executor
+        self.plan = plan
+        self.client_site = client_site
+        self.admission = dict(admission or {})
+        self.session_id = session_id
+        self.recovery = recovery
+        self.submitted = 0.0
+        self.queue_delay = 0.0
+        self.retries = 0
+        self.replans = 0
+
+    def run(self) -> typing.Generator:
+        """Simulation process: run the query to a :class:`SessionResult`.
+
+        Never raises into the environment -- shedding and exhausted
+        recovery become terminal statuses so one query's fate cannot crash
+        its neighbours' processes.
+        """
+        env = self.executor.env
+        self.submitted = env.now
+        try:
+            if self.recovery is not None or self.executor.fault_tolerant:
+                tuples, servers = yield from self._run_with_recovery()
+            else:
+                tuples, servers = yield from self._run_once()
+        except QueryShedError as exc:
+            return self._result("shed", 0, (), error=exc)
+        except TransientFaultError as exc:
+            return self._result("failed", 0, (), error=exc)
+        return self._result("completed", tuples, servers)
+
+    # ------------------------------------------------------------------
+    # Attempt plumbing
+    # ------------------------------------------------------------------
+    def _bind(self, plan: "DisplayOp | BoundPlan") -> BoundPlan:
+        if isinstance(plan, BoundPlan):
+            return plan
+        return bind_plan(plan, self.executor.catalog, client_site=self.client_site)
+
+    @staticmethod
+    def _servers_of(bound: BoundPlan) -> tuple[int, ...]:
+        return tuple(sorted(sid for sid in bound.sites_used() if sid >= 1))
+
+    def _acquire(self, bound: BoundPlan) -> typing.Generator:
+        """Take one admission ticket per controlled server, in id order.
+
+        Acquiring in sorted server-id order makes multi-server queries
+        deadlock-free (no two sessions ever hold tickets in opposite
+        orders).  A shed releases every ticket already held and re-raises.
+        """
+        env = self.executor.env
+        waited_from = env.now
+        tickets: list[typing.Any] = []
+        for sid in sorted(sid for sid in bound.sites_used() if sid in self.admission):
+            try:
+                ticket = yield from self.admission[sid].admit(self.session_id)
+            except QueryShedError:
+                for held in tickets:
+                    held.release()
+                raise
+            tickets.append(ticket)
+        self.queue_delay += env.now - waited_from
+        return tickets
+
+    @staticmethod
+    def _release(tickets: list) -> None:
+        for ticket in tickets:
+            ticket.release()
+
+    def _run_once(self) -> typing.Generator:
+        """Single-attempt path (no faults, no recovery policy)."""
+        executor = self.executor
+        bound = self._bind(self.plan)
+        tickets = yield from self._acquire(bound)
+        context = ExecutionContext(
+            executor.env, executor.topology, executor.catalog,
+            executor.query, executor.estimator,
+        )
+        root = executor.build_physical(bound, context)
+        try:
+            yield from executor._drive(root)
+        except TransientFaultError:
+            context.abort()
+            raise
+        finally:
+            self._release(tickets)
+        return root.result_tuples, self._servers_of(bound)
+
+    def _run_with_recovery(self) -> typing.Generator:
+        """Per-session recovery loop (mirrors the single-query loop).
+
+        The query timeout is measured from *submission*, so a session that
+        spent long in admission queues has less budget left -- queueing
+        delay is part of the response time the client experiences.
+        """
+        executor = self.executor
+        env = executor.env
+        recovery = self.recovery or RecoveryPolicy()
+        rng = random.Random(f"{executor.seed}:{self.session_id}:recovery")
+        if isinstance(self.plan, BoundPlan):
+            annotated: DisplayOp | None = None
+            prebound: BoundPlan | None = self.plan
+        else:
+            annotated = self.plan
+            prebound = None
+        deadline = (
+            None
+            if recovery.query_timeout is None
+            else self.submitted + recovery.query_timeout
+        )
+        attempt = 0
+        while True:
+            attempt += 1
+            bound = prebound if annotated is None else self._bind(annotated)
+            assert bound is not None
+            tickets = yield from self._acquire(bound)
+            context = ExecutionContext(
+                env, executor.topology, executor.catalog,
+                executor.query, executor.estimator, supervised=True,
+            )
+            root = executor.build_physical(bound, context)
+            consumer = context.spawn(
+                executor._drive(root), name=f"session-{self.session_id}#{attempt}"
+            )
+            assert context.fault_event is not None
+            watchers: list[Event] = [consumer, context.fault_event]
+            if deadline is not None:
+                watchers.append(env.timeout(max(0.0, deadline - env.now)))
+            failure: TransientFaultError | None = None
+            try:
+                yield AnyOf(env, watchers)
+            except TransientFaultError as exc:
+                failure = exc
+            self._release(tickets)
+            if failure is None:
+                if consumer.triggered and consumer.ok:
+                    return root.result_tuples, self._servers_of(bound)
+                failure = QueryTimeoutError(
+                    f"session {self.session_id} timed out after "
+                    f"{recovery.query_timeout}s (attempt {attempt})"
+                )
+            context.abort()
+            if deadline is not None and env.now >= deadline:
+                if not isinstance(failure, QueryTimeoutError):
+                    failure = QueryTimeoutError(
+                        f"session {self.session_id} timed out after "
+                        f"{recovery.query_timeout}s while recovering from: {failure}"
+                    )
+                raise failure
+            if attempt >= recovery.max_attempts:
+                raise failure
+            self.retries += 1
+            yield env.timeout(recovery.backoff(attempt, rng))
+            if recovery.replan and annotated is not None:
+                replanned = executor._replan(annotated)
+                if replanned is not None:
+                    annotated = replanned
+                    self.replans += 1
+
+    def _result(
+        self,
+        status: str,
+        result_tuples: int,
+        servers: tuple[int, ...],
+        error: Exception | None = None,
+    ) -> SessionResult:
+        env = self.executor.env
+        return SessionResult(
+            session_id=self.session_id,
+            client_site=self.client_site,
+            submitted=self.submitted,
+            completed=env.now,
+            response_time=env.now - self.submitted,
+            queue_delay=self.queue_delay,
+            status=status,
+            retries=self.retries,
+            replans=self.replans,
+            result_tuples=result_tuples,
+            error=None if error is None else str(error),
+            servers_used=tuple(servers),
         )

@@ -248,6 +248,15 @@ class HashJoinIterator(PhysicalOp):
             self._ready.extend(self._assembler.add(per_page_output))
 
     def _close(self) -> typing.Generator:
+        self._release_resources()
+        return
+        yield  # pragma: no cover
+
+    def abort(self) -> None:
+        self._release_resources()
+
+    def _release_resources(self) -> None:
+        """Free partition files and buffer frames (idempotent)."""
         if self._inner_parts is not None:
             self._inner_parts.release()
         if self._outer_parts is not None:
@@ -255,5 +264,3 @@ class HashJoinIterator(PhysicalOp):
         if self._buffer_pages:
             self.site.memory.release(self._buffer_pages)
             self._buffer_pages = 0
-        return
-        yield  # pragma: no cover

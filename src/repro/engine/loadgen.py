@@ -6,6 +6,12 @@ The request rate of this process can be varied to achieve different disk
 utilizations" (section 3.2.2).  Figure 4 uses 40, 60 and 70 requests/second
 (roughly 50 %, 76 % and 90 % utilization with the calibrated disk).
 
+This is only a *stand-in* for other clients' traffic: a featureless Poisson
+stream of random reads at the server disk.  Actual multiple clients -- each
+with its own site, disk cache, query stream, and admission-control
+interaction -- are modelled by :mod:`repro.workload`, which runs concurrent
+:class:`~repro.engine.executor.QuerySession`\\ s on one shared system.
+
 Arrivals are Poisson and open (the generator does not wait for completions),
 so query I/O and load I/O genuinely contend in the disk queue.
 """

@@ -13,6 +13,7 @@ __all__ = [
     "ExecutionError",
     "OptimizationError",
     "SimulationError",
+    "QueryShedError",
     "TransientFaultError",
     "SiteUnavailableError",
     "NetworkPartitionError",
@@ -63,6 +64,19 @@ class SimulationError(ReproError, RuntimeError):
     written against the kernel before it joined the :class:`ReproError`
     hierarchy.
     """
+
+
+class QueryShedError(ExecutionError):
+    """A server's admission controller rejected the query (queue full).
+
+    Deliberately *not* a :class:`TransientFaultError`: shedding is an
+    explicit load-control decision, not a fault, so the recovery loop does
+    not retry it -- the workload layer records the query as shed instead.
+    """
+
+    def __init__(self, message: str, server_id: int | None = None) -> None:
+        super().__init__(message)
+        self.server_id = server_id
 
 
 class TransientFaultError(ExecutionError):

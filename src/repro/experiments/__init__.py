@@ -22,7 +22,9 @@ from repro.experiments.figures import (
     figure8,
     figure10,
     figure11,
+    availability_sweep,
     qs_under_load_text,
+    throughput_sweep,
     two_step_caching,
     table1,
     table2,
@@ -33,6 +35,7 @@ __all__ = [
     "PointEstimate",
     "RunSettings",
     "SeriesPoint",
+    "availability_sweep",
     "figure2",
     "figure3",
     "figure4",
@@ -49,5 +52,6 @@ __all__ = [
     "summarize",
     "table1",
     "table2",
+    "throughput_sweep",
     "two_step_caching",
 ]

@@ -33,6 +33,7 @@ _FIGURES = {
     "fig11": figures.figure11,
     "qs-load": figures.qs_under_load_text,
     "fault-sweep": figures.availability_sweep,
+    "throughput-sweep": figures.throughput_sweep,
 }
 _SERVER_FIGURES = {"fig6", "fig7", "fig8", "fig10", "fig11"}
 _CACHE_FIGURES = {"fig2", "fig3", "fig4", "fig5"}
@@ -64,6 +65,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--mtbf", type=float, nargs="+", default=None,
         help="server MTBF values for the fault-sweep [s]",
+    )
+    parser.add_argument(
+        "--clients", type=int, nargs="+", default=None,
+        help="concurrent client counts for the throughput-sweep",
     )
     parser.add_argument(
         "--paper", action="store_true",
@@ -103,6 +108,11 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
             kwargs["mtbf_values"] = tuple(args.mtbf)
         elif args.quick:
             kwargs["mtbf_values"] = (5.0, 20.0)
+    if name == "throughput-sweep":
+        if args.clients:
+            kwargs["client_counts"] = tuple(args.clients)
+        elif args.quick:
+            kwargs["client_counts"] = (1, 2, 4)
     started = time.time()
     result = function(**kwargs)
     print(render_figure(result))

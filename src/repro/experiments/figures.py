@@ -23,6 +23,7 @@ from repro.optimizer.random_plans import PlanShape
 from repro.optimizer.two_phase import RandomizedOptimizer
 from repro.optimizer.two_step import TwoStepOptimizer
 from repro.plans.policies import Policy, allowed_annotations
+from repro.workload import AdmissionConfig, StreamConfig, WorkloadRunner
 from repro.workloads.scenarios import Scenario, chain_scenario
 from repro.catalog.catalog import Catalog
 from repro.catalog.placement import Placement
@@ -44,6 +45,7 @@ __all__ = [
     "figure10",
     "figure11",
     "qs_under_load_text",
+    "throughput_sweep",
     "two_step_caching",
 ]
 
@@ -52,6 +54,7 @@ CACHE_FRACTIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
 SERVER_COUNTS = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
 FIGURE4_LOADS = (0.0, 40.0, 60.0, 70.0)
 MTBF_VALUES = (5.0, 10.0, 20.0, 40.0)
+CLIENT_COUNTS = (1, 2, 4, 8)
 
 
 @dataclass(frozen=True)
@@ -380,6 +383,68 @@ def figure8(
         for policy in POLICIES:
             measurement = measure_policy(factory, policy, Objective.RESPONSE_TIME, settings)
             result.add(policy.short_name, count, measurement.response_time)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Multi-client throughput sweep (not in the paper)
+# ----------------------------------------------------------------------
+def throughput_sweep(
+    settings: RunSettings | None = None,
+    client_counts: tuple[int, ...] = CLIENT_COUNTS,
+    cached_fraction: float = 0.75,
+    queries_per_client: int = 3,
+) -> FigureResult:
+    """Throughput and p95 response time vs concurrent clients, per policy.
+
+    Closed streams with zero think time: every client keeps one 2-way join
+    in flight against a single server, with three quarters of each relation
+    cached on the client disks.  Expected shape: data-shipping throughput
+    grows nearly linearly with clients (each client joins on its *own*
+    disk, only the uncached tail touches the server); query-shipping
+    saturates the server disk almost immediately, so its throughput stays
+    flat while its p95 response time grows with the client count;
+    hybrid-shipping lands between the two.
+    """
+    settings = settings or RunSettings()
+    admission = AdmissionConfig(max_concurrent=4, queue_limit=64)
+    result = FigureResult(
+        "throughput-sweep",
+        "Throughput vs Concurrent Clients, 2-Way Join, 1 Server, 75% Cached",
+        "concurrent clients",
+        "throughput [queries/s]",
+        notes=(
+            "closed streams, zero think time; '<policy> p95 [s]' series carry "
+            "the response-time tail of the same runs"
+        ),
+    )
+    for count in client_counts:
+        stream = StreamConfig(
+            arrival="closed", think_time=0.0, queries_per_client=queries_per_client
+        )
+        for policy in POLICIES:
+            throughputs: list[float] = []
+            p95s: list[float] = []
+            for seed in settings.seeds:
+                scenario = chain_scenario(
+                    num_relations=2,
+                    num_servers=1,
+                    cached_fraction=cached_fraction,
+                    placement_seed=seed,
+                )
+                run = WorkloadRunner(
+                    scenario,
+                    policy,
+                    num_clients=count,
+                    stream=stream,
+                    admission=admission,
+                    seed=seed,
+                    optimizer_config=settings.optimizer,
+                ).run()
+                throughputs.append(run.throughput)
+                p95s.append(run.p95_response_time)
+            result.add(policy.short_name, count, summarize(throughputs))
+            result.add(f"{policy.short_name} p95 [s]", count, summarize(p95s))
     return result
 
 

@@ -9,7 +9,24 @@ read-ahead), and a single shared FIFO network of configurable bandwidth.
 from repro.hardware.cpu import CPU
 from repro.hardware.disk import Disk, DiskRequest
 from repro.hardware.network import Network
-from repro.hardware.site import Site, SiteKind
+from repro.hardware.site import (
+    CLIENT_SITE_ID,
+    Site,
+    SiteKind,
+    client_site_id,
+    is_client_site_id,
+)
 from repro.hardware.topology import Topology
 
-__all__ = ["CPU", "Disk", "DiskRequest", "Network", "Site", "SiteKind", "Topology"]
+__all__ = [
+    "CLIENT_SITE_ID",
+    "CPU",
+    "Disk",
+    "DiskRequest",
+    "Network",
+    "Site",
+    "SiteKind",
+    "Topology",
+    "client_site_id",
+    "is_client_site_id",
+]

@@ -22,9 +22,26 @@ from repro.storage.cache import ClientDiskCache
 from repro.storage.layout import Extent, ExtentAllocator
 from repro.storage.memory import MemoryManager
 
-__all__ = ["Site", "SiteKind", "TempFile", "CLIENT_SITE_ID"]
+__all__ = ["Site", "SiteKind", "TempFile", "CLIENT_SITE_ID", "client_site_id", "is_client_site_id"]
 
+#: Site id of the first (and, in single-client runs, only) client.
 CLIENT_SITE_ID = 0
+
+
+def client_site_id(ordinal: int) -> int:
+    """Site id of client number ``ordinal`` (0-based).
+
+    Clients occupy the non-positive ids (0, -1, -2, ...) so that server ids
+    stay 1..num_servers regardless of how many clients are simulated.
+    """
+    if ordinal < 0:
+        raise CatalogError(f"client ordinal must be >= 0, got {ordinal}")
+    return -ordinal
+
+
+def is_client_site_id(site_id: int) -> bool:
+    """True for ids in the client range (servers are strictly positive)."""
+    return site_id <= 0
 
 
 class SiteKind(enum.Enum):
@@ -79,7 +96,12 @@ class Site:
         self.config = config
         self.site_id = site_id
         self.kind = kind
-        self.name = f"{kind.value}{site_id}" if kind is SiteKind.SERVER else "client"
+        if kind is SiteKind.SERVER:
+            self.name = f"{kind.value}{site_id}"
+        else:
+            # Client ordinal i has id -i; the first client keeps the
+            # historical bare name "client".
+            self.name = "client" if site_id == CLIENT_SITE_ID else f"client{-site_id}"
         self.cpu = CPU(env, config.mips, name=f"{self.name}.cpu")
         self.disks = [
             Disk(

@@ -1,9 +1,16 @@
-"""Topology: one client plus one or more servers on a shared network.
+"""Topology: one or more clients plus one or more servers on a shared network.
 
 The paper configures its simulator as "a client-server system consisting of
-a single client and one or more servers" (section 3.2.1); multiple clients
-are modelled by adding load to server resources (see
-:mod:`repro.engine.loadgen`).
+a single client and one or more servers" (section 3.2.1) and models other
+clients only as extra load on server resources (see
+:mod:`repro.engine.loadgen`).  This reproduction goes further: a topology
+instantiates ``config.num_clients`` full client sites -- each with its own
+CPU, disk, buffer memory, and disk cache -- so that concurrent query
+streams genuinely contend on the shared servers and network (see
+:mod:`repro.workload`).
+
+Site ids: the first client is :data:`~repro.hardware.site.CLIENT_SITE_ID`
+(0), additional clients occupy -1, -2, ...; servers are 1..num_servers.
 """
 
 from __future__ import annotations
@@ -13,7 +20,7 @@ import random
 from repro.config import SystemConfig
 from repro.errors import ConfigurationError
 from repro.hardware.network import Network
-from repro.hardware.site import CLIENT_SITE_ID, Site, SiteKind
+from repro.hardware.site import Site, SiteKind, client_site_id
 from repro.sim import Environment
 
 __all__ = ["Topology"]
@@ -27,20 +34,28 @@ class Topology:
         self.config = config
         self.rng = random.Random(seed)
         self.network = Network(env, config)
-        self.client = Site(env, config, CLIENT_SITE_ID, SiteKind.CLIENT, self.rng)
+        self.clients = [
+            Site(env, config, client_site_id(ordinal), SiteKind.CLIENT, self.rng)
+            for ordinal in range(config.num_clients)
+        ]
         self.servers = [
             Site(env, config, server_id, SiteKind.SERVER, self.rng)
             for server_id in range(1, config.num_servers + 1)
         ]
-        self._sites = {site.site_id: site for site in [self.client, *self.servers]}
+        self._sites = {site.site_id: site for site in [*self.clients, *self.servers]}
+
+    @property
+    def client(self) -> Site:
+        """The first client site (the only one in single-client runs)."""
+        return self.clients[0]
 
     @property
     def sites(self) -> list[Site]:
-        """All sites, client first."""
-        return [self.client, *self.servers]
+        """All sites, clients first."""
+        return [*self.clients, *self.servers]
 
     def site(self, site_id: int) -> Site:
-        """Look a site up by id (0 is the client)."""
+        """Look a site up by id (0, -1, -2, ... are clients)."""
         try:
             return self._sites[site_id]
         except KeyError:
@@ -54,4 +69,4 @@ class Topology:
         raise ConfigurationError(f"no server stores relation {relation!r}")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Topology servers={len(self.servers)}>"
+        return f"<Topology clients={len(self.clients)} servers={len(self.servers)}>"

@@ -8,7 +8,10 @@ their annotations" (section 2.1).  Well-formed plans always resolve.
 Binding consults only a :class:`~repro.catalog.Catalog` (for primary-copy
 locations) and the client site id, so the *same* annotated plan binds
 differently as data migrates between servers -- the behaviour the 2-step
-optimization experiments exercise.
+optimization experiments exercise.  There is no singleton client: passing a
+different ``client_site`` (0, -1, -2, ... in multi-client topologies) pins
+the plan's client-side operators to that client's site, which is how the
+workload subsystem runs one shared plan per concurrent client.
 """
 
 from __future__ import annotations

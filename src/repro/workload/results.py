@@ -1,0 +1,124 @@
+"""Workload-level metrics: throughput, response-time percentiles, queues.
+
+Single-query experiments report response time and pages sent; a workload
+additionally has *throughput* (completed queries per second of simulated
+time) and a response-time *distribution*, because under contention the tail
+diverges from the mean long before the mean moves.  Percentiles use linear
+interpolation between order statistics, so small runs (a handful of queries
+per point) still give stable, deterministic values.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.workload.admission import AdmissionSnapshot
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.executor import SessionResult
+
+__all__ = ["WorkloadResult", "percentile"]
+
+
+def percentile(values: "typing.Sequence[float]", q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation."""
+    if not values:
+        raise ConfigurationError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q / 100.0 * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """Everything one multi-client workload run produced.
+
+    Equality compares every field (sessions included), which is what the
+    determinism tests rely on: two runs of the same seed must produce
+    *identical* results, timestamps and all.
+    """
+
+    policy: str
+    num_clients: int
+    arrival: str
+    makespan: float
+    submitted: int
+    completed: int
+    shed: int
+    failed: int
+    throughput: float
+    mean_response_time: float
+    p50_response_time: float
+    p95_response_time: float
+    p99_response_time: float
+    mean_queue_delay: float
+    total_retries: int
+    total_replans: int
+    admission: tuple[AdmissionSnapshot, ...] = ()
+    cpu_utilizations: dict[str, float] = field(default_factory=dict)
+    disk_utilizations: dict[str, float] = field(default_factory=dict)
+    network_utilization: float = 0.0
+    sessions: "tuple[SessionResult, ...]" = ()
+
+    @classmethod
+    def from_sessions(
+        cls,
+        sessions: "typing.Sequence[SessionResult]",
+        policy: str,
+        num_clients: int,
+        arrival: str,
+        makespan: float,
+        admission: tuple[AdmissionSnapshot, ...] = (),
+        cpu_utilizations: dict[str, float] | None = None,
+        disk_utilizations: dict[str, float] | None = None,
+        network_utilization: float = 0.0,
+    ) -> "WorkloadResult":
+        done = [s for s in sessions if s.status == "completed"]
+        times = [s.response_time for s in done]
+        return cls(
+            policy=policy,
+            num_clients=num_clients,
+            arrival=arrival,
+            makespan=makespan,
+            submitted=len(sessions),
+            completed=len(done),
+            shed=sum(1 for s in sessions if s.status == "shed"),
+            failed=sum(1 for s in sessions if s.status == "failed"),
+            throughput=len(done) / makespan if makespan > 0.0 else 0.0,
+            mean_response_time=sum(times) / len(times) if times else 0.0,
+            p50_response_time=percentile(times, 50.0) if times else 0.0,
+            p95_response_time=percentile(times, 95.0) if times else 0.0,
+            p99_response_time=percentile(times, 99.0) if times else 0.0,
+            mean_queue_delay=(
+                sum(s.queue_delay for s in done) / len(done) if done else 0.0
+            ),
+            total_retries=sum(s.retries for s in sessions),
+            total_replans=sum(s.replans for s in sessions),
+            admission=admission,
+            cpu_utilizations=dict(cpu_utilizations or {}),
+            disk_utilizations=dict(disk_utilizations or {}),
+            network_utilization=network_utilization,
+            sessions=tuple(sessions),
+        )
+
+    @property
+    def total_shed(self) -> int:
+        """Queries rejected by admission control (alias for ``shed``)."""
+        return self.shed
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"throughput={self.throughput:.4f} q/s "
+            f"({self.completed}/{self.submitted} completed, {self.shed} shed, "
+            f"{self.failed} failed) mean={self.mean_response_time:.3f}s "
+            f"p95={self.p95_response_time:.3f}s p99={self.p99_response_time:.3f}s"
+        )

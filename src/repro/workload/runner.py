@@ -1,0 +1,199 @@
+"""The workload runner: one shared system, many concurrent query sessions.
+
+This is the multi-client counterpart of ``Scenario.execute``: it builds
+*one* environment and topology with ``num_clients`` client sites, installs
+the catalog (optionally with per-client cache contents), optimizes the
+chain query once per distinct client cache view, and then lets every
+client's :class:`~repro.workload.streams.ClientStream` submit sessions that
+contend for the server CPUs, disks, and the network -- throttled by
+per-server :class:`~repro.workload.admission.AdmissionController`\\ s.
+
+The experiment the paper's design points at: data-shipping clients that
+cache their inputs keep scaling as clients are added (each brings its own
+disk arm), while query-shipping funnels every query through the server
+disks, which saturate -- the ``throughput-sweep`` figure plots exactly
+that.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.config import OptimizerConfig
+from repro.costmodel.model import EnvironmentState, Objective
+from repro.engine.executor import QueryExecutor, QuerySession, SessionResult
+from repro.errors import ConfigurationError
+from repro.faults.recovery import RecoveryPolicy
+from repro.faults.schedule import FaultSchedule
+from repro.hardware.site import client_site_id
+from repro.hardware.topology import Topology
+from repro.optimizer.two_phase import RandomizedOptimizer
+from repro.plans.operators import DisplayOp
+from repro.plans.policies import Policy
+from repro.sim import AllOf, Environment
+from repro.workload.admission import AdmissionConfig, AdmissionController
+from repro.workload.results import WorkloadResult
+from repro.workload.streams import ClientStream, StreamConfig
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.workloads.scenarios import Scenario
+
+__all__ = ["WorkloadRunner"]
+
+
+class WorkloadRunner:
+    """Runs one multi-client workload on a single shared simulated system."""
+
+    def __init__(
+        self,
+        scenario: "Scenario",
+        policy: Policy,
+        num_clients: int = 1,
+        stream: StreamConfig | None = None,
+        admission: AdmissionConfig | None = None,
+        seed: int = 0,
+        objective: Objective = Objective.RESPONSE_TIME,
+        optimizer_config: OptimizerConfig | None = None,
+        faults: FaultSchedule | None = None,
+        recovery: RecoveryPolicy | None = None,
+        client_caches: "dict[int, dict[str, float]] | None" = None,
+    ) -> None:
+        """``client_caches`` is keyed by client *ordinal* (0..num_clients-1)
+        and overrides that client's cached fractions; clients without an
+        entry use the scenario catalog's fractions.  Each distinct cache
+        view gets its own optimized plan, because what a client has on its
+        local disk changes which plans are even sensible for it.
+        """
+        if num_clients < 1:
+            raise ConfigurationError(f"num_clients must be >= 1, got {num_clients}")
+        self.scenario = scenario
+        self.policy = policy
+        self.num_clients = num_clients
+        self.stream = stream or StreamConfig()
+        self.admission = admission
+        self.seed = seed
+        self.objective = objective
+        self.optimizer_config = optimizer_config or OptimizerConfig.fast()
+        self.faults = faults
+        self.recovery = recovery
+        self.client_caches = dict(client_caches or {})
+        for ordinal in self.client_caches:
+            if not 0 <= ordinal < num_clients:
+                raise ConfigurationError(
+                    f"client_caches references client ordinal {ordinal}, but the "
+                    f"workload has clients 0..{num_clients - 1}"
+                )
+
+    # ------------------------------------------------------------------
+    # Per-client planning
+    # ------------------------------------------------------------------
+    def _optimize_plans(self) -> dict[int, DisplayOp]:
+        """One optimized plan per client; shared across identical cache views."""
+        scenario = self.scenario
+        by_view: dict[typing.Any, DisplayOp] = {}
+        plans: dict[int, DisplayOp] = {}
+        for ordinal in range(self.num_clients):
+            overrides = self.client_caches.get(ordinal)
+            key = None if overrides is None else tuple(sorted(overrides.items()))
+            if key not in by_view:
+                if overrides is None:
+                    environment = scenario.environment()
+                else:
+                    environment = EnvironmentState(
+                        scenario.catalog.with_cache(dict(overrides)),
+                        scenario.config,
+                        dict(scenario.server_loads),
+                    )
+                by_view[key] = RandomizedOptimizer(
+                    scenario.query,
+                    environment,
+                    policy=self.policy,
+                    objective=self.objective,
+                    config=self.optimizer_config,
+                    seed=self.seed,
+                ).optimize().plan
+            plans[ordinal] = by_view[key]
+        return plans
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> WorkloadResult:
+        """Simulate the whole workload; returns aggregated metrics."""
+        scenario = self.scenario
+        config = scenario.config.with_clients(self.num_clients)
+        plans = self._optimize_plans()
+
+        env = Environment()
+        topology = Topology(env, config, seed=self.seed)
+        scenario.catalog.install(
+            topology,
+            client_caches={
+                client_site_id(ordinal): fractions
+                for ordinal, fractions in self.client_caches.items()
+            },
+        )
+        executor = QueryExecutor(
+            config,
+            scenario.catalog,
+            scenario.query,
+            seed=self.seed,
+            server_loads=scenario.server_loads,
+            faults=self.faults,
+            recovery=self.recovery,
+            policy=self.policy,
+            objective=self.objective,
+            optimizer_config=self.optimizer_config,
+            topology=topology,
+        )
+        controllers: dict[int, AdmissionController] = {}
+        if self.admission is not None:
+            controllers = {
+                server.site_id: AdmissionController(env, server.site_id, self.admission)
+                for server in topology.servers
+            }
+
+        def launch(ordinal: int, index: int) -> QuerySession:
+            return executor.session(
+                plans[ordinal],
+                client_site=client_site_id(ordinal),
+                admission=controllers,
+                session_id=f"c{ordinal}q{index}",
+            )
+
+        streams = [
+            ClientStream(env, ordinal, self.stream, self.seed, launch)
+            for ordinal in range(self.num_clients)
+        ]
+        processes = [
+            env.process(stream.run(), name=f"client{stream.ordinal}-stream")
+            for stream in streams
+        ]
+
+        def main() -> typing.Generator:
+            yield AllOf(env, processes)
+
+        env.run(until=env.process(main(), name="workload-driver"))
+
+        sessions: list[SessionResult] = []
+        for stream in streams:
+            sessions.extend(stream.results)
+        cpu_util = {site.name: site.cpu.utilization() for site in topology.sites}
+        disk_util = {
+            disk.name: disk.utilization()
+            for site in topology.sites
+            for disk in site.disks
+        }
+        return WorkloadResult.from_sessions(
+            sessions,
+            policy=self.policy.value,
+            num_clients=self.num_clients,
+            arrival=self.stream.arrival,
+            makespan=env.now,
+            admission=tuple(
+                controllers[sid].snapshot() for sid in sorted(controllers)
+            ),
+            cpu_utilizations=cpu_util,
+            disk_utilizations=disk_util,
+            network_utilization=topology.network.utilization(),
+        )

@@ -22,6 +22,30 @@ def test_utilization_matches_paper_calibration(env, server):
     assert server.disk.utilization() == pytest.approx(0.5, abs=0.08)
 
 
+@pytest.mark.parametrize(
+    ("rate", "utilization"),
+    [(40.0, 0.50), (60.0, 0.76), (70.0, 0.90)],
+)
+def test_figure4_load_calibration(env, server, rate, utilization):
+    """All three Figure 4 load levels land near the utilizations the paper
+    cites (50/76/90 %); the calibrated disk runs a few points below them."""
+    DiskLoadGenerator(env, server, rate, rng=random.Random(5))
+    env.run(until=60.0)
+    assert server.disk.utilization() == pytest.approx(utilization, abs=0.12)
+
+
+def test_figure4_load_levels_are_distinct(env):
+    """Higher offered load produces strictly higher disk utilization."""
+    measured = []
+    for rate in (40.0, 60.0, 70.0):
+        local = Environment()
+        server = Topology(local, SystemConfig(num_servers=1), seed=1).servers[0]
+        DiskLoadGenerator(local, server, rate, rng=random.Random(5))
+        local.run(until=60.0)
+        measured.append(server.disk.utilization())
+    assert measured[0] < measured[1] < measured[2]
+
+
 def test_heavy_load_high_utilization(env, server):
     DiskLoadGenerator(env, server, 70.0, rng=random.Random(2))
     env.run(until=30.0)

@@ -41,3 +41,11 @@ def test_qs_load(capsys):
     code = main(["qs-load", "--seeds", "3"])
     assert code == 0
     assert "QS" in capsys.readouterr().out
+
+
+def test_throughput_sweep_with_tiny_sweep(capsys):
+    code = main(["throughput-sweep", "--seeds", "3", "--clients", "1", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "throughput-sweep" in out
+    assert "p95" in out

@@ -1,0 +1,81 @@
+"""Determinism and contention properties of the workload subsystem."""
+
+import pytest
+
+from repro.plans.policies import Policy
+from repro.workload import AdmissionConfig, StreamConfig, WorkloadRunner
+from repro.workloads.scenarios import chain_scenario
+
+
+def build_runner(policy=Policy.QUERY_SHIPPING, num_clients=2, seed=7, **kwargs):
+    scenario = chain_scenario(
+        num_relations=2, num_servers=1, cached_fraction=0.5, placement_seed=seed
+    )
+    defaults = dict(
+        stream=StreamConfig(arrival="open", rate=1.0, queries_per_client=2),
+        admission=AdmissionConfig(max_concurrent=2, queue_limit=8),
+        seed=seed,
+    )
+    defaults.update(kwargs)
+    return WorkloadRunner(scenario, policy, num_clients=num_clients, **defaults)
+
+
+class TestDeterminism:
+    def test_same_seed_identical_results(self):
+        first = build_runner().run()
+        second = build_runner().run()
+        assert first == second
+
+    def test_same_seed_identical_closed_results(self):
+        stream = StreamConfig(arrival="closed", think_time=2.0, queries_per_client=2)
+        first = build_runner(stream=stream).run()
+        second = build_runner(stream=stream).run()
+        assert first == second
+
+    def test_seed_changes_the_run(self):
+        first = build_runner(seed=7).run()
+        second = build_runner(seed=8).run()
+        assert first != second
+
+    def test_deterministic_with_faults(self):
+        from repro.faults.recovery import RecoveryPolicy
+        from repro.faults.schedule import FaultSchedule
+
+        kwargs = dict(
+            faults=FaultSchedule.server_crash(1, at=2.0, duration=3.0),
+            recovery=RecoveryPolicy(max_attempts=5, base_backoff=0.5, query_timeout=300.0),
+        )
+        assert build_runner(**kwargs).run() == build_runner(**kwargs).run()
+
+
+class TestContentionIsReal:
+    """Interleaving two clients is not the same as running them serially."""
+
+    def test_concurrent_response_times_exceed_solo(self):
+        stream = StreamConfig(arrival="closed", think_time=0.0, queries_per_client=2)
+        solo = build_runner(num_clients=1, stream=stream).run()
+        crowd = build_runner(num_clients=4, stream=stream).run()
+        assert crowd.mean_response_time > 1.2 * solo.mean_response_time
+
+    def test_concurrent_makespan_beats_serial_sum(self):
+        """Concurrency overlaps work: the 2-client makespan is shorter than
+        two 1-client workloads run back to back, even under contention."""
+        stream = StreamConfig(arrival="closed", think_time=0.0, queries_per_client=2)
+        solo = build_runner(num_clients=1, stream=stream).run()
+        duo = build_runner(num_clients=2, stream=stream).run()
+        assert duo.makespan < 2.0 * solo.makespan
+        assert duo.makespan > solo.makespan
+
+    def test_sessions_overlap_in_time(self):
+        stream = StreamConfig(arrival="closed", think_time=0.0, queries_per_client=2)
+        result = build_runner(num_clients=2, stream=stream).run()
+        spans = sorted(
+            (s.submitted, s.completed)
+            for s in result.sessions
+            if s.status == "completed"
+        )
+        overlaps = any(
+            later_start < earlier_end
+            for (_, earlier_end), (later_start, _) in zip(spans, spans[1:])
+        )
+        assert overlaps

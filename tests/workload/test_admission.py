@@ -1,0 +1,125 @@
+"""Admission controller unit tests (slots, queueing, shedding)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, QueryShedError
+from repro.workload import AdmissionConfig, AdmissionController, AdmissionPolicy
+
+
+def run_admit(env, controller, name):
+    """Spawn a process that admits and parks; returns (process, ticket box)."""
+    box = {}
+
+    def admit():
+        box["ticket"] = yield from controller.admit(name)
+
+    return env.process(admit(), name=name), box
+
+
+class TestConfig:
+    def test_defaults_are_wait(self):
+        config = AdmissionConfig()
+        assert config.policy is AdmissionPolicy.WAIT
+
+    def test_invalid_max_concurrent(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionConfig(max_concurrent=0)
+
+    def test_invalid_queue_limit(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionConfig(queue_limit=-1)
+
+
+class TestWaitPolicy:
+    def test_admits_up_to_capacity_without_delay(self, env):
+        controller = AdmissionController(env, 1, AdmissionConfig(max_concurrent=2))
+        _, a = run_admit(env, controller, "a")
+        _, b = run_admit(env, controller, "b")
+        env.run()
+        assert "ticket" in a and "ticket" in b
+        assert controller.running == 2
+        assert controller.waiting == 0
+
+    def test_overflow_waits_until_release(self, env):
+        controller = AdmissionController(env, 1, AdmissionConfig(max_concurrent=1))
+        _, a = run_admit(env, controller, "a")
+        _, b = run_admit(env, controller, "b")
+        env.run()
+        assert "ticket" in a and "ticket" not in b
+        assert controller.waiting == 1
+        a["ticket"].release()
+        env.run()
+        assert "ticket" in b
+        assert controller.waiting == 0
+
+    def test_sheds_beyond_queue_limit(self, env):
+        controller = AdmissionController(
+            env, 1, AdmissionConfig(max_concurrent=1, queue_limit=1)
+        )
+        run_admit(env, controller, "a")
+        run_admit(env, controller, "b")
+        env.run()
+
+        def third():
+            with pytest.raises(QueryShedError) as excinfo:
+                yield from controller.admit("c")
+            assert excinfo.value.server_id == 1
+
+        env.run(until=env.process(third(), name="c"))
+        assert controller.shed == 1
+
+    def test_queue_delay_accounted(self, env):
+        controller = AdmissionController(env, 1, AdmissionConfig(max_concurrent=1))
+        _, a = run_admit(env, controller, "a")
+        run_admit(env, controller, "b")
+        env.run()
+
+        def release_later():
+            yield env.timeout(3.0)
+            a["ticket"].release()
+
+        env.process(release_later(), name="releaser")
+        env.run()
+        assert controller.total_queue_delay == pytest.approx(3.0)
+        assert controller.max_queue_length == 1
+
+
+class TestShedPolicy:
+    def test_sheds_immediately_at_capacity(self, env):
+        controller = AdmissionController(
+            env,
+            2,
+            AdmissionConfig(max_concurrent=1, policy=AdmissionPolicy.SHED),
+        )
+        run_admit(env, controller, "a")
+        env.run()
+
+        def second():
+            with pytest.raises(QueryShedError):
+                yield from controller.admit("b")
+
+        env.run(until=env.process(second(), name="b"))
+        assert controller.shed == 1
+        assert controller.waiting == 0
+
+
+class TestTicket:
+    def test_release_is_idempotent(self, env):
+        controller = AdmissionController(env, 1, AdmissionConfig(max_concurrent=1))
+        _, a = run_admit(env, controller, "a")
+        env.run()
+        a["ticket"].release()
+        a["ticket"].release()
+        assert controller.running == 0
+
+    def test_snapshot_counters(self, env):
+        controller = AdmissionController(env, 3, AdmissionConfig(max_concurrent=1))
+        _, a = run_admit(env, controller, "a")
+        env.run()
+        a["ticket"].release()
+        snap = controller.snapshot()
+        assert snap.server_id == 3
+        assert snap.admitted == 1
+        assert snap.completed == 1
+        assert snap.shed == 0
+        assert snap.mean_queue_delay == 0.0

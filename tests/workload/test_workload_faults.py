@@ -1,0 +1,94 @@
+"""Workloads composed with the fault subsystem (PR 1 integration).
+
+A server crash under concurrent load must only fail or replan the sessions
+that actually touch the crashed server; the rest of the workload proceeds
+untouched, and session failures never tear down the environment.
+"""
+
+import pytest
+
+from repro.faults.recovery import RecoveryPolicy
+from repro.faults.schedule import FaultSchedule
+from repro.plans.policies import Policy
+from repro.workload import StreamConfig, WorkloadRunner
+from repro.workloads.scenarios import chain_scenario
+
+
+def run_with_crash(policy, cached_fraction, at=1.0, duration=4.0, **kwargs):
+    scenario = chain_scenario(
+        num_relations=2,
+        num_servers=1,
+        cached_fraction=cached_fraction,
+        placement_seed=3,
+    )
+    defaults = dict(
+        num_clients=3,
+        stream=StreamConfig(arrival="closed", think_time=0.0, queries_per_client=2),
+        seed=3,
+        faults=FaultSchedule.server_crash(1, at=at, duration=duration),
+        recovery=RecoveryPolicy(max_attempts=5, base_backoff=0.5, query_timeout=300.0),
+    )
+    defaults.update(kwargs)
+    return WorkloadRunner(scenario, policy, **defaults).run()
+
+
+class TestCrashContainment:
+    def test_fully_cached_ds_is_immune(self):
+        """DS plans over a fully cached relation set never touch the server,
+        so the crash costs nothing: no retries, everything completes."""
+        result = run_with_crash(Policy.DATA_SHIPPING, cached_fraction=1.0)
+        assert result.completed == result.submitted
+        assert result.total_retries == 0
+        assert all(s.servers_used == () for s in result.sessions)
+
+    def test_query_shipping_pays_for_the_crash(self):
+        """The same crash forces QS sessions through the recovery loop."""
+        result = run_with_crash(Policy.QUERY_SHIPPING, cached_fraction=1.0)
+        assert result.total_retries > 0
+        # The workload still finishes: retries + the healed server.
+        assert result.completed == result.submitted
+
+    def test_only_overlapping_sessions_retry(self):
+        """Sessions that run entirely outside the crash window see no fault."""
+        result = run_with_crash(
+            Policy.QUERY_SHIPPING, cached_fraction=1.0, at=1.0, duration=2.0
+        )
+        clean = [
+            s
+            for s in result.sessions
+            if s.status == "completed" and (s.completed < 1.0 or s.submitted > 3.0)
+        ]
+        assert clean, "expected some sessions clear of the crash window"
+        assert all(s.retries == 0 for s in clean)
+
+    def test_unrecoverable_sessions_fail_without_crashing_the_workload(self):
+        """With no retry budget, affected sessions fail; the rest complete."""
+        result = run_with_crash(
+            Policy.QUERY_SHIPPING,
+            cached_fraction=1.0,
+            at=60.0,
+            duration=1000.0,
+            recovery=RecoveryPolicy(max_attempts=1, query_timeout=500.0),
+        )
+        assert result.failed > 0
+        assert result.completed > 0
+        assert result.completed + result.failed == result.submitted
+        failed = [s for s in result.sessions if s.status == "failed"]
+        assert all(s.error for s in failed)
+
+
+class TestReplanningUnderLoad:
+    def test_hybrid_replans_onto_client_caches(self):
+        """Hybrid sessions re-optimize around the crashed server and fall
+        back to the clients' cached copies instead of waiting out the
+        restart window."""
+        result = run_with_crash(
+            Policy.HYBRID_SHIPPING,
+            cached_fraction=1.0,
+            duration=100.0,
+            recovery=RecoveryPolicy(
+                max_attempts=4, base_backoff=0.5, query_timeout=300.0, replan=True
+            ),
+        )
+        assert result.completed == result.submitted
+        assert result.total_replans > 0
