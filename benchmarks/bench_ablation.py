@@ -15,7 +15,6 @@ the plan each optimizer variant picks (lower is better):
    containment argument.
 """
 
-import pytest
 
 from repro.config import BufferAllocation, OptimizerConfig
 from repro.costmodel import CostCalibration, EnvironmentState, Objective

@@ -1,6 +1,5 @@
 """Tables 1 and 2: definitional tables, regenerated and verified."""
 
-from conftest import publish
 
 from repro.experiments import table1, table2
 

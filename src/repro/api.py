@@ -24,6 +24,7 @@ from repro.engine.executor import ExecutionResult
 from repro.errors import ConfigurationError
 from repro.faults.recovery import RecoveryPolicy
 from repro.faults.schedule import FaultSchedule
+from repro.obs import Tracer, write_chrome_trace
 from repro.optimizer.two_phase import RandomizedOptimizer
 from repro.plans.binding import bind_plan
 from repro.plans.operators import DisplayOp
@@ -85,6 +86,20 @@ def _parse_objective(objective: "str | Objective") -> Objective:
         ) from None
 
 
+def _resolve_trace(trace: "bool | str | Tracer") -> tuple[Tracer | None, str | None]:
+    """Normalize a ``trace=`` argument to (tracer, output path).
+
+    ``True`` records a trace (returned on the outcome); a string records and
+    additionally writes Chrome-trace JSON to that path; an existing
+    :class:`~repro.obs.Tracer` is used as-is; falsy disables tracing.
+    """
+    if isinstance(trace, Tracer):
+        return trace, None
+    if isinstance(trace, str):
+        return Tracer(), trace
+    return (Tracer(), None) if trace else (None, None)
+
+
 @dataclass
 class QueryOutcome:
     """Everything produced by one optimize-and-execute round trip."""
@@ -94,6 +109,10 @@ class QueryOutcome:
     plan: DisplayOp
     predicted: PlanCost
     result: ExecutionResult
+    #: The span trace of the run, when ``run_query(..., trace=...)`` asked
+    #: for one (export with :func:`repro.obs.chrome_trace_json` or
+    #: :func:`repro.obs.render_timeline`).
+    trace: Tracer | None = None
 
 
 def run_query(
@@ -109,6 +128,7 @@ def run_query(
     optimizer: OptimizerConfig | None = None,
     faults: FaultSchedule | None = None,
     recovery: RecoveryPolicy | None = None,
+    trace: "bool | str | Tracer" = False,
 ) -> QueryOutcome:
     """Optimize and simulate one chain-join query end to end.
 
@@ -120,6 +140,10 @@ def run_query(
     ``time_to_recover``); an unrecoverable run raises
     :class:`~repro.errors.SiteUnavailableError` (or another
     :class:`~repro.errors.TransientFaultError`).
+
+    ``trace=True`` records per-operator spans of the run on the returned
+    outcome's ``trace``; ``trace="path.json"`` additionally writes
+    Perfetto-loadable Chrome-trace JSON to that path.
     """
     if isinstance(allocation, str):
         allocation = BufferAllocation(allocation)
@@ -143,6 +167,7 @@ def run_query(
         config=optimizer_config,
         seed=seed,
     ).optimize()
+    tracer, trace_path = _resolve_trace(trace)
     result = scenario.execute(
         optimization.plan,
         seed=seed,
@@ -151,8 +176,16 @@ def run_query(
         policy=parsed_policy,
         objective=parsed_objective,
         optimizer_config=optimizer_config,
+        tracer=tracer,
     )
-    return QueryOutcome(scenario, parsed_policy, optimization.plan, optimization.cost, result)
+    if tracer is not None:
+        tracer.metadata.setdefault("policy", parsed_policy.value)
+        tracer.metadata.setdefault("seed", seed)
+        if trace_path is not None:
+            write_chrome_trace(tracer, trace_path)
+    return QueryOutcome(
+        scenario, parsed_policy, optimization.plan, optimization.cost, result, trace=tracer
+    )
 
 
 def run_workload(
@@ -177,6 +210,7 @@ def run_workload(
     optimizer: OptimizerConfig | None = None,
     faults: FaultSchedule | None = None,
     recovery: RecoveryPolicy | None = None,
+    trace: "bool | str | Tracer" = False,
 ) -> WorkloadResult:
     """Run a multi-client concurrent workload; returns throughput metrics.
 
@@ -194,7 +228,9 @@ def run_workload(
     The returned :class:`~repro.workload.WorkloadResult` has throughput
     (completed queries per second of simulated time), mean/p50/p95/p99
     response times, shed/failed counts, per-server admission statistics,
-    and per-resource utilizations.
+    per-resource utilizations, and a ``profile`` snapshot of every hardware
+    metric.  ``trace`` works as in :func:`run_query` (pass a
+    :class:`~repro.obs.Tracer` to keep a reference to the recorded spans).
     """
     if isinstance(allocation, str):
         allocation = BufferAllocation(allocation)
@@ -218,7 +254,8 @@ def run_workload(
         selectivity=selectivity,
         server_load=server_load,
     )
-    return WorkloadRunner(
+    tracer, trace_path = _resolve_trace(trace)
+    result = WorkloadRunner(
         scenario,
         parsed_policy,
         num_clients=num_clients,
@@ -235,7 +272,11 @@ def run_workload(
         faults=faults,
         recovery=recovery,
         client_caches=client_caches,
+        tracer=tracer,
     ).run()
+    if tracer is not None and trace_path is not None:
+        write_chrome_trace(tracer, trace_path)
+    return result
 
 
 def compare_policies(

@@ -122,6 +122,34 @@ class PlanCost:
         return (self.response_time, self.total_cost)
 
 
+class _AttributedUsage:
+    """Proxy that mirrors ``usage.add`` calls into a per-operator breakdown.
+
+    The breakdown aggregates resource *kinds* (cpu/disk/net) per operator
+    label -- the same keys the tracer reports actuals under, so the
+    validation harness can line the two up row by row.
+    """
+
+    __slots__ = ("vector", "breakdown", "label")
+
+    def __init__(
+        self,
+        vector: ResourceVector,
+        breakdown: dict[str, dict[str, float]],
+        label: str,
+    ) -> None:
+        self.vector = vector
+        self.breakdown = breakdown
+        self.label = label
+
+    def add(self, key: tuple[str, int], seconds: float) -> None:
+        self.vector.add(key, seconds)
+        per_op = self.breakdown.setdefault(
+            self.label, {"cpu": 0.0, "disk": 0.0, "net": 0.0}
+        )
+        per_op[key[0]] += seconds
+
+
 class CostModel:
     """Prices annotated plans for one query under one environment belief."""
 
@@ -132,6 +160,10 @@ class CostModel:
         self.calibration = environment.calibration
         self.estimator = Estimator(query, environment.catalog, environment.config)
         self.evaluations = 0
+        # Per-operator attribution, active only inside
+        # evaluate_with_breakdown (the optimizer's hot path skips it).
+        self._breakdown: dict[str, dict[str, float]] | None = None
+        self._labels: dict[int, str] = {}
 
     # ------------------------------------------------------------------
     # Entry point
@@ -150,6 +182,29 @@ class CostModel:
             total_cost=graph.total_cost(),
             response_time=graph.response_time(),
         )
+
+    def evaluate_with_breakdown(
+        self, plan: "DisplayOp | BoundPlan"
+    ) -> tuple[PlanCost, dict[str, dict[str, float]]]:
+        """Like :meth:`evaluate`, also returning predicted resource seconds
+        per operator label (``{"scan[R0]@server1": {"cpu": ..., "disk": ...,
+        "net": ...}, ...}``) -- the prediction side of the cost-model
+        validation harness."""
+        bound = plan if isinstance(plan, BoundPlan) else bind_plan(plan, self.environment.catalog)
+        self._breakdown = {}
+        self._labels = bound.operator_labels()
+        try:
+            cost = self.evaluate(bound)
+            return cost, self._breakdown
+        finally:
+            self._breakdown = None
+            self._labels = {}
+
+    def _usage(self, vector: ResourceVector, op: PlanOp) -> "ResourceVector | _AttributedUsage":
+        """Wrap a usage vector so adds are attributed to ``op``'s label."""
+        if self._breakdown is None:
+            return vector
+        return _AttributedUsage(vector, self._breakdown, self._labels[id(op)])
 
     # ------------------------------------------------------------------
     # Disk traffic pre-pass
@@ -226,11 +281,23 @@ class CostModel:
         if parent_site != child_site:
             pages = self.estimator.pages(child)
             pages_sent[0] += pages
-            self._add_page_messages(contribution.usage, child_site, parent_site, pages)
+            usage: ResourceVector | _AttributedUsage = contribution.usage
+            if self._breakdown is not None:
+                # Same label the executor stamps on the exchange receiver.
+                usage = _AttributedUsage(
+                    contribution.usage,
+                    self._breakdown,
+                    f"xfer:{self._labels[id(child)]}",
+                )
+            self._add_page_messages(usage, child_site, parent_site, pages)
         return contribution
 
     def _add_page_messages(
-        self, usage: ResourceVector, source: int, destination: int, pages: float
+        self,
+        usage: "ResourceVector | _AttributedUsage",
+        source: int,
+        destination: int,
+        pages: float,
     ) -> None:
         config = self.config
         cpu_seconds = config.instructions_time(
@@ -257,7 +324,7 @@ class CostModel:
         site = bound.site_of(op)
         home = env.catalog.server_of(op.relation)
         contribution = StreamContribution()
-        usage = contribution.usage
+        usage = self._usage(contribution.usage, op)
         disk_cpu = config.instructions_time(config.disk_inst)
 
         if site != CLIENT_SITE_ID:
@@ -328,7 +395,7 @@ class CostModel:
         input_tuples = est.cardinality(op.child)
         output_bytes = est.cardinality(op) * est.tuple_bytes(op)
         cpu = config.compare_inst * input_tuples + config.move_instructions(output_bytes)
-        contribution.usage.add(("cpu", site), config.instructions_time(cpu))
+        self._usage(contribution.usage, op).add(("cpu", site), config.instructions_time(cpu))
         return contribution
 
     def _join(
@@ -369,11 +436,12 @@ class CostModel:
         inner_tuples = est.cardinality(op.inner)
         inner_bytes = inner_tuples * est.tuple_bytes(op.inner)
         build_cpu = config.hash_inst * inner_tuples + config.move_instructions(inner_bytes)
-        inner_contribution.usage.add(("cpu", site), config.instructions_time(build_cpu))
+        build_usage = self._usage(inner_contribution.usage, op)
+        build_usage.add(("cpu", site), config.instructions_time(build_cpu))
         if spills:
             writes = hh.spilled_inner_pages
-            inner_contribution.usage.add(("disk", site), writes * write_cost)
-            inner_contribution.usage.add(("cpu", site), writes * disk_cpu)
+            build_usage.add(("disk", site), writes * write_cost)
+            build_usage.add(("cpu", site), writes * disk_cpu)
         build_stage = inner_contribution.into_stage(graph, f"build@{site}")
 
         # ---- Probe: outer stream, probe CPU, outer spill writes, the
@@ -388,26 +456,28 @@ class CostModel:
         output_bytes = est.cardinality(op) * est.tuple_bytes(op)
         probe_cpu = config.hash_inst * outer_tuples + config.move_instructions(outer_bytes)
         probe_cpu += config.move_instructions(output_bytes)
-        result.usage.add(("cpu", site), config.instructions_time(probe_cpu))
+        probe_usage = self._usage(result.usage, op)
+        probe_usage.add(("cpu", site), config.instructions_time(probe_cpu))
         result.preds.append(build_stage)
         if spills:
             writes = hh.spilled_outer_pages
-            result.usage.add(("disk", site), writes * write_cost)
-            result.usage.add(("cpu", site), writes * disk_cpu)
+            probe_usage.add(("disk", site), writes * write_cost)
+            probe_usage.add(("cpu", site), writes * disk_cpu)
 
             # ---- Spill pass: re-read and re-join the spilled partitions.
             # Starts only after the outer stream is exhausted -- hence after
             # the spill passes of joins feeding the outer stream.
             spill = StreamContribution()
+            spill_usage = self._usage(spill.usage, op)
             reads = hh.spilled_inner_pages + hh.spilled_outer_pages
-            spill.usage.add(("disk", site), reads * read_cost)
-            spill.usage.add(("cpu", site), reads * disk_cpu)
+            spill_usage.add(("disk", site), reads * read_cost)
+            spill_usage.add(("cpu", site), reads * disk_cpu)
             spilled_fraction = 1.0 - hh.resident_fraction
             rebuild_cpu = config.hash_inst * spilled_fraction * (inner_tuples + outer_tuples)
             rebuild_cpu += config.move_instructions(
                 spilled_fraction * (inner_bytes + outer_bytes)
             )
-            spill.usage.add(("cpu", site), config.instructions_time(rebuild_cpu))
+            spill_usage.add(("cpu", site), config.instructions_time(rebuild_cpu))
             spill.preds = [build_stage] + result.spill_preds
             spill_stage = spill.into_stage(graph, f"spill@{site}")
             result.spill_preds = [spill_stage]
@@ -426,7 +496,7 @@ class CostModel:
             op, op.child, bound, graph, spill_sites, scan_sites, pages_sent
         )
         tuples = self.estimator.cardinality(op)
-        contribution.usage.add(
+        self._usage(contribution.usage, op).add(
             ("cpu", bound.site_of(op)),
             self.config.instructions_time(self.config.display_inst * tuples),
         )

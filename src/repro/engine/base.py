@@ -47,6 +47,9 @@ class PhysicalOp:
         self.tuples_produced = 0
         self._opened = False
         self._closed = False
+        # Plan-derived display label (scan[RelA]@server1, join#0@client, ...);
+        # the executor overwrites the default right after construction.
+        self.label = f"{type(self).__name__}@{site.name}"
         context.register_op(self)
 
     @property
@@ -63,7 +66,15 @@ class PhysicalOp:
             raise ExecutionError(f"{type(self).__name__} opened twice")
         self._opened = True
         self.site.check_available()
-        yield from self._open()
+        tracer = self.context.env.tracer
+        if tracer is None:
+            yield from self._open()
+            return
+        span = tracer.begin(f"{self.label}.open", cat="op", op=self.label)
+        try:
+            yield from self._open()
+        finally:
+            tracer.end(span)
 
     def next(self) -> typing.Generator:
         """Produce the next page, or None at end of stream.
@@ -76,7 +87,15 @@ class PhysicalOp:
         if not self._opened or self._closed:
             raise ExecutionError(f"next() on unopened/closed {type(self).__name__}")
         self.site.check_available()
-        page = yield from self._next()
+        tracer = self.context.env.tracer
+        if tracer is None:
+            page = yield from self._next()
+        else:
+            span = tracer.begin(f"{self.label}.next", cat="op", op=self.label)
+            try:
+                page = yield from self._next()
+            finally:
+                tracer.end(span)
         if page is not None:
             self.pages_produced += 1
             self.tuples_produced += page.tuples
@@ -89,7 +108,15 @@ class PhysicalOp:
         if self._closed:
             raise ExecutionError(f"{type(self).__name__} closed twice")
         self._closed = True
-        yield from self._close()
+        tracer = self.context.env.tracer
+        if tracer is None:
+            yield from self._close()
+            return
+        span = tracer.begin(f"{self.label}.close", cat="op", op=self.label)
+        try:
+            yield from self._close()
+        finally:
+            tracer.end(span)
 
     def abort(self) -> None:
         """Release held resources after an abandoned attempt (idempotent).

@@ -71,7 +71,17 @@ class ExchangeReceiver(PhysicalOp):
                 page = yield self._staged.get()
             except ChannelClosed:
                 break
-            yield from network.send_page(self.producer_site, self.site)
+            tracer = self.context.env.tracer
+            if tracer is None:
+                yield from network.send_page(self.producer_site, self.site)
+            else:
+                # Attribute the endpoint CPU and wire time of the transfer
+                # to this exchange's own label (xfer:<producer label>).
+                span = tracer.begin(f"{self.label}.ship", cat="op", op=self.label)
+                try:
+                    yield from network.send_page(self.producer_site, self.site)
+                finally:
+                    tracer.end(span)
             yield self.channel.put(page)
         self.channel.close()
 

@@ -62,6 +62,9 @@ from repro.plans.policies import Policy, allowed_annotations, check_policy
 from repro.plans.validate import validate_plan
 from repro.sim import AnyOf, Environment, Event, Process
 
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.trace import Tracer
+
 __all__ = [
     "ExecutionContext",
     "ExecutionResult",
@@ -162,6 +165,9 @@ class ExecutionResult:
     time_to_recover: float = 0.0
     faults_seen: int = 0
     messages_dropped: int = 0
+    # Snapshot of the topology's metrics registry at completion
+    # (site.server1.disk0.pages_read, network.bytes_sent, ...).
+    profile: dict[str, float] = field(default_factory=dict)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         text = (
@@ -201,6 +207,7 @@ class QueryExecutor:
         optimizer_config: OptimizerConfig | None = None,
         env: Environment | None = None,
         topology: Topology | None = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self.config = config
         self.catalog = catalog
@@ -220,6 +227,9 @@ class QueryExecutor:
             self.env = env if env is not None else Environment()
             self.topology = Topology(self.env, config, seed=seed)
             catalog.install(self.topology)
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.bind(self.env)
         self.estimator = Estimator(query, catalog, config)
         self.context = ExecutionContext(
             self.env, self.topology, catalog, query, self.estimator
@@ -258,33 +268,47 @@ class QueryExecutor:
     def build_physical(
         self, bound: BoundPlan, context: ExecutionContext | None = None
     ) -> DisplayIterator:
-        """Translate a bound plan into physical iterators with exchanges."""
+        """Translate a bound plan into physical iterators with exchanges.
+
+        Every physical operator is stamped with its plan-derived label
+        (``scan[RelA]@server1``, ``join#0@client``, exchanges as
+        ``xfer:<producer label>``) -- the key the tracer and the cost-model
+        validation harness join on.
+        """
         context = context or self.context
         root = bound.root
         if not isinstance(root, DisplayOp):
             raise ExecutionError("bound plan root must be a display operator")
+        labels = bound.operator_labels()
         display_site = self.topology.site(bound.site_of(root))
-        child = self._build_op(root.child, bound, context)
+        child = self._build_op(root.child, bound, context, labels)
         child = self._maybe_exchange(display_site, root.child, child, bound, context)
-        return DisplayIterator(context, display_site, child)
+        display = DisplayIterator(context, display_site, child)
+        display.label = labels[id(root)]
+        return display
 
     def _build_op(
-        self, op: PlanOp, bound: BoundPlan, context: ExecutionContext
+        self,
+        op: PlanOp,
+        bound: BoundPlan,
+        context: ExecutionContext,
+        labels: dict[int, str],
     ) -> PhysicalOp:
         site = self.topology.site(bound.site_of(op))
+        phys: PhysicalOp
         if isinstance(op, ScanOp):
-            return ScanIterator(context, site, op.relation)
-        if isinstance(op, SelectOp):
-            child = self._build_op(op.child, bound, context)
+            phys = ScanIterator(context, site, op.relation)
+        elif isinstance(op, SelectOp):
+            child = self._build_op(op.child, bound, context, labels)
             child = self._maybe_exchange(site, op.child, child, bound, context)
-            return SelectIterator(context, site, child, op.selectivity)
-        if isinstance(op, JoinOp):
-            inner = self._build_op(op.inner, bound, context)
+            phys = SelectIterator(context, site, child, op.selectivity)
+        elif isinstance(op, JoinOp):
+            inner = self._build_op(op.inner, bound, context, labels)
             inner = self._maybe_exchange(site, op.inner, inner, bound, context)
-            outer = self._build_op(op.outer, bound, context)
+            outer = self._build_op(op.outer, bound, context, labels)
             outer = self._maybe_exchange(site, op.outer, outer, bound, context)
             est = self.estimator
-            return HashJoinIterator(
+            phys = HashJoinIterator(
                 context,
                 site,
                 inner,
@@ -295,7 +319,10 @@ class QueryExecutor:
                 est_output_tuples=est.cardinality(op),
                 output_tuple_bytes=est.tuple_bytes(op),
             )
-        raise ExecutionError(f"cannot build physical operator for {op.kind}")
+        else:
+            raise ExecutionError(f"cannot build physical operator for {op.kind}")
+        phys.label = labels[id(op)]
+        return phys
 
     def _maybe_exchange(
         self,
@@ -308,7 +335,9 @@ class QueryExecutor:
         producer_site = self.topology.site(bound.site_of(child_op))
         if producer_site is consumer_site:
             return child_phys
-        return ExchangeReceiver(context, consumer_site, producer_site, child_phys)
+        receiver = ExchangeReceiver(context, consumer_site, producer_site, child_phys)
+        receiver.label = f"xfer:{child_phys.label}"
+        return receiver
 
     # ------------------------------------------------------------------
     # Execution
@@ -335,12 +364,28 @@ class QueryExecutor:
         return self._collect(root)
 
     def _drive(self, root: DisplayIterator) -> typing.Generator:
-        yield from root.open()
-        while True:
-            page = yield from root.next()
-            if page is None:
-                break
-        yield from root.close()
+        # The untraced loop is spelled out (not delegated to a helper
+        # generator) because an extra `yield from` frame here would sit on
+        # every resume of the query driver.
+        tracer = self.env.tracer
+        if tracer is None:
+            yield from root.open()
+            while True:
+                page = yield from root.next()
+                if page is None:
+                    break
+            yield from root.close()
+            return
+        span = tracer.begin("query", cat="query")
+        try:
+            yield from root.open()
+            while True:
+                page = yield from root.next()
+                if page is None:
+                    break
+            yield from root.close()
+        finally:
+            tracer.end(span)
 
     # ------------------------------------------------------------------
     # Fault-tolerant execution
@@ -399,6 +444,12 @@ class QueryExecutor:
             stats.record_fault(env.now)
             stats.wasted_work_pages.add(context.pages_produced())
             context.abort()
+            if env.tracer is not None:
+                env.tracer.instant(
+                    "attempt-failed",
+                    cat="fault",
+                    args={"attempt": attempt, "error": str(failure)},
+                )
             if deadline is not None and env.now >= deadline:
                 if not isinstance(failure, QueryTimeoutError):
                     failure = QueryTimeoutError(
@@ -409,6 +460,8 @@ class QueryExecutor:
             if attempt >= recovery.max_attempts:
                 raise failure
             stats.retries.add()
+            if env.tracer is not None:
+                env.tracer.instant("retry", cat="fault", args={"attempt": attempt + 1})
             yield env.timeout(recovery.backoff(attempt, rng))
             if recovery.replan and annotated is not None:
                 replanned = self._replan(annotated)
@@ -516,6 +569,18 @@ class QueryExecutor:
                 disk_util[disk.name] = disk.utilization()
                 reads += disk.reads
                 writes += disk.writes
+        profile = self.topology.metrics.snapshot()
+        profile["recovery.retries"] = stats.retries.value
+        profile["recovery.replans"] = stats.replans.value
+        profile["recovery.wasted_work_pages"] = stats.wasted_work_pages.value
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.finish()
+            tracer.metadata.update(
+                response_time=self.env.now,
+                pages_sent=network.data_pages_sent,
+                result_tuples=root.result_tuples,
+            )
         return ExecutionResult(
             response_time=self.env.now,
             pages_sent=network.data_pages_sent,
@@ -534,6 +599,7 @@ class QueryExecutor:
             time_to_recover=time_to_recover,
             faults_seen=stats.faults_seen.value,
             messages_dropped=network.messages_dropped,
+            profile=profile,
         )
 
 

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import typing
 
-from repro.config import BufferAllocation
 from repro.engine.base import Page, PageAssembler, PhysicalOp
 from repro.errors import ExecutionError
 from repro.sim import AllOf, Event

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from repro.config import BufferAllocation, SystemConfig
 from repro.costmodel.model import Objective
 from repro.errors import TransientFaultError
-from repro.experiments.runner import Measurement, RunSettings, measure_plan, measure_policy
+from repro.experiments.runner import RunSettings, measure_policy
 from repro.experiments.stats import PointEstimate, summarize
 from repro.faults.recovery import RecoveryPolicy
 from repro.faults.schedule import FaultSchedule

@@ -68,22 +68,32 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # Window processes
     # ------------------------------------------------------------------
+    def _mark(self, name: str, **args: typing.Any) -> None:
+        """Drop a fault instant on the trace, when one is being recorded."""
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.instant(name, cat="fault", args=args)
+
     def _crash_window(self, site, start: float, end: float) -> typing.Generator:
         yield self.env.timeout(start - self.env.now)
         site.crash()
         self.faults_injected.add()
+        self._mark("crash", site=site.name)
         if math.isfinite(end):
             yield self.env.timeout(end - self.env.now)
             site.restart()
+            self._mark("restart", site=site.name)
 
     def _outage_window(self, start: float, end: float) -> typing.Generator:
         network = self.topology.network
         yield self.env.timeout(start - self.env.now)
         network.set_down()
         self.faults_injected.add()
+        self._mark("network-down")
         if math.isfinite(end):
             yield self.env.timeout(end - self.env.now)
             network.set_up()
+            self._mark("network-up")
 
     def _degradation_window(
         self, factor: float, start: float, end: float
@@ -92,9 +102,11 @@ class FaultInjector:
         yield self.env.timeout(start - self.env.now)
         network.degrade(factor)
         self.faults_injected.add()
+        self._mark("network-degraded", factor=factor)
         if math.isfinite(end):
             yield self.env.timeout(end - self.env.now)
             network.degrade(1.0)
+            self._mark("network-restored")
 
     def _slowdown_window(
         self, site, factor: float, start: float, end: float
@@ -103,10 +115,12 @@ class FaultInjector:
         for disk in site.disks:
             disk.slow_factor = factor
         self.faults_injected.add()
+        self._mark("disk-slowdown", site=site.name, factor=factor)
         if math.isfinite(end):
             yield self.env.timeout(end - self.env.now)
             for disk in site.disks:
                 disk.slow_factor = 1.0
+            self._mark("disk-restored", site=site.name)
 
     def down_servers(self) -> set[int]:
         """Ids of servers currently crashed (for replanning exclusions)."""

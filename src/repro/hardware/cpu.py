@@ -24,6 +24,7 @@ class CPU:
         self.mips = mips
         self.name = name
         self._resource = Resource(env, capacity=1, name=name)
+        self._resource.trace_cat = "cpu"
         self.instructions_executed = 0.0
 
     def seconds_for(self, instructions: float) -> float:
@@ -42,6 +43,11 @@ class CPU:
     def utilization(self) -> float:
         """Fraction of simulated time this CPU has been busy."""
         return self._resource.utilization()
+
+    @property
+    def busy_time(self) -> float:
+        """Accumulated busy CPU-seconds (including an open busy interval)."""
+        return self._resource.busy_time
 
     @property
     def queue_length(self) -> int:

@@ -33,7 +33,7 @@ __all__ = ["Disk", "DiskRequest"]
 class DiskRequest:
     """One page read or write, with an event that fires on completion."""
 
-    __slots__ = ("kind", "page", "done", "submitted_at")
+    __slots__ = ("kind", "page", "done", "submitted_at", "op")
 
     def __init__(self, env: Environment, kind: str, page: int) -> None:
         if kind not in ("read", "write"):
@@ -42,6 +42,10 @@ class DiskRequest:
         self.page = page
         self.done = Event(env)
         self.submitted_at = env.now
+        # Label of the operator the request runs on behalf of; stamped at
+        # submit time (requests are served by the disk's own process, which
+        # would otherwise lose the attribution).
+        self.op: str | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<DiskRequest {self.kind} page={self.page}>"
@@ -98,6 +102,9 @@ class Disk:
         """Queue a request without waiting for it."""
         self._check_page(page)
         request = DiskRequest(self.env, kind, page)
+        tracer = self.env.tracer
+        if tracer is not None:
+            request.op = tracer.current_op()
         if self._off:
             self.faulted_requests += 1
             request.done.fail(self._make_offline_error())
@@ -115,10 +122,9 @@ class Disk:
         self._off = True
         self._offline_error = error_factory
         # Queued but unserved requests fail immediately.
-        for request in list(self._pool.items):
+        for request in self._pool.clear():
             self.faulted_requests += 1
             request.done.fail(self._make_offline_error())
-        self._pool.items.clear()
         # The request being serviced loses its result: fail its completion
         # now; the serve loop notices the event already fired and moves on.
         current = self._current
@@ -151,6 +157,10 @@ class Disk:
         """Busy fraction of this disk since time zero."""
         return self.monitor.utilization()
 
+    def queue_utilization(self) -> float:
+        """Fraction of time at least one request was queued (not in service)."""
+        return self._pool.utilization()
+
     # ------------------------------------------------------------------
     # Geometry
     # ------------------------------------------------------------------
@@ -181,7 +191,18 @@ class Disk:
             self.monitor.busy()
             duration = self._service(request) * self.slow_factor
             if duration > 0:
-                yield self.env.timeout(duration)
+                tracer = self.env.tracer
+                if tracer is None:
+                    yield self.env.timeout(duration)
+                else:
+                    span = tracer.begin(
+                        self.name,
+                        cat="disk",
+                        op=request.op,
+                        args={"kind": request.kind, "page": request.page},
+                    )
+                    yield self.env.timeout(duration)
+                    tracer.end(span)
             self._current = None
             if not len(self._pool):
                 self.monitor.idle()

@@ -36,6 +36,7 @@ class Network:
         self.env = env
         self.config = config
         self._wire = Resource(env, capacity=1, name="network")
+        self._wire.trace_cat = "net"
         self.data_pages_sent = 0
         self.control_messages_sent = 0
         self.bytes_sent = 0

@@ -22,7 +22,15 @@ from repro.storage.cache import ClientDiskCache
 from repro.storage.layout import Extent, ExtentAllocator
 from repro.storage.memory import MemoryManager
 
-__all__ = ["Site", "SiteKind", "TempFile", "CLIENT_SITE_ID", "client_site_id", "is_client_site_id"]
+__all__ = [
+    "Site",
+    "SiteKind",
+    "TempFile",
+    "CLIENT_SITE_ID",
+    "client_site_id",
+    "is_client_site_id",
+    "site_name",
+]
 
 #: Site id of the first (and, in single-client runs, only) client.
 CLIENT_SITE_ID = 0
@@ -42,6 +50,17 @@ def client_site_id(ordinal: int) -> int:
 def is_client_site_id(site_id: int) -> bool:
     """True for ids in the client range (servers are strictly positive)."""
     return site_id <= 0
+
+
+def site_name(site_id: int) -> str:
+    """Canonical display name of a site id (shared with :class:`Site`).
+
+    Used wherever a site must be named without a live topology -- e.g.
+    operator labels generated while planning (``scan[RelA]@server1``).
+    """
+    if site_id > 0:
+        return f"server{site_id}"
+    return "client" if site_id == CLIENT_SITE_ID else f"client{-site_id}"
 
 
 class SiteKind(enum.Enum):
@@ -96,12 +115,9 @@ class Site:
         self.config = config
         self.site_id = site_id
         self.kind = kind
-        if kind is SiteKind.SERVER:
-            self.name = f"{kind.value}{site_id}"
-        else:
-            # Client ordinal i has id -i; the first client keeps the
-            # historical bare name "client".
-            self.name = "client" if site_id == CLIENT_SITE_ID else f"client{-site_id}"
+        # Client ordinal i has id -i; the first client keeps the
+        # historical bare name "client".
+        self.name = site_name(site_id)
         self.cpu = CPU(env, config.mips, name=f"{self.name}.cpu")
         self.disks = [
             Disk(

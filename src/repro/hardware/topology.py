@@ -21,6 +21,7 @@ from repro.config import SystemConfig
 from repro.errors import ConfigurationError
 from repro.hardware.network import Network
 from repro.hardware.site import Site, SiteKind, client_site_id
+from repro.obs.metrics import MetricsRegistry, register_topology_metrics
 from repro.sim import Environment
 
 __all__ = ["Topology"]
@@ -43,6 +44,11 @@ class Topology:
             for server_id in range(1, config.num_servers + 1)
         ]
         self._sites = {site.site_id: site for site in [*self.clients, *self.servers]}
+        # Every hardware statistic, exposed under hierarchical dotted names
+        # (site.server1.disk0.pages_read, network.bytes_sent, ...); results
+        # snapshot this registry into their `profile` field.
+        self.metrics = MetricsRegistry()
+        register_topology_metrics(self.metrics, self)
 
     @property
     def client(self) -> Site:

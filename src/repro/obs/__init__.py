@@ -1,0 +1,41 @@
+"""Observability: span tracing, metrics registry, and trace exporters.
+
+- :class:`Tracer` records per-operator, per-site spans in simulated time;
+  attach one via ``QueryExecutor(..., tracer=...)`` or
+  ``api.run_query(..., trace=True)``.  When no tracer is attached
+  (``env.tracer is None``) every hook short-circuits, so untraced runs pay
+  nothing.
+- :class:`MetricsRegistry` exposes every hardware statistic under
+  hierarchical dotted names (``site.server1.disk0.pages_read``) and is
+  snapshotted into ``ExecutionResult.profile``.
+- :func:`chrome_trace_json` / :func:`write_chrome_trace` export
+  Perfetto-loadable Chrome ``trace_event`` JSON; :func:`render_timeline`
+  draws an ASCII per-operator timeline.
+
+The cost-model validation harness lives in :mod:`repro.obs.validate` and is
+*not* re-exported here: it imports the engine and optimizer layers, which in
+turn import this package's tracer/metrics half.
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    chrome_trace_json,
+    render_timeline,
+    write_chrome_trace,
+)
+from repro.obs.metrics import Gauge, MetricsRegistry, register_topology_metrics
+from repro.obs.trace import RESOURCE_CATEGORIES, Instant, Span, Tracer
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "Instant",
+    "RESOURCE_CATEGORIES",
+    "MetricsRegistry",
+    "Gauge",
+    "register_topology_metrics",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "render_timeline",
+]

@@ -1,0 +1,127 @@
+"""Validate a Chrome-trace JSON file produced by :mod:`repro.obs.export`.
+
+Run as ``python -m repro.obs.check trace.json``.  Checks both the structure
+(required keys per event phase, monotonically sensible timestamps) and the
+acceptance property of this repo's tracer: the union of per-operator span
+intervals must cover the reported query response time to within 1% -- no
+simulated time may go unattributed.
+
+Exit status 0 on success (prints a one-line summary), 1 with a list of
+problems otherwise.  CI runs this against a fresh ``repro trace`` export.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+__all__ = ["check_trace", "main"]
+
+_REQUIRED_BY_PHASE = {
+    "X": ("name", "cat", "ts", "dur", "pid", "tid"),
+    "i": ("name", "cat", "ts", "pid", "tid", "s"),
+    "M": ("name", "pid", "tid", "args"),
+}
+
+COVERAGE_TOLERANCE = 0.01
+
+
+def _union_seconds(intervals: list[tuple[float, float]]) -> float:
+    total = 0.0
+    end = float("-inf")
+    for lo, hi in sorted(intervals):
+        if hi <= end:
+            continue
+        total += hi - max(lo, end)
+        end = hi
+    return total
+
+
+def check_trace(document: dict) -> list[str]:
+    """Return a list of problems with a parsed Chrome-trace document."""
+    problems: list[str] = []
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    if not events:
+        problems.append("'traceEvents' is empty")
+
+    op_intervals: list[tuple[float, float]] = []
+    named_tids: set[tuple[int, int]] = set()
+    used_tids: set[tuple[int, int]] = set()
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event #{index} is not an object")
+            continue
+        phase = event.get("ph")
+        required = _REQUIRED_BY_PHASE.get(phase)  # type: ignore[arg-type]
+        if required is None:
+            problems.append(f"event #{index} has unknown phase {phase!r}")
+            continue
+        missing = [key for key in required if key not in event]
+        if missing:
+            problems.append(f"event #{index} ({phase!r}) missing keys {missing}")
+            continue
+        if phase == "M":
+            if event["name"] == "thread_name":
+                named_tids.add((event["pid"], event["tid"]))
+            continue
+        used_tids.add((event["pid"], event["tid"]))
+        if event["ts"] < 0:
+            problems.append(f"event #{index} has negative ts {event['ts']}")
+        if phase == "X":
+            if event["dur"] < 0:
+                problems.append(f"event #{index} has negative dur {event['dur']}")
+            if event["cat"] in ("op", "query"):
+                op_intervals.append((event["ts"], event["ts"] + event["dur"]))
+
+    unnamed = used_tids - named_tids
+    if unnamed:
+        problems.append(f"tracks without thread_name metadata: {sorted(unnamed)}")
+
+    other = document.get("otherData", {})
+    response_time = other.get("response_time") if isinstance(other, dict) else None
+    if response_time is None:
+        problems.append("otherData.response_time missing (trace not finished?)")
+    elif response_time > 0:
+        covered = _union_seconds(op_intervals) / 1e6
+        delta = abs(covered - response_time) / response_time
+        if delta > COVERAGE_TOLERANCE:
+            problems.append(
+                f"operator spans cover {covered:.6f}s of {response_time:.6f}s "
+                f"response time ({delta:.2%} off, tolerance "
+                f"{COVERAGE_TOLERANCE:.0%})"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.check trace.json", file=sys.stderr)
+        return 2
+    path = argv[0]
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"{path}: unreadable trace: {error}", file=sys.stderr)
+        return 1
+    problems = check_trace(document)
+    if problems:
+        for problem in problems:
+            print(f"{path}: {problem}", file=sys.stderr)
+        return 1
+    events = document["traceEvents"]
+    spans = sum(1 for e in events if e.get("ph") == "X")
+    response_time = document.get("otherData", {}).get("response_time")
+    print(
+        f"{path}: ok ({len(events)} events, {spans} spans, "
+        f"response_time={response_time:.4f}s, operator coverage within "
+        f"{COVERAGE_TOLERANCE:.0%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

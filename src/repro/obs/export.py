@@ -1,0 +1,144 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and ASCII timelines.
+
+The JSON exporter emits the Trace Event Format understood by Perfetto and
+``chrome://tracing``: one ``"X"`` (complete) event per span, ``"i"``
+(instant) events for point occurrences, and ``"M"`` metadata events naming
+each track.  Tracks map to Chrome *threads* (one per simulated process) in
+a single *process*; timestamps are simulated microseconds.
+
+Output is fully deterministic for a deterministic simulation run --
+``json.dumps`` with sorted keys and fixed separators -- so equal seeds
+produce byte-identical trace files (tested in
+``tests/obs/test_trace_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "render_timeline",
+]
+
+_MICRO = 1e6
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict]:
+    """Convert a tracer's spans and instants to Chrome trace events."""
+    tracks = sorted(
+        {s.track for s in tracer.spans} | {i.track for i in tracer.instants}
+    )
+    tids = {track: index + 1 for index, track in enumerate(tracks)}
+    events: list[dict] = []
+    for track, tid in tids.items():
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    spans = sorted(
+        tracer.spans, key=lambda s: (s.start, tids[s.track], -(s.end or s.start), s.name)
+    )
+    for span in spans:
+        event = {
+            "ph": "X",
+            "name": span.name,
+            "cat": span.cat,
+            "ts": span.start * _MICRO,
+            "dur": span.duration * _MICRO,
+            "pid": 1,
+            "tid": tids[span.track],
+        }
+        args = dict(span.args or {})
+        if span.op is not None:
+            args["op"] = span.op
+        if args:
+            event["args"] = args
+        events.append(event)
+    for instant in sorted(tracer.instants, key=lambda i: (i.time, tids[i.track], i.name)):
+        event = {
+            "ph": "i",
+            "name": instant.name,
+            "cat": instant.cat,
+            "ts": instant.time * _MICRO,
+            "pid": 1,
+            "tid": tids[instant.track],
+            "s": "t",
+        }
+        if instant.args:
+            event["args"] = dict(instant.args)
+        events.append(event)
+    return events
+
+
+def chrome_trace_json(tracer: Tracer) -> str:
+    """The full Chrome-trace document as a deterministic JSON string."""
+    document = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {str(k): v for k, v in tracer.metadata.items()},
+    }
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> None:
+    """Write the Chrome-trace JSON to ``path`` (open in Perfetto)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(chrome_trace_json(tracer))
+        handle.write("\n")
+
+
+def render_timeline(tracer: Tracer, width: int = 64) -> str:
+    """Plain-text per-operator timeline of one traced run.
+
+    One row per operator label (plus the ``query`` root), a ``#`` cell
+    wherever at least one of the operator's spans overlaps that slice of
+    simulated time, and ``!`` markers for instants (faults, retries).
+    """
+    spans = [s for s in tracer.spans if s.cat in ("op", "query") and s.end is not None]
+    if not spans:
+        return "(empty trace)"
+    horizon = max(s.end for s in spans)
+    if horizon <= 0:
+        return "(empty trace)"
+
+    def row_label(span: typing.Any) -> str:
+        return span.op if span.cat == "op" and span.op else span.name
+
+    intervals: dict[str, list[tuple[float, float]]] = {}
+    first_start: dict[str, float] = {}
+    for span in spans:
+        label = row_label(span)
+        intervals.setdefault(label, []).append((span.start, span.end))
+        first_start[label] = min(first_start.get(label, span.start), span.start)
+
+    label_width = max(len(label) for label in intervals)
+    scale = width / horizon
+    lines = [
+        f"{'':{label_width}s} t=0{'':{max(0, width - len(f't={horizon:.3f}s') - 3)}s}"
+        f"t={horizon:.3f}s"
+    ]
+    for label in sorted(intervals, key=lambda lbl: (first_start[lbl], lbl)):
+        cells = [" "] * width
+        for start, end in intervals[label]:
+            lo = min(width - 1, int(start * scale))
+            hi = min(width - 1, max(lo, int(end * scale) - (1 if end * scale > lo else 0)))
+            for cell in range(lo, hi + 1):
+                cells[cell] = "#"
+        lines.append(f"{label:{label_width}s} |{''.join(cells)}|")
+    if tracer.instants:
+        cells = [" "] * width
+        for instant in tracer.instants:
+            cells[min(width - 1, int(instant.time * scale))] = "!"
+        lines.append(f"{'events':{label_width}s} |{''.join(cells)}|")
+    return "\n".join(lines)

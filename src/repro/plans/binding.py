@@ -20,7 +20,7 @@ import typing
 
 from repro.catalog.catalog import Catalog
 from repro.errors import BindingError
-from repro.hardware.site import CLIENT_SITE_ID
+from repro.hardware.site import CLIENT_SITE_ID, site_name
 from repro.plans.annotations import Annotation
 from repro.plans.operators import DisplayOp, JoinOp, PlanOp, ScanOp, SelectOp
 
@@ -63,6 +63,30 @@ class BoundPlan:
 
     def operators_at(self, site_id: int) -> list[PlanOp]:
         return [op for op in self.operators() if self.site_of(op) == site_id]
+
+    def operator_labels(self) -> dict[int, str]:
+        """Deterministic display label per operator, keyed by ``id(op)``.
+
+        Labels are stable for a given plan shape (pre-order walk with
+        per-kind counters): ``scan[RelA]@server1``, ``join#0@client``,
+        ``select#1@server2``, ``display@client``.  The executor stamps them
+        onto physical operators and the cost model keys its per-operator
+        breakdown by them, which is what lets the validation harness line
+        predicted costs up against traced actuals.
+        """
+        labels: dict[int, str] = {}
+        counters: dict[str, int] = {}
+        for op in self.root.walk():
+            site = site_name(self.site_of(op))
+            if isinstance(op, ScanOp):
+                labels[id(op)] = f"scan[{op.relation}]@{site}"
+            elif isinstance(op, DisplayOp):
+                labels[id(op)] = f"display@{site}"
+            else:
+                ordinal = counters.get(op.kind, 0)
+                counters[op.kind] = ordinal + 1
+                labels[id(op)] = f"{op.kind}#{ordinal}@{site}"
+        return labels
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<BoundPlan sites={sorted(self.sites_used())}>"

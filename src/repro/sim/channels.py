@@ -46,6 +46,10 @@ class Channel:
         self._buffer: deque[typing.Any] = deque()
         self._putters: deque[tuple[Event, typing.Any]] = deque()
         self._getters: deque[Event] = deque()
+        # Wait descriptions for the deadlock diagnostics, precomputed once
+        # here because put/get block on every pipelined page (hot path).
+        self._put_wait = f"put() on full channel {name or 'channel'!r}"
+        self._get_wait = f"get() on empty channel {name or 'channel'!r}"
 
     def put(self, item: typing.Any) -> Event:
         """Offer ``item``; the event fires once the item is buffered/consumed."""
@@ -61,6 +65,7 @@ class Channel:
             self._buffer.append(item)
             event.succeed()
         else:
+            event.wait_reason = self._put_wait
             self._putters.append((event, item))
         return event
 
@@ -80,6 +85,7 @@ class Channel:
         elif self.closed:
             event.fail(ChannelClosed(self.name))
         else:
+            event.wait_reason = self._get_wait
             self._getters.append(event)
         return event
 

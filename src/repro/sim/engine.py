@@ -9,6 +9,9 @@ import weakref
 from repro.errors import SimulationError
 from repro.sim.events import Event, Timeout
 
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.trace import Tracer
+
 __all__ = ["Environment", "Process", "SimulationError"]
 
 ProcessGenerator = typing.Generator[Event, typing.Any, typing.Any]
@@ -22,12 +25,15 @@ class Process(Event):
     wait for each other with ``result = yield other_process``.
     """
 
-    __slots__ = ("generator", "name", "__weakref__")
+    __slots__ = ("generator", "name", "_waiting_on", "__weakref__")
 
     def __init__(self, env: "Environment", generator: ProcessGenerator, name: str = "") -> None:
         super().__init__(env)
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
+        # The event this process last yielded (None before its first resume);
+        # read by the deadlock diagnostics to explain what it is blocked on.
+        self._waiting_on: Event | None = None
         env._register_process(self)
         bootstrap = Event(env)
         bootstrap.callbacks.append(self._resume)
@@ -40,6 +46,12 @@ class Process(Event):
 
     def _resume(self, trigger: Event) -> None:
         """Advance the generator with the value (or exception) of ``trigger``."""
+        env = self.env
+        # active_process is only ever read (by the tracer) while the
+        # generator below is running, so it is set but never reset: a stale
+        # pointer between resumes is unobservable and the reset would cost
+        # a try/finally on the hottest path in the simulator.
+        env.active_process = self
         try:
             if trigger.ok:
                 target = self.generator.send(trigger._value)
@@ -49,7 +61,7 @@ class Process(Event):
             self.succeed(stop.value)
             return
         except BaseException as exc:
-            if self.env.strict:
+            if env.strict:
                 raise
             self.fail(exc)
             return
@@ -57,6 +69,7 @@ class Process(Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes must yield events"
             )
+        self._waiting_on = target
         if target.processed:
             # The target already fired; resume on the next scheduler pass so
             # that sibling events scheduled "now" keep FIFO order.
@@ -90,6 +103,11 @@ class Environment:
         self._sequence = 0
         self.strict = strict
         self._processes: list[weakref.ref[Process]] = []
+        # Observability hooks: the tracer bound to this environment (None
+        # disables all tracing at the cost of one attribute read per hook)
+        # and the process whose generator is currently being advanced.
+        self.tracer: "Tracer | None" = None
+        self.active_process: Process | None = None
 
     def _register_process(self, process: Process) -> None:
         self._processes.append(weakref.ref(process))
@@ -154,12 +172,7 @@ class Environment:
         if isinstance(until, Event):
             while not until.processed:
                 if not self._queue:
-                    alive = ", ".join(repr(p.name) for p in self.alive_processes())
-                    raise SimulationError(
-                        f"deadlock at t={self._now:.6f}: event queue empty but "
-                        f"run-until event never fired; alive processes: "
-                        f"[{alive or 'none'}]"
-                    )
+                    raise SimulationError(self._deadlock_message())
                 self.step()
             return until.value
         deadline = float(until)
@@ -170,6 +183,29 @@ class Environment:
         self._now = deadline
         return None
 
+    def _deadlock_message(self) -> str:
+        """Explain a deadlock: what every alive process is blocked on.
+
+        With a tracer attached, each process line also carries its open-span
+        stack (e.g. ``query > join#0@client.next > scan[RelA]@server1.next``),
+        pinpointing which operator was mid-flight when progress stopped.
+        """
+        lines = [
+            f"deadlock at t={self._now:.6f}: event queue empty but "
+            f"run-until event never fired; alive processes:"
+        ]
+        alive = self.alive_processes()
+        if not alive:
+            lines.append("  (none)")
+        for process in alive:
+            entry = f"  - {process.name!r} waiting on {_describe_wait(process._waiting_on)}"
+            if self.tracer is not None:
+                stack = self.tracer.describe_stack(self.tracer.track_of(process))
+                if stack:
+                    entry += f"; span stack: {stack}"
+            lines.append(entry)
+        return "\n".join(lines)
+
     def run_all(self, limit: float | None = None) -> None:
         """Run until the queue drains (or ``limit`` is reached, if given)."""
         if limit is None:
@@ -179,3 +215,20 @@ class Environment:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Environment t={self._now:.6f} pending={len(self._queue)}>"
+
+
+def _describe_wait(event: Event | None) -> str:
+    """Human-readable description of the event a process is blocked on."""
+    if event is None:
+        return "nothing (never resumed)"
+    reason = getattr(event, "wait_reason", None)
+    if reason is not None:
+        return reason
+    if isinstance(event, Process):
+        return f"process {event.name!r}"
+    if isinstance(event, Timeout):
+        return f"timeout({event.delay:g}s)"
+    resource = getattr(event, "resource", None)
+    if resource is not None:
+        return f"resource {resource.name or type(resource).__name__!r}"
+    return type(event).__name__

@@ -24,7 +24,15 @@ class Event:
     :meth:`succeed` is delivered as the result of the ``yield``.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_exception", "_triggered", "_processed")
+    __slots__ = (
+        "env",
+        "callbacks",
+        "_value",
+        "_exception",
+        "_triggered",
+        "_processed",
+        "wait_reason",
+    )
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -33,6 +41,9 @@ class Event:
         self._exception: BaseException | None = None
         self._triggered = False
         self._processed = False
+        # The ``wait_reason`` slot stays unset unless a channel/resource
+        # queues a waiter on this event (cold path); the deadlock
+        # diagnostics read it with getattr so __init__ stays minimal.
 
     @property
     def triggered(self) -> bool:

@@ -72,7 +72,19 @@ class Tally:
 
 
 class UtilizationMonitor:
-    """Tracks the busy fraction of a device over simulated time."""
+    """Tracks the busy fraction of a device over simulated time.
+
+    This is the *single* definition of utilization used throughout the
+    simulator (``Resource``, ``RequestPool``, and the hardware models all
+    delegate here):
+
+    - *busy time* is the accumulated length of ``busy()``..``idle()``
+      intervals, **including** a still-open busy interval up to ``env.now``;
+    - *utilization* is busy time divided by the elapsed simulated time
+      (``env.now`` by default, or an explicit ``elapsed`` horizon);
+    - at ``env.now == 0`` no time has elapsed, so utilization is defined
+      as ``0.0`` (never a division by zero), regardless of busy state.
+    """
 
     __slots__ = ("env", "name", "_busy_since", "busy_time")
 
@@ -93,9 +105,22 @@ class UtilizationMonitor:
             self.busy_time += self.env.now - self._busy_since
             self._busy_since = None
 
-    def utilization(self) -> float:
-        """Busy fraction since time zero."""
+    @property
+    def is_busy(self) -> bool:
+        """True while inside an open ``busy()``..``idle()`` interval."""
+        return self._busy_since is not None
+
+    def elapsed_busy_time(self) -> float:
+        """Accumulated busy time, including any still-open busy interval."""
         total = self.busy_time
         if self._busy_since is not None:
             total += self.env.now - self._busy_since
-        return total / self.env.now if self.env.now > 0 else 0.0
+        return total
+
+    def utilization(self, elapsed: float | None = None) -> float:
+        """Busy fraction over ``elapsed`` simulated seconds (default: now).
+
+        Returns ``0.0`` when the horizon is zero (e.g. at ``env.now == 0``).
+        """
+        horizon = self.env.now if elapsed is None else elapsed
+        return self.elapsed_busy_time() / horizon if horizon > 0 else 0.0

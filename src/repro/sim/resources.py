@@ -12,6 +12,7 @@ import typing
 from collections import deque
 
 from repro.sim.events import Event
+from repro.sim.monitor import UtilizationMonitor
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Environment
@@ -50,10 +51,12 @@ class Resource:
         self.name = name
         self._queue: deque[Request] = deque()
         self._in_service: set[Request] = set()
-        # Monitoring.
-        self._busy_since: float | None = None
-        self.busy_time = 0.0
+        # Monitoring: busy while at least one server is granted.
+        self.monitor = UtilizationMonitor(env, name=name)
         self.completed = 0
+        # When set ("cpu" / "disk" / "net"), serve() emits tracer spans of
+        # that category; None keeps the resource invisible to traces.
+        self.trace_cat: str | None = None
 
     @property
     def in_use(self) -> int:
@@ -71,6 +74,8 @@ class Resource:
         if len(self._in_service) < self.capacity:
             self._grant(req)
         else:
+            # No wait_reason string here: a Request already knows its
+            # resource, and the deadlock dump describes it from that.
             self._queue.append(req)
         return req
 
@@ -85,32 +90,61 @@ class Resource:
             raise ValueError("release() of a request not held on this resource")
         while self._queue and len(self._in_service) < self.capacity:
             self._grant(self._queue.popleft())
-        if not self._in_service and self._busy_since is not None:
-            self.busy_time += self.env.now - self._busy_since
-            self._busy_since = None
+        if not self._in_service:
+            # Inline UtilizationMonitor.idle(): grant/release run once per
+            # service burst, and the method call costs more than the update.
+            monitor = self.monitor
+            if monitor._busy_since is not None:
+                monitor.busy_time += self.env.now - monitor._busy_since
+                monitor._busy_since = None
 
     def _grant(self, req: Request) -> None:
-        if not self._in_service and self._busy_since is None:
-            self._busy_since = self.env.now
+        if not self._in_service:
+            # Inline UtilizationMonitor.busy() (see release()).
+            monitor = self.monitor
+            if monitor._busy_since is None:
+                monitor._busy_since = self.env.now
         self._in_service.add(req)
         req.succeed(req)
 
     def serve(self, duration: float) -> typing.Generator[Event, typing.Any, None]:
-        """Acquire a server, hold it for ``duration``, release it."""
+        """Acquire a server, hold it for ``duration``, release it.
+
+        When a tracer is attached and :attr:`trace_cat` is set, the queueing
+        delay (if any) becomes a ``wait`` span and the service itself a span
+        of category :attr:`trace_cat`, attributed to the calling process's
+        current operator.
+        """
         req = self.request()
-        yield req
+        tracer = self.env.tracer if self.trace_cat is not None else None
+        if tracer is None:
+            yield req
+            try:
+                yield self.env.timeout(duration)
+            finally:
+                self.release(req)
+            return
+        if req.triggered:
+            yield req
+        else:
+            wait = tracer.begin(f"{self.name}.wait", cat="wait")
+            yield req
+            tracer.end(wait)
+        span = tracer.begin(self.name, cat=self.trace_cat)
         try:
             yield self.env.timeout(duration)
         finally:
+            tracer.end(span)
             self.release(req)
+
+    @property
+    def busy_time(self) -> float:
+        """Accumulated busy time (see :class:`UtilizationMonitor`)."""
+        return self.monitor.elapsed_busy_time()
 
     def utilization(self, elapsed: float | None = None) -> float:
         """Fraction of time at least one server was busy."""
-        total_busy = self.busy_time
-        if self._busy_since is not None:
-            total_busy += self.env.now - self._busy_since
-        horizon = self.env.now if elapsed is None else elapsed
-        return total_busy / horizon if horizon > 0 else 0.0
+        return self.monitor.utilization(elapsed)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -133,9 +167,21 @@ class RequestPool:
         self.name = name
         self.items: list[typing.Any] = []
         self._waiter: Event | None = None
+        # Monitoring: "busy" while the pool holds pending items, so
+        # utilization() is the fraction of time work was queued or in
+        # flight (the consumer empties the pool only when caught up).
+        self.monitor = UtilizationMonitor(env, name=name)
+        # Precomputed wait description: the consumer re-waits per item.
+        self._wait_reason = f"pool {name or 'RequestPool'!r}"
 
     def put(self, item: typing.Any) -> None:
         """Add an item and wake the consumer if it is waiting."""
+        if not self.items:
+            # Inline UtilizationMonitor.busy(), guarded on the empty->busy
+            # transition: put() runs once per disk request (hot path).
+            monitor = self.monitor
+            if monitor._busy_since is None:
+                monitor._busy_since = self.env.now
         self.items.append(item)
         if self._waiter is not None:
             waiter, self._waiter = self._waiter, None
@@ -149,6 +195,7 @@ class RequestPool:
         else:
             if self._waiter is not None:
                 raise RuntimeError(f"RequestPool {self.name!r} supports a single consumer")
+            event.wait_reason = self._wait_reason
             self._waiter = event
         return event
 
@@ -158,7 +205,23 @@ class RequestPool:
             raise LookupError(f"take() from empty RequestPool {self.name!r}")
         item = chooser(self.items)
         self.items.remove(item)
+        if not self.items:
+            # Inline UtilizationMonitor.idle() (see put()).
+            monitor = self.monitor
+            if monitor._busy_since is not None:
+                monitor.busy_time += self.env.now - monitor._busy_since
+                monitor._busy_since = None
         return item
+
+    def clear(self) -> list[typing.Any]:
+        """Drop and return all pending items (e.g. on a device power-off)."""
+        items, self.items = self.items, []
+        self.monitor.idle()
+        return items
+
+    def utilization(self, elapsed: float | None = None) -> float:
+        """Fraction of time the pool held at least one pending item."""
+        return self.monitor.utilization(elapsed)
 
     def __len__(self) -> int:
         return len(self.items)

@@ -68,6 +68,9 @@ class WorkloadResult:
     disk_utilizations: dict[str, float] = field(default_factory=dict)
     network_utilization: float = 0.0
     sessions: "tuple[SessionResult, ...]" = ()
+    #: End-of-run snapshot of the topology metrics registry
+    #: (site.server1.disk0.pages_read, network.bytes_sent, ...).
+    profile: dict[str, float] = field(default_factory=dict)
 
     @classmethod
     def from_sessions(
@@ -81,6 +84,7 @@ class WorkloadResult:
         cpu_utilizations: dict[str, float] | None = None,
         disk_utilizations: dict[str, float] | None = None,
         network_utilization: float = 0.0,
+        profile: dict[str, float] | None = None,
     ) -> "WorkloadResult":
         done = [s for s in sessions if s.status == "completed"]
         times = [s.response_time for s in done]
@@ -108,6 +112,7 @@ class WorkloadResult:
             disk_utilizations=dict(disk_utilizations or {}),
             network_utilization=network_utilization,
             sessions=tuple(sessions),
+            profile=dict(profile or {}),
         )
 
     @property

@@ -36,6 +36,7 @@ from repro.workload.results import WorkloadResult
 from repro.workload.streams import ClientStream, StreamConfig
 
 if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.trace import Tracer
     from repro.workloads.scenarios import Scenario
 
 __all__ = ["WorkloadRunner"]
@@ -57,6 +58,7 @@ class WorkloadRunner:
         faults: FaultSchedule | None = None,
         recovery: RecoveryPolicy | None = None,
         client_caches: "dict[int, dict[str, float]] | None" = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         """``client_caches`` is keyed by client *ordinal* (0..num_clients-1)
         and overrides that client's cached fractions; clients without an
@@ -76,6 +78,7 @@ class WorkloadRunner:
         self.optimizer_config = optimizer_config or OptimizerConfig.fast()
         self.faults = faults
         self.recovery = recovery
+        self.tracer = tracer
         self.client_caches = dict(client_caches or {})
         for ordinal in self.client_caches:
             if not 0 <= ordinal < num_clients:
@@ -125,6 +128,8 @@ class WorkloadRunner:
         plans = self._optimize_plans()
 
         env = Environment()
+        if self.tracer is not None:
+            self.tracer.bind(env)
         topology = Topology(env, config, seed=self.seed)
         scenario.catalog.install(
             topology,
@@ -178,6 +183,16 @@ class WorkloadRunner:
         sessions: list[SessionResult] = []
         for stream in streams:
             sessions.extend(stream.results)
+        if self.tracer is not None:
+            self.tracer.finish()
+            # No `response_time` key: the operator-coverage invariant of
+            # repro.obs.check is a single-query property (workload traces
+            # legitimately have idle think-time gaps between sessions).
+            self.tracer.metadata.update(
+                policy=self.policy.value,
+                num_clients=self.num_clients,
+                makespan=env.now,
+            )
         cpu_util = {site.name: site.cpu.utilization() for site in topology.sites}
         disk_util = {
             disk.name: disk.utilization()
@@ -196,4 +211,5 @@ class WorkloadRunner:
             cpu_utilizations=cpu_util,
             disk_utilizations=disk_util,
             network_utilization=topology.network.utilization(),
+            profile=topology.metrics.snapshot(),
         )

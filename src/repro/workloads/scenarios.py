@@ -20,6 +20,7 @@ from repro.engine.executor import ExecutionResult, QueryExecutor
 from repro.errors import ConfigurationError
 from repro.faults.recovery import RecoveryPolicy
 from repro.faults.schedule import FaultSchedule
+from repro.obs.trace import Tracer
 from repro.plans.binding import BoundPlan
 from repro.plans.logical import Query
 from repro.plans.operators import DisplayOp
@@ -60,6 +61,7 @@ class Scenario:
         policy: "Policy | None" = None,
         objective: Objective = Objective.RESPONSE_TIME,
         optimizer_config: "OptimizerConfig | None" = None,
+        tracer: "Tracer | None" = None,
     ) -> ExecutionResult:
         """Simulate one plan in a freshly built system.
 
@@ -67,7 +69,8 @@ class Scenario:
         run and routes execution through the recovery loop; ``recovery``
         tunes retries, backoff, timeout, and replanning (``policy`` /
         ``objective`` / ``optimizer_config`` parameterize the re-optimization
-        performed after a fault).
+        performed after a fault).  ``tracer`` records per-operator spans of
+        the run in simulated time (see :mod:`repro.obs`).
         """
         executor = QueryExecutor(
             self.config,
@@ -80,6 +83,7 @@ class Scenario:
             policy=policy,
             objective=objective,
             optimizer_config=optimizer_config,
+            tracer=tracer,
         )
         return executor.execute(plan)
 

@@ -1,6 +1,5 @@
 """Exchange (network operator pair) tests."""
 
-import pytest
 
 from repro.catalog import Catalog, Placement, Relation
 from repro.config import SystemConfig

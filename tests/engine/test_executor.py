@@ -3,9 +3,9 @@
 import pytest
 
 from repro.catalog import Catalog, Placement, Relation
-from repro.config import BufferAllocation, SystemConfig
+from repro.config import SystemConfig
 from repro.engine import QueryExecutor
-from repro.errors import ExecutionError, PlanError
+from repro.errors import PlanError
 from repro.plans import DisplayOp, JoinOp, JoinPredicate, Query, ScanOp, SelectOp
 from repro.plans.annotations import Annotation
 

@@ -1,11 +1,10 @@
 """Scan operator tests: server scans, cached reads, page faulting."""
 
-import pytest
 
 from repro.catalog import Catalog, Placement, Relation
 from repro.config import SystemConfig
 from repro.engine import QueryExecutor
-from repro.plans import DisplayOp, JoinPredicate, Query, ScanOp
+from repro.plans import DisplayOp, Query, ScanOp
 from repro.plans.annotations import Annotation
 
 A = Annotation

@@ -1,13 +1,11 @@
 """Figure result containers, rendering, and the definitional tables."""
 
-import pytest
 
 from repro.experiments import (
     FigureResult,
     PointEstimate,
     SeriesPoint,
     render_figure,
-    summarize,
     table1,
     table2,
 )

@@ -6,7 +6,6 @@ from repro.config import SystemConfig
 from repro.faults import FaultInjector, FaultSchedule
 from repro.faults.schedule import DegradationWindow, DiskSlowdownWindow
 from repro.hardware.topology import Topology
-from repro.sim import Environment
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Multiple disks per site (the paper's NumDisks parameter)."""
 
-import pytest
 
 from repro.catalog import Catalog, Placement, Relation
 from repro.config import SystemConfig
@@ -8,7 +7,6 @@ from repro.engine import QueryExecutor
 from repro.hardware import Topology
 from repro.plans import DisplayOp, JoinOp, JoinPredicate, Query, ScanOp
 from repro.plans.annotations import Annotation
-from repro.sim import Environment
 
 A = Annotation
 

@@ -3,8 +3,7 @@
 import pytest
 
 from repro.config import SystemConfig
-from repro.hardware import Network, Topology
-from repro.sim import Environment
+from repro.hardware import Topology
 
 
 @pytest.fixture

@@ -5,7 +5,6 @@ import pytest
 from repro.config import SystemConfig
 from repro.errors import CatalogError, ConfigurationError
 from repro.hardware import SiteKind, Topology
-from repro.sim import Environment
 
 
 @pytest.fixture

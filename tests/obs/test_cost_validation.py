@@ -1,0 +1,91 @@
+"""Cost-model validation harness tests.
+
+These check the *plumbing* tightly (labels line up, CPU and network
+predictions match the simulator almost exactly) and the *model quality*
+loosely (disk predictions within a generous band -- the analytic model
+does not reproduce cache-state details, which is exactly what the harness
+exists to expose).
+"""
+
+import pytest
+
+from repro.costmodel.model import CostModel
+from repro.obs.trace import RESOURCE_CATEGORIES
+from repro.obs.validate import render_validation, validate_plan_costs
+from repro.optimizer.two_phase import optimize
+from repro.plans.policies import Policy
+from repro.workloads.scenarios import chain_scenario
+
+
+@pytest.fixture(scope="module")
+def report():
+    scenario = chain_scenario(num_relations=2, num_servers=1, cached_fraction=0.5,
+                              placement_seed=3)
+    optimization = optimize(
+        scenario.query, scenario.environment(), policy=Policy.HYBRID_SHIPPING, seed=3
+    )
+    return validate_plan_costs(scenario, optimization.plan, policy="hybrid", seed=3)
+
+
+class TestBreakdownLabels:
+    def test_predicted_and_actual_labels_coincide(self, report):
+        """Every operator the cost model prices shows up in the trace under
+        the same label, and vice versa -- the join key of the harness."""
+        predicted = {op.label for op in report.operators if op.predicted_total > 0}
+        actual = {op.label for op in report.operators if op.actual_total > 0}
+        assert predicted == actual
+        assert any(label.startswith("scan[") for label in predicted)
+        assert any(label.startswith("join#0@") for label in predicted)
+        assert any(label.startswith("xfer:") for label in predicted)
+
+    def test_breakdown_sums_to_plan_cost_resources(self, report):
+        """The per-operator breakdown is a partition of the priced work, not
+        a second model: CPU/net seconds agree with the traced totals."""
+        for op in report.operators:
+            for resource in ("cpu", "net"):
+                assert op.actual[resource] == pytest.approx(
+                    op.predicted[resource], rel=0.01, abs=1e-6
+                ), f"{op.label}.{resource}"
+
+    def test_disk_predictions_within_model_tolerance(self, report):
+        for op in report.operators:
+            if op.predicted["disk"] > 0:
+                assert abs(op.delta("disk")) < 0.30, op.label
+
+    def test_response_time_within_model_tolerance(self, report):
+        assert abs(report.response_time_delta) < 0.30
+
+
+class TestEvaluateWithBreakdown:
+    def test_matches_plain_evaluate(self):
+        scenario = chain_scenario(num_relations=2, num_servers=1, cached_fraction=0.5)
+        optimization = optimize(
+            scenario.query, scenario.environment(), policy=Policy.QUERY_SHIPPING, seed=1
+        )
+        model = CostModel(scenario.query, scenario.environment())
+        plain = model.evaluate(optimization.plan)
+        with_breakdown, operators = model.evaluate_with_breakdown(optimization.plan)
+        assert with_breakdown == plain
+        assert operators
+        for label, resources in operators.items():
+            assert set(resources) == set(RESOURCE_CATEGORIES), label
+
+    def test_breakdown_state_is_reset_afterwards(self):
+        scenario = chain_scenario(num_relations=2, num_servers=1)
+        optimization = optimize(
+            scenario.query, scenario.environment(), policy=Policy.QUERY_SHIPPING, seed=1
+        )
+        model = CostModel(scenario.query, scenario.environment())
+        model.evaluate_with_breakdown(optimization.plan)
+        assert model._breakdown is None  # the optimizer hot path stays lean
+        assert model.evaluate(optimization.plan) is not None
+
+
+class TestRendering:
+    def test_render_lists_every_active_operator(self, report):
+        text = render_validation(report)
+        assert "response time: predicted" in text
+        assert "policy: hybrid" in text
+        for op in report.operators:
+            if op.predicted_total > 0 or op.actual_total > 0:
+                assert op.label in text

@@ -1,0 +1,104 @@
+"""Exporter and end-to-end trace tests: determinism, coverage, checker."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.obs import Tracer, chrome_trace_json, render_timeline
+from repro.obs.check import check_trace
+
+
+@pytest.fixture(scope="module")
+def traced_outcome():
+    return api.run_query(policy="hybrid", cached_fraction=0.5, seed=3, trace=True)
+
+
+class TestChromeTraceExport:
+    def test_same_seed_produces_byte_identical_json(self, traced_outcome):
+        repeat = api.run_query(policy="hybrid", cached_fraction=0.5, seed=3, trace=True)
+        assert chrome_trace_json(traced_outcome.trace) == chrome_trace_json(repeat.trace)
+
+    def test_different_seed_produces_different_json(self, traced_outcome):
+        other = api.run_query(policy="hybrid", cached_fraction=0.5, seed=4, trace=True)
+        assert chrome_trace_json(traced_outcome.trace) != chrome_trace_json(other.trace)
+
+    def test_document_passes_the_checker(self, traced_outcome):
+        document = json.loads(chrome_trace_json(traced_outcome.trace))
+        assert check_trace(document) == []
+
+    def test_spans_carry_operator_labels(self, traced_outcome):
+        document = json.loads(chrome_trace_json(traced_outcome.trace))
+        ops = {
+            event["args"]["op"]
+            for event in document["traceEvents"]
+            if event["ph"] == "X" and event.get("cat") == "op"
+        }
+        assert "join#0@client" in ops
+        assert any(op.startswith("scan[") for op in ops)
+
+    def test_checker_flags_broken_documents(self):
+        assert check_trace({}) == ["missing or non-list 'traceEvents'"]
+        problems = check_trace(
+            {"traceEvents": [{"ph": "X", "name": "x"}], "otherData": {}}
+        )
+        assert any("missing keys" in p for p in problems)
+        assert any("response_time missing" in p for p in problems)
+
+    def test_checker_enforces_coverage(self):
+        document = {
+            "traceEvents": [
+                {"ph": "M", "name": "thread_name", "pid": 1, "tid": 1, "args": {"name": "t"}},
+                {"ph": "X", "name": "q", "cat": "query", "ts": 0.0, "dur": 1e6,
+                 "pid": 1, "tid": 1},
+            ],
+            "otherData": {"response_time": 2.0},  # only half covered
+        }
+        problems = check_trace(document)
+        assert any("cover" in p for p in problems)
+
+
+class TestOperatorCoverage:
+    def test_operator_spans_cover_the_response_time(self, traced_outcome):
+        """The acceptance property: no simulated time goes unattributed."""
+        tracer = traced_outcome.trace
+        covered = tracer.coverage()
+        response_time = traced_outcome.result.response_time
+        assert covered == pytest.approx(response_time, rel=0.01)
+
+    def test_trace_metadata_carries_run_facts(self, traced_outcome):
+        metadata = traced_outcome.trace.metadata
+        assert metadata["response_time"] == traced_outcome.result.response_time
+        assert metadata["policy"] == "hybrid-shipping"
+
+
+class TestTimeline:
+    def test_rows_per_operator_and_full_width(self, traced_outcome):
+        text = render_timeline(traced_outcome.trace, width=40)
+        lines = text.splitlines()
+        assert any(line.startswith("join#0@client") for line in lines)
+        assert any(line.startswith("query") for line in lines)
+        # The root query row is busy for the whole run.
+        (query_row,) = [line for line in lines if line.startswith("query")]
+        assert "#" * 40 in query_row
+
+    def test_empty_tracer_renders_placeholder(self):
+        assert render_timeline(Tracer()) == "(empty trace)"
+
+
+class TestUntracedRuns:
+    def test_trace_false_attaches_no_tracer(self):
+        outcome = api.run_query(policy="hybrid", cached_fraction=0.5, seed=3)
+        assert outcome.trace is None
+
+    def test_tracing_does_not_change_the_simulation(self, traced_outcome):
+        untraced = api.run_query(policy="hybrid", cached_fraction=0.5, seed=3)
+        assert untraced.result.response_time == traced_outcome.result.response_time
+        assert untraced.result.pages_sent == traced_outcome.result.pages_sent
+        assert untraced.result.profile == traced_outcome.result.profile
+
+    def test_trace_path_writes_loadable_json(self, tmp_path):
+        out = tmp_path / "trace.json"
+        api.run_query(policy="hybrid", cached_fraction=0.5, seed=3, trace=str(out))
+        document = json.loads(out.read_text())
+        assert check_trace(document) == []

@@ -1,0 +1,78 @@
+"""Metrics registry and profile snapshot tests."""
+
+import pytest
+
+from repro import api
+from repro.obs import MetricsRegistry
+from repro.sim import Counter, Tally
+
+
+class TestMetricsRegistry:
+    def test_counter_and_gauge_snapshot(self):
+        registry = MetricsRegistry()
+        pages = registry.counter("site.server1.disk0.pages_read")
+        pages.add(7)
+        registry.gauge("site.server1.cpu.utilization", lambda: 0.25)
+        snapshot = registry.snapshot()
+        assert snapshot["site.server1.disk0.pages_read"] == 7
+        assert snapshot["site.server1.cpu.utilization"] == 0.25
+
+    def test_tally_expands_to_statistic_leaves(self):
+        registry = MetricsRegistry()
+        delays = registry.tally("network.delay")
+        for value in (1.0, 3.0):
+            delays.record(value)
+        snapshot = registry.snapshot()
+        assert snapshot["network.delay.count"] == 2
+        assert snapshot["network.delay.mean"] == pytest.approx(2.0)
+        assert snapshot["network.delay.min"] == 1.0
+        assert snapshot["network.delay.max"] == 3.0
+
+    def test_register_existing_instruments(self):
+        registry = MetricsRegistry()
+        counter = Counter("faults.injected")
+        counter.add(2)
+        registry.register(counter)
+        registry.register(Tally("unused.tally"))
+        snapshot = registry.snapshot()
+        assert snapshot["faults.injected"] == 2
+        # An empty tally has no meaningful mean/min/max -- only its count.
+        assert snapshot["unused.tally.count"] == 0
+        assert "unused.tally.mean" not in snapshot
+
+    def test_register_requires_a_name(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.register(Counter())
+
+    def test_prefix_filtering(self):
+        registry = MetricsRegistry()
+        registry.counter("site.client.disk0.pages_read").add(1)
+        registry.counter("site.server1.disk0.pages_read").add(2)
+        registry.counter("network.data_pages_sent").add(3)
+        assert set(registry.snapshot("site.server1")) == {"site.server1.disk0.pages_read"}
+        assert registry.names("network") == ["network.data_pages_sent"]
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x")
+        assert registry.counter("x") is counter  # get-or-create
+        with pytest.raises(TypeError):
+            registry.tally("x")
+
+
+class TestExecutionProfile:
+    def test_profile_reports_hardware_activity(self):
+        outcome = api.run_query(policy="query", cached_fraction=0.0, seed=1)
+        profile = outcome.result.profile
+        assert profile["site.server1.disk0.pages_read"] > 0
+        assert profile["network.data_pages_sent"] == outcome.result.pages_sent
+        assert 0.0 <= profile["site.server1.cpu.utilization"] <= 1.0
+        assert profile["recovery.retries"] == 0
+
+    def test_workload_result_carries_profile(self):
+        result = api.run_workload(num_clients=2, queries_per_client=1, seed=1)
+        assert result.profile["network.data_pages_sent"] > 0
+        # Two client sites exist, each with its own hardware metrics.
+        assert "site.client.cpu.utilization" in result.profile
+        assert "site.client1.cpu.utilization" in result.profile

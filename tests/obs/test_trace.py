@@ -1,0 +1,166 @@
+"""Unit tests for the span tracer."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs import Tracer
+from repro.sim import Channel, Environment, Resource
+
+
+@pytest.fixture
+def traced_env():
+    env = Environment()
+    return env, Tracer().bind(env)
+
+
+class TestSpans:
+    def test_bind_attaches_to_environment(self, traced_env):
+        env, tracer = traced_env
+        assert env.tracer is tracer
+
+    def test_span_records_simulated_interval(self, traced_env):
+        env, tracer = traced_env
+
+        def worker():
+            span = tracer.begin("work", cat="op", op="scan[A]@client")
+            yield env.timeout(2.5)
+            tracer.end(span)
+
+        env.run(until=env.process(worker(), name="w"))
+        (span,) = tracer.spans
+        assert (span.track, span.start, span.end) == ("w", 0.0, 2.5)
+        assert span.duration == pytest.approx(2.5)
+
+    def test_resource_span_inherits_innermost_op_label(self, traced_env):
+        env, tracer = traced_env
+        cpu = Resource(env, name="cpu")
+        cpu.trace_cat = "cpu"
+
+        def worker():
+            outer = tracer.begin("outer.next", cat="op", op="join#0@client")
+            inner = tracer.begin("inner.next", cat="op", op="scan[A]@client")
+            yield from cpu.serve(1.0)
+            tracer.end(inner)
+            yield from cpu.serve(1.0)
+            tracer.end(outer)
+
+        env.run(until=env.process(worker(), name="w"))
+        cpu_spans = [s for s in tracer.spans if s.cat == "cpu"]
+        assert [s.op for s in cpu_spans] == ["scan[A]@client", "join#0@client"]
+
+    def test_out_of_order_end_is_detected(self, traced_env):
+        env, tracer = traced_env
+
+        def worker():
+            outer = tracer.begin("outer")
+            tracer.begin("inner")
+            yield env.timeout(1.0)
+            tracer.end(outer)  # inner is still open
+
+        with pytest.raises(AssertionError, match="out of order"):
+            env.run(until=env.process(worker(), name="w"))
+
+    def test_same_named_processes_get_distinct_tracks(self, traced_env):
+        """Two processes may share a name (e.g. two exchanges between the
+        same site pair); their spans must not interleave on one stack."""
+        env, tracer = traced_env
+
+        def worker(delay):
+            span = tracer.begin("work")
+            yield env.timeout(delay)
+            tracer.end(span)
+
+        first = env.process(worker(3.0), name="pump:server1->client")
+        second = env.process(worker(1.0), name="pump:server1->client")
+
+        def driver():
+            yield first
+            yield second
+
+        env.run(until=env.process(driver(), name="driver"))
+        tracks = {s.track for s in tracer.spans}
+        assert tracks == {"pump:server1->client", "pump:server1->client#2"}
+
+    def test_finish_closes_dangling_spans(self, traced_env):
+        env, tracer = traced_env
+
+        def worker():
+            tracer.begin("never-ended", cat="op", op="x")
+            yield env.timeout(4.0)
+
+        env.run(until=env.process(worker(), name="w"))
+        assert tracer.spans == []
+        tracer.finish()
+        (span,) = tracer.spans
+        assert span.end == 4.0
+
+    def test_self_time_excludes_nested_op_spans(self, traced_env):
+        env, tracer = traced_env
+
+        def worker():
+            outer = tracer.begin("outer", cat="op", op="outer")
+            yield env.timeout(1.0)
+            inner = tracer.begin("inner", cat="op", op="inner")
+            yield env.timeout(2.0)
+            tracer.end(inner)
+            yield env.timeout(1.0)
+            tracer.end(outer)
+
+        env.run(until=env.process(worker(), name="w"))
+        assert tracer.operator_self_times() == pytest.approx({"outer": 2.0, "inner": 2.0})
+
+    def test_coverage_unions_overlapping_spans(self, traced_env):
+        env, tracer = traced_env
+
+        def worker(start, duration):
+            yield env.timeout(start)
+            span = tracer.begin("work", cat="op", op="w")
+            yield env.timeout(duration)
+            tracer.end(span)
+
+        a = env.process(worker(0.0, 3.0), name="a")
+        b = env.process(worker(2.0, 3.0), name="b")
+        c = env.process(worker(7.0, 1.0), name="c")
+
+        def driver():
+            yield a
+            yield b
+            yield c
+
+        env.run(until=env.process(driver(), name="driver"))
+        assert tracer.coverage() == pytest.approx(6.0)  # [0,5) + [7,8)
+
+
+class TestDeadlockDiagnostics:
+    def test_deadlock_dump_names_waits_and_span_stacks(self, traced_env):
+        env, tracer = traced_env
+        channel = Channel(env, name="results")
+
+        def consumer():
+            span = tracer.begin("join#0@client.next", cat="op", op="join#0@client")
+            yield channel.get()
+            tracer.end(span)
+
+        env.process(consumer(), name="consumer")
+
+        def driver():
+            yield env.timeout(1.0)
+            yield Channel(env, name="other").get()
+
+        with pytest.raises(SimulationError) as excinfo:
+            env.run(until=env.process(driver(), name="driver"))
+        message = str(excinfo.value)
+        assert "deadlock at t=1" in message
+        assert "'consumer' waiting on get() on empty channel 'results'" in message
+        assert "span stack: join#0@client.next" in message
+        assert "'driver' waiting on get() on empty channel 'other'" in message
+
+    def test_deadlock_dump_without_tracer_still_explains_waits(self):
+        env = Environment()
+        channel = Channel(env, name="pipe")
+
+        def consumer():
+            yield channel.get()
+
+        with pytest.raises(SimulationError, match="get\\(\\) on empty channel 'pipe'"):
+            env.run(until=env.process(consumer(), name="consumer"))

@@ -1,7 +1,6 @@
 """2PO optimizer tests, including validation against exhaustive search."""
 
 import itertools
-import random
 
 import pytest
 

@@ -5,7 +5,7 @@ import random
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.catalog import Catalog, Placement, Relation
+from repro.catalog import Catalog, Relation
 from repro.optimizer import PlanShape, random_neighbor, random_plan
 from repro.plans import (
     Policy,

@@ -1,6 +1,5 @@
 """Determinism and contention properties of the workload subsystem."""
 
-import pytest
 
 from repro.plans.policies import Policy
 from repro.workload import AdmissionConfig, StreamConfig, WorkloadRunner

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Channel, ChannelClosed, Environment
+from repro.sim import Channel, ChannelClosed
 
 
 def test_put_then_get(env):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Counter, Environment, Tally, UtilizationMonitor
+from repro.sim import Counter, Tally, UtilizationMonitor
 
 
 class TestCounter:
@@ -76,3 +76,135 @@ class TestUtilizationMonitor:
     def test_zero_time_utilization(self, env):
         monitor = UtilizationMonitor(env)
         assert monitor.utilization() == 0.0
+
+
+class TestTallyAgainstNumpy:
+    """Welford accumulation must match numpy's batch formulas."""
+
+    def test_statistics_match_numpy(self):
+        numpy = pytest.importorskip("numpy")
+        rng = __import__("random").Random(7)
+        samples = [rng.expovariate(0.2) for _ in range(500)]
+        tally = Tally()
+        for sample in samples:
+            tally.record(sample)
+        assert tally.mean == pytest.approx(float(numpy.mean(samples)))
+        assert tally.variance == pytest.approx(float(numpy.var(samples, ddof=1)))
+        assert tally.stddev == pytest.approx(float(numpy.std(samples, ddof=1)))
+        assert tally.minimum == pytest.approx(float(numpy.min(samples)))
+        assert tally.maximum == pytest.approx(float(numpy.max(samples)))
+
+
+class TestUtilizationMonitorInterleavings:
+    def test_two_processes_share_one_monitor(self, env):
+        """busy()/idle() from interleaved processes: the monitor tracks the
+        union of busy intervals, not per-caller time."""
+        monitor = UtilizationMonitor(env)
+
+        def phase(start, duration):
+            yield env.timeout(start)
+            monitor.busy()
+            yield env.timeout(duration)
+            monitor.idle()
+
+        # [1,3) and [2,5): overlapping busy claims -> idempotent busy();
+        # the first idle() at t=3 closes the interval (transitions are
+        # boolean, not reference-counted -- documented on the monitor).
+        first = env.process(phase(1.0, 2.0))
+        second = env.process(phase(2.0, 3.0))
+
+        def driver():
+            yield first
+            yield second
+            yield env.timeout(1.0)
+
+        env.run(until=env.process(driver()))
+        assert env.now == pytest.approx(6.0)
+        assert monitor.busy_time == pytest.approx(2.0)  # [1,3)
+        assert monitor.utilization() == pytest.approx(2.0 / 6.0)
+
+    def test_open_interval_in_elapsed_busy_time(self, env):
+        monitor = UtilizationMonitor(env)
+
+        def worker():
+            yield env.timeout(1.0)
+            monitor.busy()
+            yield env.timeout(3.0)
+
+        env.run(until=env.process(worker()))
+        assert monitor.is_busy
+        # busy_time excludes the open interval; elapsed_busy_time includes it.
+        assert monitor.busy_time == pytest.approx(0.0)
+        assert monitor.elapsed_busy_time() == pytest.approx(3.0)
+        assert monitor.utilization() == pytest.approx(0.75)
+
+    def test_explicit_elapsed_horizon(self, env):
+        monitor = UtilizationMonitor(env)
+        monitor.busy()
+        env.run(until=env.timeout(2.0))
+        monitor.idle()
+        assert monitor.utilization(8.0) == pytest.approx(0.25)
+
+    def test_rapid_zero_length_toggles(self, env):
+        monitor = UtilizationMonitor(env)
+
+        def worker():
+            for _ in range(3):
+                monitor.busy()
+                monitor.idle()
+            monitor.busy()
+            yield env.timeout(1.0)
+            monitor.idle()
+            yield env.timeout(1.0)
+
+        env.run(until=env.process(worker()))
+        assert monitor.busy_time == pytest.approx(1.0)
+        assert monitor.utilization() == pytest.approx(0.5)
+
+
+class TestUnifiedUtilizationSemantics:
+    """Resource and RequestPool both delegate to UtilizationMonitor, so all
+    three agree on the env.now == 0 edge case and on open intervals."""
+
+    def test_all_report_zero_at_time_zero(self, env):
+        from repro.sim import RequestPool, Resource
+
+        resource = Resource(env)
+        pool = RequestPool(env)
+        monitor = UtilizationMonitor(env)
+        assert resource.utilization() == 0.0
+        assert pool.utilization() == 0.0
+        assert monitor.utilization() == 0.0
+
+    def test_resource_matches_its_monitor(self, env):
+        from repro.sim import Resource
+
+        resource = Resource(env)
+
+        def worker():
+            yield from resource.serve(3.0)
+            yield env.timeout(1.0)
+
+        env.run(until=env.process(worker()))
+        assert resource.busy_time == pytest.approx(3.0)
+        assert resource.utilization() == pytest.approx(0.75)
+        assert resource.utilization() == resource.monitor.utilization()
+
+    def test_pool_busy_while_items_pending(self, env):
+        from repro.sim import RequestPool
+
+        pool = RequestPool(env)
+
+        def producer():
+            yield env.timeout(1.0)
+            pool.put("a")
+
+        def consumer():
+            yield pool.wait_for_item()
+            yield env.timeout(2.0)  # item sits in the pool while "serving"
+            pool.take(lambda items: items[0])
+            yield env.timeout(1.0)
+
+        env.process(producer())
+        env.run(until=env.process(consumer()))
+        assert pool.utilization() == pytest.approx(2.0 / 4.0)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Environment, RequestPool, Resource
+from repro.sim import RequestPool, Resource
 
 
 class TestResource:

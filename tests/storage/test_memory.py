@@ -1,6 +1,5 @@
 """Unit tests for buffer accounting and Shapiro's hybrid-hash formulas."""
 
-import math
 
 import pytest
 

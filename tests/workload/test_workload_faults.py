@@ -5,7 +5,6 @@ that actually touch the crashed server; the rest of the workload proceeds
 untouched, and session failures never tear down the environment.
 """
 
-import pytest
 
 from repro.faults.recovery import RecoveryPolicy
 from repro.faults.schedule import FaultSchedule
