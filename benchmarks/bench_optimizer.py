@@ -1,0 +1,172 @@
+"""Optimization throughput: plan cache + incremental costing vs the naive path.
+
+Not a paper figure -- the engineering benchmark behind the figure sweeps.
+It runs two passes over the Figure-2 plan-optimization grid (cache
+fraction x seed x policy) -- two passes because the figure suite really
+does revisit its grid points: Figures 3-5 re-optimize the Figure-2
+environments under different metrics and loads.  Each configuration
+does the same two passes: the naive baseline (memoized cost evaluation
+disabled, no plan cache) pays full price both times; the shipping
+configuration (incremental cost model plus a shared
+:class:`~repro.optimizer.PlanCache`) costs only changed subtrees on
+pass one and answers pass two from the cache.  Both configurations
+must pick bit-identical plans; the optimized one must be at least 5x
+faster and touch at least 30 % fewer cost-model nodes.
+
+Also measured: the plan-cache hit rate on a multi-client workload (hybrid
+runs reuse the pure-policy passes already planned for DS/QS), and serial
+vs two-worker wall clock for the full ``figure2`` sweep (byte-identical
+output required; on a single-core host the parallel run may well be the
+slower one -- both numbers are reported either way).
+
+Writes machine-readable ``results/BENCH_optimizer.json``.
+"""
+
+import json
+import os
+import time
+
+from conftest import CACHE_FRACTIONS, SEEDS
+
+from repro.config import BufferAllocation, OptimizerConfig
+from repro.costmodel.model import Objective
+from repro.experiments.figures import figure2
+from repro.experiments.runner import RunSettings
+from repro.optimizer import PlanCache, RandomizedOptimizer
+from repro.plans.policies import Policy
+from repro.workload import StreamConfig, WorkloadRunner
+from repro.workloads.scenarios import chain_scenario
+
+POLICIES = (Policy.DATA_SHIPPING, Policy.QUERY_SHIPPING, Policy.HYBRID_SHIPPING)
+
+
+def _optimization_sweep(cache):
+    """Optimize every Figure-2 grid point; return (plans, evals, visits)."""
+    plans = []
+    evaluations = 0
+    node_visits = 0
+    for fraction in CACHE_FRACTIONS:
+        for seed in SEEDS:
+            scenario = chain_scenario(
+                num_relations=2,
+                num_servers=1,
+                allocation=BufferAllocation.MINIMUM,
+                cached_fraction=fraction,
+                placement_seed=seed,
+            )
+            environment = scenario.environment()
+            for policy in POLICIES:
+                optimizer = RandomizedOptimizer(
+                    scenario.query,
+                    environment,
+                    policy=policy,
+                    objective=Objective.RESPONSE_TIME,
+                    config=OptimizerConfig.fast(),
+                    seed=seed,
+                    plan_cache=cache,
+                )
+                result = optimizer.optimize()
+                plans.append((result.plan, result.cost))
+                evaluations += result.evaluations
+                node_visits += optimizer.cost_model.node_visits
+    return plans, evaluations, node_visits
+
+
+def _timed_sweep(cache):
+    start = time.perf_counter()
+    plans = []
+    evaluations = 0
+    node_visits = 0
+    for _ in range(2):  # the figure suite revisits its grid points
+        pass_plans, pass_evals, pass_visits = _optimization_sweep(cache)
+        plans.extend(pass_plans)
+        evaluations += pass_evals
+        node_visits += pass_visits
+    elapsed = time.perf_counter() - start
+    return plans, {
+        "wall_clock_s": round(elapsed, 4),
+        "evaluations": evaluations,
+        "evals_per_sec": round(evaluations / elapsed, 1),
+        "cost_model_node_visits": node_visits,
+    }
+
+
+def _workload_cache_stats():
+    """Plan-cache hit rate across a multi-client, multi-policy workload."""
+    cache = PlanCache()
+    scenario = chain_scenario(num_relations=2, cached_fraction=0.75)
+    stream = StreamConfig(arrival="closed", queries_per_client=2)
+    for policy in POLICIES:
+        WorkloadRunner(
+            scenario, policy, num_clients=4, stream=stream, seed=3, plan_cache=cache
+        ).run()
+    return cache.stats
+
+
+def test_optimizer_throughput(benchmark, results_dir):
+    os.environ["REPRO_COSTMODEL_FULL"] = "1"
+    try:
+        baseline_plans, baseline = _timed_sweep(None)
+    finally:
+        del os.environ["REPRO_COSTMODEL_FULL"]
+
+    cache = PlanCache()
+    optimized_plans, optimized = benchmark.pedantic(
+        lambda: _timed_sweep(cache), rounds=1, iterations=1
+    )
+    optimized["cache"] = {
+        "hits": cache.stats.hits,
+        "misses": cache.stats.misses,
+        "hit_rate": round(cache.stats.hit_rate, 4),
+    }
+
+    serial_start = time.perf_counter()
+    serial = figure2(settings=RunSettings(seeds=SEEDS))
+    serial_s = time.perf_counter() - serial_start
+    parallel_start = time.perf_counter()
+    parallel = figure2(settings=RunSettings(seeds=SEEDS), jobs=2)
+    parallel_s = time.perf_counter() - parallel_start
+
+    workload = _workload_cache_stats()
+
+    speedup = baseline["wall_clock_s"] / optimized["wall_clock_s"]
+    visit_reduction = 1 - (
+        optimized["cost_model_node_visits"] / baseline["cost_model_node_visits"]
+    )
+    payload = {
+        "sweep": {
+            "cache_fractions": list(CACHE_FRACTIONS),
+            "seeds": list(SEEDS),
+            "policies": [p.value for p in POLICIES],
+            "points": len(baseline_plans),
+        },
+        "baseline": baseline,
+        "optimized": optimized,
+        "speedup": round(speedup, 2),
+        "node_visit_reduction": round(visit_reduction, 4),
+        "identical_plans": optimized_plans == baseline_plans,
+        "figure2_parallel": {
+            "jobs": 2,
+            "serial_wall_clock_s": round(serial_s, 4),
+            "parallel_wall_clock_s": round(parallel_s, 4),
+            "identical_output": parallel.series == serial.series,
+        },
+        "workload_cache": {
+            "hits": workload.hits,
+            "lookups": workload.lookups,
+            "hit_rate": round(workload.hit_rate, 4),
+        },
+    }
+    out = results_dir / "BENCH_optimizer.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print("\n" + json.dumps(payload, indent=2, sort_keys=True))
+    print(f"\n[wrote {out}]")
+
+    # The cache and the incremental evaluator are transparent...
+    assert payload["identical_plans"]
+    assert payload["figure2_parallel"]["identical_output"]
+    # ...and they are why the sweep is fast.
+    assert speedup >= 5.0, f"speedup {speedup:.2f}x below the 5x floor"
+    assert visit_reduction >= 0.30
+    assert cache.stats.hit_rate > 0
+    assert workload.hit_rate > 0

@@ -25,6 +25,7 @@ from repro.errors import ConfigurationError
 from repro.faults.recovery import RecoveryPolicy
 from repro.faults.schedule import FaultSchedule
 from repro.obs import Tracer, write_chrome_trace
+from repro.optimizer.cache import PlanCache
 from repro.optimizer.two_phase import RandomizedOptimizer
 from repro.plans.binding import bind_plan
 from repro.plans.operators import DisplayOp
@@ -129,6 +130,7 @@ def run_query(
     faults: FaultSchedule | None = None,
     recovery: RecoveryPolicy | None = None,
     trace: "bool | str | Tracer" = False,
+    plan_cache: PlanCache | None = None,
 ) -> QueryOutcome:
     """Optimize and simulate one chain-join query end to end.
 
@@ -143,7 +145,15 @@ def run_query(
 
     ``trace=True`` records per-operator spans of the run on the returned
     outcome's ``trace``; ``trace="path.json"`` additionally writes
-    Perfetto-loadable Chrome-trace JSON to that path.
+    Perfetto-loadable Chrome-trace JSON to that path.  Traces are finished
+    and written even when the run fails, so a fault that exhausts recovery
+    still leaves an inspectable trace behind.
+
+    ``plan_cache`` memoizes the optimization (and any mid-run replans):
+    pass one :class:`~repro.optimizer.PlanCache` across calls that share an
+    environment and repeated queries are planned once.  Caching never
+    changes the chosen plan -- a hit returns exactly what the optimizer
+    would have recomputed.
     """
     if isinstance(allocation, str):
         allocation = BufferAllocation(allocation)
@@ -166,23 +176,31 @@ def run_query(
         objective=parsed_objective,
         config=optimizer_config,
         seed=seed,
+        plan_cache=plan_cache,
     ).optimize()
     tracer, trace_path = _resolve_trace(trace)
-    result = scenario.execute(
-        optimization.plan,
-        seed=seed,
-        faults=faults,
-        recovery=recovery,
-        policy=parsed_policy,
-        objective=parsed_objective,
-        optimizer_config=optimizer_config,
-        tracer=tracer,
-    )
-    if tracer is not None:
-        tracer.metadata.setdefault("policy", parsed_policy.value)
-        tracer.metadata.setdefault("seed", seed)
-        if trace_path is not None:
-            write_chrome_trace(tracer, trace_path)
+    try:
+        result = scenario.execute(
+            optimization.plan,
+            seed=seed,
+            faults=faults,
+            recovery=recovery,
+            policy=parsed_policy,
+            objective=parsed_objective,
+            optimizer_config=optimizer_config,
+            tracer=tracer,
+            plan_cache=plan_cache,
+        )
+    finally:
+        # The success path finishes the trace inside the executor; this
+        # covers aborted runs so the spans recorded so far are still
+        # closed and exported.
+        if tracer is not None:
+            tracer.finish()
+            tracer.metadata.setdefault("policy", parsed_policy.value)
+            tracer.metadata.setdefault("seed", seed)
+            if trace_path is not None:
+                write_chrome_trace(tracer, trace_path)
     return QueryOutcome(
         scenario, parsed_policy, optimization.plan, optimization.cost, result, trace=tracer
     )
@@ -211,6 +229,7 @@ def run_workload(
     faults: FaultSchedule | None = None,
     recovery: RecoveryPolicy | None = None,
     trace: "bool | str | Tracer" = False,
+    plan_cache: PlanCache | None = None,
 ) -> WorkloadResult:
     """Run a multi-client concurrent workload; returns throughput metrics.
 
@@ -231,6 +250,9 @@ def run_workload(
     per-resource utilizations, and a ``profile`` snapshot of every hardware
     metric.  ``trace`` works as in :func:`run_query` (pass a
     :class:`~repro.obs.Tracer` to keep a reference to the recorded spans).
+    ``plan_cache`` works as in :func:`run_query`: clients sharing a cache
+    view plan their query class once, and the same cache can be reused
+    across workload runs over the same environment.
     """
     if isinstance(allocation, str):
         allocation = BufferAllocation(allocation)
@@ -255,27 +277,32 @@ def run_workload(
         server_load=server_load,
     )
     tracer, trace_path = _resolve_trace(trace)
-    result = WorkloadRunner(
-        scenario,
-        parsed_policy,
-        num_clients=num_clients,
-        stream=StreamConfig(
-            arrival=arrival,
-            rate=rate,
-            think_time=think_time,
-            queries_per_client=queries_per_client,
-        ),
-        admission=admission,
-        seed=seed,
-        objective=parsed_objective,
-        optimizer_config=optimizer or OptimizerConfig.fast(),
-        faults=faults,
-        recovery=recovery,
-        client_caches=client_caches,
-        tracer=tracer,
-    ).run()
-    if tracer is not None and trace_path is not None:
-        write_chrome_trace(tracer, trace_path)
+    try:
+        result = WorkloadRunner(
+            scenario,
+            parsed_policy,
+            num_clients=num_clients,
+            stream=StreamConfig(
+                arrival=arrival,
+                rate=rate,
+                think_time=think_time,
+                queries_per_client=queries_per_client,
+            ),
+            admission=admission,
+            seed=seed,
+            objective=parsed_objective,
+            optimizer_config=optimizer or OptimizerConfig.fast(),
+            faults=faults,
+            recovery=recovery,
+            client_caches=client_caches,
+            tracer=tracer,
+            plan_cache=plan_cache,
+        ).run()
+    finally:
+        if tracer is not None:
+            tracer.finish()
+            if trace_path is not None:
+                write_chrome_trace(tracer, trace_path)
     return result
 
 

@@ -64,6 +64,7 @@ from repro.sim import AnyOf, Environment, Event, Process
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.obs.trace import Tracer
+    from repro.optimizer.cache import PlanCache
 
 __all__ = [
     "ExecutionContext",
@@ -208,6 +209,7 @@ class QueryExecutor:
         env: Environment | None = None,
         topology: Topology | None = None,
         tracer: "Tracer | None" = None,
+        plan_cache: "PlanCache | None" = None,
     ) -> None:
         self.config = config
         self.catalog = catalog
@@ -241,7 +243,10 @@ class QueryExecutor:
                     self.env,
                     self.topology.site(site_id),
                     rate,
-                    rng=random.Random(seed * 7919 + site_id),
+                    # A per-purpose child stream: the old ``seed * 7919 +
+                    # site_id`` arithmetic collided with other derived seeds
+                    # (and with neighbouring sites under nearby seeds).
+                    rng=random.Random(f"{seed}:loadgen:{site_id}"),
                 )
             )
         # Fault tolerance: only engaged when there is something to survive,
@@ -252,10 +257,12 @@ class QueryExecutor:
         self.policy = policy
         self.objective = objective
         self.optimizer_config = optimizer_config
+        self.plan_cache = plan_cache
         self.recovery_stats = RecoveryStats()
         self.injector: FaultInjector | None = None
         if faults is not None and not faults.is_empty:
             self.injector = FaultInjector(self.env, self.topology, faults, seed=seed)
+        self._begin_execute()
 
     @property
     def fault_tolerant(self) -> bool:
@@ -351,6 +358,7 @@ class QueryExecutor:
         bounded retries follow, and the final failure -- if recovery is
         exhausted -- propagates as the fault that caused it.
         """
+        self._begin_execute()
         if self.fault_tolerant:
             return self._execute_with_recovery(plan)
         if isinstance(plan, BoundPlan):
@@ -413,7 +421,9 @@ class QueryExecutor:
         env = self.env
         stats = self.recovery_stats
         rng = random.Random(f"{self.seed}:recovery")
-        deadline = recovery.query_timeout
+        # Measured from the start of *this* execution, so a re-executed
+        # topology (env.now > 0) gets the full timeout budget.
+        deadline = None if recovery.query_timeout is None else env.now + recovery.query_timeout
         attempt = 0
         while True:
             attempt += 1
@@ -439,7 +449,7 @@ class QueryExecutor:
                     time_to_recover = stats.record_success(env.now)
                     return self._collect(root, context, time_to_recover)
                 failure = QueryTimeoutError(
-                    f"query timed out after {deadline}s (attempt {attempt})"
+                    f"query timed out after {recovery.query_timeout}s (attempt {attempt})"
                 )
             stats.record_fault(env.now)
             stats.wasted_work_pages.add(context.pages_produced())
@@ -453,8 +463,8 @@ class QueryExecutor:
             if deadline is not None and env.now >= deadline:
                 if not isinstance(failure, QueryTimeoutError):
                     failure = QueryTimeoutError(
-                        f"query timed out after {deadline}s while recovering "
-                        f"from: {failure}"
+                        f"query timed out after {recovery.query_timeout}s while "
+                        f"recovering from: {failure}"
                     )
                 raise failure
             if attempt >= recovery.max_attempts:
@@ -501,6 +511,7 @@ class QueryExecutor:
                 config=self.optimizer_config or OptimizerConfig.fast(),
                 seed=self.seed,
                 forced_client_relations=excluded,
+                plan_cache=self.plan_cache,
             ).optimize()
         except OptimizationError:
             return None
@@ -552,6 +563,33 @@ class QueryExecutor:
     # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
+    def _begin_execute(self) -> None:
+        """Baseline the cumulative counters for the run about to start.
+
+        The topology's clock, network counters, disk counters, and metrics
+        registry are all cumulative over the life of the system, so calling
+        :meth:`execute` twice on one executor would otherwise report the
+        first run's work again inside the second result.  Each execute also
+        gets fresh recovery statistics.
+        """
+        network = self.topology.network
+        reads = writes = 0
+        for site in self.topology.sites:
+            for disk in site.disks:
+                reads += disk.reads
+                writes += disk.writes
+        self._baseline = {
+            "now": self.env.now,
+            "pages_sent": network.data_pages_sent,
+            "control_messages": network.control_messages_sent,
+            "bytes_sent": network.bytes_sent,
+            "messages_dropped": network.messages_dropped,
+            "disk_reads": reads,
+            "disk_writes": writes,
+        }
+        self._baseline_profile = self.topology.metrics.snapshot()
+        self.recovery_stats = RecoveryStats()
+
     def _collect(
         self,
         root: DisplayIterator,
@@ -560,6 +598,7 @@ class QueryExecutor:
     ) -> ExecutionResult:
         network = self.topology.network
         stats = self.recovery_stats
+        base = self._baseline
         disk_util: dict[str, float] = {}
         cpu_util: dict[str, float] = {}
         reads = writes = 0
@@ -569,36 +608,38 @@ class QueryExecutor:
                 disk_util[disk.name] = disk.utilization()
                 reads += disk.reads
                 writes += disk.writes
-        profile = self.topology.metrics.snapshot()
+        profile = self.topology.metrics.snapshot_delta(self._baseline_profile)
         profile["recovery.retries"] = stats.retries.value
         profile["recovery.replans"] = stats.replans.value
         profile["recovery.wasted_work_pages"] = stats.wasted_work_pages.value
+        response_time = self.env.now - base["now"]
+        pages_sent = network.data_pages_sent - base["pages_sent"]
         tracer = self.env.tracer
         if tracer is not None:
             tracer.finish()
             tracer.metadata.update(
-                response_time=self.env.now,
-                pages_sent=network.data_pages_sent,
+                response_time=response_time,
+                pages_sent=pages_sent,
                 result_tuples=root.result_tuples,
             )
         return ExecutionResult(
-            response_time=self.env.now,
-            pages_sent=network.data_pages_sent,
-            control_messages=network.control_messages_sent,
-            bytes_sent=network.bytes_sent,
+            response_time=response_time,
+            pages_sent=pages_sent,
+            control_messages=network.control_messages_sent - base["control_messages"],
+            bytes_sent=network.bytes_sent - base["bytes_sent"],
             result_tuples=root.result_tuples,
             result_pages=root.result_pages,
             disk_utilizations=disk_util,
             cpu_utilizations=cpu_util,
             network_utilization=network.utilization(),
-            disk_reads=reads,
-            disk_writes=writes,
+            disk_reads=reads - base["disk_reads"],
+            disk_writes=writes - base["disk_writes"],
             retries=stats.retries.value,
             replans=stats.replans.value,
             wasted_work_pages=stats.wasted_work_pages.value,
             time_to_recover=time_to_recover,
             faults_seen=stats.faults_seen.value,
-            messages_dropped=network.messages_dropped,
+            messages_dropped=network.messages_dropped - base["messages_dropped"],
             profile=profile,
         )
 

@@ -18,6 +18,7 @@ from repro.config import OptimizerConfig
 from repro.experiments import figures
 from repro.experiments.report import render_figure
 from repro.experiments.runner import RunSettings
+from repro.optimizer.cache import PlanCache
 
 __all__ = ["main"]
 
@@ -77,14 +78,32 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quick", action="store_true", help="three seeds and a sparse sweep"
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help=(
+            "run sweep points on N worker processes (default 1 = serial); "
+            "output is byte-identical to a serial run"
+        ),
+    )
+    parser.add_argument(
+        "--no-plan-cache", action="store_true",
+        help=(
+            "disable the shared optimizer plan cache (enabled by default; "
+            "caching reuses identical optimizations across sweep points "
+            "without changing any chosen plan)"
+        ),
+    )
     return parser
 
 
 def _settings(args: argparse.Namespace) -> RunSettings:
     optimizer = OptimizerConfig.paper() if args.paper else OptimizerConfig.fast()
-    settings = RunSettings(optimizer=optimizer)
+    plan_cache = None if args.no_plan_cache else PlanCache()
+    settings = RunSettings(optimizer=optimizer, plan_cache=plan_cache)
     if args.seeds:
-        settings = RunSettings(seeds=tuple(args.seeds), optimizer=optimizer)
+        settings = RunSettings(
+            seeds=tuple(args.seeds), optimizer=optimizer, plan_cache=plan_cache
+        )
     elif args.quick:
         settings = settings.quick()
     return settings
@@ -113,6 +132,8 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
             kwargs["client_counts"] = tuple(args.clients)
         elif args.quick:
             kwargs["client_counts"] = (1, 2, 4)
+    if args.jobs > 1:
+        kwargs["jobs"] = args.jobs
     started = time.time()
     result = function(**kwargs)
     print(render_figure(result))

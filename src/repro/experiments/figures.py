@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from repro.config import BufferAllocation, SystemConfig
 from repro.costmodel.model import Objective
 from repro.errors import TransientFaultError
+from repro.experiments.parallel import parallel_map
 from repro.experiments.runner import RunSettings, measure_policy
 from repro.experiments.stats import PointEstimate, summarize
 from repro.faults.recovery import RecoveryPolicy
@@ -133,6 +134,78 @@ def table2(config: SystemConfig | None = None) -> str:
 
 
 # ----------------------------------------------------------------------
+# Sweep-point tasks
+# ----------------------------------------------------------------------
+# Scenario factories and sweep points are frozen dataclasses rather than
+# closures so a sweep can be pickled out to worker processes (``jobs > 1``);
+# each point is fully self-describing, which is also what makes parallel
+# output byte-identical to serial.
+@dataclass(frozen=True)
+class _TwoWayFactory:
+    """Scenario factory for the 2-way-join experiments (Figures 2-5)."""
+
+    cache_fraction: float
+    allocation: BufferAllocation
+    server_load: float = 0.0
+
+    def __call__(self, seed: int) -> Scenario:
+        return chain_scenario(
+            num_relations=2,
+            num_servers=1,
+            allocation=self.allocation,
+            cached_fraction=self.cache_fraction,
+            placement_seed=seed,
+            server_load=self.server_load,
+        )
+
+
+@dataclass(frozen=True)
+class _TenWayFactory:
+    """Scenario factory for the 10-way-join experiments (Figures 6-11)."""
+
+    num_servers: int
+    cached_relations: int = 0
+    allocation: BufferAllocation = BufferAllocation.MINIMUM
+    selectivity: "str | float" = "moderate"
+
+    def __call__(self, seed: int) -> Scenario:
+        return chain_scenario(
+            num_relations=10,
+            num_servers=self.num_servers,
+            allocation=self.allocation,
+            cached_relations=self.cached_relations if self.cached_relations else None,
+            placement_seed=seed,
+            selectivity=self.selectivity,
+        )
+
+
+@dataclass(frozen=True)
+class _MeasureTask:
+    """One (x, policy) point of a measure_policy-based figure."""
+
+    factory: typing.Callable[[int], Scenario]
+    policy: Policy
+    objective: Objective
+    settings: RunSettings
+    label: str
+    x: float
+    metric: str  # "response_time" or "pages_sent"
+
+
+def _run_measure_task(task: _MeasureTask) -> tuple[str, float, PointEstimate]:
+    measurement = measure_policy(task.factory, task.policy, task.objective, task.settings)
+    return task.label, task.x, getattr(measurement, task.metric)
+
+
+def _add_measured(
+    result: FigureResult, tasks: list[_MeasureTask], jobs: int
+) -> FigureResult:
+    for label, x, estimate in parallel_map(_run_measure_task, tasks, jobs):
+        result.add(label, x, estimate)
+    return result
+
+
+# ----------------------------------------------------------------------
 # 2-way join experiments (Figures 2-5)
 # ----------------------------------------------------------------------
 def _two_way_factory(
@@ -140,22 +213,13 @@ def _two_way_factory(
     allocation: BufferAllocation,
     server_load: float = 0.0,
 ) -> typing.Callable[[int], Scenario]:
-    def factory(seed: int) -> Scenario:
-        return chain_scenario(
-            num_relations=2,
-            num_servers=1,
-            allocation=allocation,
-            cached_fraction=cache_fraction,
-            placement_seed=seed,
-            server_load=server_load,
-        )
-
-    return factory
+    return _TwoWayFactory(cache_fraction, allocation, server_load)
 
 
 def figure2(
     settings: RunSettings | None = None,
     cache_fractions: tuple[float, ...] = CACHE_FRACTIONS,
+    jobs: int = 1,
 ) -> FigureResult:
     """Figure 2: pages sent, 2-way join, 1 server, vary client caching.
 
@@ -170,17 +234,26 @@ def figure2(
         "cached portion of relations [%]",
         "pages sent",
     )
-    for fraction in cache_fractions:
-        factory = _two_way_factory(fraction, BufferAllocation.MINIMUM)
-        for policy in POLICIES:
-            measurement = measure_policy(factory, policy, Objective.PAGES_SENT, settings)
-            result.add(policy.short_name, fraction * 100.0, measurement.pages_sent)
-    return result
+    tasks = [
+        _MeasureTask(
+            _two_way_factory(fraction, BufferAllocation.MINIMUM),
+            policy,
+            Objective.PAGES_SENT,
+            settings,
+            policy.short_name,
+            fraction * 100.0,
+            "pages_sent",
+        )
+        for fraction in cache_fractions
+        for policy in POLICIES
+    ]
+    return _add_measured(result, tasks, jobs)
 
 
 def figure3(
     settings: RunSettings | None = None,
     cache_fractions: tuple[float, ...] = CACHE_FRACTIONS,
+    jobs: int = 1,
 ) -> FigureResult:
     """Figure 3: response time, 2-way join, minimum allocation, no load.
 
@@ -196,18 +269,27 @@ def figure3(
         "cached portion of relations [%]",
         "response time [s]",
     )
-    for fraction in cache_fractions:
-        factory = _two_way_factory(fraction, BufferAllocation.MINIMUM)
-        for policy in POLICIES:
-            measurement = measure_policy(factory, policy, Objective.RESPONSE_TIME, settings)
-            result.add(policy.short_name, fraction * 100.0, measurement.response_time)
-    return result
+    tasks = [
+        _MeasureTask(
+            _two_way_factory(fraction, BufferAllocation.MINIMUM),
+            policy,
+            Objective.RESPONSE_TIME,
+            settings,
+            policy.short_name,
+            fraction * 100.0,
+            "response_time",
+        )
+        for fraction in cache_fractions
+        for policy in POLICIES
+    ]
+    return _add_measured(result, tasks, jobs)
 
 
 def figure4(
     settings: RunSettings | None = None,
     cache_fractions: tuple[float, ...] = CACHE_FRACTIONS,
     loads: tuple[float, ...] = FIGURE4_LOADS,
+    jobs: int = 1,
 ) -> FigureResult:
     """Figure 4: response time of DS under external server-disk load.
 
@@ -223,20 +305,26 @@ def figure4(
         "cached portion of relations [%]",
         "response time [s]",
     )
-    for load in loads:
-        label = f"{load:.0f} req/sec"
-        for fraction in cache_fractions:
-            factory = _two_way_factory(fraction, BufferAllocation.MINIMUM, server_load=load)
-            measurement = measure_policy(
-                factory, Policy.DATA_SHIPPING, Objective.RESPONSE_TIME, settings
-            )
-            result.add(label, fraction * 100.0, measurement.response_time)
-    return result
+    tasks = [
+        _MeasureTask(
+            _two_way_factory(fraction, BufferAllocation.MINIMUM, server_load=load),
+            Policy.DATA_SHIPPING,
+            Objective.RESPONSE_TIME,
+            settings,
+            f"{load:.0f} req/sec",
+            fraction * 100.0,
+            "response_time",
+        )
+        for load in loads
+        for fraction in cache_fractions
+    ]
+    return _add_measured(result, tasks, jobs)
 
 
 def qs_under_load_text(
     settings: RunSettings | None = None,
     loads: tuple[float, ...] = (40.0, 60.0),
+    jobs: int = 1,
 ) -> FigureResult:
     """Section 4.2.2 text: QS response times under server load.
 
@@ -250,18 +338,25 @@ def qs_under_load_text(
         "external load [req/sec]",
         "response time [s]",
     )
-    for load in loads:
-        factory = _two_way_factory(0.0, BufferAllocation.MINIMUM, server_load=load)
-        measurement = measure_policy(
-            factory, Policy.QUERY_SHIPPING, Objective.RESPONSE_TIME, settings
+    tasks = [
+        _MeasureTask(
+            _two_way_factory(0.0, BufferAllocation.MINIMUM, server_load=load),
+            Policy.QUERY_SHIPPING,
+            Objective.RESPONSE_TIME,
+            settings,
+            "QS",
+            load,
+            "response_time",
         )
-        result.add("QS", load, measurement.response_time)
-    return result
+        for load in loads
+    ]
+    return _add_measured(result, tasks, jobs)
 
 
 def figure5(
     settings: RunSettings | None = None,
     cache_fractions: tuple[float, ...] = CACHE_FRACTIONS,
+    jobs: int = 1,
 ) -> FigureResult:
     """Figure 5: response time, 2-way join, maximum allocation.
 
@@ -279,12 +374,20 @@ def figure5(
         "cached portion of relations [%]",
         "response time [s]",
     )
-    for fraction in cache_fractions:
-        factory = _two_way_factory(fraction, BufferAllocation.MAXIMUM)
-        for policy in POLICIES:
-            measurement = measure_policy(factory, policy, Objective.RESPONSE_TIME, settings)
-            result.add(policy.short_name, fraction * 100.0, measurement.response_time)
-    return result
+    tasks = [
+        _MeasureTask(
+            _two_way_factory(fraction, BufferAllocation.MAXIMUM),
+            policy,
+            Objective.RESPONSE_TIME,
+            settings,
+            policy.short_name,
+            fraction * 100.0,
+            "response_time",
+        )
+        for fraction in cache_fractions
+        for policy in POLICIES
+    ]
+    return _add_measured(result, tasks, jobs)
 
 
 # ----------------------------------------------------------------------
@@ -296,22 +399,13 @@ def _ten_way_factory(
     allocation: BufferAllocation = BufferAllocation.MINIMUM,
     selectivity: "str | float" = "moderate",
 ) -> typing.Callable[[int], Scenario]:
-    def factory(seed: int) -> Scenario:
-        return chain_scenario(
-            num_relations=10,
-            num_servers=num_servers,
-            allocation=allocation,
-            cached_relations=cached_relations if cached_relations else None,
-            placement_seed=seed,
-            selectivity=selectivity,
-        )
-
-    return factory
+    return _TenWayFactory(num_servers, cached_relations, allocation, selectivity)
 
 
 def figure6(
     settings: RunSettings | None = None,
     server_counts: tuple[int, ...] = SERVER_COUNTS,
+    jobs: int = 1,
 ) -> FigureResult:
     """Figure 6: pages sent, 10-way join, vary servers, no caching.
 
@@ -326,17 +420,26 @@ def figure6(
         "number of servers",
         "pages sent",
     )
-    for count in server_counts:
-        factory = _ten_way_factory(count)
-        for policy in POLICIES:
-            measurement = measure_policy(factory, policy, Objective.PAGES_SENT, settings)
-            result.add(policy.short_name, count, measurement.pages_sent)
-    return result
+    tasks = [
+        _MeasureTask(
+            _ten_way_factory(count),
+            policy,
+            Objective.PAGES_SENT,
+            settings,
+            policy.short_name,
+            count,
+            "pages_sent",
+        )
+        for count in server_counts
+        for policy in POLICIES
+    ]
+    return _add_measured(result, tasks, jobs)
 
 
 def figure7(
     settings: RunSettings | None = None,
     server_counts: tuple[int, ...] = SERVER_COUNTS,
+    jobs: int = 1,
 ) -> FigureResult:
     """Figure 7: pages sent, 10-way join, 5 of 10 relations cached.
 
@@ -352,17 +455,26 @@ def figure7(
         "number of servers",
         "pages sent",
     )
-    for count in server_counts:
-        factory = _ten_way_factory(count, cached_relations=5)
-        for policy in POLICIES:
-            measurement = measure_policy(factory, policy, Objective.PAGES_SENT, settings)
-            result.add(policy.short_name, count, measurement.pages_sent)
-    return result
+    tasks = [
+        _MeasureTask(
+            _ten_way_factory(count, cached_relations=5),
+            policy,
+            Objective.PAGES_SENT,
+            settings,
+            policy.short_name,
+            count,
+            "pages_sent",
+        )
+        for count in server_counts
+        for policy in POLICIES
+    ]
+    return _add_measured(result, tasks, jobs)
 
 
 def figure8(
     settings: RunSettings | None = None,
     server_counts: tuple[int, ...] = SERVER_COUNTS,
+    jobs: int = 1,
 ) -> FigureResult:
     """Figure 8: response time, 10-way join, min. allocation, no caching.
 
@@ -378,22 +490,70 @@ def figure8(
         "number of servers",
         "response time [s]",
     )
-    for count in server_counts:
-        factory = _ten_way_factory(count)
-        for policy in POLICIES:
-            measurement = measure_policy(factory, policy, Objective.RESPONSE_TIME, settings)
-            result.add(policy.short_name, count, measurement.response_time)
-    return result
+    tasks = [
+        _MeasureTask(
+            _ten_way_factory(count),
+            policy,
+            Objective.RESPONSE_TIME,
+            settings,
+            policy.short_name,
+            count,
+            "response_time",
+        )
+        for count in server_counts
+        for policy in POLICIES
+    ]
+    return _add_measured(result, tasks, jobs)
 
 
 # ----------------------------------------------------------------------
 # Multi-client throughput sweep (not in the paper)
 # ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _ThroughputTask:
+    """One (client count, policy) point of the throughput sweep."""
+
+    policy: Policy
+    count: int
+    cached_fraction: float
+    stream: StreamConfig
+    admission: AdmissionConfig
+    settings: RunSettings
+
+
+def _run_throughput_task(
+    task: _ThroughputTask,
+) -> tuple[PointEstimate, PointEstimate]:
+    throughputs: list[float] = []
+    p95s: list[float] = []
+    for seed in task.settings.seeds:
+        scenario = chain_scenario(
+            num_relations=2,
+            num_servers=1,
+            cached_fraction=task.cached_fraction,
+            placement_seed=seed,
+        )
+        run = WorkloadRunner(
+            scenario,
+            task.policy,
+            num_clients=task.count,
+            stream=task.stream,
+            admission=task.admission,
+            seed=seed,
+            optimizer_config=task.settings.optimizer,
+            plan_cache=task.settings.plan_cache,
+        ).run()
+        throughputs.append(run.throughput)
+        p95s.append(run.p95_response_time)
+    return summarize(throughputs), summarize(p95s)
+
+
 def throughput_sweep(
     settings: RunSettings | None = None,
     client_counts: tuple[int, ...] = CLIENT_COUNTS,
     cached_fraction: float = 0.75,
     queries_per_client: int = 3,
+    jobs: int = 1,
 ) -> FigureResult:
     """Throughput and p95 response time vs concurrent clients, per policy.
 
@@ -418,45 +578,89 @@ def throughput_sweep(
             "the response-time tail of the same runs"
         ),
     )
-    for count in client_counts:
-        stream = StreamConfig(
-            arrival="closed", think_time=0.0, queries_per_client=queries_per_client
-        )
-        for policy in POLICIES:
-            throughputs: list[float] = []
-            p95s: list[float] = []
-            for seed in settings.seeds:
-                scenario = chain_scenario(
-                    num_relations=2,
-                    num_servers=1,
-                    cached_fraction=cached_fraction,
-                    placement_seed=seed,
-                )
-                run = WorkloadRunner(
-                    scenario,
-                    policy,
-                    num_clients=count,
-                    stream=stream,
-                    admission=admission,
-                    seed=seed,
-                    optimizer_config=settings.optimizer,
-                ).run()
-                throughputs.append(run.throughput)
-                p95s.append(run.p95_response_time)
-            result.add(policy.short_name, count, summarize(throughputs))
-            result.add(f"{policy.short_name} p95 [s]", count, summarize(p95s))
+    stream = StreamConfig(
+        arrival="closed", think_time=0.0, queries_per_client=queries_per_client
+    )
+    tasks = [
+        _ThroughputTask(policy, count, cached_fraction, stream, admission, settings)
+        for count in client_counts
+        for policy in POLICIES
+    ]
+    for task, (throughput, p95) in zip(tasks, parallel_map(_run_throughput_task, tasks, jobs)):
+        result.add(task.policy.short_name, task.count, throughput)
+        result.add(f"{task.policy.short_name} p95 [s]", task.count, p95)
     return result
 
 
 # ----------------------------------------------------------------------
 # Fault tolerance: availability sweep (not in the paper)
 # ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _AvailabilityTask:
+    """One (MTBF, policy) point of the availability sweep."""
+
+    policy: Policy
+    mtbf: float
+    mttr: float
+    horizon: float
+    cached_fraction: float
+    recovery: RecoveryPolicy
+    settings: RunSettings
+
+
+def _run_availability_task(
+    task: _AvailabilityTask,
+) -> tuple[PointEstimate, PointEstimate, PointEstimate]:
+    times: list[float] = []
+    replans: list[float] = []
+    completions: list[float] = []
+    for seed in task.settings.seeds:
+        scenario = chain_scenario(
+            num_relations=2,
+            num_servers=1,
+            cached_fraction=task.cached_fraction,
+            placement_seed=seed,
+        )
+        plan = RandomizedOptimizer(
+            scenario.query,
+            scenario.environment(),
+            policy=task.policy,
+            objective=Objective.RESPONSE_TIME,
+            config=task.settings.optimizer,
+            seed=seed,
+            plan_cache=task.settings.plan_cache,
+        ).optimize().plan
+        faults = FaultSchedule.periodic_crashes(
+            1, mtbf=task.mtbf, mttr=task.mttr, horizon=task.horizon, seed=seed
+        )
+        try:
+            run = scenario.execute(
+                plan,
+                seed=seed,
+                faults=faults,
+                recovery=task.recovery,
+                policy=task.policy,
+                optimizer_config=task.settings.optimizer,
+                plan_cache=task.settings.plan_cache,
+            )
+        except TransientFaultError:
+            times.append(task.horizon)
+            replans.append(0.0)
+            completions.append(0.0)
+        else:
+            times.append(run.response_time)
+            replans.append(float(run.replans))
+            completions.append(100.0)
+    return summarize(times), summarize(replans), summarize(completions)
+
+
 def availability_sweep(
     settings: RunSettings | None = None,
     mtbf_values: tuple[float, ...] = MTBF_VALUES,
     mttr: float = 2.0,
     horizon: float = 120.0,
     cached_fraction: float = 1.0,
+    jobs: int = 1,
 ) -> FigureResult:
     """Response time of the three policies under periodic server crashes.
 
@@ -481,49 +685,17 @@ def availability_sweep(
             f"{horizon:g}s query timeout and excluded from 'completed [%]'"
         ),
     )
-    for mtbf in mtbf_values:
-        for policy in POLICIES:
-            times: list[float] = []
-            replans: list[float] = []
-            completions: list[float] = []
-            for seed in settings.seeds:
-                scenario = chain_scenario(
-                    num_relations=2,
-                    num_servers=1,
-                    cached_fraction=cached_fraction,
-                    placement_seed=seed,
-                )
-                plan = RandomizedOptimizer(
-                    scenario.query,
-                    scenario.environment(),
-                    policy=policy,
-                    objective=Objective.RESPONSE_TIME,
-                    config=settings.optimizer,
-                    seed=seed,
-                ).optimize().plan
-                faults = FaultSchedule.periodic_crashes(
-                    1, mtbf=mtbf, mttr=mttr, horizon=horizon, seed=seed
-                )
-                try:
-                    run = scenario.execute(
-                        plan,
-                        seed=seed,
-                        faults=faults,
-                        recovery=recovery,
-                        policy=policy,
-                        optimizer_config=settings.optimizer,
-                    )
-                except TransientFaultError:
-                    times.append(horizon)
-                    replans.append(0.0)
-                    completions.append(0.0)
-                else:
-                    times.append(run.response_time)
-                    replans.append(float(run.replans))
-                    completions.append(100.0)
-            result.add(policy.short_name, mtbf, summarize(times))
-            result.add(f"{policy.short_name} replans", mtbf, summarize(replans))
-            result.add(f"{policy.short_name} completed [%]", mtbf, summarize(completions))
+    tasks = [
+        _AvailabilityTask(policy, mtbf, mttr, horizon, cached_fraction, recovery, settings)
+        for mtbf in mtbf_values
+        for policy in POLICIES
+    ]
+    outcomes = parallel_map(_run_availability_task, tasks, jobs)
+    for task, (times, replans, completions) in zip(tasks, outcomes):
+        label = task.policy.short_name
+        result.add(label, task.mtbf, times)
+        result.add(f"{label} replans", task.mtbf, replans)
+        result.add(f"{label} completed [%]", task.mtbf, completions)
     return result
 
 
@@ -542,12 +714,80 @@ def _distributed_catalog(scenario: Scenario) -> Catalog:
     return Catalog(relations, Placement({r.name: i + 1 for i, r in enumerate(relations)}))
 
 
+@dataclass(frozen=True)
+class _TwoStepTask:
+    """One server-count point of a Figure-10/11 style experiment."""
+
+    count: int
+    selectivity: "str | float"
+    settings: RunSettings
+
+
+def _run_two_step_task(task: _TwoStepTask) -> dict[str, PointEstimate]:
+    settings = task.settings
+    factory = _ten_way_factory(task.count, selectivity=task.selectivity)
+    per_variant: dict[str, list[float]] = {
+        "Deep Static": [],
+        "Deep 2-Step": [],
+        "Bushy Static": [],
+        "Bushy 2-Step": [],
+    }
+    for seed in settings.seeds:
+        scenario = factory(seed)
+        true_env = scenario.environment()
+        two_step = TwoStepOptimizer(Objective.RESPONSE_TIME, settings.optimizer)
+        ideal = RandomizedOptimizer(
+            scenario.query,
+            true_env,
+            policy=Policy.HYBRID_SHIPPING,
+            objective=Objective.RESPONSE_TIME,
+            config=settings.optimizer,
+            seed=seed,
+            plan_cache=settings.plan_cache,
+        ).optimize()
+        ideal_time = scenario.execute(ideal.plan, seed=seed).response_time
+
+        deep = two_step.compile(
+            scenario.query,
+            scenario.assumed_environment(_centralized_catalog(scenario)),
+            shape=PlanShape.DEEP,
+            seed=seed,
+        )
+        bushy = two_step.compile(
+            scenario.query,
+            scenario.assumed_environment(
+                _distributed_catalog(scenario),
+                num_servers=len(scenario.query.relations),
+            ),
+            shape=PlanShape.ANY,
+            seed=seed,
+        )
+        plans = {
+            "Deep Static": two_step.static_plan(deep),
+            "Deep 2-Step": two_step.runtime_plan(deep, true_env, seed=seed),
+            "Bushy Static": two_step.static_plan(bushy),
+            "Bushy 2-Step": two_step.runtime_plan(bushy, true_env, seed=seed),
+        }
+        elapsed = {
+            label: scenario.execute(plan, seed=seed).response_time
+            for label, plan in plans.items()
+        }
+        # The randomized "ideal" is only as good as its search budget;
+        # normalize by the best plan actually measured so ratios are a
+        # true "times slower than the best known plan" (>= 1).
+        baseline = min(ideal_time, *elapsed.values())
+        for label, value in elapsed.items():
+            per_variant[label].append(value / baseline)
+    return {label: summarize(ratios) for label, ratios in per_variant.items()}
+
+
 def _two_step_figure(
     figure_id: str,
     title: str,
     selectivity: "str | float",
     settings: RunSettings,
     server_counts: tuple[int, ...],
+    jobs: int = 1,
 ) -> FigureResult:
     result = FigureResult(
         figure_id,
@@ -560,69 +800,17 @@ def _two_step_figure(
             "with full knowledge of the runtime state (section 5.2)"
         ),
     )
-    variants: dict[str, list[float]] = {}
-    for count in server_counts:
-        factory = _ten_way_factory(count, selectivity=selectivity)
-        per_variant: dict[str, list[float]] = {
-            "Deep Static": [],
-            "Deep 2-Step": [],
-            "Bushy Static": [],
-            "Bushy 2-Step": [],
-        }
-        for seed in settings.seeds:
-            scenario = factory(seed)
-            true_env = scenario.environment()
-            two_step = TwoStepOptimizer(Objective.RESPONSE_TIME, settings.optimizer)
-            ideal = RandomizedOptimizer(
-                scenario.query,
-                true_env,
-                policy=Policy.HYBRID_SHIPPING,
-                objective=Objective.RESPONSE_TIME,
-                config=settings.optimizer,
-                seed=seed,
-            ).optimize()
-            ideal_time = scenario.execute(ideal.plan, seed=seed).response_time
-
-            deep = two_step.compile(
-                scenario.query,
-                scenario.assumed_environment(_centralized_catalog(scenario)),
-                shape=PlanShape.DEEP,
-                seed=seed,
-            )
-            bushy = two_step.compile(
-                scenario.query,
-                scenario.assumed_environment(
-                    _distributed_catalog(scenario),
-                    num_servers=len(scenario.query.relations),
-                ),
-                shape=PlanShape.ANY,
-                seed=seed,
-            )
-            plans = {
-                "Deep Static": two_step.static_plan(deep),
-                "Deep 2-Step": two_step.runtime_plan(deep, true_env, seed=seed),
-                "Bushy Static": two_step.static_plan(bushy),
-                "Bushy 2-Step": two_step.runtime_plan(bushy, true_env, seed=seed),
-            }
-            elapsed = {
-                label: scenario.execute(plan, seed=seed).response_time
-                for label, plan in plans.items()
-            }
-            # The randomized "ideal" is only as good as its search budget;
-            # normalize by the best plan actually measured so ratios are a
-            # true "times slower than the best known plan" (>= 1).
-            baseline = min(ideal_time, *elapsed.values())
-            for label, value in elapsed.items():
-                per_variant[label].append(value / baseline)
-        for label, ratios in per_variant.items():
-            result.add(label, count, summarize(ratios))
-            variants.setdefault(label, []).extend(ratios)
+    tasks = [_TwoStepTask(count, selectivity, settings) for count in server_counts]
+    for task, estimates in zip(tasks, parallel_map(_run_two_step_task, tasks, jobs)):
+        for label, estimate in estimates.items():
+            result.add(label, task.count, estimate)
     return result
 
 
 def figure10(
     settings: RunSettings | None = None,
     server_counts: tuple[int, ...] = SERVER_COUNTS,
+    jobs: int = 1,
 ) -> FigureResult:
     """Figure 10: relative response time of static and 2-step plans.
 
@@ -638,12 +826,14 @@ def figure10(
         "moderate",
         settings,
         server_counts,
+        jobs=jobs,
     )
 
 
 def figure11(
     settings: RunSettings | None = None,
     server_counts: tuple[int, ...] = SERVER_COUNTS,
+    jobs: int = 1,
 ) -> FigureResult:
     """Figure 11: the Figure-10 experiment for the HiSel query.
 
@@ -658,15 +848,63 @@ def figure11(
         "hisel",
         settings,
         server_counts,
+        jobs=jobs,
     )
 
 
 # ----------------------------------------------------------------------
 # Section 5 text: 2-step optimization exploits run-time caching
 # ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _TwoStepCachingTask:
+    """One cache-fraction point of the 2-step caching experiment."""
+
+    fraction: float
+    settings: RunSettings
+
+
+def _run_two_step_caching_task(task: _TwoStepCachingTask) -> dict[str, PointEstimate]:
+    settings = task.settings
+    per_variant: dict[str, list[float]] = {"Static": [], "2-Step": [], "Ideal": []}
+    for seed in settings.seeds:
+        runtime_scenario = chain_scenario(
+            num_relations=4,
+            num_servers=2,
+            cached_fraction=task.fraction,
+            placement_seed=seed,
+        )
+        compile_catalog = runtime_scenario.catalog.with_cache({})
+        compile_env = runtime_scenario.assumed_environment(compile_catalog)
+        true_env = runtime_scenario.environment()
+        two_step = TwoStepOptimizer(Objective.PAGES_SENT, settings.optimizer)
+        compiled = two_step.compile(runtime_scenario.query, compile_env, seed=seed)
+        static_plan = two_step.static_plan(compiled)
+        runtime_plan = two_step.runtime_plan(compiled, true_env, seed=seed)
+        ideal = RandomizedOptimizer(
+            runtime_scenario.query,
+            true_env,
+            policy=Policy.HYBRID_SHIPPING,
+            objective=Objective.PAGES_SENT,
+            config=settings.optimizer,
+            seed=seed,
+            plan_cache=settings.plan_cache,
+        ).optimize()
+        per_variant["Static"].append(
+            float(runtime_scenario.execute(static_plan, seed=seed).pages_sent)
+        )
+        per_variant["2-Step"].append(
+            float(runtime_scenario.execute(runtime_plan, seed=seed).pages_sent)
+        )
+        per_variant["Ideal"].append(
+            float(runtime_scenario.execute(ideal.plan, seed=seed).pages_sent)
+        )
+    return {label: summarize(pages) for label, pages in per_variant.items()}
+
+
 def two_step_caching(
     settings: RunSettings | None = None,
     cache_fractions: tuple[float, ...] = (0.0, 0.5, 1.0),
+    jobs: int = 1,
 ) -> FigureResult:
     """Section 5 text: 2-step site selection exploits client caching.
 
@@ -685,39 +923,9 @@ def two_step_caching(
         "pages sent",
         notes="4-way join, 2 servers; compile time assumed an empty cache",
     )
-    for fraction in cache_fractions:
-        per_variant: dict[str, list[float]] = {"Static": [], "2-Step": [], "Ideal": []}
-        for seed in settings.seeds:
-            runtime_scenario = chain_scenario(
-                num_relations=4,
-                num_servers=2,
-                cached_fraction=fraction,
-                placement_seed=seed,
-            )
-            compile_catalog = runtime_scenario.catalog.with_cache({})
-            compile_env = runtime_scenario.assumed_environment(compile_catalog)
-            true_env = runtime_scenario.environment()
-            two_step = TwoStepOptimizer(Objective.PAGES_SENT, settings.optimizer)
-            compiled = two_step.compile(runtime_scenario.query, compile_env, seed=seed)
-            static_plan = two_step.static_plan(compiled)
-            runtime_plan = two_step.runtime_plan(compiled, true_env, seed=seed)
-            ideal = RandomizedOptimizer(
-                runtime_scenario.query,
-                true_env,
-                policy=Policy.HYBRID_SHIPPING,
-                objective=Objective.PAGES_SENT,
-                config=settings.optimizer,
-                seed=seed,
-            ).optimize()
-            per_variant["Static"].append(
-                float(runtime_scenario.execute(static_plan, seed=seed).pages_sent)
-            )
-            per_variant["2-Step"].append(
-                float(runtime_scenario.execute(runtime_plan, seed=seed).pages_sent)
-            )
-            per_variant["Ideal"].append(
-                float(runtime_scenario.execute(ideal.plan, seed=seed).pages_sent)
-            )
-        for label, pages in per_variant.items():
-            result.add(label, fraction * 100.0, summarize(pages))
+    tasks = [_TwoStepCachingTask(fraction, settings) for fraction in cache_fractions]
+    outcomes = parallel_map(_run_two_step_caching_task, tasks, jobs)
+    for task, estimates in zip(tasks, outcomes):
+        for label, estimate in estimates.items():
+            result.add(label, task.fraction * 100.0, estimate)
     return result

@@ -9,6 +9,7 @@ from repro.config import OptimizerConfig
 from repro.costmodel.model import Objective
 from repro.engine.executor import ExecutionResult
 from repro.experiments.stats import PointEstimate, summarize
+from repro.optimizer.cache import PlanCache
 from repro.optimizer.two_phase import RandomizedOptimizer
 from repro.plans.operators import DisplayOp
 from repro.plans.policies import Policy
@@ -28,14 +29,23 @@ class RunSettings:
     optimizer, so every repetition sees a fresh placement, exactly as in
     the paper's 10-way experiments ("the data points ... represent the
     average of many such random placements", section 4.3).
+
+    ``plan_cache`` memoizes the per-point optimizations: sweeps that
+    revisit the same (query, environment, policy, seed) combination -- or
+    whose hybrid runs repeat a pure subspace pass -- reuse the earlier
+    result instead of re-searching.  Caching never changes which plan a
+    point measures.
     """
 
     seeds: tuple[int, ...] = (3, 7, 11, 13, 17)
     optimizer: OptimizerConfig = field(default_factory=OptimizerConfig.fast)
+    plan_cache: PlanCache | None = field(default=None, compare=False)
 
     def quick(self) -> "RunSettings":
         """Three-seed variant for smoke tests."""
-        return RunSettings(seeds=self.seeds[:3], optimizer=self.optimizer)
+        return RunSettings(
+            seeds=self.seeds[:3], optimizer=self.optimizer, plan_cache=self.plan_cache
+        )
 
 
 @dataclass
@@ -64,6 +74,7 @@ def measure_policy(
             objective=objective,
             config=settings.optimizer,
             seed=seed,
+            plan_cache=settings.plan_cache,
         )
         plan = optimizer.optimize().plan
         results.append(scenario.execute(plan, seed=seed))

@@ -125,6 +125,34 @@ class MetricsRegistry:
                 out[name] = instrument.value
         return out
 
+    #: Snapshot leaves that describe a *state* rather than a cumulative
+    #: count; a delta against a baseline keeps these absolute.
+    _ABSOLUTE_SUFFIXES = (
+        "utilization",
+        ".mean",
+        ".min",
+        ".max",
+        ".high_water_pages",
+    )
+
+    def snapshot_delta(
+        self, baseline: typing.Mapping[str, float], prefix: str = ""
+    ) -> dict[str, float]:
+        """A snapshot with cumulative values rebased against ``baseline``.
+
+        Counters (and counter-like gauges) are reported as the increase
+        since the baseline snapshot, so two back-to-back runs on one
+        topology each see only their own activity; utilizations and other
+        statistical leaves stay absolute.  Names absent from the baseline
+        are treated as starting from zero.
+        """
+        out = self.snapshot(prefix)
+        for name, value in out.items():
+            if name.endswith(self._ABSOLUTE_SUFFIXES):
+                continue
+            out[name] = value - baseline.get(name, 0.0)
+        return out
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<MetricsRegistry instruments={len(self._instruments)}>"
 

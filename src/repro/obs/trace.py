@@ -176,7 +176,14 @@ class Tracer:
         return span
 
     def end(self, span: Span) -> Span:
-        """Close a span (must be the innermost open span of its track)."""
+        """Close a span (must be the innermost open span of its track).
+
+        A span that :meth:`finish` already force-closed is left untouched:
+        after an aborted run the executor's abandoned generators still
+        unwind (on garbage collection) through their ``tracer.end`` calls.
+        """
+        if span.end is not None:
+            return span
         stack = self._stacks.get(span.track)
         assert stack and stack[-1] is span, (
             f"span {span.name!r} ended out of order on track {span.track!r}"
@@ -226,8 +233,14 @@ class Tracer:
     # Aggregation
     # ------------------------------------------------------------------
     def finish(self) -> None:
-        """Close any spans still open (end of run / aborted attempts)."""
-        assert self.env is not None
+        """Close any spans still open (end of run / aborted attempts).
+
+        Idempotent, and a no-op on a tracer that never got bound to an
+        environment -- error paths may finish a tracer whose run died
+        before (or during) executor construction.
+        """
+        if self.env is None:
+            return
         for stack in self._stacks.values():
             while stack:
                 span = stack.pop()

@@ -14,6 +14,7 @@ plans fully optimized at compile time under an assumed system state, and
 redone at run time.
 """
 
+from repro.optimizer.cache import CacheStats, PlanCache, plan_fingerprint
 from repro.optimizer.random_plans import PlanShape, random_plan
 from repro.optimizer.space import random_neighbor
 from repro.optimizer.two_phase import OptimizationResult, RandomizedOptimizer, optimize
@@ -24,12 +25,15 @@ from repro.optimizer.two_step import (
 )
 
 __all__ = [
+    "CacheStats",
     "CompiledQuery",
     "OptimizationResult",
+    "PlanCache",
     "PlanShape",
     "RandomizedOptimizer",
     "TwoStepOptimizer",
     "optimize",
+    "plan_fingerprint",
     "random_neighbor",
     "random_plan",
     "site_selection_only",

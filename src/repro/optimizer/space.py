@@ -21,6 +21,7 @@ disables moves 6 and 7 and restricts move 5 to inner/outer relation
 
 from __future__ import annotations
 
+import functools
 import random
 
 from repro.optimizer.random_plans import PlanShape, is_deep, repair_annotations
@@ -100,6 +101,12 @@ def _apply_reorder(move: int, join: JoinOp) -> JoinOp:
     return join.with_children(lower.with_children(a, c), b)  # move 4
 
 
+@functools.lru_cache(maxsize=None)
+def _sorted_annotations(policy: Policy, kind: str) -> tuple[Annotation, ...]:
+    """Table-1 annotations for ``kind`` in deterministic order (hot path)."""
+    return tuple(sorted(allowed_annotations(policy, kind), key=lambda a: a.value))
+
+
 def _annotation_candidates(
     root: DisplayOp,
     policy: Policy,
@@ -115,9 +122,7 @@ def _annotation_candidates(
         if isinstance(op, ScanOp) and op.relation in forced_client_relations:
             continue
         if isinstance(op, (JoinOp, SelectOp, ScanOp)):
-            for annotation in sorted(
-                allowed_annotations(policy, op), key=lambda a: a.value
-            ):
+            for annotation in _sorted_annotations(policy, op.kind):
                 if annotation is not op.annotation:
                     candidates.append((op, annotation))
     return candidates
@@ -135,14 +140,28 @@ def enumerate_candidates(
     singleton), so only reorder moves remain; query-shipping's annotation
     candidates are automatically restricted to inner/outer relation.
     """
-    candidates: list[tuple[str, object]] = []
-    if not annotation_moves_only:
-        candidates.extend(("reorder", c) for c in _reorder_candidates(root))
-    candidates.extend(
-        ("annotate", c)
-        for c in _annotation_candidates(root, policy, forced_client_relations)
-    )
-    return candidates
+    # One walk collects both move kinds; reorders stay ahead of annotation
+    # moves so candidate indexing is unchanged from the two-walk version.
+    reorders: list[tuple[str, object]] = []
+    annotates: list[tuple[str, object]] = []
+    structural = not annotation_moves_only
+    for op in root.walk():
+        if isinstance(op, ScanOp):
+            if op.relation in forced_client_relations:
+                continue
+        elif structural and isinstance(op, JoinOp):
+            if isinstance(op.inner, JoinOp):
+                reorders.append(("reorder", (1, op)))
+                reorders.append(("reorder", (2, op)))
+            if isinstance(op.outer, JoinOp):
+                reorders.append(("reorder", (3, op)))
+                reorders.append(("reorder", (4, op)))
+        if isinstance(op, (JoinOp, SelectOp, ScanOp)):
+            current = op.annotation
+            for annotation in _sorted_annotations(policy, op.kind):
+                if annotation is not current:
+                    annotates.append(("annotate", (op, annotation)))
+    return reorders + annotates
 
 
 def random_neighbor(
@@ -165,12 +184,16 @@ def random_neighbor(
     )
     if not candidates:
         return None
-    root_has_cartesian = has_cartesian_join(root, query)
+    # Computed lazily: annotation moves never create Cartesian products, so
+    # plans without reorder candidates skip the check entirely.
+    root_has_cartesian: bool | None = None
     for _attempt in range(8):
         kind, payload = candidates[rng.randrange(len(candidates))]
         if kind == "reorder":
             move, join = payload  # type: ignore[misc]
             new_root = _rebuild(root, join, _apply_reorder(move, join))
+            if root_has_cartesian is None:
+                root_has_cartesian = has_cartesian_join(root, query)
             if shape is PlanShape.DEEP and not is_deep(new_root.child):
                 continue
             if not root_has_cartesian and has_cartesian_join(new_root, query):

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from repro.config import OptimizerConfig
 from repro.costmodel.model import CostModel, EnvironmentState, Objective, PlanCost
 from repro.errors import OptimizationError
+from repro.optimizer.cache import PlanCache, plan_fingerprint
 from repro.optimizer.random_plans import PlanShape, force_client_scans, random_plan
 from repro.optimizer.space import random_neighbor
 from repro.plans.annotations import Annotation
@@ -61,6 +62,7 @@ class RandomizedOptimizer:
         annotation_moves_only: bool = False,
         initial_plan: DisplayOp | None = None,
         forced_client_relations: frozenset[str] = frozenset(),
+        plan_cache: PlanCache | None = None,
     ) -> None:
         self.query = query
         self.environment = environment
@@ -82,8 +84,23 @@ class RandomizedOptimizer:
         if initial_plan is not None:
             initial_plan = force_client_scans(initial_plan, self.forced_client_relations)
         self.initial_plan = initial_plan
+        self.plan_cache = plan_cache
         self.cost_model = CostModel(query, environment)
         self.evaluations = 0
+
+    def _fingerprint(self, subspace: Policy | None) -> str:
+        return plan_fingerprint(
+            self.query,
+            self.environment,
+            self.policy,
+            self.objective,
+            self.config,
+            self.seed,
+            self.shape,
+            self.annotation_moves_only,
+            self.forced_client_relations,
+            subspace=subspace,
+        )
 
     # ------------------------------------------------------------------
     # Metric helpers
@@ -215,17 +232,47 @@ class RandomizedOptimizer:
 
     def optimize(self) -> OptimizationResult:
         """Run both phases (per subspace) and return the best plan found."""
+        # Plans seeded from an explicit initial plan are not fingerprinted,
+        # so only from-scratch optimizations go through the cache.
+        cache = self.plan_cache if self.initial_plan is None else None
+        full_key: str | None = None
+        if cache is not None:
+            full_key = self._fingerprint(None)
+            cached = cache.get(full_key)
+            if cached is not None:
+                plan, cost = cached
+                return OptimizationResult(
+                    plan=plan,
+                    cost=cost,
+                    policy=self.policy,
+                    objective=self.objective,
+                    evaluations=self.evaluations,
+                )
         best_plan: DisplayOp | None = None
         best_cost: PlanCost | None = None
         for move_policy in self._subspace_policies():
-            # Each subspace run draws from a freshly seeded generator, so a
-            # hybrid run's query-shipping pass is move-for-move identical to
-            # a standalone query-shipping optimization with the same seed.
-            self.rng = random.Random(self.seed)
-            plan, cost = self._run_2po(move_policy)
+            # Every pass draws from its own child generator keyed by (seed,
+            # pass policy): a hybrid run's query-shipping pass is
+            # move-for-move identical to a standalone query-shipping
+            # optimization with the same seed, while the hybrid main pass
+            # explores an independent stream instead of replaying it.
+            self.rng = random.Random(f"{self.seed}:{move_policy.value}")
+            pass_key: str | None = None
+            cached = None
+            if cache is not None:
+                pass_key = self._fingerprint(move_policy)
+                cached = cache.get(pass_key)
+            if cached is not None:
+                plan, cost = cached
+            else:
+                plan, cost = self._run_2po(move_policy)
+                if cache is not None and pass_key is not None:
+                    cache.put(pass_key, plan, cost)
             if best_cost is None or self._metric(cost) < self._metric(best_cost):
                 best_plan, best_cost = plan, cost
         assert best_plan is not None and best_cost is not None
+        if cache is not None and full_key is not None:
+            cache.put(full_key, best_plan, best_cost)
         return OptimizationResult(
             plan=best_plan,
             cost=best_cost,
@@ -243,8 +290,10 @@ def optimize(
     config: OptimizerConfig | None = None,
     seed: int = 0,
     shape: PlanShape = PlanShape.ANY,
+    plan_cache: PlanCache | None = None,
 ) -> OptimizationResult:
     """Convenience wrapper: one 2PO run with the given settings."""
     return RandomizedOptimizer(
-        query, environment, policy, objective, config, seed, shape
+        query, environment, policy, objective, config, seed, shape,
+        plan_cache=plan_cache,
     ).optimize()

@@ -27,24 +27,28 @@ class PlanOp:
 
     annotation: Annotation
 
+    #: Short lowercase operator name ('scan', 'join', ...); a class
+    #: attribute because the optimizer reads it on every candidate move.
+    kind: typing.ClassVar[str] = ""
+
     @property
     def children(self) -> tuple["PlanOp", ...]:
         return ()
-
-    @property
-    def kind(self) -> str:
-        """Short lowercase operator name ('scan', 'join', ...)."""
-        return type(self).__name__.removesuffix("Op").lower()
 
     def with_annotation(self, annotation: Annotation) -> "PlanOp":
         """Copy of this node with a different site annotation."""
         return replace(self, annotation=annotation)
 
     def walk(self) -> typing.Iterator["PlanOp"]:
-        """Pre-order traversal of the subtree rooted here."""
-        yield self
-        for child in self.children:
-            yield from child.walk()
+        """Pre-order traversal of the subtree rooted here (iterative: this
+        runs on every optimizer move, where recursive generators dominate)."""
+        stack: list[PlanOp] = [self]
+        while stack:
+            op = stack.pop()
+            yield op
+            children = op.children
+            if children:
+                stack.extend(reversed(children))
 
     def relations(self) -> frozenset[str]:
         """Names of all base relations scanned in this subtree."""
@@ -65,11 +69,16 @@ class ScanOp(PlanOp):
 
     relation: str = ""
 
+    kind: typing.ClassVar[str] = "scan"
+
     def __post_init__(self) -> None:
         if not self.relation:
             raise PlanError("scan needs a relation name")
         if self.annotation not in (Annotation.PRIMARY_COPY, Annotation.CLIENT):
             raise PlanError(f"scan cannot be annotated {self.annotation}")
+
+    def with_annotation(self, annotation: Annotation) -> "ScanOp":
+        return ScanOp(annotation, self.relation)
 
 
 @dataclass(frozen=True)
@@ -78,6 +87,8 @@ class SelectOp(PlanOp):
 
     child: PlanOp = None  # type: ignore[assignment]
     selectivity: float = 1.0
+
+    kind: typing.ClassVar[str] = "select"
 
     def __post_init__(self) -> None:
         if self.child is None:
@@ -91,8 +102,11 @@ class SelectOp(PlanOp):
     def children(self) -> tuple[PlanOp, ...]:
         return (self.child,)
 
+    def with_annotation(self, annotation: Annotation) -> "SelectOp":
+        return SelectOp(annotation, self.child, self.selectivity)
+
     def with_child(self, child: PlanOp) -> "SelectOp":
-        return replace(self, child=child)
+        return SelectOp(self.annotation, child, self.selectivity)
 
 
 @dataclass(frozen=True)
@@ -104,6 +118,8 @@ class JoinOp(PlanOp):
 
     inner: PlanOp = None  # type: ignore[assignment]
     outer: PlanOp = None  # type: ignore[assignment]
+
+    kind: typing.ClassVar[str] = "join"
 
     def __post_init__(self) -> None:
         if self.inner is None or self.outer is None:
@@ -119,8 +135,11 @@ class JoinOp(PlanOp):
     def children(self) -> tuple[PlanOp, ...]:
         return (self.inner, self.outer)
 
+    def with_annotation(self, annotation: Annotation) -> "JoinOp":
+        return JoinOp(annotation, self.inner, self.outer)
+
     def with_children(self, inner: PlanOp, outer: PlanOp) -> "JoinOp":
-        return replace(self, inner=inner, outer=outer)
+        return JoinOp(self.annotation, inner, outer)
 
     def annotation_target(self) -> PlanOp | None:
         """The child whose site this join's annotation points to, if any."""
@@ -137,6 +156,8 @@ class DisplayOp(PlanOp):
 
     child: PlanOp = None  # type: ignore[assignment]
 
+    kind: typing.ClassVar[str] = "display"
+
     def __post_init__(self) -> None:
         if self.child is None:
             raise PlanError("display needs a child operator")
@@ -148,4 +169,4 @@ class DisplayOp(PlanOp):
         return (self.child,)
 
     def with_child(self, child: PlanOp) -> "DisplayOp":
-        return replace(self, child=child)
+        return DisplayOp(self.annotation, child)

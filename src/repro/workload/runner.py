@@ -37,6 +37,7 @@ from repro.workload.streams import ClientStream, StreamConfig
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.obs.trace import Tracer
+    from repro.optimizer.cache import PlanCache
     from repro.workloads.scenarios import Scenario
 
 __all__ = ["WorkloadRunner"]
@@ -59,12 +60,17 @@ class WorkloadRunner:
         recovery: RecoveryPolicy | None = None,
         client_caches: "dict[int, dict[str, float]] | None" = None,
         tracer: "Tracer | None" = None,
+        plan_cache: "PlanCache | None" = None,
     ) -> None:
         """``client_caches`` is keyed by client *ordinal* (0..num_clients-1)
         and overrides that client's cached fractions; clients without an
         entry use the scenario catalog's fractions.  Each distinct cache
         view gets its own optimized plan, because what a client has on its
         local disk changes which plans are even sensible for it.
+
+        ``plan_cache`` memoizes those per-view optimizations (and any
+        mid-run replans): a cache shared across runs means repeated query
+        classes are planned once, without changing which plan is chosen.
         """
         if num_clients < 1:
             raise ConfigurationError(f"num_clients must be >= 1, got {num_clients}")
@@ -79,6 +85,7 @@ class WorkloadRunner:
         self.faults = faults
         self.recovery = recovery
         self.tracer = tracer
+        self.plan_cache = plan_cache
         self.client_caches = dict(client_caches or {})
         for ordinal in self.client_caches:
             if not 0 <= ordinal < num_clients:
@@ -114,6 +121,7 @@ class WorkloadRunner:
                     objective=self.objective,
                     config=self.optimizer_config,
                     seed=self.seed,
+                    plan_cache=self.plan_cache,
                 ).optimize().plan
             plans[ordinal] = by_view[key]
         return plans
@@ -150,6 +158,7 @@ class WorkloadRunner:
             objective=self.objective,
             optimizer_config=self.optimizer_config,
             topology=topology,
+            plan_cache=self.plan_cache,
         )
         controllers: dict[int, AdmissionController] = {}
         if self.admission is not None:

@@ -21,6 +21,7 @@ from repro.errors import ConfigurationError
 from repro.faults.recovery import RecoveryPolicy
 from repro.faults.schedule import FaultSchedule
 from repro.obs.trace import Tracer
+from repro.optimizer.cache import PlanCache
 from repro.plans.binding import BoundPlan
 from repro.plans.logical import Query
 from repro.plans.operators import DisplayOp
@@ -62,6 +63,7 @@ class Scenario:
         objective: Objective = Objective.RESPONSE_TIME,
         optimizer_config: "OptimizerConfig | None" = None,
         tracer: "Tracer | None" = None,
+        plan_cache: "PlanCache | None" = None,
     ) -> ExecutionResult:
         """Simulate one plan in a freshly built system.
 
@@ -70,7 +72,8 @@ class Scenario:
         tunes retries, backoff, timeout, and replanning (``policy`` /
         ``objective`` / ``optimizer_config`` parameterize the re-optimization
         performed after a fault).  ``tracer`` records per-operator spans of
-        the run in simulated time (see :mod:`repro.obs`).
+        the run in simulated time (see :mod:`repro.obs`).  ``plan_cache``
+        memoizes any replanning the recovery loop performs.
         """
         executor = QueryExecutor(
             self.config,
@@ -84,6 +87,7 @@ class Scenario:
             objective=objective,
             optimizer_config=optimizer_config,
             tracer=tracer,
+            plan_cache=plan_cache,
         )
         return executor.execute(plan)
 

@@ -1,0 +1,43 @@
+"""Parallel sweep execution: ordering, serial fallback, figure equality."""
+
+import os
+
+from repro.experiments.figures import figure2
+from repro.experiments.parallel import parallel_map
+from repro.experiments.runner import RunSettings
+
+
+def _square(x):
+    return x * x
+
+
+def _identify(x):
+    return (x, os.getpid())
+
+
+class TestParallelMap:
+    def test_preserves_input_order(self):
+        assert parallel_map(_square, range(8), jobs=4) == [x * x for x in range(8)]
+
+    def test_serial_when_jobs_is_one(self):
+        items, parent = range(3), os.getpid()
+        assert parallel_map(_identify, items, jobs=1) == [(x, parent) for x in items]
+
+    def test_serial_when_single_item(self):
+        assert parallel_map(_identify, [5], jobs=4) == [(5, os.getpid())]
+
+    def test_uses_worker_processes(self):
+        pids = {pid for _, pid in parallel_map(_identify, range(4), jobs=2)}
+        assert os.getpid() not in pids
+
+    def test_consumes_any_iterable(self):
+        assert parallel_map(_square, iter([1, 2, 3]), jobs=2) == [1, 4, 9]
+
+
+class TestFigureEquality:
+    def test_parallel_figure_matches_serial(self):
+        """jobs=2 must reproduce the serial sweep byte for byte."""
+        settings = RunSettings(seeds=(1, 2))
+        serial = figure2(settings=settings, cache_fractions=(0.0, 0.5))
+        parallel = figure2(settings=settings, cache_fractions=(0.0, 0.5), jobs=2)
+        assert parallel.series == serial.series

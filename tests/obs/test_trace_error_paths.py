@@ -1,0 +1,48 @@
+"""Traces survive failed runs: finished, metadata-stamped, and written out."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.errors import TransientFaultError
+from repro.faults import FaultSchedule, RecoveryPolicy
+from repro.obs import Tracer
+
+
+class TestErrorPathTraces:
+    def test_failed_run_still_writes_chrome_trace(self, tmp_path):
+        """A fault that exhausts recovery leaves a loadable trace behind."""
+        path = tmp_path / "doomed.json"
+        with pytest.raises(TransientFaultError):
+            api.run_query(
+                policy="qs",
+                num_relations=2,
+                seed=3,
+                faults=FaultSchedule.server_crash(1, at=0.2),
+                recovery=RecoveryPolicy(max_attempts=2, base_backoff=0.2),
+                trace=str(path),
+            )
+        payload = json.loads(path.read_text())
+        assert payload["traceEvents"]
+        assert payload["otherData"]["policy"] == "query-shipping"
+        assert payload["otherData"]["seed"] == 3
+
+    def test_failed_run_finishes_a_caller_tracer(self):
+        tracer = Tracer()
+        with pytest.raises(TransientFaultError):
+            api.run_query(
+                policy="qs",
+                num_relations=2,
+                seed=3,
+                faults=FaultSchedule.server_crash(1, at=0.2),
+                recovery=RecoveryPolicy(max_attempts=2, base_backoff=0.2),
+                trace=tracer,
+            )
+        assert tracer.spans
+        assert all(span.end is not None for span in tracer.spans)
+
+    def test_finish_is_a_noop_on_an_unbound_tracer(self):
+        tracer = Tracer()
+        tracer.finish()
+        assert tracer.spans == []

@@ -1,0 +1,160 @@
+"""Plan cache: semantic transparency, pass-level reuse, and invalidation."""
+
+import pytest
+
+from repro.config import OptimizerConfig
+from repro.costmodel.model import Objective
+from repro.optimizer import PlanCache, RandomizedOptimizer, plan_fingerprint
+from repro.optimizer.random_plans import PlanShape, random_plan
+from repro.plans.policies import Policy
+from repro.workloads.scenarios import chain_scenario
+
+import random
+
+POLICIES = (Policy.DATA_SHIPPING, Policy.QUERY_SHIPPING, Policy.HYBRID_SHIPPING)
+OBJECTIVES = (Objective.RESPONSE_TIME, Objective.PAGES_SENT)
+SEEDS = (3, 7, 11)
+
+
+def _optimize(scenario, policy, objective, seed, cache):
+    return RandomizedOptimizer(
+        scenario.query,
+        scenario.environment(),
+        policy=policy,
+        objective=objective,
+        config=OptimizerConfig.fast(),
+        seed=seed,
+        plan_cache=cache,
+    ).optimize()
+
+
+class TestTransparency:
+    def test_cached_equals_uncached_across_grid(self):
+        """Property: caching never changes the chosen plan or its cost."""
+        scenario = chain_scenario(num_relations=3, cached_fraction=0.5)
+        cache = PlanCache()
+        for policy in POLICIES:
+            for objective in OBJECTIVES:
+                for seed in SEEDS:
+                    plain = _optimize(scenario, policy, objective, seed, None)
+                    warm = _optimize(scenario, policy, objective, seed, cache)
+                    hit = _optimize(scenario, policy, objective, seed, cache)
+                    assert warm.plan == plain.plan
+                    assert warm.cost == plain.cost
+                    assert hit.plan == plain.plan
+                    assert hit.cost == plain.cost
+        assert cache.stats.hits >= len(POLICIES) * len(OBJECTIVES) * len(SEEDS)
+
+    def test_throughput_sweep_with_cache_matches_uncached(self):
+        """A cached multi-client workload reproduces the uncached numbers."""
+        from repro.experiments import throughput_sweep
+        from repro.experiments.runner import RunSettings
+
+        plain = throughput_sweep(RunSettings(seeds=(3,)), client_counts=(1, 2))
+        cached = throughput_sweep(
+            RunSettings(seeds=(3,), plan_cache=PlanCache()), client_counts=(1, 2)
+        )
+        assert cached.series == plain.series
+
+    def test_full_run_hit_does_no_search(self):
+        scenario = chain_scenario(num_relations=2)
+        cache = PlanCache()
+        _optimize(scenario, Policy.HYBRID_SHIPPING, Objective.RESPONSE_TIME, 3, cache)
+        opt = RandomizedOptimizer(
+            scenario.query,
+            scenario.environment(),
+            policy=Policy.HYBRID_SHIPPING,
+            config=OptimizerConfig.fast(),
+            seed=3,
+            plan_cache=cache,
+        )
+        result = opt.optimize()
+        assert opt.evaluations == 0
+        assert result.evaluations == 0
+
+
+class TestSubspaceReuse:
+    def test_hybrid_reuses_pure_subspace_passes(self):
+        """Standalone DS/QS passes pre-warm a hybrid run with the same seed."""
+        scenario = chain_scenario(num_relations=2, cached_fraction=0.5)
+        cache = PlanCache()
+        _optimize(scenario, Policy.QUERY_SHIPPING, Objective.RESPONSE_TIME, 3, cache)
+        _optimize(scenario, Policy.DATA_SHIPPING, Objective.RESPONSE_TIME, 3, cache)
+        before = cache.stats.hits
+        hybrid = _optimize(scenario, Policy.HYBRID_SHIPPING, Objective.RESPONSE_TIME, 3, cache)
+        assert cache.stats.hits - before == 2
+        plain = _optimize(scenario, Policy.HYBRID_SHIPPING, Objective.RESPONSE_TIME, 3, None)
+        assert hybrid.plan == plain.plan
+        assert hybrid.cost == plain.cost
+
+
+class TestInvalidation:
+    def test_forced_client_relations_change_the_key(self):
+        """Replans around a crashed site never reuse the unconstrained plan."""
+        scenario = chain_scenario(num_relations=2)
+        environment = scenario.environment()
+        config = OptimizerConfig.fast()
+        relation = sorted(scenario.query.relations)[0]
+        plain = plan_fingerprint(
+            scenario.query, environment, Policy.HYBRID_SHIPPING,
+            Objective.RESPONSE_TIME, config, 0, PlanShape.ANY, False, frozenset(),
+        )
+        constrained = plan_fingerprint(
+            scenario.query, environment, Policy.HYBRID_SHIPPING,
+            Objective.RESPONSE_TIME, config, 0, PlanShape.ANY, False,
+            frozenset({relation}),
+        )
+        assert plain != constrained
+
+    def test_environment_change_changes_the_key(self):
+        config = OptimizerConfig.fast()
+        cold = chain_scenario(num_relations=2, cached_fraction=0.0)
+        warm = chain_scenario(num_relations=2, cached_fraction=0.5)
+        keys = {
+            plan_fingerprint(
+                s.query, s.environment(), Policy.HYBRID_SHIPPING,
+                Objective.RESPONSE_TIME, config, 0, PlanShape.ANY, False, frozenset(),
+            )
+            for s in (cold, warm)
+        }
+        assert len(keys) == 2
+
+    def test_initial_plan_bypasses_the_cache(self):
+        scenario = chain_scenario(num_relations=2)
+        cache = PlanCache()
+        start = random_plan(scenario.query, Policy.HYBRID_SHIPPING, random.Random(0))
+        RandomizedOptimizer(
+            scenario.query,
+            scenario.environment(),
+            config=OptimizerConfig.fast(),
+            seed=0,
+            initial_plan=start,
+            plan_cache=cache,
+        ).optimize()
+        assert len(cache) == 0
+        assert cache.stats.lookups == 0
+
+
+class TestMechanics:
+    def test_lru_bound(self):
+        cache = PlanCache(max_entries=2)
+        scenario = chain_scenario(num_relations=2)
+        plan = _optimize(scenario, Policy.HYBRID_SHIPPING, Objective.RESPONSE_TIME, 0, None)
+        for key in ("a", "b", "c"):
+            cache.put(key, plan.plan, plan.cost)
+        assert len(cache) == 2
+        assert cache.get("a") is None
+        assert cache.get("c") is not None
+
+    def test_stats_and_clear(self):
+        cache = PlanCache()
+        assert cache.get("missing") is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.0)
+        scenario = chain_scenario(num_relations=2)
+        r = _optimize(scenario, Policy.DATA_SHIPPING, Objective.RESPONSE_TIME, 0, None)
+        cache.put("k", r.plan, r.cost)
+        assert cache.get("k") == (r.plan, r.cost)
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+        cache.clear()
+        assert len(cache) == 0
