@@ -1,0 +1,67 @@
+"""Dynamic-cache warm-up: pages shipped and response time vs stream position.
+
+Not a paper figure -- the question the dynamic buffer cache exists to
+answer: how fast does a cold client stop going to the server?  One client
+runs a closed, zero-think stream of identical 2-way joins against a cold
+dynamic cache.  Expected shape: data-shipping pays the full fault storm
+on the first query and ships (nearly) nothing afterwards -- its
+pages-shipped curve is monotone non-increasing and its warm queries beat
+the cold one; query-shipping ships the same join result every time (a
+flat line the cache cannot bend); hybrid under the response-time
+objective keeps streaming server scans (pipelined shipping beats
+page-at-a-time faulting), so it stays flat too.
+
+Besides the rendered table, writes machine-readable
+``results/BENCH_cache.json``: pages shipped and response time per policy
+at each stream position, for CI trend tracking.
+"""
+
+import json
+
+from conftest import FULL, publish
+
+from repro.experiments import cache_warmup
+
+QUERIES_PER_CLIENT = 6 if FULL else 4
+
+
+def test_cache_warmup(benchmark, settings, results_dir):
+    result = benchmark.pedantic(
+        lambda: cache_warmup(settings, queries_per_client=QUERIES_PER_CLIENT),
+        rounds=1,
+        iterations=1,
+    )
+    publish(result, results_dir)
+
+    payload = {
+        "figure_id": result.figure_id,
+        "queries_per_client": QUERIES_PER_CLIENT,
+        "policies": {},
+    }
+    for label in ("DS", "QS", "HY"):
+        pages = result.series_means(label)
+        times = result.series_means(f"{label} [s]")
+        payload["policies"][label] = {
+            "pages_shipped": {str(int(x)): pages[x] for x in sorted(pages)},
+            "response_time": {str(int(x)): times[x] for x in sorted(times)},
+        }
+    out = results_dir / "BENCH_cache.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n[wrote {out}]")
+
+    ds_pages = result.series_means("DS")
+    ds_times = result.series_means("DS [s]")
+    qs_pages = result.series_means("QS")
+    positions = sorted(ds_pages)
+    first, last = positions[0], positions[-1]
+
+    # DS warms up: the fault storm happens once, then the client disk
+    # serves everything -- pages shipped never increases along the stream.
+    curve = [ds_pages[x] for x in positions]
+    assert curve == sorted(curve, reverse=True), f"DS pages not monotone: {curve}"
+    assert ds_pages[first] > 0
+    assert ds_pages[last] == 0
+    # Warm DS queries are cheaper than the cold one.
+    assert ds_times[last] < ds_times[first]
+    # QS cannot warm: it ships the same result pages at every position.
+    assert len({qs_pages[x] for x in positions}) == 1

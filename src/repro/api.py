@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.caching.config import CacheConfig
 from repro.config import BufferAllocation, OptimizerConfig
 from repro.costmodel.model import Objective, PlanCost
 from repro.engine.executor import ExecutionResult
@@ -230,6 +231,7 @@ def run_workload(
     recovery: RecoveryPolicy | None = None,
     trace: "bool | str | Tracer" = False,
     plan_cache: PlanCache | None = None,
+    cache: "CacheConfig | str | None" = None,
 ) -> WorkloadResult:
     """Run a multi-client concurrent workload; returns throughput metrics.
 
@@ -253,6 +255,15 @@ def run_workload(
     ``plan_cache`` works as in :func:`run_query`: clients sharing a cache
     view plan their query class once, and the same cache can be reused
     across workload runs over the same environment.
+
+    ``cache`` selects the client caching model (see
+    :class:`~repro.workload.WorkloadRunner`): ``None`` or ``"dynamic"``
+    runs the demand-paging buffer cache, where ``cached_fraction`` seeds
+    the initial resident set and client scans admit faulted-in pages so
+    streams warm up; ``"static"`` is the paper's immutable-prefix model
+    used by the figure reproductions.  A full
+    :class:`~repro.caching.CacheConfig` picks the replacement policy and
+    capacity.
     """
     if isinstance(allocation, str):
         allocation = BufferAllocation(allocation)
@@ -297,6 +308,7 @@ def run_workload(
             client_caches=client_caches,
             tracer=tracer,
             plan_cache=plan_cache,
+            cache=cache,
         ).run()
     finally:
         if tracer is not None:

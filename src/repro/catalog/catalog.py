@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import typing
+
+from repro.caching.buffer import BufferCache
 from repro.catalog.placement import Placement
 from repro.catalog.schema import Relation
 from repro.config import SystemConfig
@@ -104,9 +107,12 @@ class Catalog:
         for unknown in set(overrides) - {site.site_id for site in topology.clients}:
             raise CatalogError(f"cache override for unknown client site {unknown}")
         for client in topology.clients:
+            fractions = overrides.get(client.site_id)
+            if config.cache.is_dynamic:
+                self._install_dynamic(client, config, fractions)
+                continue
             cache = client.cache
             assert cache is not None
-            fractions = overrides.get(client.site_id)
             for name in self.relation_names:
                 if fractions is None:
                     fraction = self.cached_fraction(name)
@@ -114,6 +120,41 @@ class Catalog:
                     fraction = fractions.get(name, 0.0)
                 if fraction > 0.0:
                     cache.install(name, self.pages_of(name, config), fraction)
+
+    def _install_dynamic(
+        self,
+        client: "typing.Any",
+        config: SystemConfig,
+        fractions: dict[str, float] | None,
+    ) -> None:
+        """Create (or keep) a client's dynamic buffer cache, seeding prefixes.
+
+        The catalog's cache fractions (or the per-client override) become
+        *seeded* resident pages -- like the static model, seeded data is
+        assumed resident before any query runs, so no I/O is simulated for
+        it.  An existing buffer cache is kept as-is: its contents are the
+        whole point of persisting across installs.
+        """
+        if client.buffer_cache is not None:
+            return
+        total_pages = sum(self.pages_of(name, config) for name in self.relation_names)
+        capacity = config.cache.capacity_pages
+        if capacity is None:
+            capacity = total_pages
+        client.buffer_cache = BufferCache(
+            client.allocators[0],
+            capacity,
+            policy=config.cache.policy,
+            admit_on_fault=config.cache.admit_on_fault,
+        )
+        for name in self.relation_names:
+            if fractions is None:
+                fraction = self.cached_fraction(name)
+            else:
+                fraction = fractions.get(name, 0.0)
+            pages = round(self.pages_of(name, config) * fraction)
+            if pages > 0:
+                client.buffer_cache.seed(name, pages)
 
     def with_placement(self, placement: Placement) -> "Catalog":
         """Copy of this catalog under a different placement (for 2-step)."""

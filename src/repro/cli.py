@@ -12,8 +12,9 @@ Subcommands::
         predicted vs actual per-operator resource seconds for all three
         execution policies.
 
-(The tables and figures of the paper are regenerated by the separate
-``repro-experiments`` command.)
+    repro experiments <figure> [options]
+        Forward to the ``repro-experiments`` command (regenerate any table
+        or figure, e.g. ``repro experiments cache-warmup --quick``).
 """
 
 from __future__ import annotations
@@ -112,6 +113,15 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "experiments":
+        # Forward to the experiment harness so `repro experiments ...` and
+        # the standalone `repro-experiments ...` entry point are the same
+        # command; its own argparse handles everything after the keyword.
+        from repro.experiments.cli import main as experiments_main
+
+        return experiments_main(argv[1:])
     args = _build_parser().parse_args(argv)
     try:
         if args.command == "trace":

@@ -31,6 +31,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field, replace
 
+from repro.caching.config import CacheConfig
 from repro.errors import ConfigurationError
 
 __all__ = [
@@ -133,6 +134,9 @@ class SystemConfig:
     server_memory_pages: int = 2048
     # Size of the small control message used to request a faulted page.
     request_message_bytes: int = 128
+    # Client caching layer: the paper's static prefix model by default;
+    # "dynamic" switches to the demand-paging buffer cache (repro.caching).
+    cache: CacheConfig = field(default_factory=CacheConfig)
 
     def __post_init__(self) -> None:
         if self.mips <= 0:

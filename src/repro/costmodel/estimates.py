@@ -14,12 +14,16 @@ streams from the same estimator the optimizer uses.
 from __future__ import annotations
 
 import math
+import typing
 
 from repro.catalog.catalog import Catalog
 from repro.config import SystemConfig
 from repro.errors import PlanError
 from repro.plans.logical import Query
 from repro.plans.operators import DisplayOp, JoinOp, PlanOp, ScanOp, SelectOp
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.caching.buffer import CacheState
 
 __all__ = ["Estimator"]
 
@@ -32,10 +36,20 @@ class Estimator:
     between candidates hit the cache).
     """
 
-    def __init__(self, query: Query, catalog: Catalog, config: SystemConfig) -> None:
+    def __init__(
+        self,
+        query: Query,
+        catalog: Catalog,
+        config: SystemConfig,
+        cache_state: "CacheState | None" = None,
+    ) -> None:
         self.query = query
         self.catalog = catalog
         self.config = config
+        # Dynamic-cache snapshot: when set, client-resident page counts come
+        # from what is actually resident instead of the static catalog
+        # fractions (cache-aware optimization).
+        self.cache_state = cache_state
         self._cardinality: dict[int, float] = {}
         self._keepalive: list[PlanOp] = []
 
@@ -112,6 +126,8 @@ class Estimator:
         return self.catalog.pages_of(relation, self.config)
 
     def cached_pages(self, relation: str) -> int:
+        if self.cache_state is not None:
+            return min(self.cache_state.resident_pages(relation), self.base_pages(relation))
         return self.catalog.cached_pages_of(relation, self.config)
 
     def missing_pages(self, relation: str) -> int:

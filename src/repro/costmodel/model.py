@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import enum
 import os
+import typing
 from dataclasses import dataclass, field
 
 from repro.catalog.catalog import Catalog
@@ -35,6 +36,9 @@ from repro.plans.binding import BoundPlan, bind_plan
 from repro.plans.logical import Query
 from repro.plans.operators import DisplayOp, JoinOp, PlanOp, ScanOp, SelectOp
 from repro.storage.memory import join_allocation, plan_hybrid_hash
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.caching.buffer import CacheState
 
 __all__ = [
     "CostCalibration",
@@ -96,6 +100,10 @@ class EnvironmentState:
     config: SystemConfig
     server_loads: dict[int, float] = field(default_factory=dict)
     calibration: CostCalibration = field(default_factory=CostCalibration)
+    # Dynamic client-cache snapshot: when set, the cost model estimates
+    # client-resident fractions from it instead of the static catalog
+    # cache fractions (cache-aware optimization, one client's view).
+    cache_state: "CacheState | None" = None
 
     def load_factor(self, site_id: int) -> float:
         """Disk service inflation from external load at ``site_id``."""
@@ -164,7 +172,12 @@ class CostModel:
         self.environment = environment
         self.config = environment.config
         self.calibration = environment.calibration
-        self.estimator = Estimator(query, environment.catalog, environment.config)
+        self.estimator = Estimator(
+            query,
+            environment.catalog,
+            environment.config,
+            cache_state=environment.cache_state,
+        )
         self.evaluations = 0
         #: Operators actually walked (memoized evaluations skip the walk).
         self.node_visits = 0

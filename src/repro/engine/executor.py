@@ -63,6 +63,7 @@ from repro.plans.validate import validate_plan
 from repro.sim import AnyOf, Environment, Event, Process
 
 if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.caching.buffer import CacheState
     from repro.obs.trace import Tracer
     from repro.optimizer.cache import PlanCache
 
@@ -169,6 +170,9 @@ class ExecutionResult:
     # Snapshot of the topology's metrics registry at completion
     # (site.server1.disk0.pages_read, network.bytes_sent, ...).
     profile: dict[str, float] = field(default_factory=dict)
+    # Dynamic-cache snapshot of the driving client at completion; None
+    # under the static prefix model.
+    cache_state: "CacheState | None" = None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         text = (
@@ -479,7 +483,26 @@ class QueryExecutor:
                     annotated = replanned
                     stats.replans.add()
 
-    def _replan(self, annotated: DisplayOp) -> DisplayOp | None:
+    def _client_cache_view(self, client_site: int) -> "tuple[typing.Any, str]":
+        """The (cache state, contents digest) of one client's live cache.
+
+        Static caches contribute a digest only (the cost model already
+        reads their fractions from the catalog -- unless a per-client
+        override made the disk differ from the catalog, which is exactly
+        what the digest keys); dynamic caches contribute their snapshot
+        too, so replans price client scans against what is resident *now*.
+        """
+        site = self.topology.site(client_site)
+        if site.buffer_cache is not None:
+            state = site.buffer_cache.snapshot()
+            return state, state.digest()
+        if site.cache is not None:
+            return None, site.cache.digest()
+        return None, ""
+
+    def _replan(
+        self, annotated: DisplayOp, client_site: int = CLIENT_SITE_ID
+    ) -> DisplayOp | None:
         """Re-optimize around crashed sites; None if nothing useful to do.
 
         Relations whose primary server is down are constrained to be
@@ -501,7 +524,13 @@ class QueryExecutor:
         policy = self.policy or self._infer_policy(annotated)
         if Annotation.CLIENT not in allowed_annotations(policy, "scan"):
             return None
-        environment = EnvironmentState(self.catalog, self.config, dict(self.server_loads))
+        cache_state, cache_digest = self._client_cache_view(client_site)
+        environment = EnvironmentState(
+            self.catalog,
+            self.config,
+            dict(self.server_loads),
+            cache_state=cache_state,
+        )
         try:
             result = RandomizedOptimizer(
                 self.query,
@@ -512,6 +541,7 @@ class QueryExecutor:
                 seed=self.seed,
                 forced_client_relations=excluded,
                 plan_cache=self.plan_cache,
+                cache_digest=cache_digest,
             ).optimize()
         except OptimizationError:
             return None
@@ -599,6 +629,7 @@ class QueryExecutor:
         network = self.topology.network
         stats = self.recovery_stats
         base = self._baseline
+        client = self.topology.site(CLIENT_SITE_ID)
         disk_util: dict[str, float] = {}
         cpu_util: dict[str, float] = {}
         reads = writes = 0
@@ -641,6 +672,11 @@ class QueryExecutor:
             faults_seen=stats.faults_seen.value,
             messages_dropped=network.messages_dropped - base["messages_dropped"],
             profile=profile,
+            cache_state=(
+                None
+                if client.buffer_cache is None
+                else client.buffer_cache.snapshot()
+            ),
         )
 
 
@@ -666,6 +702,13 @@ class SessionResult:
     result_tuples: int
     error: str | None = None
     servers_used: tuple[int, ...] = ()
+    #: Data pages on the wire while this session ran.  Exact for closed
+    #: single-client streams; under concurrency, pages of overlapping
+    #: sessions are counted at every session they overlap.
+    pages_sent: int = 0
+    #: Pages resident in this session's client cache at completion
+    #: (dynamic buffer cache or static prefix total).
+    cache_resident_pages: int = 0
 
 
 class QuerySession:
@@ -700,6 +743,7 @@ class QuerySession:
         self.queue_delay = 0.0
         self.retries = 0
         self.replans = 0
+        self._pages_before = 0
 
     def run(self) -> typing.Generator:
         """Simulation process: run the query to a :class:`SessionResult`.
@@ -710,6 +754,7 @@ class QuerySession:
         """
         env = self.executor.env
         self.submitted = env.now
+        self._pages_before = self.executor.topology.network.data_pages_sent
         try:
             if self.recovery is not None or self.executor.fault_tolerant:
                 tuples, servers = yield from self._run_with_recovery()
@@ -844,7 +889,7 @@ class QuerySession:
             self.retries += 1
             yield env.timeout(recovery.backoff(attempt, rng))
             if recovery.replan and annotated is not None:
-                replanned = executor._replan(annotated)
+                replanned = executor._replan(annotated, client_site=self.client_site)
                 if replanned is not None:
                     annotated = replanned
                     self.replans += 1
@@ -856,7 +901,15 @@ class QuerySession:
         servers: tuple[int, ...],
         error: Exception | None = None,
     ) -> SessionResult:
-        env = self.executor.env
+        executor = self.executor
+        env = executor.env
+        client = executor.topology.site(self.client_site)
+        if client.buffer_cache is not None:
+            resident = client.buffer_cache.resident_count
+        elif client.cache is not None:
+            resident = client.cache.total_cached_pages
+        else:
+            resident = 0
         return SessionResult(
             session_id=self.session_id,
             client_site=self.client_site,
@@ -870,4 +923,6 @@ class QuerySession:
             result_tuples=result_tuples,
             error=None if error is None else str(error),
             servers_used=tuple(servers),
+            pages_sent=executor.topology.network.data_pages_sent - self._pages_before,
+            cache_resident_pages=resident,
         )

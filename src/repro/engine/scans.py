@@ -44,6 +44,7 @@ class ScanIterator(PhysicalOp):
         self._home_disk_index = 0
         self._home_extent = None
         self._cached = None  # CachedRelation when scanning at the client
+        self._buffer = None  # BufferCache when the client caches dynamically
 
     def _open(self) -> typing.Generator:
         topology = self.context.topology
@@ -51,8 +52,10 @@ class ScanIterator(PhysicalOp):
         self._home_server = home
         self._home_disk_index, self._home_extent = home.relation_location(self.relation)
         if self.site.is_client:
-            assert self.site.cache is not None
-            self._cached = self.site.cache.lookup(self.relation)
+            self._buffer = self.site.buffer_cache
+            if self._buffer is None:
+                assert self.site.cache is not None
+                self._cached = self.site.cache.lookup(self.relation)
         elif self.site is not home:
             raise ExecutionError(
                 f"primary-copy scan of {self.relation!r} bound to {self.site.name}, "
@@ -73,6 +76,8 @@ class ScanIterator(PhysicalOp):
         self._page_index += 1
         if not self.site.is_client:
             yield from self._read_local_primary(index)
+        elif self._buffer is not None:
+            yield from self._read_dynamic(index)
         elif self._cached is not None and self._cached.contains(index):
             yield from self._read_client_cache(index)
         else:
@@ -90,16 +95,50 @@ class ScanIterator(PhysicalOp):
         yield from self.site.cpu.execute(self.config.disk_inst)
         yield self.site.disk.read(self._cached.disk_page(index))
 
+    def _read_dynamic(self, index: int) -> typing.Generator:
+        """Dynamic-cache read: serve resident pages locally, fault the rest.
+
+        A miss faults the page from the server exactly like the static
+        path, then (demand paging) admits it into the buffer cache and
+        writes it to the client disk, so later queries in the stream read
+        it locally.
+        """
+        buffer = self._buffer
+        assert buffer is not None
+        page = buffer.lookup(self.relation, index)
+        if page is not None:
+            yield from self.site.cpu.execute(self.config.disk_inst)
+            yield self.site.disk.read(page)
+            return
+        yield from self._fault_from_server(index)
+        if buffer.admit_on_fault:
+            slot = buffer.admit(self.relation, index)
+            if slot is not None:
+                yield from self.site.cpu.execute(self.config.disk_inst)
+                yield self.site.disk.write(slot)
+
     def _fault_from_server(self, index: int) -> typing.Generator:
         """Synchronous page-at-a-time fault from the relation's server."""
         server = self._home_server
         assert server is not None
         network = self.context.network
-        yield from network.send_request(self.site, server)
-        yield from server.cpu.execute(self.config.disk_inst)
-        disk = server.disks[self._home_disk_index]
-        yield disk.read(self._home_extent.page(index))
-        yield from network.send_page(server, self.site)
+        tracer = self.context.env.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                f"fault[{self.relation}#{index}]",
+                cat="cache",
+                args={"relation": self.relation, "page": index},
+            )
+        try:
+            yield from network.send_request(self.site, server)
+            yield from server.cpu.execute(self.config.disk_inst)
+            disk = server.disks[self._home_disk_index]
+            yield disk.read(self._home_extent.page(index))
+            yield from network.send_page(server, self.site)
+        finally:
+            if tracer is not None:
+                tracer.end(span)
 
     def _close(self) -> typing.Generator:
         return

@@ -23,6 +23,7 @@ from repro.experiments.figures import (
     figure10,
     figure11,
     availability_sweep,
+    cache_warmup,
     qs_under_load_text,
     throughput_sweep,
     two_step_caching,
@@ -36,6 +37,7 @@ __all__ = [
     "RunSettings",
     "SeriesPoint",
     "availability_sweep",
+    "cache_warmup",
     "figure2",
     "figure3",
     "figure4",

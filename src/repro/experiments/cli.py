@@ -35,6 +35,7 @@ _FIGURES = {
     "qs-load": figures.qs_under_load_text,
     "fault-sweep": figures.availability_sweep,
     "throughput-sweep": figures.throughput_sweep,
+    "cache-warmup": figures.cache_warmup,
 }
 _SERVER_FIGURES = {"fig6", "fig7", "fig8", "fig10", "fig11"}
 _CACHE_FIGURES = {"fig2", "fig3", "fig4", "fig5"}
@@ -70,6 +71,14 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--clients", type=int, nargs="+", default=None,
         help="concurrent client counts for the throughput-sweep",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=None,
+        help="stream length (queries per client) for the cache-warmup",
+    )
+    parser.add_argument(
+        "--replacement", choices=["lru", "mru", "clock"], default=None,
+        help="buffer-cache replacement policy for the cache-warmup",
     )
     parser.add_argument(
         "--paper", action="store_true",
@@ -132,6 +141,13 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
             kwargs["client_counts"] = tuple(args.clients)
         elif args.quick:
             kwargs["client_counts"] = (1, 2, 4)
+    if name == "cache-warmup":
+        if args.queries:
+            kwargs["queries_per_client"] = args.queries
+        elif args.quick:
+            kwargs["queries_per_client"] = 3
+        if args.replacement:
+            kwargs["replacement"] = args.replacement
     if args.jobs > 1:
         kwargs["jobs"] = args.jobs
     started = time.time()

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import enum
 import random
+import typing
 
 from repro.config import SystemConfig
 from repro.errors import CatalogError, SiteUnavailableError
@@ -21,6 +22,9 @@ from repro.sim import Environment
 from repro.storage.cache import ClientDiskCache
 from repro.storage.layout import Extent, ExtentAllocator
 from repro.storage.memory import MemoryManager
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.caching.buffer import BufferCache
 
 __all__ = [
     "Site",
@@ -138,6 +142,10 @@ class Site:
         self._next_disk = 0
         # Client-only disk cache (servers do no inter-query caching, 3.2.1).
         self.cache = ClientDiskCache(self.allocators[0]) if kind is SiteKind.CLIENT else None
+        # Dynamic buffer cache (client-only); created by Catalog.install when
+        # the config's cache mode is "dynamic".  When set, it supersedes the
+        # static prefix cache for this client's scans.
+        self.buffer_cache: "BufferCache | None" = None
         # Availability (driven by the fault injector; always up by default).
         self.up = True
         self.crash_count = 0

@@ -133,6 +133,7 @@ class MetricsRegistry:
         ".min",
         ".max",
         ".high_water_pages",
+        ".resident_pages",
     )
 
     def snapshot_delta(
@@ -186,6 +187,34 @@ def register_topology_metrics(registry: MetricsRegistry, topology: "Topology") -
             registry.gauge(f"{prefix}.queue_utilization", lambda d=disk: d.queue_utilization())
         registry.gauge(f"{base}.crashes", lambda s=site: s.crash_count)
         registry.gauge(f"{base}.downtime", lambda s=site: s.total_downtime)
+        if site.is_client:
+            # Dynamic buffer-cache counters; all zero until (unless) a
+            # dynamic catalog install creates the client's buffer cache.
+            cache = f"{base}.cache"
+            registry.gauge(
+                f"{cache}.hits",
+                lambda s=site: s.buffer_cache.hits if s.buffer_cache else 0,
+            )
+            registry.gauge(
+                f"{cache}.misses",
+                lambda s=site: s.buffer_cache.misses if s.buffer_cache else 0,
+            )
+            registry.gauge(
+                f"{cache}.evictions",
+                lambda s=site: s.buffer_cache.evictions if s.buffer_cache else 0,
+            )
+            registry.gauge(
+                f"{cache}.admissions",
+                lambda s=site: s.buffer_cache.admissions if s.buffer_cache else 0,
+            )
+            registry.gauge(
+                f"{cache}.resident_pages",
+                lambda s=site: (
+                    s.buffer_cache.resident_count
+                    if s.buffer_cache
+                    else (s.cache.total_cached_pages if s.cache else 0)
+                ),
+            )
     network = topology.network
     registry.gauge("network.data_pages_sent", lambda: network.data_pages_sent)
     registry.gauge("network.control_messages_sent", lambda: network.control_messages_sent)

@@ -49,6 +49,7 @@ def _environment_parts(environment: "EnvironmentState") -> list[str]:
     ]
     placement = sorted(catalog.placement.assignments.items())
     cache = sorted(catalog.cache_fractions.items())
+    state = environment.cache_state
     return [
         repr(relations),
         repr(placement),
@@ -56,6 +57,9 @@ def _environment_parts(environment: "EnvironmentState") -> list[str]:
         repr(environment.config),
         repr(sorted(environment.server_loads.items())),
         repr(environment.calibration),
+        # Dynamic cache view this optimization plans against: as the cache
+        # warms or churns, the digest changes and stale plans stop hitting.
+        "dynamic:" + state.digest() if state is not None else "static",
     ]
 
 
@@ -70,6 +74,7 @@ def plan_fingerprint(
     annotation_moves_only: bool,
     forced_client_relations: frozenset[str],
     subspace: "Policy | None" = None,
+    cache_digest: str = "",
 ) -> str:
     """Canonical digest of everything that determines an optimization.
 
@@ -77,6 +82,12 @@ def plan_fingerprint(
     2PO pass confined to that policy's move set (in which case the
     constructing policy is irrelevant and excluded, so a hybrid run's pure
     pass shares an entry with the standalone pure optimization).
+
+    ``cache_digest`` keys the client cache *contents* the plan was chosen
+    for.  The catalog's cache fractions alone miss two cases: per-client
+    overrides installed via ``Catalog.install(client_caches=...)`` (the
+    catalog looks identical while the client disks differ) and the dynamic
+    buffer cache evolving between queries of a stream.
     """
     parts = [
         repr(query.relations),
@@ -92,6 +103,7 @@ def plan_fingerprint(
         repr(annotation_moves_only),
         repr(sorted(forced_client_relations)),
         "pass:" + subspace.value if subspace is not None else "full",
+        "cachedigest:" + cache_digest,
     ]
     return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
 

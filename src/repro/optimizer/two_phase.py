@@ -63,6 +63,7 @@ class RandomizedOptimizer:
         initial_plan: DisplayOp | None = None,
         forced_client_relations: frozenset[str] = frozenset(),
         plan_cache: PlanCache | None = None,
+        cache_digest: str = "",
     ) -> None:
         self.query = query
         self.environment = environment
@@ -85,6 +86,9 @@ class RandomizedOptimizer:
             initial_plan = force_client_scans(initial_plan, self.forced_client_relations)
         self.initial_plan = initial_plan
         self.plan_cache = plan_cache
+        # Digest of the client cache contents this run plans against (see
+        # plan_fingerprint); "" means "whatever the catalog fractions say".
+        self.cache_digest = cache_digest
         self.cost_model = CostModel(query, environment)
         self.evaluations = 0
 
@@ -100,6 +104,7 @@ class RandomizedOptimizer:
             self.annotation_moves_only,
             self.forced_client_relations,
             subspace=subspace,
+            cache_digest=self.cache_digest,
         )
 
     # ------------------------------------------------------------------

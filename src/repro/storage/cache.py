@@ -14,6 +14,7 @@ client's local disk before the query starts, so reading it costs disk I/O.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from repro.errors import CatalogError
@@ -57,12 +58,24 @@ class ClientDiskCache:
         self._entries: dict[str, CachedRelation] = {}
 
     def install(self, relation: str, total_pages: int, fraction: float) -> CachedRelation:
-        """Place the first ``fraction`` of ``relation`` on the client disk."""
-        if relation in self._entries:
-            raise CatalogError(f"relation {relation!r} already cached")
+        """Place the first ``fraction`` of ``relation`` on the client disk.
+
+        Idempotent: re-installing a relation with the same size keeps the
+        existing entry (and its extent), so topology reuse across workload
+        runs does not require rebuilding the catalog; a different
+        ``fraction`` or ``total_pages`` resizes in place -- the old extent
+        is freed and a fresh one allocated.
+        """
         if not 0.0 <= fraction <= 1.0:
             raise CatalogError(f"cache fraction must be in [0, 1], got {fraction}")
         cached_pages = round(total_pages * fraction)
+        existing = self._entries.get(relation)
+        if existing is not None:
+            if existing.total_pages == total_pages and existing.cached_pages == cached_pages:
+                return existing
+            if existing.cached_pages:
+                self._allocator.free(existing.extent)
+            del self._entries[relation]
         extent = self._allocator.allocate(cached_pages) if cached_pages else Extent(0, 0)
         entry = CachedRelation(relation, total_pages, cached_pages, extent)
         self._entries[relation] = entry
@@ -86,6 +99,23 @@ class ClientDiskCache:
             raise CatalogError(f"relation {relation!r} is not cached")
         if entry.cached_pages:
             self._allocator.free(entry.extent)
+
+    def contents(self) -> tuple[tuple[str, int, int], ...]:
+        """Sorted ``(relation, cached pages, total pages)`` summary."""
+        return tuple(
+            sorted(
+                (name, entry.cached_pages, entry.total_pages)
+                for name, entry in self._entries.items()
+            )
+        )
+
+    def digest(self) -> str:
+        """Canonical digest of the cache contents (for plan fingerprints)."""
+        return hashlib.sha256(repr(("static", self.contents())).encode()).hexdigest()
+
+    @property
+    def total_cached_pages(self) -> int:
+        return sum(entry.cached_pages for entry in self._entries.values())
 
     def __contains__(self, relation: str) -> bool:
         return self.lookup(relation) is not None

@@ -18,7 +18,9 @@ that.
 from __future__ import annotations
 
 import typing
+from dataclasses import replace
 
+from repro.caching.config import CacheConfig
 from repro.config import OptimizerConfig
 from repro.costmodel.model import EnvironmentState, Objective
 from repro.engine.executor import QueryExecutor, QuerySession, SessionResult
@@ -27,6 +29,7 @@ from repro.faults.recovery import RecoveryPolicy
 from repro.faults.schedule import FaultSchedule
 from repro.hardware.site import client_site_id
 from repro.hardware.topology import Topology
+from repro.optimizer.cache import PlanCache
 from repro.optimizer.two_phase import RandomizedOptimizer
 from repro.plans.operators import DisplayOp
 from repro.plans.policies import Policy
@@ -37,7 +40,6 @@ from repro.workload.streams import ClientStream, StreamConfig
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.obs.trace import Tracer
-    from repro.optimizer.cache import PlanCache
     from repro.workloads.scenarios import Scenario
 
 __all__ = ["WorkloadRunner"]
@@ -61,6 +63,7 @@ class WorkloadRunner:
         client_caches: "dict[int, dict[str, float]] | None" = None,
         tracer: "Tracer | None" = None,
         plan_cache: "PlanCache | None" = None,
+        cache: "CacheConfig | str | None" = None,
     ) -> None:
         """``client_caches`` is keyed by client *ordinal* (0..num_clients-1)
         and overrides that client's cached fractions; clients without an
@@ -71,6 +74,16 @@ class WorkloadRunner:
         ``plan_cache`` memoizes those per-view optimizations (and any
         mid-run replans): a cache shared across runs means repeated query
         classes are planned once, without changing which plan is chosen.
+
+        ``cache`` selects the client caching model: a
+        :class:`~repro.caching.CacheConfig`, the shorthand strings
+        ``"dynamic"``/``"static"``, or None for the workload default --
+        **dynamic** (the cache fractions become seeded resident pages and
+        client scans admit faulted-in pages, so streams warm up).  In
+        dynamic mode each session is planned at submission time against its
+        client's live :class:`~repro.caching.CacheState`; ``"static"`` is
+        the paper's immutable-prefix model used by the figure
+        reproductions.
         """
         if num_clients < 1:
             raise ConfigurationError(f"num_clients must be >= 1, got {num_clients}")
@@ -86,6 +99,11 @@ class WorkloadRunner:
         self.recovery = recovery
         self.tracer = tracer
         self.plan_cache = plan_cache
+        if cache is None:
+            cache = CacheConfig(mode="dynamic")
+        elif isinstance(cache, str):
+            cache = CacheConfig(mode=cache)
+        self.cache = cache
         self.client_caches = dict(client_caches or {})
         for ordinal in self.client_caches:
             if not 0 <= ordinal < num_clients:
@@ -126,14 +144,53 @@ class WorkloadRunner:
             plans[ordinal] = by_view[key]
         return plans
 
+    def _optimize_dynamic(
+        self, topology: Topology, ordinal: int, plan_cache: "PlanCache"
+    ) -> DisplayOp:
+        """Plan one session against its client's *current* cache contents.
+
+        Called at submission time, so a stream's later queries see the
+        pages its earlier queries faulted in -- the cache-aware feedback
+        loop.  The cache state's digest keys the plan cache: a stable
+        resident set keeps hitting, a changed one re-plans.
+        """
+        site = topology.site(client_site_id(ordinal))
+        assert site.buffer_cache is not None
+        state = site.buffer_cache.snapshot()
+        environment = EnvironmentState(
+            self.scenario.catalog,
+            topology.config,
+            dict(self.scenario.server_loads),
+            cache_state=state,
+        )
+        return RandomizedOptimizer(
+            self.scenario.query,
+            environment,
+            policy=self.policy,
+            objective=self.objective,
+            config=self.optimizer_config,
+            seed=self.seed,
+            plan_cache=plan_cache,
+            cache_digest=state.digest(),
+        ).optimize().plan
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(self) -> WorkloadResult:
         """Simulate the whole workload; returns aggregated metrics."""
         scenario = self.scenario
-        config = scenario.config.with_clients(self.num_clients)
-        plans = self._optimize_plans()
+        config = replace(
+            scenario.config.with_clients(self.num_clients), cache=self.cache
+        )
+        dynamic = self.cache.is_dynamic
+        plans = {} if dynamic else self._optimize_plans()
+        plan_cache = self.plan_cache
+        if dynamic and plan_cache is None:
+            # Per-launch planning re-optimizes at every submission; a
+            # private plan cache makes repeat cache states (the common
+            # steady state) plan-once without changing any chosen plan.
+            plan_cache = PlanCache()
 
         env = Environment()
         if self.tracer is not None:
@@ -158,7 +215,7 @@ class WorkloadRunner:
             objective=self.objective,
             optimizer_config=self.optimizer_config,
             topology=topology,
-            plan_cache=self.plan_cache,
+            plan_cache=plan_cache,
         )
         controllers: dict[int, AdmissionController] = {}
         if self.admission is not None:
@@ -168,8 +225,13 @@ class WorkloadRunner:
             }
 
         def launch(ordinal: int, index: int) -> QuerySession:
+            if dynamic:
+                assert plan_cache is not None
+                plan = self._optimize_dynamic(topology, ordinal, plan_cache)
+            else:
+                plan = plans[ordinal]
             return executor.session(
-                plans[ordinal],
+                plan,
                 client_site=client_site_id(ordinal),
                 admission=controllers,
                 session_id=f"c{ordinal}q{index}",

@@ -119,6 +119,73 @@ class TestInvalidation:
         }
         assert len(keys) == 2
 
+    def test_cache_digest_changes_the_key(self):
+        """Per-client cache overrides look identical at the catalog level;
+        the digest is what keeps their plans from cross-hitting."""
+        scenario = chain_scenario(num_relations=2)
+        environment = scenario.environment()
+        config = OptimizerConfig.fast()
+        args = (
+            scenario.query, environment, Policy.HYBRID_SHIPPING,
+            Objective.RESPONSE_TIME, config, 0, PlanShape.ANY, False, frozenset(),
+        )
+        keys = {
+            plan_fingerprint(*args),
+            plan_fingerprint(*args, cache_digest="override-a"),
+            plan_fingerprint(*args, cache_digest="override-b"),
+        }
+        assert len(keys) == 3
+
+    def test_dynamic_cache_state_changes_the_key(self):
+        """A warming buffer cache stops stale plans from hitting."""
+        from repro.caching import CacheState
+        from repro.costmodel.model import EnvironmentState
+
+        scenario = chain_scenario(num_relations=2)
+        config = OptimizerConfig.fast()
+        keys = set()
+        for state in (
+            None,
+            CacheState(capacity_pages=500),
+            CacheState(capacity_pages=500, resident=(("R0", 10),)),
+        ):
+            environment = EnvironmentState(
+                scenario.catalog, scenario.config, {}, cache_state=state
+            )
+            keys.add(
+                plan_fingerprint(
+                    scenario.query, environment, Policy.HYBRID_SHIPPING,
+                    Objective.RESPONSE_TIME, config, 0, PlanShape.ANY, False,
+                    frozenset(),
+                )
+            )
+        assert len(keys) == 3
+
+    def test_counters_alone_do_not_change_the_key(self):
+        """Plans depend on what is resident, not on the hit/miss history --
+        a stream whose resident set stabilised keeps planning from cache."""
+        from repro.caching import CacheState
+        from repro.costmodel.model import EnvironmentState
+
+        scenario = chain_scenario(num_relations=2)
+        config = OptimizerConfig.fast()
+        keys = set()
+        for hits in (0, 100):
+            state = CacheState(
+                capacity_pages=500, resident=(("R0", 10),), hits=hits
+            )
+            environment = EnvironmentState(
+                scenario.catalog, scenario.config, {}, cache_state=state
+            )
+            keys.add(
+                plan_fingerprint(
+                    scenario.query, environment, Policy.HYBRID_SHIPPING,
+                    Objective.RESPONSE_TIME, config, 0, PlanShape.ANY, False,
+                    frozenset(),
+                )
+            )
+        assert len(keys) == 1
+
     def test_initial_plan_bypasses_the_cache(self):
         scenario = chain_scenario(num_relations=2)
         cache = PlanCache()

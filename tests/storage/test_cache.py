@@ -45,10 +45,39 @@ def test_zero_fraction_not_reported_cached(cache):
     assert len(cache) == 0
 
 
-def test_duplicate_install_rejected(cache):
+def test_reinstall_same_shape_is_idempotent(cache):
+    first = cache.install("A", 250, 0.5)
+    second = cache.install("A", 250, 0.5)
+    assert second is first
+    assert len(cache) == 1
+
+
+def test_reinstall_resizes_and_frees_old_extent(cache):
+    free_before = cache._allocator.free_pages
+    cache.install("A", 250, 1.0)
+    entry = cache.install("A", 250, 0.5)
+    assert entry.cached_pages == 125
+    assert cache.cached_pages("A") == 125
+    assert cache._allocator.free_pages == free_before - 125
+
+
+def test_reinstall_validates_before_replacing(cache):
     cache.install("A", 250, 0.5)
     with pytest.raises(CatalogError):
-        cache.install("A", 250, 0.5)
+        cache.install("A", 250, 1.5)
+    # The bad install left the existing entry untouched.
+    assert cache.cached_pages("A") == 125
+
+
+def test_contents_and_digest_track_installs(cache):
+    empty_digest = cache.digest()
+    cache.install("A", 250, 0.5)
+    assert cache.contents() == (("A", 125, 250),)
+    assert cache.total_cached_pages == 125
+    assert cache.digest() != empty_digest
+    resized = cache.digest()
+    cache.install("A", 250, 1.0)
+    assert cache.digest() != resized
 
 
 def test_invalid_fraction_rejected(cache):
