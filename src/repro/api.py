@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.caching.config import CacheConfig
-from repro.config import BufferAllocation, OptimizerConfig
+from repro.config import BufferAllocation, MemoryConfig, OptimizerConfig, SystemConfig
 from repro.costmodel.model import Objective, PlanCost
 from repro.engine.executor import ExecutionResult
 from repro.errors import ConfigurationError
@@ -88,6 +88,22 @@ def _parse_objective(objective: "str | Objective") -> Objective:
         ) from None
 
 
+def _parse_memory(
+    memory: "MemoryConfig | str | None", server_memory_pages: int | None = None
+) -> SystemConfig | None:
+    """A base config carrying the requested join-memory model, or None."""
+    if memory is None and server_memory_pages is None:
+        return None
+    if isinstance(memory, str):
+        memory = MemoryConfig(mode=memory)
+    kwargs: dict = {}
+    if memory is not None:
+        kwargs["memory"] = memory
+    if server_memory_pages is not None:
+        kwargs["server_memory_pages"] = server_memory_pages
+    return SystemConfig(**kwargs)
+
+
 def _resolve_trace(trace: "bool | str | Tracer") -> tuple[Tracer | None, str | None]:
     """Normalize a ``trace=`` argument to (tracer, output path).
 
@@ -132,6 +148,8 @@ def run_query(
     recovery: RecoveryPolicy | None = None,
     trace: "bool | str | Tracer" = False,
     plan_cache: PlanCache | None = None,
+    memory: "MemoryConfig | str | None" = None,
+    server_memory_pages: int | None = None,
 ) -> QueryOutcome:
     """Optimize and simulate one chain-join query end to end.
 
@@ -155,6 +173,15 @@ def run_query(
     environment and repeated queries are planned once.  Caching never
     changes the chosen plan -- a hit returns exactly what the optimizer
     would have recomputed.
+
+    ``memory`` selects the join-memory model (see
+    :class:`~repro.config.MemoryConfig`): ``None`` or ``"static"`` is the
+    paper's plan-time allocation (a join that cannot get its full
+    allocation is shed); ``"dynamic"`` runs joins against the per-site
+    memory broker, which grants between each join's minimum and maximum,
+    queues or reclaims under pressure, and degrades to spilling instead
+    of shedding.  ``server_memory_pages`` overrides each server's pool
+    size (the :class:`~repro.config.SystemConfig` default is 2048).
     """
     if isinstance(allocation, str):
         allocation = BufferAllocation(allocation)
@@ -169,6 +196,7 @@ def run_query(
         placement_seed=seed,
         selectivity=selectivity,
         server_load=server_load,
+        config=_parse_memory(memory, server_memory_pages),
     )
     optimization = RandomizedOptimizer(
         scenario.query,
@@ -232,6 +260,8 @@ def run_workload(
     trace: "bool | str | Tracer" = False,
     plan_cache: PlanCache | None = None,
     cache: "CacheConfig | str | None" = None,
+    memory: "MemoryConfig | str | None" = None,
+    server_memory_pages: int | None = None,
 ) -> WorkloadResult:
     """Run a multi-client concurrent workload; returns throughput metrics.
 
@@ -264,6 +294,11 @@ def run_workload(
     used by the figure reproductions.  A full
     :class:`~repro.caching.CacheConfig` picks the replacement policy and
     capacity.
+
+    ``memory`` works as in :func:`run_query`: ``"dynamic"`` replaces the
+    paper's plan-time join allocation with the per-site memory broker, so
+    concurrent joins share each server's pool by queueing, partial grants,
+    and reclaim-driven spilling instead of shedding.
     """
     if isinstance(allocation, str):
         allocation = BufferAllocation(allocation)
@@ -286,6 +321,7 @@ def run_workload(
         placement_seed=seed,
         selectivity=selectivity,
         server_load=server_load,
+        config=_parse_memory(memory, server_memory_pages),
     )
     tracer, trace_path = _resolve_trace(trace)
     try:

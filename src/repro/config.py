@@ -37,6 +37,7 @@ from repro.errors import ConfigurationError
 __all__ = [
     "BufferAllocation",
     "DiskParams",
+    "MemoryConfig",
     "SystemConfig",
     "OptimizerConfig",
     "HYBRID_HASH_FUDGE_FACTOR",
@@ -55,6 +56,35 @@ class BufferAllocation(enum.Enum):
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Join memory governance at each site.
+
+    ``"static"`` is the paper's model: every join allocates its plan-time
+    min/max grant up front, and a pool too small for the grant sheds the
+    query.  ``"dynamic"`` routes join memory through the per-site
+    :class:`~repro.storage.MemoryBroker`: joins ask for a range
+    ``[minimum, maximum]``, queue deterministically when the pool is
+    saturated, and give pages back mid-join (incremental spilling) when
+    the broker reclaims on behalf of a waiter.
+    """
+
+    mode: str = "static"
+    # Whether the broker may claw back pages above a grant's minimum from
+    # running joins to serve waiters.  Disabling it leaves only queueing.
+    reclaim: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("static", "dynamic"):
+            raise ConfigurationError(
+                f"memory mode must be 'static' or 'dynamic', got {self.mode!r}"
+            )
+
+    @property
+    def is_dynamic(self) -> bool:
+        return self.mode == "dynamic"
 
 
 @dataclass(frozen=True)
@@ -137,6 +167,9 @@ class SystemConfig:
     # Client caching layer: the paper's static prefix model by default;
     # "dynamic" switches to the demand-paging buffer cache (repro.caching).
     cache: CacheConfig = field(default_factory=CacheConfig)
+    # Join memory governance: the paper's static plan-time grants by
+    # default; "dynamic" arbitrates through the per-site memory broker.
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
 
     def __post_init__(self) -> None:
         if self.mips <= 0:
@@ -193,6 +226,12 @@ class SystemConfig:
     def with_allocation(self, allocation: BufferAllocation) -> "SystemConfig":
         """Copy of this configuration with a different join buffer policy."""
         return replace(self, buffer_allocation=allocation)
+
+    def with_memory(self, memory: "MemoryConfig | str") -> "SystemConfig":
+        """Copy of this configuration with a different memory governance."""
+        if isinstance(memory, str):
+            memory = MemoryConfig(mode=memory)
+        return replace(self, memory=memory)
 
 
 @dataclass(frozen=True)

@@ -35,7 +35,13 @@ from repro.hardware.site import CLIENT_SITE_ID
 from repro.plans.binding import BoundPlan, bind_plan
 from repro.plans.logical import Query
 from repro.plans.operators import DisplayOp, JoinOp, PlanOp, ScanOp, SelectOp
-from repro.storage.memory import join_allocation, plan_hybrid_hash
+from repro.storage.memory import (
+    MemoryPressureState,
+    join_allocation,
+    maximum_join_allocation,
+    minimum_join_allocation,
+    plan_hybrid_hash,
+)
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.caching.buffer import CacheState
@@ -85,6 +91,10 @@ class CostCalibration:
     # inflated -- used to quantify how much the interference model matters
     # (see benchmarks/bench_ablation.py).
     model_interference: bool = True
+    # Dynamic memory governance: expected seconds a join waits in a site's
+    # broker queue per request already queued there (and once more when the
+    # free pool is below the join's minimum allocation).
+    memory_wait_cost: float = 0.05
 
 
 @dataclass(frozen=True)
@@ -104,6 +114,10 @@ class EnvironmentState:
     # client-resident fractions from it instead of the static catalog
     # cache fractions (cache-aware optimization, one client's view).
     cache_state: "CacheState | None" = None
+    # Broker occupancy snapshot (dynamic memory governance): when set, the
+    # model sizes join buffers from each site's free pool and prices
+    # expected memory-wait time, so replans steer away from saturation.
+    memory_pressure: MemoryPressureState | None = None
 
     def load_factor(self, site_id: int) -> float:
         """Disk service inflation from external load at ``site_id``."""
@@ -274,11 +288,30 @@ class CostModel:
     # ------------------------------------------------------------------
     # Disk traffic pre-pass
     # ------------------------------------------------------------------
-    def _join_spills(self, op: JoinOp) -> bool:
+    def _join_buffers(self, site: int, inner_pages: int) -> int:
+        """Buffer frames the model expects a join at ``site`` to run with.
+
+        Static discipline: the plan-time min/max allocation.  Dynamic
+        discipline: the broker grants greedily up to the maximum, so with no
+        pressure snapshot (or an unknown site) the maximum is the belief;
+        under a snapshot the expectation is the site's free pool clamped to
+        the [minimum, maximum] range -- what a grant issued right now would
+        actually get.
+        """
+        if not self.config.memory.is_dynamic:
+            return join_allocation(inner_pages, self.config.buffer_allocation)
+        max_alloc = maximum_join_allocation(inner_pages)
+        pressure = self.environment.memory_pressure
+        free = None if pressure is None else pressure.free_pages(site)
+        if free is None:
+            return max_alloc
+        return max(minimum_join_allocation(inner_pages), min(max_alloc, free))
+
+    def _join_spills(self, op: JoinOp, site: int) -> bool:
         """Whether this join runs out of memory (spills partitions)."""
         est = self.estimator
         inner_pages = max(1, est.pages(op.inner))
-        buffers = join_allocation(inner_pages, self.config.buffer_allocation)
+        buffers = self._join_buffers(site, inner_pages)
         return not plan_hybrid_hash(
             inner_pages, max(1, est.pages(op.outer)), buffers
         ).in_memory
@@ -294,7 +327,7 @@ class CostModel:
         scan_sites: set[int] = set()
         est = self.estimator
         for op in bound.operators():
-            if isinstance(op, JoinOp) and self._join_spills(op):
+            if isinstance(op, JoinOp) and self._join_spills(op, bound.site_of(op)):
                 spill_sites.add(bound.site_of(op))
             elif isinstance(op, ScanOp):
                 site = bound.site_of(op)
@@ -521,7 +554,7 @@ class CostModel:
         load = self.environment.load_factor(site)
         inner_pages = est.pages(op.inner)
         outer_pages = est.pages(op.outer)
-        buffers = join_allocation(max(1, inner_pages), config.buffer_allocation)
+        buffers = self._join_buffers(site, max(1, inner_pages))
         hh = plan_hybrid_hash(max(1, inner_pages), max(1, outer_pages), buffers)
         spills = not hh.in_memory
         disk_cpu = config.instructions_time(config.disk_inst)
@@ -549,6 +582,17 @@ class CostModel:
             writes = hh.spilled_inner_pages
             build_usage.add(("disk", site), writes * write_cost)
             build_usage.add(("cpu", site), writes * disk_cpu)
+        pressure = self.environment.memory_pressure
+        if config.memory.is_dynamic and pressure is not None:
+            # Expected broker-queue time before the build can even start:
+            # one unit per request already queued at this site, plus one
+            # more when the free pool cannot cover this join's minimum.
+            penalty = pressure.waiters(site) * cal.memory_wait_cost
+            free = pressure.free_pages(site)
+            if free is not None and free < minimum_join_allocation(max(1, inner_pages)):
+                penalty += cal.memory_wait_cost
+            if penalty > 0.0:
+                inner_contribution.latency += penalty
         build_stage = inner_contribution.into_stage(graph, f"build@{site}")
 
         # ---- Probe: outer stream, probe CPU, outer spill writes, the

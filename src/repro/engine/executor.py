@@ -61,6 +61,7 @@ from repro.plans.operators import DisplayOp, JoinOp, PlanOp, ScanOp, SelectOp
 from repro.plans.policies import Policy, allowed_annotations, check_policy
 from repro.plans.validate import validate_plan
 from repro.sim import AnyOf, Environment, Event, Process
+from repro.storage.memory import MemoryPressureState
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.caching.buffer import CacheState
@@ -112,7 +113,7 @@ class ExecutionContext:
         """Pages produced so far by every operator of this context."""
         return sum(op.pages_produced for op in self.operators)
 
-    def report_fault(self, exc: TransientFaultError) -> None:
+    def report_fault(self, exc: Exception) -> None:
         """Signal the recovery loop (first fault wins; later ones no-op)."""
         if self.fault_event is not None and not self.fault_event.triggered:
             self.fault_event.fail(exc)
@@ -136,10 +137,14 @@ class ExecutionContext:
             op.abort()
 
     def _supervise(self, generator: typing.Generator) -> typing.Generator:
-        """Convert an escaping transient fault into a fault-event report."""
+        """Convert an escaping transient fault (or shed) into a fault-event
+        report.  Sheds are included because a static-allocation join deep in
+        a spawned exchange subtree can hit an exhausted buffer pool; the
+        supervising loop must see that as this attempt's outcome, not as an
+        exception crashing the strict environment."""
         try:
             result = yield from generator
-        except TransientFaultError as exc:
+        except (QueryShedError, TransientFaultError) as exc:
             self.report_fault(exc)
             return None
         return result
@@ -446,6 +451,11 @@ class QueryExecutor:
             failure: TransientFaultError | None = None
             try:
                 yield AnyOf(env, watchers)
+            except QueryShedError:
+                # Shedding is a load-control verdict, not a fault: release
+                # this attempt's resources and let the caller see it.
+                context.abort()
+                raise
             except TransientFaultError as exc:
                 failure = exc
             if failure is None:
@@ -530,6 +540,14 @@ class QueryExecutor:
             self.config,
             dict(self.server_loads),
             cache_state=cache_state,
+            # Under dynamic governance a replan prices plans against the
+            # brokers' *current* occupancy, steering joins away from
+            # saturated sites; the pressure digest keys the plan cache.
+            memory_pressure=(
+                MemoryPressureState.capture(self.topology.sites)
+                if self.config.memory.is_dynamic
+                else None
+            ),
         )
         try:
             result = RandomizedOptimizer(
@@ -816,7 +834,7 @@ class QuerySession:
         root = executor.build_physical(bound, context)
         try:
             yield from executor._drive(root)
-        except TransientFaultError:
+        except (QueryShedError, TransientFaultError):
             context.abort()
             raise
         finally:
@@ -866,6 +884,14 @@ class QuerySession:
             failure: TransientFaultError | None = None
             try:
                 yield AnyOf(env, watchers)
+            except QueryShedError:
+                # A mid-run shed (static buffer-pool exhaustion surfaced
+                # through supervision) must give back tickets, grants, and
+                # temp extents before the session records its fate --
+                # admission tickets used to leak here.
+                self._release(tickets)
+                context.abort()
+                raise
             except TransientFaultError as exc:
                 failure = exc
             self._release(tickets)

@@ -11,26 +11,56 @@ Spill writes are asynchronous (the engine queues them on the disk and
 continues), so a join's temp I/O overlaps with its inputs' scans -- when
 they share a disk this creates exactly the seek interference the paper
 blames for query-shipping's poor minimum-allocation performance (4.2.2).
+
+Two memory disciplines share this operator:
+
+- **static** (the paper's model): the plan-time min/max allocation is
+  taken up front from the site pool and the spill plan never changes;
+- **dynamic** (``SystemConfig.memory.mode == "dynamic"``): the join asks
+  the site's :class:`~repro.storage.MemoryBroker` for a grant in
+  ``[minimum, maximum]`` allocation, queues deterministically under
+  saturation, *shrinks mid-join* when the broker reclaims pages for a
+  waiter (evicted hash-table pages spill incrementally), reverses build
+  and probe roles per spilled partition pair when the outer side turned
+  out smaller, and handles partitions still too big for memory with
+  bounded recursive overflow passes.  On an uncontended pool the dynamic
+  path issues exactly the static maximum grant synchronously, so
+  single-session runs are event-for-event identical to static mode.
 """
 
 from __future__ import annotations
 
 import typing
 
+from repro.config import HYBRID_HASH_FUDGE_FACTOR
 from repro.engine.base import Page, PageAssembler, PhysicalOp
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, TransientFaultError
 from repro.sim import AllOf, Event
-from repro.storage.memory import join_allocation, plan_hybrid_hash
+from repro.storage.memory import (
+    HybridHashPlan,
+    join_allocation,
+    maximum_join_allocation,
+    minimum_join_allocation,
+    plan_hybrid_hash,
+)
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.engine.executor import ExecutionContext
     from repro.hardware.site import Site, TempFile
+    from repro.storage.memory import MemoryGrant, _GrantWaiter
 
 __all__ = ["HashJoinIterator"]
 
 
 class _PartitionSet:
-    """The spill files of one join input: round-robin page placement."""
+    """The spill files of one join input: round-robin page placement.
+
+    Each partition owns a list of extent chunks; the initial chunk is sized
+    from the expected spill volume.  With ``auto_grow`` (dynamic mode,
+    where reclaims make spill volume unpredictable) a full partition grows
+    by another chunk instead of overflowing.  Chunks are allocated one at a
+    time so a failure mid-construction releases what was already taken.
+    """
 
     def __init__(
         self,
@@ -38,15 +68,33 @@ class _PartitionSet:
         num_partitions: int,
         expected_pages: int,
         disk_index: int = 0,
+        auto_grow: bool = False,
     ) -> None:
         self.site = site
+        self.disk_index = disk_index
+        self.auto_grow = auto_grow
         per_partition = -(-max(expected_pages, num_partitions) // num_partitions) + 2
-        self.files: list[TempFile] = [
-            site.allocate_temp(per_partition, disk_index) for _ in range(num_partitions)
-        ]
+        self._chunk = per_partition
+        self.files: list[list[TempFile]] = []
+        try:
+            for _ in range(num_partitions):
+                self.files.append([site.allocate_temp(per_partition, disk_index)])
+        except BaseException:
+            self.release()
+            raise
         self._cursor = 0
         self._fill = [0] * num_partitions
         self.pages_written = 0
+
+    def _capacity(self, index: int) -> int:
+        return sum(file.extent.pages for file in self.files[index])
+
+    def _page_at(self, index: int, position: int) -> int:
+        for file in self.files[index]:
+            if position < file.extent.pages:
+                return file.page(position)
+            position -= file.extent.pages
+        raise ExecutionError(f"partition {index} has no page {position}")
 
     def next_write_page(self) -> int:
         """Disk page for the next spilled page (round-robin partitions)."""
@@ -54,20 +102,28 @@ class _PartitionSet:
         while True:
             index = self._cursor
             self._cursor = (self._cursor + 1) % len(self.files)
-            if self._fill[index] < self.files[index].extent.pages:
+            if self._fill[index] < self._capacity(index):
                 self._fill[index] += 1
                 self.pages_written += 1
-                return self.files[index].page(self._fill[index] - 1)
+                return self._page_at(index, self._fill[index] - 1)
             if self._cursor == start:
-                raise ExecutionError("hybrid-hash partition files overflowed")
+                if not self.auto_grow:
+                    raise ExecutionError("hybrid-hash partition files overflowed")
+                self.files[index].append(
+                    self.site.allocate_temp(self._chunk, self.disk_index)
+                )
+                self._fill[index] += 1
+                self.pages_written += 1
+                return self._page_at(index, self._fill[index] - 1)
 
     def partition_pages(self, index: int) -> list[int]:
         """Disk pages written to partition ``index``, in write order."""
-        return [self.files[index].page(i) for i in range(self._fill[index])]
+        return [self._page_at(index, i) for i in range(self._fill[index])]
 
     def release(self) -> None:
-        for file in self.files:
-            file.release()
+        for chunks in self.files:
+            for file in chunks:
+                file.release()
 
     def __len__(self) -> int:
         return len(self.files)
@@ -75,6 +131,11 @@ class _PartitionSet:
 
 class HashJoinIterator(PhysicalOp):
     """Hybrid-hash equi-join; left input builds, right input probes."""
+
+    #: Cap on recursive overflow passes per spilled partition pair; with
+    #: at least the minimum allocation each pass divides the oversized
+    #: partition by (buffers - 1), so skew deeper than this is pathological.
+    MAX_RECURSION_PASSES = 3
 
     def __init__(
         self,
@@ -97,7 +158,7 @@ class HashJoinIterator(PhysicalOp):
         self.est_output_tuples = est_output_tuples
         self.output_tuple_bytes = output_tuple_bytes
         self._buffer_pages = 0
-        self._hh = None
+        self._hh: HybridHashPlan | None = None
         self._assembler = PageAssembler(
             context.config.tuples_per_page(output_tuple_bytes), output_tuple_bytes
         )
@@ -113,44 +174,179 @@ class HashJoinIterator(PhysicalOp):
         self._spill_accum_outer = 0.0
         self._phase = "build"
         self._partition_cursor = 0
+        # Dynamic-discipline state.
+        self._dynamic = context.config.memory.is_dynamic
+        self._grant: "MemoryGrant | None" = None
+        self._pending_wait: "_GrantWaiter | None" = None
+        self._aborted = False
+        self._build_pages_seen = 0
+        self._reclaim_spill_pages = 0
+        self._spilled_output_tuples = 0.0
+        self._scratch: list["TempFile"] = []
+        self.role_reversals = 0
+        self.recursion_passes = 0
 
     # ------------------------------------------------------------------
     # Build phase
     # ------------------------------------------------------------------
     def _open(self) -> typing.Generator:
         config = self.config
-        self._buffer_pages = join_allocation(self.est_inner_pages, config.buffer_allocation)
-        self.site.memory.allocate(self._buffer_pages)
+        if self._dynamic:
+            yield from self._acquire_grant()
+        else:
+            pages = join_allocation(self.est_inner_pages, config.buffer_allocation)
+            # Allocate before recording the debt: if the pool sheds this
+            # query, a later abort() must not "release" pages never taken.
+            self.site.memory.allocate(pages)
+            self._buffer_pages = pages
         self._hh = plan_hybrid_hash(
             self.est_inner_pages, self.est_outer_pages, self._buffer_pages
         )
         if not self._hh.in_memory:
             self._inner_parts = _PartitionSet(
-                self.site, self._hh.spill_partitions, self._hh.spilled_inner_pages
+                self.site,
+                self._hh.spill_partitions,
+                self._hh.spilled_inner_pages,
+                auto_grow=self._dynamic,
             )
         yield from self.inner.open()
-        spill_fraction = 1.0 - self._hh.resident_fraction
         while True:
             page = yield from self.inner.next()
             if page is None:
                 break
+            self._build_pages_seen += 1
             self._inner_tuples_seen += page.tuples
             self._inner_tuple_bytes = page.tuple_bytes
             cpu = config.hash_inst * page.tuples
             cpu += config.move_instructions(page.payload_bytes)
             yield from self.site.cpu.execute(cpu)
+            spill_fraction = 1.0 - self._hh.resident_fraction
             if spill_fraction > 0.0:
                 self._spill_accum_inner += spill_fraction
                 yield from self._drain_spill("inner", page.tuple_bytes)
+            yield from self._drain_reclaim()
+        yield from self._drain_reclaim()
         yield from self._flush_spill("inner")
         yield from self.inner.close()
         yield from self._await_writes()
         self._phase = "probe"
         yield from self.outer.open()
-        if not self._hh.in_memory:
+        if not self._hh.in_memory and self._outer_parts is None:
             self._outer_parts = _PartitionSet(
-                self.site, self._hh.spill_partitions, self._hh.spilled_outer_pages
+                self.site,
+                self._hh.spill_partitions,
+                self._hh.spilled_outer_pages,
+                auto_grow=self._dynamic,
             )
+
+    def _acquire_grant(self) -> typing.Generator:
+        """Obtain a broker grant in [minimum, maximum] allocation; may wait.
+
+        The fast path is fully synchronous: on an uncontended pool the
+        broker hands out the maximum allocation with no events created, so
+        the dynamic discipline is indistinguishable from static maximum
+        allocation in single-session runs.
+        """
+        broker = self.site.memory
+        min_pages = minimum_join_allocation(self.est_inner_pages)
+        max_pages = maximum_join_allocation(self.est_inner_pages)
+        grant = broker.try_grant(min_pages, max_pages, self.label, self._reclaimed)
+        if grant is None:
+            waiter = broker.enqueue(min_pages, max_pages, self.label, self._reclaimed)
+            self._pending_wait = waiter
+            waited_from = self.env.now
+            try:
+                grant = yield waiter.event
+            finally:
+                self._pending_wait = None
+            if self._aborted:
+                # The attempt died while we were queued; the fresh grant
+                # must flow back immediately or it leaks until close().
+                grant.release()
+                raise TransientFaultError(
+                    f"{self.label} aborted while waiting for memory"
+                )
+            tracer = self.env.tracer
+            if tracer is not None:
+                tracer.instant(
+                    "memory.wait",
+                    cat="memory",
+                    args={
+                        "op": self.label,
+                        "granted_pages": grant.pages,
+                        "waited": self.env.now - waited_from,
+                    },
+                )
+        self._grant = grant
+        self._buffer_pages = grant.pages
+
+    def _reclaimed(self, take: int) -> int:
+        """Broker callback: give back up to ``take`` pages by spilling.
+
+        Runs synchronously inside the broker (no simulated time): the plan
+        is reshaped to the smaller allocation and the evicted hash-table
+        pages are queued on ``_reclaim_spill_pages``; the join's own
+        process writes them out at its next step, so the I/O cost lands on
+        the victim, not the waiter.
+        """
+        if self._phase not in ("build", "probe") or self._hh is None:
+            return 0
+        assert self._grant is not None
+        margin = self._buffer_pages - self._grant.min_pages
+        take = min(take, margin)
+        if take <= 0:
+            return 0
+        old = self._hh
+        new_buffers = self._buffer_pages - take
+        if old.in_memory:
+            new = plan_hybrid_hash(self.est_inner_pages, self.est_outer_pages, new_buffers)
+        else:
+            # Keep the partition count: pages already written are hashed
+            # into k files, so only the resident fraction can shrink.
+            k = old.spill_partitions
+            fraction = min(
+                old.resident_fraction,
+                max(
+                    0.0,
+                    (new_buffers - k)
+                    / (HYBRID_HASH_FUDGE_FACTOR * max(1, self.est_inner_pages)),
+                ),
+            )
+            new = HybridHashPlan(
+                self.est_inner_pages, self.est_outer_pages, new_buffers, k, fraction
+            )
+        if not new.in_memory and self._inner_parts is None:
+            self._inner_parts = _PartitionSet(
+                self.site,
+                new.spill_partitions,
+                new.spilled_inner_pages,
+                auto_grow=True,
+            )
+            if self._phase == "probe" and self._outer_parts is None:
+                self._outer_parts = _PartitionSet(
+                    self.site,
+                    new.spill_partitions,
+                    new.spilled_outer_pages,
+                    auto_grow=True,
+                )
+        evicted = round((old.resident_fraction - new.resident_fraction) * self._build_pages_seen)
+        self._reclaim_spill_pages += max(0, evicted)
+        self._hh = new
+        self._buffer_pages = new_buffers
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.instant(
+                "memory.reclaim",
+                cat="memory",
+                args={"op": self.label, "pages": take, "evicted_pages": max(0, evicted)},
+            )
+        return take
+
+    def _drain_reclaim(self) -> typing.Generator:
+        """Write out hash-table pages evicted by a broker reclaim."""
+        while self._reclaim_spill_pages > 0 and self._inner_parts is not None:
+            self._reclaim_spill_pages -= 1
+            yield from self._spill_page(self._inner_parts)
 
     def _drain_spill(self, which: str, tuple_bytes: int) -> typing.Generator:
         """Write a spilled page whenever a full page has accumulated."""
@@ -173,6 +369,7 @@ class HashJoinIterator(PhysicalOp):
         yield from self.site.cpu.execute(self.config.disk_inst)
         request = self.site.disk.submit("write", parts.next_write_page())
         self._pending_writes.append(request.done)
+        self.site.memory.record_spill(self.label)
 
     def _await_writes(self) -> typing.Generator:
         if self._pending_writes:
@@ -187,7 +384,10 @@ class HashJoinIterator(PhysicalOp):
             if self._phase == "probe":
                 yield from self._probe_step()
             elif self._phase == "partitions":
-                yield from self._partition_step()
+                if self._dynamic:
+                    yield from self._partition_step_dynamic()
+                else:
+                    yield from self._partition_step()
             elif self._phase == "flush":
                 self._ready.extend(self._assembler.flush())
                 self._phase = "done"
@@ -201,6 +401,7 @@ class HashJoinIterator(PhysicalOp):
         config = self.config
         page = yield from self.outer.next()
         if page is None:
+            yield from self._drain_reclaim()
             yield from self._flush_spill("outer")
             yield from self.outer.close()
             yield from self._await_writes()
@@ -210,6 +411,7 @@ class HashJoinIterator(PhysicalOp):
         self._outer_tuple_bytes = page.tuple_bytes
         cpu = config.hash_inst * page.tuples + config.move_instructions(page.payload_bytes)
         yield from self.site.cpu.execute(cpu)
+        yield from self._drain_reclaim()
         resident = self._hh.resident_fraction
         if resident > 0.0:
             contribution = (
@@ -217,6 +419,9 @@ class HashJoinIterator(PhysicalOp):
             )
             self._ready.extend(self._assembler.add(contribution))
         if resident < 1.0:
+            self._spilled_output_tuples += (
+                self.est_output_tuples * (1.0 - resident) * page.tuples / self.est_outer_tuples
+            )
             self._spill_accum_outer += 1.0 - resident
             yield from self._drain_spill("outer", page.tuple_bytes)
 
@@ -246,20 +451,127 @@ class HashJoinIterator(PhysicalOp):
             yield from self.site.cpu.execute(cpu)
             self._ready.extend(self._assembler.add(per_page_output))
 
+    def _partition_step_dynamic(self) -> typing.Generator:
+        """Dynamic-mode partition pair: role reversal + bounded recursion.
+
+        When the outer's share of a partition turned out *smaller* than the
+        inner's, the roles flip -- the smaller side builds the hash table
+        (Shapiro's heuristic generalized to runtime knowledge).  A build
+        side still larger than the allocation triggers up to
+        ``MAX_RECURSION_PASSES`` re-partitioning passes, each a full extra
+        write+read of the pair, after which it is processed regardless
+        (matching how real systems cap recursion on pathological skew).
+        """
+        assert self._inner_parts is not None and self._outer_parts is not None
+        if self._partition_cursor >= len(self._inner_parts):
+            self._phase = "flush"
+            return
+        index = self._partition_cursor
+        self._partition_cursor += 1
+        config = self.config
+        inner_pages = self._inner_parts.partition_pages(index)
+        outer_pages = self._outer_parts.partition_pages(index)
+        build_pages, probe_pages = inner_pages, outer_pages
+        build_bytes, probe_bytes = self._inner_tuple_bytes, self._outer_tuple_bytes
+        if 0 < len(outer_pages) < len(inner_pages):
+            build_pages, probe_pages = outer_pages, inner_pages
+            build_bytes, probe_bytes = self._outer_tuple_bytes, self._inner_tuple_bytes
+            self.role_reversals += 1
+            tracer = self.env.tracer
+            if tracer is not None:
+                tracer.instant(
+                    "join.role-reversal",
+                    cat="memory",
+                    args={"op": self.label, "partition": index,
+                          "build_pages": len(build_pages)},
+                )
+        build_len = len(build_pages)
+        passes = 0
+        while (
+            build_len > 0
+            and HYBRID_HASH_FUDGE_FACTOR * build_len > self._buffer_pages
+            and passes < self.MAX_RECURSION_PASSES
+        ):
+            passes += 1
+            self.recursion_passes += 1
+            yield from self._overflow_pass(index, len(build_pages) + len(probe_pages))
+            build_len = -(-build_len // max(2, self._buffer_pages - 1))
+        for disk_page in build_pages:
+            yield from self.site.cpu.execute(config.disk_inst)
+            yield self.site.disk.read(disk_page)
+            cpu = config.hash_inst * config.tuples_per_page(build_bytes)
+            cpu += config.move_instructions(config.page_size)
+            yield from self.site.cpu.execute(cpu)
+        # The partition's output share follows its *outer* pages no matter
+        # which side built; `_spilled_output_tuples` integrates the
+        # per-page resident fractions actually in force during the probe.
+        partition_output = (
+            self._spilled_output_tuples
+            * len(outer_pages)
+            / max(1, self._outer_parts.pages_written)
+        )
+        per_page_output = partition_output / max(1, len(probe_pages))
+        for disk_page in probe_pages:
+            yield from self.site.cpu.execute(config.disk_inst)
+            yield self.site.disk.read(disk_page)
+            cpu = config.hash_inst * config.tuples_per_page(probe_bytes)
+            cpu += config.move_instructions(config.page_size)
+            yield from self.site.cpu.execute(cpu)
+            self._ready.extend(self._assembler.add(per_page_output))
+
+    def _overflow_pass(self, index: int, total_pages: int) -> typing.Generator:
+        """One recursive re-partitioning pass: write the pair out, read back."""
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.instant(
+                "join.recursive-pass",
+                cat="memory",
+                args={"op": self.label, "partition": index, "pages": total_pages},
+            )
+        scratch = self.site.allocate_temp(max(1, total_pages))
+        self._scratch.append(scratch)
+        config = self.config
+        for position in range(total_pages):
+            yield from self.site.cpu.execute(config.disk_inst)
+            request = self.site.disk.submit("write", scratch.page(position))
+            self._pending_writes.append(request.done)
+            self.site.memory.record_spill(self.label)
+        yield from self._await_writes()
+        for position in range(total_pages):
+            yield from self.site.cpu.execute(config.disk_inst)
+            yield self.site.disk.read(scratch.page(position))
+        scratch.release()
+        self._scratch.remove(scratch)
+
     def _close(self) -> typing.Generator:
         self._release_resources()
         return
         yield  # pragma: no cover
 
     def abort(self) -> None:
+        self._aborted = True
         self._release_resources()
 
     def _release_resources(self) -> None:
-        """Free partition files and buffer frames (idempotent)."""
+        """Free partition files, scratch extents, grants, wait-queue slots
+        and buffer frames (idempotent); shared by close() and abort()."""
         if self._inner_parts is not None:
             self._inner_parts.release()
         if self._outer_parts is not None:
             self._outer_parts.release()
-        if self._buffer_pages:
+        for scratch in self._scratch:
+            scratch.release()
+        self._scratch = []
+        if self._pending_wait is not None:
+            # Cancelling fails the waiter's event, so a process still
+            # blocked on it resumes (into fault supervision) rather than
+            # lingering as a zombie holding a queue slot.
+            self.site.memory.cancel(self._pending_wait)
+            self._pending_wait = None
+        if self._grant is not None:
+            self._grant.release()
+            self._grant = None
+            self._buffer_pages = 0
+        elif self._buffer_pages:
             self.site.memory.release(self._buffer_pages)
             self._buffer_pages = 0

@@ -14,6 +14,7 @@ __all__ = [
     "OptimizationError",
     "SimulationError",
     "QueryShedError",
+    "MemoryExhaustedError",
     "TransientFaultError",
     "SiteUnavailableError",
     "NetworkPartitionError",
@@ -77,6 +78,22 @@ class QueryShedError(ExecutionError):
     def __init__(self, message: str, server_id: int | None = None) -> None:
         super().__init__(message)
         self.server_id = server_id
+
+
+class MemoryExhaustedError(QueryShedError):
+    """A join's buffer request cannot be satisfied by its site's memory pool.
+
+    Raised by the *static* allocation path, whose plan-time grant sizes
+    never queue: under concurrency the query is shed -- an explicit
+    load-control outcome, exactly like an admission-queue rejection -- and
+    never retried.  The dynamic memory broker raises this only for requests
+    whose minimum exceeds the pool's total capacity (which no amount of
+    waiting could fix); every other request queues instead.
+    """
+
+    def __init__(self, message: str, site_id: int | None = None) -> None:
+        super().__init__(message, server_id=site_id)
+        self.site_id = site_id
 
 
 class TransientFaultError(ExecutionError):

@@ -24,6 +24,7 @@ from repro.experiments.figures import (
     figure11,
     availability_sweep,
     cache_warmup,
+    memory_contention,
     qs_under_load_text,
     throughput_sweep,
     two_step_caching,
@@ -49,6 +50,7 @@ __all__ = [
     "figure11",
     "measure_plan",
     "measure_policy",
+    "memory_contention",
     "qs_under_load_text",
     "render_figure",
     "summarize",

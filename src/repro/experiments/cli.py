@@ -36,6 +36,7 @@ _FIGURES = {
     "fault-sweep": figures.availability_sweep,
     "throughput-sweep": figures.throughput_sweep,
     "cache-warmup": figures.cache_warmup,
+    "memory-contention": figures.memory_contention,
 }
 _SERVER_FIGURES = {"fig6", "fig7", "fig8", "fig10", "fig11"}
 _CACHE_FIGURES = {"fig2", "fig3", "fig4", "fig5"}
@@ -141,6 +142,11 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
             kwargs["client_counts"] = tuple(args.clients)
         elif args.quick:
             kwargs["client_counts"] = (1, 2, 4)
+    if name == "memory-contention":
+        if args.clients:
+            kwargs["client_counts"] = tuple(args.clients)
+        elif args.quick:
+            kwargs["client_counts"] = (2, 4)
     if name == "cache-warmup":
         if args.queries:
             kwargs["queries_per_client"] = args.queries

@@ -13,7 +13,7 @@ import typing
 from dataclasses import dataclass, field
 
 from repro.caching.config import CacheConfig
-from repro.config import BufferAllocation, SystemConfig
+from repro.config import BufferAllocation, MemoryConfig, SystemConfig
 from repro.costmodel.model import Objective
 from repro.errors import TransientFaultError
 from repro.experiments.parallel import parallel_map
@@ -47,6 +47,7 @@ __all__ = [
     "figure8",
     "figure10",
     "figure11",
+    "memory_contention",
     "qs_under_load_text",
     "throughput_sweep",
     "two_step_caching",
@@ -58,6 +59,7 @@ SERVER_COUNTS = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
 FIGURE4_LOADS = (0.0, 40.0, 60.0, 70.0)
 MTBF_VALUES = (5.0, 10.0, 20.0, 40.0)
 CLIENT_COUNTS = (1, 2, 4, 8)
+MEMORY_CLIENT_COUNTS = (2, 4, 8, 16)
 
 
 @dataclass(frozen=True)
@@ -594,6 +596,119 @@ def throughput_sweep(
     for task, (throughput, p95) in zip(tasks, parallel_map(_run_throughput_task, tasks, jobs)):
         result.add(task.policy.short_name, task.count, throughput)
         result.add(f"{task.policy.short_name} p95 [s]", task.count, p95)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Memory contention: static vs dynamic join memory (not in the paper)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _MemoryContentionTask:
+    """One (memory mode, client count) point of the contention sweep."""
+
+    mode: str
+    count: int
+    server_memory_pages: int
+    queries_per_client: int
+    stream: StreamConfig
+    settings: RunSettings
+
+
+def _run_memory_contention_task(
+    task: _MemoryContentionTask,
+) -> tuple[PointEstimate, PointEstimate, PointEstimate, PointEstimate]:
+    throughputs: list[float] = []
+    p95s: list[float] = []
+    sheds: list[float] = []
+    spills: list[float] = []
+    for seed in task.settings.seeds:
+        base = SystemConfig(
+            server_memory_pages=task.server_memory_pages,
+            memory=MemoryConfig(mode=task.mode),
+        )
+        scenario = chain_scenario(
+            num_relations=2,
+            num_servers=1,
+            allocation=BufferAllocation.MAXIMUM,
+            placement_seed=seed,
+            config=base,
+        )
+        run = WorkloadRunner(
+            scenario,
+            Policy.QUERY_SHIPPING,
+            num_clients=task.count,
+            stream=task.stream,
+            seed=seed,
+            optimizer_config=task.settings.optimizer,
+            plan_cache=task.settings.plan_cache,
+            # Single attempts: a memory-shed query fails fast and is
+            # reported as shed, rather than retrying against the same
+            # exhausted pool -- exactly the static-allocation failure the
+            # dynamic broker is meant to remove.
+            recovery=RecoveryPolicy.none(),
+            cache="static",
+        ).run()
+        throughputs.append(run.throughput)
+        p95s.append(run.p95_response_time)
+        sheds.append(float(run.shed + run.failed))
+        spills.append(run.profile.get("site.server1.memory.spill_pages", 0.0))
+    return (
+        summarize(throughputs),
+        summarize(p95s),
+        summarize(sheds),
+        summarize(spills),
+    )
+
+
+def memory_contention(
+    settings: RunSettings | None = None,
+    client_counts: tuple[int, ...] = MEMORY_CLIENT_COUNTS,
+    server_memory_pages: int = 400,
+    queries_per_client: int = 2,
+    jobs: int = 1,
+) -> FigureResult:
+    """Throughput and p95 vs clients at fixed server memory, static vs dynamic.
+
+    Query-shipping 2-way joins under maximum allocation all want the
+    server's join memory at once, but the 400-page pool only fits one
+    maximal hybrid-hash build at a time.  Static plan-time allocation sheds
+    every join that cannot get its full grant; the dynamic broker instead
+    queues requests, grants what is available above each join's minimum,
+    and reclaims pages (triggering incremental spilling) when later
+    arrivals would otherwise starve.  Expected shape: the static curve
+    sheds more queries as clients grow and its completed throughput stays
+    flat, while the dynamic curve completes *every* query -- trading sheds
+    for bounded spill I/O and memory-wait time visible in its p95.
+    """
+    settings = settings or RunSettings()
+    result = FigureResult(
+        "memory-contention",
+        "Throughput vs Clients at Fixed Server Memory, Static vs Dynamic Allocation",
+        "concurrent clients",
+        "throughput [queries/s]",
+        notes=(
+            f"QS 2-way joins, max. allocation, {server_memory_pages}-page server "
+            "pool; '<mode> p95 [s]' / '<mode> shed' / '<mode> spill pages' "
+            "series carry the tail latency, shed+failed queries, and broker "
+            "spill I/O of the same runs"
+        ),
+    )
+    stream = StreamConfig(
+        arrival="closed", think_time=0.25, queries_per_client=queries_per_client
+    )
+    tasks = [
+        _MemoryContentionTask(
+            mode, count, server_memory_pages, queries_per_client, stream, settings
+        )
+        for count in client_counts
+        for mode in ("static", "dynamic")
+    ]
+    outcomes = parallel_map(_run_memory_contention_task, tasks, jobs)
+    for task, (throughput, p95, shed, spill) in zip(tasks, outcomes):
+        result.add(task.mode, task.count, throughput)
+        result.add(f"{task.mode} p95 [s]", task.count, p95)
+        result.add(f"{task.mode} shed", task.count, shed)
+        result.add(f"{task.mode} spill pages", task.count, spill)
     return result
 
 

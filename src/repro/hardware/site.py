@@ -21,7 +21,7 @@ from repro.hardware.disk import Disk
 from repro.sim import Environment
 from repro.storage.cache import ClientDiskCache
 from repro.storage.layout import Extent, ExtentAllocator
-from repro.storage.memory import MemoryManager
+from repro.storage.memory import MemoryBroker
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.caching.buffer import BufferCache
@@ -136,7 +136,15 @@ class Site:
         memory_pages = (
             config.client_memory_pages if kind is SiteKind.CLIENT else config.server_memory_pages
         )
-        self.memory = MemoryManager(memory_pages, name=f"{self.name}.memory")
+        # Always a broker: static-mode joins use the legacy allocate/release
+        # surface it inherits, dynamic-mode joins the grant/queue surface.
+        self.memory = MemoryBroker(
+            env,
+            memory_pages,
+            name=f"{self.name}.memory",
+            reclaim_enabled=config.memory.reclaim,
+        )
+        env.debug_dumpers.append(self.memory.describe_pressure)
         # Primary copies stored at this site: relation -> (disk index, extent).
         self._relations: dict[str, tuple[int, Extent]] = {}
         self._next_disk = 0

@@ -134,6 +134,8 @@ class MetricsRegistry:
         ".max",
         ".high_water_pages",
         ".resident_pages",
+        ".granted",
+        ".waiting",
     )
 
     def snapshot_delta(
@@ -173,6 +175,20 @@ def register_topology_metrics(registry: MetricsRegistry, topology: "Topology") -
         registry.gauge(f"{base}.cpu.utilization", lambda c=cpu: c.utilization())
         registry.gauge(
             f"{base}.memory.high_water_pages", lambda m=site.memory: m.high_water_mark
+        )
+        # Memory-broker occupancy and activity (granted/waiting are state,
+        # kept absolute in deltas; the rest are cumulative counters).
+        registry.gauge(f"{base}.memory.granted", lambda m=site.memory: m.allocated_pages)
+        registry.gauge(f"{base}.memory.waiting", lambda m=site.memory: m.waiting)
+        registry.gauge(f"{base}.memory.reclaims", lambda m=site.memory: m.reclaims)
+        registry.gauge(
+            f"{base}.memory.reclaimed_pages", lambda m=site.memory: m.reclaimed_pages
+        )
+        registry.gauge(f"{base}.memory.spill_pages", lambda m=site.memory: m.spill_pages)
+        registry.gauge(f"{base}.memory.grants_issued", lambda m=site.memory: m.grants_issued)
+        registry.gauge(f"{base}.memory.wait_count", lambda m=site.memory: m.wait_count)
+        registry.gauge(
+            f"{base}.memory.total_wait_time", lambda m=site.memory: m.total_wait_time
         )
         for index, disk in enumerate(site.disks):
             prefix = f"{base}.disk{index}"

@@ -60,6 +60,13 @@ def _environment_parts(environment: "EnvironmentState") -> list[str]:
         # Dynamic cache view this optimization plans against: as the cache
         # warms or churns, the digest changes and stale plans stop hitting.
         "dynamic:" + state.digest() if state is not None else "static",
+        # Broker occupancy this optimization prices against: plans chosen
+        # under different memory pressure never alias in the cache.
+        (
+            "pressure:" + environment.memory_pressure.digest()
+            if environment.memory_pressure is not None
+            else "nopressure"
+        ),
     ]
 
 

@@ -108,6 +108,10 @@ class Environment:
         # and the process whose generator is currently being advanced.
         self.tracer: "Tracer | None" = None
         self.active_process: Process | None = None
+        # Zero-argument callables returning extra diagnostic text ("" when
+        # idle) appended to the deadlock dump -- e.g. per-site memory-broker
+        # grant/waiter queues, registered by the components themselves.
+        self.debug_dumpers: list[typing.Callable[[], str]] = []
 
     def _register_process(self, process: Process) -> None:
         self._processes.append(weakref.ref(process))
@@ -204,6 +208,10 @@ class Environment:
                 if stack:
                     entry += f"; span stack: {stack}"
             lines.append(entry)
+        for dumper in self.debug_dumpers:
+            text = dumper()
+            if text:
+                lines.append("  " + text.replace("\n", "\n  "))
         return "\n".join(lines)
 
     def run_all(self, limit: float | None = None) -> None:

@@ -1,7 +1,14 @@
 """Storage management: disk extents, buffer memory, and the client cache."""
 
 from repro.storage.layout import Extent, ExtentAllocator
-from repro.storage.memory import HybridHashPlan, MemoryManager, plan_hybrid_hash
+from repro.storage.memory import (
+    HybridHashPlan,
+    MemoryBroker,
+    MemoryGrant,
+    MemoryManager,
+    MemoryPressureState,
+    plan_hybrid_hash,
+)
 from repro.storage.cache import CachedRelation, ClientDiskCache
 
 __all__ = [
@@ -10,6 +17,9 @@ __all__ = [
     "Extent",
     "ExtentAllocator",
     "HybridHashPlan",
+    "MemoryBroker",
+    "MemoryGrant",
     "MemoryManager",
+    "MemoryPressureState",
     "plan_hybrid_hash",
 ]

@@ -34,6 +34,7 @@ from repro.optimizer.two_phase import RandomizedOptimizer
 from repro.plans.operators import DisplayOp
 from repro.plans.policies import Policy
 from repro.sim import AllOf, Environment
+from repro.storage.memory import MemoryPressureState
 from repro.workload.admission import AdmissionConfig, AdmissionController
 from repro.workload.results import WorkloadResult
 from repro.workload.streams import ClientStream, StreamConfig
@@ -162,6 +163,11 @@ class WorkloadRunner:
             topology.config,
             dict(self.scenario.server_loads),
             cache_state=state,
+            memory_pressure=(
+                MemoryPressureState.capture(topology.sites)
+                if topology.config.memory.is_dynamic
+                else None
+            ),
         )
         return RandomizedOptimizer(
             self.scenario.query,
@@ -196,6 +202,9 @@ class WorkloadRunner:
         if self.tracer is not None:
             self.tracer.bind(env)
         topology = Topology(env, config, seed=self.seed)
+        # Exposed for tests and diagnostics (e.g. comparing per-site broker
+        # logs across replayed workloads); overwritten by each run().
+        self.last_topology = topology
         scenario.catalog.install(
             topology,
             client_caches={

@@ -162,6 +162,44 @@ class TestProcess:
         assert "stuck-waiter" in message
         assert "done-by-then" not in message  # finished processes not listed
 
+    def test_deadlock_message_includes_debug_dumper_state(self, env):
+        env.debug_dumpers.append(lambda: "frobnicator: 3 widgets stuck")
+        env.debug_dumpers.append(lambda: "")  # idle dumpers stay silent
+
+        def stuck():
+            yield Event(env)
+
+        process = env.process(stuck(), name="stuck-waiter")
+        with pytest.raises(SimulationError) as excinfo:
+            env.run(until=process)
+        message = str(excinfo.value)
+        assert "frobnicator: 3 widgets stuck" in message
+
+    def test_deadlock_message_dumps_broker_pressure(self, env):
+        """A stuck memory waiter shows up with the grants blocking it."""
+        from repro.storage.memory import MemoryBroker
+
+        broker = MemoryBroker(env, 10, name="server1.memory")
+        env.debug_dumpers.append(broker.describe_pressure)
+
+        def hog():
+            grant = broker.try_grant(10, 10, "join#0")
+            assert grant is not None
+            yield Event(env)  # never releases
+
+        def starved():
+            waiter = broker.enqueue(5, 8, "join#1")
+            yield waiter.event
+
+        env.process(hog(), name="hog")
+        process = env.process(starved(), name="starved")
+        with pytest.raises(SimulationError) as excinfo:
+            env.run(until=process)
+        message = str(excinfo.value)
+        assert "server1.memory" in message
+        assert "join#0" in message  # outstanding grant
+        assert "join#1" in message  # queued waiter
+
     def test_alive_processes_listing(self, env):
         def forever():
             yield Event(env)
