@@ -1,0 +1,78 @@
+"""Read/write mix under both cache-consistency protocols.
+
+Not a paper figure -- the update-workload question the consistency work
+answers: data-shipping clients with dynamic caches run closed streams in
+which a fraction of the submission slots are primary-copy write-through
+statements against 2-way-replicated relations.  Invalidation callbacks
+keep hits free (the server broadcasts to caching clients on commit);
+detection on access pays a validation round trip on every cache hit.
+Both arms detect every stale page before it is served.
+
+Besides the rendered table, this benchmark writes machine-readable
+``results/BENCH_consistency.json``: throughput, p95, detected stale hits,
+and protocol messages per arm at each write fraction, for CI trend
+tracking.
+"""
+
+import json
+
+from conftest import FULL, publish
+
+from repro.experiments import write_mix
+
+WRITE_FRACTIONS = (0.0, 0.1, 0.25, 0.5) if FULL else (0.0, 0.25, 0.5)
+NUM_CLIENTS = 4 if FULL else 2
+QUERIES_PER_CLIENT = 4 if FULL else 3
+PROTOCOLS = ("invalidation", "detection")
+
+
+def test_consistency_write_mix(benchmark, settings, results_dir):
+    result = benchmark.pedantic(
+        lambda: write_mix(
+            settings,
+            write_fractions=WRITE_FRACTIONS,
+            num_clients=NUM_CLIENTS,
+            queries_per_client=QUERIES_PER_CLIENT,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish(result, results_dir)
+
+    payload = {
+        "figure_id": result.figure_id,
+        "write_fractions": list(WRITE_FRACTIONS),
+        "num_clients": NUM_CLIENTS,
+        "protocols": {},
+    }
+    for protocol in PROTOCOLS:
+        throughput = result.series_means(protocol)
+        p95 = result.series_means(f"{protocol} p95 [s]")
+        stale = result.series_means(f"{protocol} stale hits")
+        msgs = result.series_means(f"{protocol} msgs")
+        payload["protocols"][protocol] = {
+            "throughput": {str(x): throughput[x] for x in sorted(throughput)},
+            "p95_response_time": {str(x): p95[x] for x in sorted(p95)},
+            "stale_hits": {str(x): stale[x] for x in sorted(stale)},
+            "protocol_messages": {str(x): msgs[x] for x in sorted(msgs)},
+        }
+    out = results_dir / "BENCH_consistency.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n[wrote {out}]")
+
+    # Read-only parity: with write fraction 0 both protocol arms are the
+    # same manager-free engine, so every series coincides exactly.
+    for series in ("", " p95 [s]", " stale hits", " msgs"):
+        inv = result.series_means(f"invalidation{series}")
+        det = result.series_means(f"detection{series}")
+        assert inv[0.0] == det[0.0], f"arms diverge at write fraction 0{series}"
+    # No protocol work without writes.
+    assert result.series_means("invalidation msgs")[0.0] == 0.0
+    assert result.series_means("detection msgs")[0.0] == 0.0
+    # Detection pays per-hit validation traffic once writes flow;
+    # invalidation's callback count stays far below it.
+    high = max(WRITE_FRACTIONS)
+    det_msgs = result.series_means("detection msgs")[high]
+    inv_msgs = result.series_means("invalidation msgs")[high]
+    assert det_msgs > 0.0
+    assert inv_msgs < det_msgs

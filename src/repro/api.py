@@ -262,6 +262,10 @@ def run_workload(
     cache: "CacheConfig | str | None" = None,
     memory: "MemoryConfig | str | None" = None,
     server_memory_pages: int | None = None,
+    write_fraction: float = 0.0,
+    write_pages: int = 1,
+    consistency: str = "invalidation",
+    replication_factor: int = 1,
 ) -> WorkloadResult:
     """Run a multi-client concurrent workload; returns throughput metrics.
 
@@ -299,6 +303,16 @@ def run_workload(
     paper's plan-time join allocation with the per-site memory broker, so
     concurrent joins share each server's pool by queueing, partial grants,
     and reclaim-driven spilling instead of shedding.
+
+    ``write_fraction`` turns that fraction of each client's submission
+    slots into write statements (UPDATE/INSERT/DELETE of ``write_pages``
+    pages against a random relation), applied with primary-copy
+    write-through; ``consistency`` picks how client caches stay correct
+    (``"invalidation"`` callbacks or ``"detection"`` on access).
+    ``replication_factor`` stores every relation on that many servers;
+    reads pick a copy at plan time and writes propagate to all of them.
+    The defaults (0.0, ``"invalidation"``, 1) reproduce the read-only
+    engine event for event.
     """
     if isinstance(allocation, str):
         allocation = BufferAllocation(allocation)
@@ -322,6 +336,7 @@ def run_workload(
         selectivity=selectivity,
         server_load=server_load,
         config=_parse_memory(memory, server_memory_pages),
+        replication_factor=replication_factor,
     )
     tracer, trace_path = _resolve_trace(trace)
     try:
@@ -334,6 +349,8 @@ def run_workload(
                 rate=rate,
                 think_time=think_time,
                 queries_per_client=queries_per_client,
+                write_fraction=write_fraction,
+                write_pages=write_pages,
             ),
             admission=admission,
             seed=seed,
@@ -345,6 +362,7 @@ def run_workload(
             tracer=tracer,
             plan_cache=plan_cache,
             cache=cache,
+            consistency=consistency,
         ).run()
     finally:
         if tracer is not None:

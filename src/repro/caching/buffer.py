@@ -51,6 +51,7 @@ class CacheState:
     misses: int = 0
     evictions: int = 0
     admissions: int = 0
+    invalidations: int = 0
 
     def resident_pages(self, relation: str) -> int:
         for name, pages in self.resident:
@@ -97,6 +98,10 @@ class BufferCache:
         # (relation, page index) -> arena slot.  Slots are handed out in
         # ascending order; freed slots are reused LIFO (deterministic).
         self._slots: dict[tuple[str, int], int] = {}
+        # (relation, page index) -> page version stamp, maintained for every
+        # resident page.  Version 0 is "as loaded"; writers bump the global
+        # version table and the consistency protocol compares against this.
+        self._versions: dict[tuple[str, int], int] = {}
         self._next_slot = 0
         self._free: list[int] = []
         # Demand counters (seeding is tracked separately).
@@ -104,6 +109,7 @@ class BufferCache:
         self.misses = 0
         self.evictions = 0
         self.admissions = 0
+        self.invalidations = 0
         self.seeded = 0
         #: Every victim, in eviction order -- compared byte for byte by the
         #: determinism tests.
@@ -147,15 +153,16 @@ class BufferCache:
         victim = self._policy.evict()
         self.evictions += 1
         self.eviction_log.append(victim)
+        self._versions.pop(victim, None)
         return self._slots.pop(victim)
 
-    def admit(self, relation: str, page_index: int) -> int | None:
+    def admit(self, relation: str, page_index: int, version: int = 0) -> int | None:
         """Make a page resident; returns its client-disk page.
 
         Returns None when the cache has no capacity at all (capacity 0
         degenerates to the no-cache baseline: every access faults, nothing
         is kept).  Admitting an already-resident page is a no-op beyond a
-        policy touch.
+        policy touch and a version refresh.
         """
         if self.capacity_pages == 0:
             return None
@@ -163,12 +170,36 @@ class BufferCache:
         slot = self._slots.get(key)
         if slot is not None:
             self._policy.touch(key)
+            self._versions[key] = version
             return self._extent.page(slot)
         slot = self._take_slot()
         self._slots[key] = slot
+        self._versions[key] = version
         self._policy.admit(key)
         self.admissions += 1
         return self._extent.page(slot)
+
+    def version_of(self, relation: str, page_index: int) -> int | None:
+        """Version stamp of a resident page, or None if not resident."""
+        return self._versions.get((relation, page_index))
+
+    def invalidate(self, relation: str, page_index: int) -> bool:
+        """Drop a (possibly stale) page from the cache; True if it was resident.
+
+        The freed slot goes on the LIFO free list, exactly as if the policy
+        had evicted it -- but the drop is *not* an eviction: it is counted
+        separately, bypasses the policy's victim choice, and never appears
+        in ``eviction_log``.
+        """
+        key = (relation, page_index)
+        slot = self._slots.pop(key, None)
+        if slot is None:
+            return False
+        self._versions.pop(key, None)
+        self._policy.discard(key)
+        self._free.append(slot)
+        self.invalidations += 1
+        return True
 
     def seed(self, relation: str, pages: int) -> int:
         """Pre-populate the first ``pages`` pages of a relation (no I/O).
@@ -185,6 +216,7 @@ class BufferCache:
                 continue
             slot = self._take_slot()
             self._slots[key] = slot
+            self._versions[key] = 0
             self._policy.admit(key)
             self.seeded += 1
             placed += 1
@@ -205,6 +237,7 @@ class BufferCache:
             misses=self.misses,
             evictions=self.evictions,
             admissions=self.admissions,
+            invalidations=self.invalidations,
         )
 
     def digest(self) -> str:

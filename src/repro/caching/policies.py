@@ -50,6 +50,10 @@ class ReplacementPolicy:
         """Choose, remove, and return the next victim."""
         raise NotImplementedError
 
+    def discard(self, key: Key) -> None:
+        """Forget a key without electing it (consistency invalidation)."""
+        raise NotImplementedError
+
     def __len__(self) -> int:
         raise NotImplementedError
 
@@ -77,6 +81,9 @@ class LRUPolicy(ReplacementPolicy):
             raise ConfigurationError("evict() on an empty replacement policy")
         key, _ = self._order.popitem(last=False)
         return key
+
+    def discard(self, key: Key) -> None:
+        self._order.pop(key, None)
 
     def __len__(self) -> int:
         return len(self._order)
@@ -133,6 +140,15 @@ class ClockPolicy(ReplacementPolicy):
                 del self._ring[self._hand]
                 del self._ref[key]
                 return key
+
+    def discard(self, key: Key) -> None:
+        if key not in self._ref:
+            return
+        index = self._ring.index(key)
+        del self._ring[index]
+        del self._ref[key]
+        if index < self._hand:
+            self._hand -= 1
 
     def __len__(self) -> int:
         return len(self._ring)

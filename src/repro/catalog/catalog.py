@@ -68,6 +68,11 @@ class Catalog:
         self.relation(name)
         return self.placement.server_of(name)
 
+    def servers_of(self, name: str) -> tuple[int, ...]:
+        """All servers holding a copy of ``name`` (primary first)."""
+        self.relation(name)
+        return self.placement.servers_of(name)
+
     def pages_of(self, name: str, config: SystemConfig) -> int:
         return self.relation(name).pages(config)
 
@@ -96,13 +101,15 @@ class Catalog:
         """
         config = topology.config
         for name in self.relation_names:
-            server_id = self.placement.server_of(name)
-            if server_id > len(topology.servers):
-                raise CatalogError(
-                    f"relation {name!r} placed on server {server_id} but the "
-                    f"topology has only {len(topology.servers)} servers"
+            for server_id in self.placement.servers_of(name):
+                if server_id > len(topology.servers):
+                    raise CatalogError(
+                        f"relation {name!r} placed on server {server_id} but the "
+                        f"topology has only {len(topology.servers)} servers"
+                    )
+                topology.site(server_id).store_relation(
+                    name, self.pages_of(name, config)
                 )
-            topology.site(server_id).store_relation(name, self.pages_of(name, config))
         overrides = client_caches or {}
         for unknown in set(overrides) - {site.site_id for site in topology.clients}:
             raise CatalogError(f"cache override for unknown client site {unknown}")

@@ -1,10 +1,17 @@
-"""Physical placement of primary copies on servers.
+"""Physical placement of primary and replica copies on servers.
 
-Each relation's primary copy resides on exactly one server (no declustering,
-no replication; section 3.2.1).  The 10-way-join experiments place the ten
-base relations randomly among the servers "ensuring that each server has at
-least one base relation" (section 4.3); :func:`random_placement` implements
-exactly that.
+Each relation's *primary* copy resides on exactly one server (no
+declustering; section 3.2.1 -- the paper itself has no replication).  The
+10-way-join experiments place the ten base relations randomly among the
+servers "ensuring that each server has at least one base relation"
+(section 4.3); :func:`random_placement` implements exactly that.
+
+Beyond the paper, a placement may additionally list *replica* copies:
+extra servers holding a full secondary copy of a relation.  Writes go
+through the primary and propagate to every replica (primary-copy
+write-through); reads may be served by any copy, which gives the
+optimizer a site-selection choice and the fault path a failover target.
+A placement with no replicas behaves exactly as before.
 """
 
 from __future__ import annotations
@@ -14,14 +21,20 @@ from dataclasses import dataclass, field
 
 from repro.errors import CatalogError
 
-__all__ = ["Placement", "random_placement"]
+__all__ = ["Placement", "random_placement", "replicate_placement"]
 
 
 @dataclass(frozen=True)
 class Placement:
-    """Mapping of relation name to the id of the server storing it."""
+    """Mapping of relation name to the server(s) storing it.
+
+    ``assignments`` maps each relation to its primary server;
+    ``replicas`` optionally maps a relation to extra servers holding
+    secondary copies (the primary is never listed there).
+    """
 
     assignments: dict[str, int] = field(default_factory=dict)
+    replicas: dict[str, tuple[int, ...]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         for relation, server_id in self.assignments.items():
@@ -30,6 +43,27 @@ class Placement:
                     f"relation {relation!r} assigned to site {server_id}; "
                     "primary copies live on servers (ids >= 1)"
                 )
+        for relation, servers in self.replicas.items():
+            if relation not in self.assignments:
+                raise CatalogError(
+                    f"replicas listed for unknown relation {relation!r}"
+                )
+            primary = self.assignments[relation]
+            if len(set(servers)) != len(servers):
+                raise CatalogError(
+                    f"relation {relation!r} lists a replica server twice"
+                )
+            for server_id in servers:
+                if server_id < 1:
+                    raise CatalogError(
+                        f"relation {relation!r} replicated to site {server_id}; "
+                        "replicas live on servers (ids >= 1)"
+                    )
+                if server_id == primary:
+                    raise CatalogError(
+                        f"relation {relation!r} lists its primary server "
+                        f"{primary} as a replica"
+                    )
 
     def server_of(self, relation: str) -> int:
         try:
@@ -37,12 +71,26 @@ class Placement:
         except KeyError:
             raise CatalogError(f"relation {relation!r} has no placement") from None
 
+    def servers_of(self, relation: str) -> tuple[int, ...]:
+        """All servers holding a copy: the primary first, then replicas."""
+        return (self.server_of(relation), *self.replicas.get(relation, ()))
+
     def relations_on(self, server_id: int) -> list[str]:
-        return sorted(r for r, s in self.assignments.items() if s == server_id)
+        """All relations with a copy (primary or replica) on a server."""
+        return sorted(
+            r for r in self.assignments if server_id in self.servers_of(r)
+        )
 
     @property
     def servers_used(self) -> set[int]:
-        return set(self.assignments.values())
+        used = set(self.assignments.values())
+        for servers in self.replicas.values():
+            used.update(servers)
+        return used
+
+    @property
+    def is_replicated(self) -> bool:
+        return any(self.replicas.values())
 
     def __contains__(self, relation: str) -> bool:
         return relation in self.assignments
@@ -77,3 +125,33 @@ def random_placement(
     for relation in shuffled[num_servers:]:
         assignments[relation] = rng.randint(1, num_servers)
     return Placement(assignments)
+
+
+def replicate_placement(
+    placement: Placement,
+    factor: int,
+    num_servers: int,
+    rng: random.Random,
+) -> Placement:
+    """N-way replicate every relation of a placement across the servers.
+
+    Each relation keeps its primary and gains ``factor - 1`` replica
+    copies on distinct servers drawn uniformly (via ``rng.sample`` over
+    the non-primary servers, in sorted relation order -- deterministic
+    for a given rng seed).  ``factor=1`` returns the placement unchanged,
+    so the read-only experiments are untouched.
+    """
+    if factor < 1:
+        raise CatalogError(f"replication factor must be >= 1, got {factor}")
+    if factor > num_servers:
+        raise CatalogError(
+            f"cannot place {factor} distinct copies on {num_servers} servers"
+        )
+    if factor == 1:
+        return placement
+    replicas: dict[str, tuple[int, ...]] = {}
+    for relation in sorted(placement.assignments):
+        primary = placement.server_of(relation)
+        others = [s for s in range(1, num_servers + 1) if s != primary]
+        replicas[relation] = tuple(sorted(rng.sample(others, factor - 1)))
+    return Placement(dict(placement.assignments), replicas)

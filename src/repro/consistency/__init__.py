@@ -1,0 +1,33 @@
+"""Cache consistency: page versions, protocols, and per-site counters.
+
+The paper's world is read-only, so PR 5's dynamic client buffer cache can
+never go stale.  This package opens the write axis: a global
+:class:`VersionTable` stamps every committed page write, and a pluggable
+:class:`ConsistencyManager` decides how client caches find out --
+**invalidation callbacks** (the server broadcasts invalidations at commit)
+or **detection on access** (clients validate versions against the server
+on every cache hit).  Both guarantee that a stale page is never served to
+a query; they differ only in where the traffic lands (write path vs read
+path), which is exactly the tradeoff the read/write-mix sweep measures.
+"""
+
+from repro.consistency.config import PROTOCOL_NAMES, ConsistencyConfig
+from repro.consistency.protocol import (
+    ConsistencyManager,
+    DetectionProtocol,
+    InvalidationProtocol,
+    make_protocol,
+)
+from repro.consistency.stats import ConsistencyStats
+from repro.consistency.versions import VersionTable
+
+__all__ = [
+    "PROTOCOL_NAMES",
+    "ConsistencyConfig",
+    "ConsistencyManager",
+    "ConsistencyStats",
+    "DetectionProtocol",
+    "InvalidationProtocol",
+    "VersionTable",
+    "make_protocol",
+]

@@ -1,0 +1,34 @@
+"""Configuration of the cache-consistency protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ConsistencyConfig", "PROTOCOL_NAMES"]
+
+PROTOCOL_NAMES = ("invalidation", "detection")
+
+
+@dataclass(frozen=True)
+class ConsistencyConfig:
+    """How client caches learn about server-side writes.
+
+    ``invalidation``: the server broadcasts invalidation callbacks to every
+    client caching a written page at commit time -- cache hits then cost
+    nothing extra, writes pay one control message per remote cached copy.
+
+    ``detection``: clients validate the version of every cached page
+    against the owning server on access -- writes are cheap, every cache
+    hit pays a validation round trip.
+    """
+
+    protocol: str = "invalidation"
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOL_NAMES:
+            raise ConfigurationError(
+                f"unknown consistency protocol {self.protocol!r}; "
+                f"choose from {PROTOCOL_NAMES}"
+            )

@@ -1,0 +1,31 @@
+"""Per-site consistency counters.
+
+Every site carries one :class:`ConsistencyStats` (always present, all
+zeros in read-only runs) so the metrics registry can expose
+``site.<name>.consistency.*`` gauges unconditionally -- the same pattern
+the buffer-cache gauges use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ConsistencyStats"]
+
+
+@dataclass
+class ConsistencyStats:
+    """Counters for one site's share of the consistency protocol.
+
+    Clients count ``invalidations`` (callback messages that dropped one of
+    their cached pages), ``validations`` (version checks against the
+    server on cache hits), and ``stale_hits`` (hits whose cached version
+    was behind -- detected, dropped, and re-faulted, never served).
+    Servers count ``write_pages`` (pages physically written to their copy,
+    primary or replica).
+    """
+
+    invalidations: int = 0
+    validations: int = 0
+    stale_hits: int = 0
+    write_pages: int = 0

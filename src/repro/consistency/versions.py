@@ -1,0 +1,42 @@
+"""The global page version table.
+
+One logical version number per ``(relation, page index)``, bumped by every
+committed write to that page.  Pages never written sit at version 0, which
+is also what :class:`~repro.caching.buffer.BufferCache` stamps on pages
+admitted outside any consistency protocol -- so read-only runs never see a
+version mismatch.
+
+This is *simulation bookkeeping*, not a simulated data structure: reading
+it costs no simulated time.  The protocols decide what version traffic
+(callbacks, validation round trips) actually goes on the wire.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VersionTable"]
+
+
+class VersionTable:
+    """Monotonic per-page versions, keyed ``(relation, page index)``."""
+
+    def __init__(self) -> None:
+        self._versions: dict[tuple[str, int], int] = {}
+        #: Total bumps across all pages (diagnostic).
+        self.total_writes = 0
+
+    def version(self, relation: str, page_index: int) -> int:
+        return self._versions.get((relation, page_index), 0)
+
+    def bump(self, relation: str, page_index: int) -> int:
+        """Commit one write to a page; returns the new version."""
+        key = (relation, page_index)
+        version = self._versions.get(key, 0) + 1
+        self._versions[key] = version
+        self.total_writes += 1
+        return version
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<VersionTable pages={len(self)} writes={self.total_writes}>"

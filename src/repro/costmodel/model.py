@@ -211,7 +211,7 @@ class CostModel:
         self._full_walk = False
         self._plan_memo: dict[DisplayOp, PlanCost] = {}
         self._scan_memo: dict[
-            tuple[str, int, bool, bool, bool],
+            tuple[str, int, int, bool, bool, bool],
             tuple[tuple[tuple[tuple[str, int], float], ...], float, float],
         ] = {}
 
@@ -316,6 +316,13 @@ class CostModel:
             inner_pages, max(1, est.pages(op.outer)), buffers
         ).in_memory
 
+    def _scan_home(self, op: ScanOp) -> int:
+        """The server a scan reads (client scans: faults) its pages from:
+        the copy pinned by ``ScanOp.home``, or the primary."""
+        if op.home is not None:
+            return op.home
+        return self.environment.catalog.server_of(op.relation)
+
     def _disk_traffic_sites(self, bound: BoundPlan) -> tuple[frozenset[int], frozenset[int]]:
         """Sites with hybrid-hash temp I/O and sites with scan read I/O.
 
@@ -337,7 +344,7 @@ class CostModel:
                     if est.cached_pages(op.relation) > 0:
                         scan_sites.add(CLIENT_SITE_ID)
                     if est.missing_pages(op.relation) > 0:
-                        scan_sites.add(self.environment.catalog.server_of(op.relation))
+                        scan_sites.add(self._scan_home(op))
         return frozenset(spill_sites), frozenset(scan_sites)
 
     # ------------------------------------------------------------------
@@ -419,14 +426,16 @@ class CostModel:
         if not self._incremental or self._full_walk or self._breakdown is not None:
             return self._scan_compute(op, bound, spill_sites, pages_sent)
         # A scan leaf's contribution is fully determined by its relation,
-        # its bound site, and which disks carry interfering spill traffic;
-        # replaying the recorded usage items reproduces the naive walk's
-        # vector (same keys, same final values, same insertion order).
+        # its bound site, the copy it reads, and which disks carry
+        # interfering spill traffic; replaying the recorded usage items
+        # reproduces the naive walk's vector (same keys, same final values,
+        # same insertion order).
         site = bound.site_of(op)
-        home = self.environment.catalog.server_of(op.relation)
+        home = self._scan_home(op)
         key = (
             op.relation,
             site,
+            home,
             site in spill_sites,
             CLIENT_SITE_ID in spill_sites,
             home in spill_sites,
@@ -462,7 +471,7 @@ class CostModel:
         cal = self.calibration
         env = self.environment
         site = bound.site_of(op)
-        home = env.catalog.server_of(op.relation)
+        home = self._scan_home(op)
         contribution = StreamContribution()
         usage = self._usage(contribution.usage, op)
         disk_cpu = config.instructions_time(config.disk_inst)

@@ -40,6 +40,7 @@ from repro.engine.loadgen import DiskLoadGenerator
 from repro.engine.scans import ScanIterator
 from repro.engine.selects import SelectIterator
 from repro.engine.sinks import DisplayIterator
+from repro.engine.writes import WriteSpec, make_write_iterator
 from repro.errors import (
     ConfigurationError,
     ExecutionError,
@@ -74,6 +75,7 @@ __all__ = [
     "QueryExecutor",
     "QuerySession",
     "SessionResult",
+    "WriteSession",
 ]
 
 
@@ -313,7 +315,7 @@ class QueryExecutor:
         site = self.topology.site(bound.site_of(op))
         phys: PhysicalOp
         if isinstance(op, ScanOp):
-            phys = ScanIterator(context, site, op.relation)
+            phys = ScanIterator(context, site, op.relation, home_server_id=op.home)
         elif isinstance(op, SelectOp):
             child = self._build_op(op.child, bound, context, labels)
             child = self._maybe_exchange(site, op.child, child, bound, context)
@@ -513,24 +515,44 @@ class QueryExecutor:
     def _replan(
         self, annotated: DisplayOp, client_site: int = CLIENT_SITE_ID
     ) -> DisplayOp | None:
-        """Re-optimize around crashed sites; None if nothing useful to do.
+        """Re-route or re-optimize around crashed sites; None if nothing
+        useful to do.
 
-        Relations whose primary server is down are constrained to be
-        scanned at the client (from its cached prefix) -- the data-shipping
-        fallback.  Policies whose annotation space has no ``client`` scan
-        (query-shipping) cannot express that, so they keep their plan and
-        simply wait out the restart window.
+        Each scan whose serving copy is down is first offered a *surviving
+        replica*: if every affected relation has one, the plan is simply
+        rehomed onto the survivors -- no re-optimization, and every policy
+        (including query-shipping) can fail over this way.  Relations with
+        no reachable copy at all are constrained to be scanned at the
+        client (from its cached prefix) -- the data-shipping fallback,
+        which policies without ``client`` scans cannot express, so they
+        keep their plan and simply wait out the restart window.
         """
+        from repro.optimizer.random_plans import rehome_scans
         from repro.optimizer.two_phase import RandomizedOptimizer
 
         down = {site.site_id for site in self.topology.servers if not site.up}
         if not down:
             return None
-        excluded = frozenset(
-            name for name in self.query.relations if self.catalog.server_of(name) in down
-        )
-        if not excluded:
+        rehomed: dict[str, int | None] = {}
+        stranded: set[str] = set()
+        for op in annotated.walk():
+            if not isinstance(op, ScanOp) or op.relation in rehomed or op.relation in stranded:
+                continue
+            primary = self.catalog.server_of(op.relation)
+            home = op.home if op.home is not None else primary
+            if home not in down:
+                continue
+            survivors = [s for s in self.catalog.servers_of(op.relation) if s not in down]
+            if survivors:
+                rehomed[op.relation] = None if survivors[0] == primary else survivors[0]
+            else:
+                stranded.add(op.relation)
+        if not rehomed and not stranded:
             return None
+        if not stranded:
+            # Pure replica failover: keep the plan, repoint the scans.
+            return rehome_scans(annotated, rehomed)
+        excluded = frozenset(stranded)
         policy = self.policy or self._infer_policy(annotated)
         if Annotation.CLIENT not in allowed_annotations(policy, "scan"):
             return None
@@ -563,7 +585,9 @@ class QueryExecutor:
             ).optimize()
         except OptimizationError:
             return None
-        return result.plan
+        # Freshly optimized scans default to the primary copy; repoint the
+        # relations whose serving copy is down onto their survivors.
+        return rehome_scans(result.plan, rehomed)
 
     @staticmethod
     def _infer_policy(plan: DisplayOp) -> Policy:
@@ -602,6 +626,30 @@ class QueryExecutor:
         return QuerySession(
             self,
             plan,
+            client_site=client_site,
+            admission=admission,
+            session_id=session_id,
+            recovery=recovery if recovery is not None else self.recovery,
+        )
+
+    def write_session(
+        self,
+        spec: WriteSpec,
+        client_site: int = CLIENT_SITE_ID,
+        admission: "typing.Mapping[int, typing.Any] | None" = None,
+        session_id: str = "w0",
+        recovery: RecoveryPolicy | None = None,
+    ) -> "WriteSession":
+        """Create one in-flight write statement on this executor's system.
+
+        Writes flow through the same admission controllers and per-session
+        recovery loop as queries; the acting primary is re-resolved on every
+        attempt, so a write failed by a crashing server retries against a
+        surviving replica.
+        """
+        return WriteSession(
+            self,
+            spec,
             client_site=client_site,
             admission=admission,
             session_id=session_id,
@@ -949,6 +997,187 @@ class QuerySession:
             result_tuples=result_tuples,
             error=None if error is None else str(error),
             servers_used=tuple(servers),
+            pages_sent=executor.topology.network.data_pages_sent - self._pages_before,
+            cache_resident_pages=resident,
+        )
+
+
+class WriteSession:
+    """One write statement in flight on a shared simulated system.
+
+    Mirrors :class:`QuerySession` for the write path: admission tickets are
+    taken for every server holding a copy of the target relation (writes
+    occupy the primary *and* the replicas they propagate to), the physical
+    write operator is driven as a simulated process, and -- under a
+    recovery policy or an active fault injector -- a bounded retry loop
+    re-resolves the acting primary each attempt, so a write survives its
+    primary crashing by failing over to a reachable replica.
+    """
+
+    def __init__(
+        self,
+        executor: QueryExecutor,
+        spec: WriteSpec,
+        client_site: int = CLIENT_SITE_ID,
+        admission: "typing.Mapping[int, typing.Any] | None" = None,
+        session_id: str = "w0",
+        recovery: RecoveryPolicy | None = None,
+    ) -> None:
+        self.executor = executor
+        self.spec = spec
+        self.client_site = client_site
+        self.admission = dict(admission or {})
+        self.session_id = session_id
+        self.recovery = recovery
+        self.submitted = 0.0
+        self.queue_delay = 0.0
+        self.retries = 0
+        self._pages_before = 0
+
+    def run(self) -> typing.Generator:
+        """Simulation process: run the write to a :class:`SessionResult`."""
+        env = self.executor.env
+        self.submitted = env.now
+        self._pages_before = self.executor.topology.network.data_pages_sent
+        try:
+            if self.recovery is not None or self.executor.fault_tolerant:
+                tuples = yield from self._run_with_recovery()
+            else:
+                tuples = yield from self._run_once()
+        except QueryShedError as exc:
+            return self._result("shed", 0, error=exc)
+        except TransientFaultError as exc:
+            return self._result("failed", 0, error=exc)
+        return self._result("completed", tuples)
+
+    # ------------------------------------------------------------------
+    # Attempt plumbing
+    # ------------------------------------------------------------------
+    def _holders(self) -> tuple[int, ...]:
+        return tuple(sorted(self.executor.catalog.servers_of(self.spec.relation)))
+
+    def _acquire(self) -> typing.Generator:
+        """One admission ticket per controlled copy holder, in id order."""
+        env = self.executor.env
+        waited_from = env.now
+        tickets: list[typing.Any] = []
+        for sid in (s for s in self._holders() if s in self.admission):
+            try:
+                ticket = yield from self.admission[sid].admit(self.session_id)
+            except QueryShedError:
+                for held in tickets:
+                    held.release()
+                raise
+            tickets.append(ticket)
+        self.queue_delay += env.now - waited_from
+        return tickets
+
+    def _build(self, context: ExecutionContext):
+        site = self.executor.topology.site(self.client_site)
+        root = make_write_iterator(context, site, self.spec)
+        root.label = f"{self.spec.kind}[{self.spec.relation}]@{site.name}"
+        return root
+
+    def _run_once(self) -> typing.Generator:
+        executor = self.executor
+        tickets = yield from self._acquire()
+        context = ExecutionContext(
+            executor.env, executor.topology, executor.catalog,
+            executor.query, executor.estimator,
+        )
+        root = self._build(context)
+        try:
+            yield from executor._drive(root)
+        except (QueryShedError, TransientFaultError):
+            context.abort()
+            raise
+        finally:
+            QuerySession._release(tickets)
+        return root.tuples_produced
+
+    def _run_with_recovery(self) -> typing.Generator:
+        executor = self.executor
+        env = executor.env
+        recovery = self.recovery or RecoveryPolicy()
+        rng = random.Random(f"{executor.seed}:{self.session_id}:recovery")
+        deadline = (
+            None
+            if recovery.query_timeout is None
+            else self.submitted + recovery.query_timeout
+        )
+        attempt = 0
+        while True:
+            attempt += 1
+            tickets = yield from self._acquire()
+            context = ExecutionContext(
+                env, executor.topology, executor.catalog,
+                executor.query, executor.estimator, supervised=True,
+            )
+            # Built (and its acting primary resolved) fresh every attempt:
+            # retrying after a crash lands on a surviving copy.
+            root = self._build(context)
+            consumer = context.spawn(
+                executor._drive(root), name=f"write-{self.session_id}#{attempt}"
+            )
+            assert context.fault_event is not None
+            watchers: list[Event] = [consumer, context.fault_event]
+            if deadline is not None:
+                watchers.append(env.timeout(max(0.0, deadline - env.now)))
+            failure: TransientFaultError | None = None
+            try:
+                yield AnyOf(env, watchers)
+            except QueryShedError:
+                QuerySession._release(tickets)
+                context.abort()
+                raise
+            except TransientFaultError as exc:
+                failure = exc
+            QuerySession._release(tickets)
+            if failure is None:
+                if consumer.triggered and consumer.ok:
+                    return root.tuples_produced
+                failure = QueryTimeoutError(
+                    f"write {self.session_id} timed out after "
+                    f"{recovery.query_timeout}s (attempt {attempt})"
+                )
+            context.abort()
+            if deadline is not None and env.now >= deadline:
+                if not isinstance(failure, QueryTimeoutError):
+                    failure = QueryTimeoutError(
+                        f"write {self.session_id} timed out after "
+                        f"{recovery.query_timeout}s while recovering from: {failure}"
+                    )
+                raise failure
+            if attempt >= recovery.max_attempts:
+                raise failure
+            self.retries += 1
+            yield env.timeout(recovery.backoff(attempt, rng))
+
+    def _result(
+        self, status: str, result_tuples: int, error: Exception | None = None
+    ) -> SessionResult:
+        executor = self.executor
+        env = executor.env
+        client = executor.topology.site(self.client_site)
+        if client.buffer_cache is not None:
+            resident = client.buffer_cache.resident_count
+        elif client.cache is not None:
+            resident = client.cache.total_cached_pages
+        else:
+            resident = 0
+        return SessionResult(
+            session_id=self.session_id,
+            client_site=self.client_site,
+            submitted=self.submitted,
+            completed=env.now,
+            response_time=env.now - self.submitted,
+            queue_delay=self.queue_delay,
+            status=status,
+            retries=self.retries,
+            replans=0,
+            result_tuples=result_tuples,
+            error=None if error is None else str(error),
+            servers_used=self._holders() if status == "completed" else (),
             pages_sent=executor.topology.network.data_pages_sent - self._pages_before,
             cache_resident_pages=resident,
         )

@@ -30,9 +30,13 @@ class ScanIterator(PhysicalOp):
         context: "ExecutionContext",
         site: "Site",
         relation: str,
+        home_server_id: int | None = None,
     ) -> None:
         super().__init__(context, site)
         self.relation = relation
+        # Which copy serves this scan: an explicit replica choice from the
+        # plan (``ScanOp.home``), or None for the primary copy.
+        self.home_server_id = home_server_id
         schema = context.catalog.relation(relation)
         self.tuple_bytes = schema.tuple_bytes
         self.tuples_per_page = context.config.tuples_per_page(schema.tuple_bytes)
@@ -48,7 +52,10 @@ class ScanIterator(PhysicalOp):
 
     def _open(self) -> typing.Generator:
         topology = self.context.topology
-        home = topology.server_storing(self.relation)
+        home_id = self.home_server_id
+        if home_id is None:
+            home_id = self.context.catalog.server_of(self.relation)
+        home = topology.site(home_id)
         self._home_server = home
         self._home_disk_index, self._home_extent = home.relation_location(self.relation)
         if self.site.is_client:
@@ -58,8 +65,8 @@ class ScanIterator(PhysicalOp):
                 self._cached = self.site.cache.lookup(self.relation)
         elif self.site is not home:
             raise ExecutionError(
-                f"primary-copy scan of {self.relation!r} bound to {self.site.name}, "
-                f"but the relation lives on {home.name}"
+                f"copy scan of {self.relation!r} bound to {self.site.name}, "
+                f"but the chosen copy lives on {home.name}"
             )
         return
         yield  # pragma: no cover
@@ -105,14 +112,28 @@ class ScanIterator(PhysicalOp):
         """
         buffer = self._buffer
         assert buffer is not None
+        manager = self.context.topology.consistency
         page = buffer.lookup(self.relation, index)
         if page is not None:
-            yield from self.site.cpu.execute(self.config.disk_inst)
-            yield self.site.disk.read(page)
-            return
+            if manager is not None:
+                assert self._home_server is not None
+                fresh = yield from manager.validate_hit(
+                    self.site, self._home_server, self.relation, index
+                )
+                if not fresh:
+                    # Stale copy: detected, invalidated, never served --
+                    # fall through to the demand-paging fault path.
+                    page = None
+            if page is not None:
+                yield from self.site.cpu.execute(self.config.disk_inst)
+                yield self.site.disk.read(page)
+                return
         yield from self._fault_from_server(index)
         if buffer.admit_on_fault:
-            slot = buffer.admit(self.relation, index)
+            version = (
+                0 if manager is None else manager.current_version(self.relation, index)
+            )
+            slot = buffer.admit(self.relation, index, version=version)
             if slot is not None:
                 yield from self.site.cpu.execute(self.config.disk_inst)
                 yield self.site.disk.write(slot)

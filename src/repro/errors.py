@@ -19,6 +19,7 @@ __all__ = [
     "SiteUnavailableError",
     "NetworkPartitionError",
     "QueryTimeoutError",
+    "NoReachableReplicaError",
 ]
 
 
@@ -120,3 +121,21 @@ class NetworkPartitionError(TransientFaultError):
 
 class QueryTimeoutError(TransientFaultError):
     """A query exceeded its per-query timeout (including all retries)."""
+
+
+class NoReachableReplicaError(TransientFaultError):
+    """A write found no reachable copy: primary and every replica are down.
+
+    Transient because a restart schedule may bring a copy back; the
+    recovery loop's bounded retries decide whether to wait it out.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        relation: str | None = None,
+        servers: tuple[int, ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.relation = relation
+        self.servers = servers

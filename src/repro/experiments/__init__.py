@@ -28,6 +28,7 @@ from repro.experiments.figures import (
     qs_under_load_text,
     throughput_sweep,
     two_step_caching,
+    write_mix,
     table1,
     table2,
 )
@@ -58,4 +59,5 @@ __all__ = [
     "table2",
     "throughput_sweep",
     "two_step_caching",
+    "write_mix",
 ]

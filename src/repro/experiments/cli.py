@@ -37,6 +37,7 @@ _FIGURES = {
     "throughput-sweep": figures.throughput_sweep,
     "cache-warmup": figures.cache_warmup,
     "memory-contention": figures.memory_contention,
+    "write-mix": figures.write_mix,
 }
 _SERVER_FIGURES = {"fig6", "fig7", "fig8", "fig10", "fig11"}
 _CACHE_FIGURES = {"fig2", "fig3", "fig4", "fig5"}
@@ -52,8 +53,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
         choices=["table1", "table2", "all", *sorted(_FIGURES)],
         help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list every registered experiment name and exit",
     )
     parser.add_argument(
         "--seeds", type=int, nargs="+", default=None, help="run seeds (placements)"
@@ -80,6 +86,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--replacement", choices=["lru", "mru", "clock"], default=None,
         help="buffer-cache replacement policy for the cache-warmup",
+    )
+    parser.add_argument(
+        "--write-fractions", type=float, nargs="+", default=None,
+        help="write fractions to sweep for the write-mix (0..1)",
     )
     parser.add_argument(
         "--paper", action="store_true",
@@ -154,6 +164,19 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
             kwargs["queries_per_client"] = 3
         if args.replacement:
             kwargs["replacement"] = args.replacement
+    if name == "write-mix":
+        if args.write_fractions:
+            kwargs["write_fractions"] = tuple(args.write_fractions)
+        elif args.quick:
+            kwargs["write_fractions"] = (0.0, 0.5)
+        if args.clients:
+            kwargs["num_clients"] = args.clients[0]
+        elif args.quick:
+            kwargs["num_clients"] = 2
+        if args.queries:
+            kwargs["queries_per_client"] = args.queries
+        elif args.quick:
+            kwargs["queries_per_client"] = 2
     if args.jobs > 1:
         kwargs["jobs"] = args.jobs
     started = time.time()
@@ -163,7 +186,14 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in ["table1", "table2", *sorted(_FIGURES)]:
+            print(name)
+        return 0
+    if args.experiment is None:
+        parser.error("an experiment name (or --list) is required")
     if args.experiment == "table1":
         print(figures.table1())
         return 0

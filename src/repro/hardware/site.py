@@ -15,6 +15,7 @@ import random
 import typing
 
 from repro.config import SystemConfig
+from repro.consistency.stats import ConsistencyStats
 from repro.errors import CatalogError, SiteUnavailableError
 from repro.hardware.cpu import CPU
 from repro.hardware.disk import Disk
@@ -154,6 +155,10 @@ class Site:
         # the config's cache mode is "dynamic".  When set, it supersedes the
         # static prefix cache for this client's scans.
         self.buffer_cache: "BufferCache | None" = None
+        # Consistency-protocol counters (all zero in read-only runs):
+        # clients count invalidations/validations/stale hits, servers
+        # count pages written to their copy.
+        self.consistency = ConsistencyStats()
         # Availability (driven by the fault injector; always up by default).
         self.up = True
         self.crash_count = 0
@@ -215,7 +220,7 @@ class Site:
     # Primary copies
     # ------------------------------------------------------------------
     def store_relation(self, relation: str, pages: int) -> Extent:
-        """Allocate disk space for the primary copy of ``relation`` here."""
+        """Allocate disk space for a copy (primary or replica) of ``relation``."""
         if self.is_client:
             raise CatalogError("no primary copies are stored at the client (section 3.2.1)")
         if relation in self._relations:

@@ -16,6 +16,7 @@ Site ids: the first client is :data:`~repro.hardware.site.CLIENT_SITE_ID`
 from __future__ import annotations
 
 import random
+import typing
 
 from repro.config import SystemConfig
 from repro.errors import ConfigurationError
@@ -23,6 +24,9 @@ from repro.hardware.network import Network
 from repro.hardware.site import Site, SiteKind, client_site_id
 from repro.obs.metrics import MetricsRegistry, register_topology_metrics
 from repro.sim import Environment
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.consistency.protocol import ConsistencyManager
 
 __all__ = ["Topology"]
 
@@ -44,6 +48,10 @@ class Topology:
             for server_id in range(1, config.num_servers + 1)
         ]
         self._sites = {site.site_id: site for site in [*self.clients, *self.servers]}
+        # Cache-consistency manager; None in read-only runs (the workload
+        # layer attaches one when a write mix is configured), so pure-read
+        # executions are event-for-event identical to the pre-write engine.
+        self.consistency: "ConsistencyManager | None" = None
         # Every hardware statistic, exposed under hierarchical dotted names
         # (site.server1.disk0.pages_read, network.bytes_sent, ...); results
         # snapshot this registry into their `profile` field.

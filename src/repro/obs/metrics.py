@@ -203,6 +203,22 @@ def register_topology_metrics(registry: MetricsRegistry, topology: "Topology") -
             registry.gauge(f"{prefix}.queue_utilization", lambda d=disk: d.queue_utilization())
         registry.gauge(f"{base}.crashes", lambda s=site: s.crash_count)
         registry.gauge(f"{base}.downtime", lambda s=site: s.total_downtime)
+        # Cache-consistency activity: always registered (all zero on
+        # read-only runs) so profiles have a stable shape either way.
+        # Servers accumulate write_pages; clients the other three.
+        consistency = f"{base}.consistency"
+        registry.gauge(
+            f"{consistency}.invalidations", lambda s=site: s.consistency.invalidations
+        )
+        registry.gauge(
+            f"{consistency}.validations", lambda s=site: s.consistency.validations
+        )
+        registry.gauge(
+            f"{consistency}.stale_hits", lambda s=site: s.consistency.stale_hits
+        )
+        registry.gauge(
+            f"{consistency}.write_pages", lambda s=site: s.consistency.write_pages
+        )
         if site.is_client:
             # Dynamic buffer-cache counters; all zero until (unless) a
             # dynamic catalog install creates the client's buffer cache.

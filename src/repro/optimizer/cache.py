@@ -50,7 +50,7 @@ def _environment_parts(environment: "EnvironmentState") -> list[str]:
     placement = sorted(catalog.placement.assignments.items())
     cache = sorted(catalog.cache_fractions.items())
     state = environment.cache_state
-    return [
+    parts = [
         repr(relations),
         repr(placement),
         repr(cache),
@@ -68,6 +68,11 @@ def _environment_parts(environment: "EnvironmentState") -> list[str]:
             else "nopressure"
         ),
     ]
+    # Replica sets participate only when present, so unreplicated catalogs
+    # fingerprint exactly as they did before replication existed.
+    if catalog.placement.replicas:
+        parts.append("replicas:" + repr(sorted(catalog.placement.replicas.items())))
+    return parts
 
 
 def plan_fingerprint(

@@ -23,6 +23,7 @@ __all__ = [
     "force_client_scans",
     "random_plan",
     "random_join_tree",
+    "rehome_scans",
     "repair_annotations",
 ]
 
@@ -181,6 +182,34 @@ def force_client_scans(root: DisplayOp, relations: frozenset[str]) -> DisplayOp:
         if isinstance(op, ScanOp):
             if op.relation in relations and op.annotation is not Annotation.CLIENT:
                 return op.with_annotation(Annotation.CLIENT)
+            return op
+        if isinstance(op, DisplayOp):
+            return op.with_child(rebuild(op.child))
+        if isinstance(op, SelectOp):
+            return op.with_child(rebuild(op.child))
+        if isinstance(op, JoinOp):
+            return op.with_children(rebuild(op.inner), rebuild(op.outer))
+        return op
+
+    new_root = rebuild(root)
+    assert isinstance(new_root, DisplayOp)
+    return new_root
+
+
+def rehome_scans(root: DisplayOp, homes: "dict[str, int | None]") -> DisplayOp:
+    """Re-pin the scans of the given relations onto specific copies.
+
+    ``homes`` maps relation name to a server id holding a copy (or None for
+    the primary).  Used by fault recovery to fail a mid-query scan over onto
+    a surviving replica without changing the rest of the plan.
+    """
+    if not homes:
+        return root
+
+    def rebuild(op: PlanOp) -> PlanOp:
+        if isinstance(op, ScanOp):
+            if op.relation in homes and op.home != homes[op.relation]:
+                return op.with_home(homes[op.relation])
             return op
         if isinstance(op, DisplayOp):
             return op.with_child(rebuild(op.child))

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import functools
 import random
+import typing
 
 from repro.optimizer.random_plans import PlanShape, is_deep, repair_annotations
 from repro.plans.annotations import Annotation
@@ -133,22 +134,40 @@ def enumerate_candidates(
     policy: Policy,
     annotation_moves_only: bool = False,
     forced_client_relations: frozenset[str] = frozenset(),
+    replica_options: "typing.Mapping[str, tuple[int, ...]] | None" = None,
 ) -> list[tuple[str, object]]:
-    """All applicable concrete moves, tagged 'reorder' or 'annotate'.
+    """All applicable concrete moves, tagged 'reorder', 'annotate', 'rehome'.
 
     Data-shipping has no annotation freedom (every set in Table 1 is a
     singleton), so only reorder moves remain; query-shipping's annotation
     candidates are automatically restricted to inner/outer relation.
+
+    ``replica_options`` maps each replicated relation to every server id
+    holding a copy (primary first); move 8 ("rehome") repoints a scan at a
+    different copy.  An empty/None mapping contributes no candidates, so
+    unreplicated optimizations see exactly the pre-replica move set.
     """
-    # One walk collects both move kinds; reorders stay ahead of annotation
-    # moves so candidate indexing is unchanged from the two-walk version.
+    # One walk collects every move kind; reorders stay ahead of annotation
+    # moves (and rehomes come last) so candidate indexing is unchanged from
+    # the two-walk version whenever no relation is replicated.
     reorders: list[tuple[str, object]] = []
     annotates: list[tuple[str, object]] = []
+    rehomes: list[tuple[str, object]] = []
     structural = not annotation_moves_only
     for op in root.walk():
         if isinstance(op, ScanOp):
             if op.relation in forced_client_relations:
                 continue
+            if replica_options:
+                options = replica_options.get(op.relation, ())
+                if len(options) > 1:
+                    current = op.home if op.home is not None else options[0]
+                    for server in options:
+                        if server != current:
+                            # None canonicalizes "the primary copy" so such
+                            # plans compare equal to unreplicated ones.
+                            home = None if server == options[0] else server
+                            rehomes.append(("rehome", (op, home)))
         elif structural and isinstance(op, JoinOp):
             if isinstance(op.inner, JoinOp):
                 reorders.append(("reorder", (1, op)))
@@ -157,11 +176,11 @@ def enumerate_candidates(
                 reorders.append(("reorder", (3, op)))
                 reorders.append(("reorder", (4, op)))
         if isinstance(op, (JoinOp, SelectOp, ScanOp)):
-            current = op.annotation
+            current_annotation = op.annotation
             for annotation in _sorted_annotations(policy, op.kind):
-                if annotation is not current:
+                if annotation is not current_annotation:
                     annotates.append(("annotate", (op, annotation)))
-    return reorders + annotates
+    return reorders + annotates + rehomes
 
 
 def random_neighbor(
@@ -172,6 +191,7 @@ def random_neighbor(
     shape: PlanShape = PlanShape.ANY,
     annotation_moves_only: bool = False,
     forced_client_relations: frozenset[str] = frozenset(),
+    replica_options: "typing.Mapping[str, tuple[int, ...]] | None" = None,
 ) -> DisplayOp | None:
     """One random move applied to ``root``; None if no move applies.
 
@@ -180,7 +200,8 @@ def random_neighbor(
     that would create a bushy tree are rejected.
     """
     candidates = enumerate_candidates(
-        root, policy, annotation_moves_only, forced_client_relations
+        root, policy, annotation_moves_only, forced_client_relations,
+        replica_options,
     )
     if not candidates:
         return None
@@ -198,6 +219,10 @@ def random_neighbor(
                 continue
             if not root_has_cartesian and has_cartesian_join(new_root, query):
                 continue
+        elif kind == "rehome":
+            op, home = payload  # type: ignore[misc]
+            assert isinstance(op, ScanOp)
+            new_root = _rebuild(root, op, op.with_home(home))
         else:
             op, annotation = payload  # type: ignore[misc]
             new_root = _rebuild(root, op, op.with_annotation(annotation))

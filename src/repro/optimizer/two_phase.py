@@ -89,6 +89,15 @@ class RandomizedOptimizer:
         # Digest of the client cache contents this run plans against (see
         # plan_fingerprint); "" means "whatever the catalog fractions say".
         self.cache_digest = cache_digest
+        # Replica-aware site selection: every copy location of each
+        # replicated relation (primary first) feeds the optimizer's
+        # "rehome" move.  Empty for unreplicated catalogs, in which case
+        # the move set -- and hence the RNG stream -- is unchanged.
+        placement = environment.catalog.placement
+        self.replica_options: dict[str, tuple[int, ...]] = {
+            name: environment.catalog.servers_of(name)
+            for name in sorted(placement.replicas)
+        }
         self.cost_model = CostModel(query, environment)
         self.evaluations = 0
 
@@ -131,6 +140,7 @@ class RandomizedOptimizer:
             shape=self.shape,
             annotation_moves_only=self.annotation_moves_only,
             forced_client_relations=self.forced_client_relations,
+            replica_options=self.replica_options or None,
         )
 
     def _start_plan(self, policy: Policy) -> DisplayOp:

@@ -111,8 +111,15 @@ def bind_plan(
         if isinstance(op, DisplayOp):
             sites[id(op)] = client_site
         elif isinstance(op, ScanOp):
+            if op.home is not None and op.home not in catalog.servers_of(op.relation):
+                raise BindingError(
+                    f"scan of {op.relation!r} pinned to server {op.home}, which "
+                    f"holds no copy (copies on {catalog.servers_of(op.relation)})"
+                )
             if op.annotation is Annotation.CLIENT:
                 sites[id(op)] = client_site
+            elif op.home is not None:
+                sites[id(op)] = op.home
             else:
                 sites[id(op)] = catalog.server_of(op.relation)
         else:

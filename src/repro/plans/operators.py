@@ -65,9 +65,17 @@ class ScanOp(PlanOp):
     Annotated ``primary copy`` (run at the relation's server) or ``client``
     (run at the query's client, reading cached pages from the local disk and
     faulting missing pages in from the server).
+
+    ``home`` optionally pins the scan to one specific copy of a replicated
+    relation: a ``primary copy`` scan then runs at that server instead of
+    the primary, and a ``client`` scan faults its missing pages from it.
+    None (the default, and the only valid value for unreplicated catalogs)
+    means the primary copy -- such plans are byte-identical to pre-replica
+    plans.
     """
 
     relation: str = ""
+    home: int | None = None
 
     kind: typing.ClassVar[str] = "scan"
 
@@ -76,9 +84,17 @@ class ScanOp(PlanOp):
             raise PlanError("scan needs a relation name")
         if self.annotation not in (Annotation.PRIMARY_COPY, Annotation.CLIENT):
             raise PlanError(f"scan cannot be annotated {self.annotation}")
+        if self.home is not None and self.home < 1:
+            raise PlanError(
+                f"scan home must be a server id (>= 1), got {self.home}"
+            )
 
     def with_annotation(self, annotation: Annotation) -> "ScanOp":
-        return ScanOp(annotation, self.relation)
+        return ScanOp(annotation, self.relation, self.home)
+
+    def with_home(self, home: int | None) -> "ScanOp":
+        """Copy of this scan served by a different copy of the relation."""
+        return ScanOp(self.annotation, self.relation, home)
 
 
 @dataclass(frozen=True)

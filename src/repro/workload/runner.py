@@ -20,10 +20,19 @@ from __future__ import annotations
 import typing
 from dataclasses import replace
 
+import random
+
 from repro.caching.config import CacheConfig
 from repro.config import OptimizerConfig
+from repro.consistency import ConsistencyConfig, make_protocol
 from repro.costmodel.model import EnvironmentState, Objective
-from repro.engine.executor import QueryExecutor, QuerySession, SessionResult
+from repro.engine.executor import (
+    QueryExecutor,
+    QuerySession,
+    SessionResult,
+    WriteSession,
+)
+from repro.engine.writes import WRITE_KINDS, WriteSpec
 from repro.errors import ConfigurationError
 from repro.faults.recovery import RecoveryPolicy
 from repro.faults.schedule import FaultSchedule
@@ -65,6 +74,7 @@ class WorkloadRunner:
         tracer: "Tracer | None" = None,
         plan_cache: "PlanCache | None" = None,
         cache: "CacheConfig | str | None" = None,
+        consistency: "ConsistencyConfig | str | None" = None,
     ) -> None:
         """``client_caches`` is keyed by client *ordinal* (0..num_clients-1)
         and overrides that client's cached fractions; clients without an
@@ -105,6 +115,15 @@ class WorkloadRunner:
         elif isinstance(cache, str):
             cache = CacheConfig(mode=cache)
         self.cache = cache
+        # Cache-consistency protocol for read/write mixes.  Resolved (and a
+        # ConsistencyManager attached to the topology) only when the stream
+        # actually carries writes, so pure-read workloads stay manager-free
+        # and event-for-event identical to the read-only engine.
+        if consistency is None:
+            consistency = ConsistencyConfig()
+        elif isinstance(consistency, str):
+            consistency = ConsistencyConfig(protocol=consistency)
+        self.consistency = consistency
         self.client_caches = dict(client_caches or {})
         for ordinal in self.client_caches:
             if not 0 <= ordinal < num_clients:
@@ -212,6 +231,8 @@ class WorkloadRunner:
                 for ordinal, fractions in self.client_caches.items()
             },
         )
+        if self.stream.write_fraction > 0.0:
+            topology.consistency = make_protocol(self.consistency, topology)
         executor = QueryExecutor(
             config,
             scenario.catalog,
@@ -246,8 +267,25 @@ class WorkloadRunner:
                 session_id=f"c{ordinal}q{index}",
             )
 
+        def launch_write(ordinal: int, index: int, rng: random.Random) -> WriteSession:
+            relation = rng.choice(scenario.catalog.relation_names)
+            kind = rng.choice(WRITE_KINDS)
+            total = scenario.catalog.relation(relation).pages(config)
+            count = min(self.stream.write_pages, total)
+            if kind == "insert":
+                # Appends land in the relation's tail pages.
+                pages = tuple(range(total - count, total))
+            else:
+                pages = tuple(sorted(rng.sample(range(total), count)))
+            return executor.write_session(
+                WriteSpec(kind, relation, pages),
+                client_site=client_site_id(ordinal),
+                admission=controllers,
+                session_id=f"c{ordinal}w{index}",
+            )
+
         streams = [
-            ClientStream(env, ordinal, self.stream, self.seed, launch)
+            ClientStream(env, ordinal, self.stream, self.seed, launch, launch_write)
             for ordinal in range(self.num_clients)
         ]
         processes = [

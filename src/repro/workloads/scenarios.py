@@ -13,7 +13,7 @@ import random
 from dataclasses import dataclass, field, replace
 
 from repro.catalog.catalog import Catalog
-from repro.catalog.placement import Placement, random_placement
+from repro.catalog.placement import Placement, random_placement, replicate_placement
 from repro.config import BufferAllocation, OptimizerConfig, SystemConfig
 from repro.costmodel.model import EnvironmentState, Objective
 from repro.engine.executor import ExecutionResult, QueryExecutor
@@ -102,6 +102,7 @@ def chain_scenario(
     placement_seed: int = 0,
     server_load: float = 0.0,
     config: SystemConfig | None = None,
+    replication_factor: int = 1,
 ) -> Scenario:
     """Build one of the paper's chain-join experiment points.
 
@@ -109,6 +110,9 @@ def chain_scenario(
     2-way-join experiments); ``cached_relations`` instead caches the first
     N relations entirely (the Figure 7 setting).  ``server_load`` adds the
     external random-read process at every server (Figure 4).
+    ``replication_factor`` stores each relation on that many servers
+    (1 = the paper's unreplicated placement; replicas are drawn from the
+    placement seed's stream, so points stay reproducible).
     """
     if cached_fraction and cached_relations is not None:
         raise ConfigurationError("specify cached_fraction or cached_relations, not both")
@@ -116,7 +120,12 @@ def chain_scenario(
     system = replace(base, num_servers=num_servers, buffer_allocation=allocation)
     relations = benchmark_relations(num_relations)
     names = [r.name for r in relations]
-    placement: Placement = random_placement(names, num_servers, random.Random(placement_seed))
+    placement_rng = random.Random(placement_seed)
+    placement: Placement = random_placement(names, num_servers, placement_rng)
+    if replication_factor > 1:
+        placement = replicate_placement(
+            placement, replication_factor, num_servers, placement_rng
+        )
     if cached_relations is not None:
         cache = {name: 1.0 for name in names[:cached_relations]}
     elif cached_fraction > 0.0:

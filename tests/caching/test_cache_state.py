@@ -1,0 +1,89 @@
+"""CacheState equality and digests: admission order and invalidation."""
+
+from repro.caching import BufferCache, CacheState
+from repro.storage import ExtentAllocator
+
+
+def make_cache(capacity=16):
+    return BufferCache(ExtentAllocator(500), capacity)
+
+
+class TestAdmissionOrder:
+    def test_digest_ignores_admission_order(self):
+        a = make_cache()
+        for key in [("A", 0), ("A", 1), ("B", 0), ("B", 7)]:
+            a.admit(*key)
+        b = make_cache()
+        for key in [("B", 7), ("A", 1), ("B", 0), ("A", 0)]:
+            b.admit(*key)
+        assert a.snapshot().digest() == b.snapshot().digest()
+        # Identical counters too in this case, so full equality holds.
+        assert a.snapshot() == b.snapshot()
+
+    def test_digest_depends_on_resident_counts_not_history(self):
+        # Same resident set reached through different hit/miss histories:
+        # states differ (counters count), digests agree (contents key).
+        a = make_cache()
+        a.admit("A", 0)
+        b = make_cache()
+        b.lookup("A", 0)  # miss
+        b.admit("A", 0)
+        b.lookup("A", 0)  # hit
+        assert a.snapshot() != b.snapshot()
+        assert a.snapshot().digest() == b.snapshot().digest()
+
+    def test_digest_distinguishes_capacity(self):
+        a = make_cache(16)
+        b = make_cache(8)
+        a.admit("A", 0)
+        b.admit("A", 0)
+        assert a.snapshot().digest() != b.snapshot().digest()
+
+
+class TestInvalidationResidency:
+    def test_invalidation_shrinks_the_resident_set(self):
+        cache = make_cache()
+        for index in range(4):
+            cache.admit("A", index)
+        before = cache.snapshot()
+        assert cache.invalidate("A", 2)
+        after = cache.snapshot()
+        assert after.resident_pages("A") == 3
+        assert after.invalidations == 1
+        assert before.digest() != after.digest()
+        assert not cache.contains("A", 2)
+
+    def test_invalidating_absent_page_is_a_counted_noop(self):
+        cache = make_cache()
+        cache.admit("A", 0)
+        assert not cache.invalidate("A", 5)
+        state = cache.snapshot()
+        assert state.resident_pages("A") == 1
+        assert state.invalidations == 0
+
+    def test_readmission_restores_the_digest(self):
+        # Invalidate then re-fault the same page: contents digest returns
+        # to its old value (plan-cache keys converge again) even though the
+        # invalidation stays visible in the state's counters.
+        cache = make_cache()
+        cache.admit("A", 0)
+        cache.admit("A", 1)
+        original = cache.snapshot()
+        cache.invalidate("A", 1)
+        cache.admit("A", 1, version=3)
+        restored = cache.snapshot()
+        assert restored.digest() == original.digest()
+        assert restored != original  # invalidations counter moved
+        assert cache.version_of("A", 1) == 3
+
+    def test_freed_slot_is_reusable(self):
+        # Invalidation must actually free the slot: a full cache can admit
+        # a new page into the hole without evicting anything else.
+        cache = make_cache(2)
+        cache.admit("A", 0)
+        cache.admit("A", 1)
+        cache.invalidate("A", 0)
+        assert cache.admit("B", 0) is not None
+        assert cache.evictions == 0
+        state = cache.snapshot()
+        assert state.resident == (("A", 1), ("B", 1))

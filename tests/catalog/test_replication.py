@@ -1,0 +1,90 @@
+"""Replica placement: validation, copy enumeration, deterministic drawing."""
+
+import random
+
+import pytest
+
+from repro.catalog import Catalog, Placement, Relation
+from repro.catalog.placement import random_placement, replicate_placement
+from repro.errors import CatalogError
+
+
+class TestPlacementValidation:
+    def test_replicas_for_unknown_relation_rejected(self):
+        with pytest.raises(CatalogError, match="unknown relation"):
+            Placement({"A": 1}, {"B": (2,)})
+
+    def test_primary_listed_as_replica_rejected(self):
+        with pytest.raises(CatalogError, match="primary server"):
+            Placement({"A": 1}, {"A": (1,)})
+
+    def test_duplicate_replica_rejected(self):
+        with pytest.raises(CatalogError, match="twice"):
+            Placement({"A": 1}, {"A": (2, 2)})
+
+    def test_client_site_as_replica_rejected(self):
+        with pytest.raises(CatalogError, match="servers"):
+            Placement({"A": 1}, {"A": (0,)})
+
+
+class TestCopyEnumeration:
+    def test_servers_of_lists_primary_first(self):
+        placement = Placement({"A": 2}, {"A": (3, 1)})
+        assert placement.servers_of("A") == (2, 3, 1)
+        assert placement.server_of("A") == 2
+
+    def test_unreplicated_relation_has_one_copy(self):
+        placement = Placement({"A": 1})
+        assert placement.servers_of("A") == (1,)
+        assert not placement.is_replicated
+
+    def test_relations_on_includes_replica_holders(self):
+        placement = Placement({"A": 1, "B": 2}, {"A": (2,)})
+        assert placement.relations_on(2) == ["A", "B"]
+        assert placement.servers_used == {1, 2}
+        assert placement.is_replicated
+
+    def test_catalog_servers_of_follows_placement(self):
+        catalog = Catalog(
+            [Relation("A", 10_000), Relation("B", 10_000)],
+            Placement({"A": 1, "B": 2}, {"B": (1,)}),
+        )
+        assert catalog.servers_of("A") == (1,)
+        assert catalog.servers_of("B") == (2, 1)
+
+
+class TestReplicatePlacement:
+    def _base(self, num_servers=3):
+        names = [f"R{i}" for i in range(6)]
+        return random_placement(names, num_servers, random.Random(0))
+
+    def test_factor_one_returns_placement_unchanged(self):
+        placement = self._base()
+        assert replicate_placement(placement, 1, 3, random.Random(0)) is placement
+
+    def test_factor_beyond_servers_rejected(self):
+        with pytest.raises(CatalogError, match="distinct copies"):
+            replicate_placement(self._base(), 4, 3, random.Random(0))
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(CatalogError):
+            replicate_placement(self._base(), 0, 3, random.Random(0))
+
+    def test_every_relation_gets_distinct_extra_copies(self):
+        placement = replicate_placement(self._base(), 3, 3, random.Random(5))
+        for relation in placement.assignments:
+            copies = placement.servers_of(relation)
+            assert len(copies) == 3
+            assert len(set(copies)) == 3
+
+    def test_drawing_is_deterministic_in_the_rng(self):
+        a = replicate_placement(self._base(), 2, 3, random.Random(5))
+        b = replicate_placement(self._base(), 2, 3, random.Random(5))
+        c = replicate_placement(self._base(), 2, 3, random.Random(6))
+        assert a.replicas == b.replicas
+        assert a.replicas != c.replicas
+
+    def test_primaries_survive_replication(self):
+        base = self._base()
+        replicated = replicate_placement(base, 2, 3, random.Random(5))
+        assert replicated.assignments == base.assignments

@@ -1,0 +1,147 @@
+"""Write operators: spec validation, write-through, replica failover."""
+
+import pytest
+
+from repro.engine.writes import (
+    WRITE_KINDS,
+    DeleteIterator,
+    InsertIterator,
+    UpdateIterator,
+    WriteSpec,
+)
+from repro.errors import (
+    ExecutionError,
+    NoReachableReplicaError,
+    ReproError,
+    TransientFaultError,
+)
+from repro.faults.recovery import RecoveryPolicy
+from repro.faults.schedule import FaultSchedule
+from repro.plans.policies import Policy
+from repro.workload import StreamConfig, WorkloadRunner
+from repro.workloads.scenarios import chain_scenario
+
+
+class TestWriteSpec:
+    def test_valid_kinds(self):
+        for kind in WRITE_KINDS:
+            spec = WriteSpec(kind, "A", (0, 1))
+            assert spec.kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ExecutionError, match="unknown write kind"):
+            WriteSpec("upsert", "A", (0,))
+
+    def test_empty_page_set_rejected(self):
+        with pytest.raises(ExecutionError, match="dirties no pages"):
+            WriteSpec("update", "A", ())
+
+    def test_negative_page_index_rejected(self):
+        with pytest.raises(ExecutionError, match="negative page index"):
+            WriteSpec("delete", "A", (0, -1))
+
+    def test_cost_shape_flags(self):
+        # UPDATE read-modify-writes and ships the page; INSERT appends
+        # (no read); DELETE ships only the command.
+        assert UpdateIterator.reads_page and UpdateIterator.ships_page
+        assert not InsertIterator.reads_page and InsertIterator.ships_page
+        assert DeleteIterator.reads_page and not DeleteIterator.ships_page
+
+
+def run_writes(
+    *,
+    replication_factor=1,
+    faults=None,
+    recovery=None,
+    seed=3,
+    queries=2,
+    num_servers=2,
+):
+    scenario = chain_scenario(
+        num_relations=2,
+        num_servers=num_servers,
+        cached_fraction=1.0,
+        placement_seed=seed,
+        replication_factor=replication_factor,
+    )
+    return WorkloadRunner(
+        scenario,
+        Policy.DATA_SHIPPING,
+        num_clients=2,
+        stream=StreamConfig(
+            arrival="closed",
+            think_time=0.0,
+            queries_per_client=queries,
+            write_fraction=1.0,
+        ),
+        seed=seed,
+        faults=faults,
+        recovery=recovery,
+        cache="dynamic",
+    ).run()
+
+
+class TestWriteThrough:
+    def test_unreplicated_writes_complete_at_the_primary(self):
+        result = run_writes()
+        assert result.completed == result.submitted
+        total = sum(
+            v
+            for k, v in result.profile.items()
+            if k.endswith("consistency.write_pages")
+        )
+        assert total == result.completed  # one page per statement, one copy
+
+    def test_replicated_writes_double_the_applied_pages(self):
+        result = run_writes(replication_factor=2)
+        assert result.completed == result.submitted
+        total = sum(
+            v
+            for k, v in result.profile.items()
+            if k.endswith("consistency.write_pages")
+        )
+        assert total == 2 * result.completed
+
+    def test_writers_report_server_usage(self):
+        result = run_writes(replication_factor=2)
+        for session in result.sessions:
+            assert session.status == "completed"
+            assert session.servers_used  # every copy holder
+
+
+class TestNoReachableReplica:
+    """Satellite: the typed error for writes with no live copy."""
+
+    def test_error_type_and_payload(self):
+        err = NoReachableReplicaError("gone", relation="A", servers=(1, 2))
+        assert isinstance(err, TransientFaultError)
+        assert isinstance(err, ReproError)
+        assert err.relation == "A"
+        assert err.servers == (1, 2)
+
+    def test_write_with_all_copies_down_fails_typed(self):
+        # One server holding everything, crashed before the stream starts
+        # and never restarted: every write statement fails with the typed
+        # error (transient -- a restart schedule could have saved it).
+        result = run_writes(
+            num_servers=1,
+            faults=FaultSchedule.server_crash(1, at=0.0),
+            recovery=RecoveryPolicy(max_attempts=2, base_backoff=0.1),
+        )
+        assert result.failed == result.submitted
+        for session in result.sessions:
+            assert session.status == "failed"
+            assert "no reachable copy" in session.error
+
+    def test_write_fails_over_to_surviving_replica(self):
+        # 2-way replication, one holder crashed for the whole run: the
+        # writer's copy resolution lands on the survivor and every write
+        # completes without replica coverage.
+        result = run_writes(
+            replication_factor=2,
+            faults=FaultSchedule.server_crash(1, at=0.0),
+            recovery=RecoveryPolicy(max_attempts=4, base_backoff=0.5),
+        )
+        assert result.completed == result.submitted
+        assert result.profile["site.server1.consistency.write_pages"] == 0
+        assert result.profile["site.server2.consistency.write_pages"] > 0

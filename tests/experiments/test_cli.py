@@ -49,3 +49,46 @@ def test_throughput_sweep_with_tiny_sweep(capsys):
     out = capsys.readouterr().out
     assert "throughput-sweep" in out
     assert "p95" in out
+
+
+def test_list_enumerates_every_experiment(capsys):
+    assert main(["--list"]) == 0
+    names = capsys.readouterr().out.split()
+    assert "table1" in names
+    assert "table2" in names
+    assert "fig2" in names
+    assert "write-mix" in names
+    assert names == sorted(names[:2]) + sorted(names[2:])  # tables then figures
+
+
+def test_list_needs_no_experiment_argument(capsys):
+    # --list alongside a name still just lists.
+    assert main(["fig2", "--list"]) == 0
+    assert "write-mix" in capsys.readouterr().out
+
+
+def test_missing_experiment_without_list_errors():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_write_mix_with_tiny_sweep(capsys):
+    code = main(
+        [
+            "write-mix",
+            "--seeds",
+            "3",
+            "--write-fractions",
+            "0",
+            "0.5",
+            "--clients",
+            "2",
+            "--queries",
+            "2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "write-mix" in out
+    assert "invalidation" in out
+    assert "detection" in out
