@@ -1,0 +1,164 @@
+"""Simulator throughput: simulated seconds delivered per wall-clock second.
+
+Not a paper figure -- the engineering benchmark that keeps the simulator
+itself honest.  Every figure in this repo is bounded by how fast the
+discrete-event engine turns wall-clock time into simulated time, so this
+benchmark measures that rate on two representative loads:
+
+- the Figure-2 grid (cache fraction x seed x policy, single queries): the
+  shape the figure suite simulates thousands of times, and
+- a 16-client closed workload with admission control: the contended shape
+  of the throughput/consistency sweeps.
+
+It also gates the telemetry sampler's zero-overhead claim: the same
+Figure-2 pass with sampling on must produce **identical** results
+(response time and pages sent, point for point) and stay within 5 % of
+the unsampled pass's wall clock.
+
+Writes machine-readable ``results/BENCH_sim.json``; CI diffs it (and
+every other ``BENCH_*.json``) against the committed baselines via
+``benchmarks/check_bench_regression.py``.
+"""
+
+import json
+import time
+
+from conftest import CACHE_FRACTIONS, SEEDS
+
+from repro.config import BufferAllocation, OptimizerConfig
+from repro.costmodel.model import Objective
+from repro.obs.telemetry import TelemetryConfig
+from repro.optimizer import PlanCache, RandomizedOptimizer
+from repro.plans.policies import Policy
+from repro.workload import AdmissionConfig, StreamConfig, WorkloadRunner
+from repro.workloads.scenarios import chain_scenario
+
+POLICIES = (Policy.DATA_SHIPPING, Policy.QUERY_SHIPPING, Policy.HYBRID_SHIPPING)
+
+WORKLOAD_CLIENTS = 16
+TELEMETRY_ROUNDS = 3
+
+
+def _figure2_points(plan_cache):
+    """Optimize every Figure-2 grid point once; executions are timed alone."""
+    points = []
+    for fraction in CACHE_FRACTIONS:
+        for seed in SEEDS:
+            scenario = chain_scenario(
+                num_relations=2,
+                num_servers=1,
+                allocation=BufferAllocation.MINIMUM,
+                cached_fraction=fraction,
+                placement_seed=seed,
+            )
+            environment = scenario.environment()
+            for policy in POLICIES:
+                plan = RandomizedOptimizer(
+                    scenario.query,
+                    environment,
+                    policy=policy,
+                    objective=Objective.RESPONSE_TIME,
+                    config=OptimizerConfig.fast(),
+                    seed=seed,
+                    plan_cache=plan_cache,
+                ).optimize().plan
+                points.append((scenario, plan, seed))
+    return points
+
+
+def _execute_pass(points, telemetry=None):
+    """Execute every pre-optimized point; return (results, wall seconds)."""
+    results = []
+    start = time.perf_counter()
+    for scenario, plan, seed in points:
+        results.append(scenario.execute(plan, seed=seed, telemetry=telemetry))
+    return results, time.perf_counter() - start
+
+
+def _run_workload():
+    scenario = chain_scenario(num_relations=2, num_servers=1, cached_fraction=0.5)
+    start = time.perf_counter()
+    result = WorkloadRunner(
+        scenario,
+        Policy.HYBRID_SHIPPING,
+        num_clients=WORKLOAD_CLIENTS,
+        stream=StreamConfig(arrival="closed", queries_per_client=2),
+        admission=AdmissionConfig(max_concurrent=4, queue_limit=64),
+        seed=SEEDS[0],
+    ).run()
+    return result, time.perf_counter() - start
+
+
+def test_simulator_throughput(benchmark, results_dir):
+    points = _figure2_points(PlanCache())
+
+    results, single_wall = benchmark.pedantic(
+        lambda: _execute_pass(points), rounds=1, iterations=1
+    )
+    sim_seconds = sum(r.response_time for r in results)
+
+    workload, workload_wall = _run_workload()
+
+    # Telemetry overhead: min-of-N passes each way; identical results and
+    # within 5% wall clock (the zero-overhead acceptance gate).
+    sampled_config = TelemetryConfig(interval=0.25)
+    plain_walls, sampled_walls = [], []
+    sampled_results = results
+    for _ in range(TELEMETRY_ROUNDS):
+        _, wall = _execute_pass(points)
+        plain_walls.append(wall)
+        sampled_results, wall = _execute_pass(points, telemetry=sampled_config)
+        sampled_walls.append(wall)
+    overhead_ratio = min(sampled_walls) / min(plain_walls)
+    identical = all(
+        sampled.response_time == plain.response_time
+        and sampled.pages_sent == plain.pages_sent
+        for sampled, plain in zip(sampled_results, results)
+    )
+    samples_taken = sum(
+        r.telemetry.samples_taken for r in sampled_results if r.telemetry is not None
+    )
+
+    payload = {
+        "figure2_grid": {
+            "cache_fractions": list(CACHE_FRACTIONS),
+            "seeds": list(SEEDS),
+            "policies": [p.value for p in POLICIES],
+            "points": len(points),
+            "simulated_s": round(sim_seconds, 4),
+            "wall_clock_s": round(single_wall, 4),
+            "sim_s_per_wall_s": round(sim_seconds / single_wall, 1),
+        },
+        "workload_16_clients": {
+            "clients": WORKLOAD_CLIENTS,
+            "completed": workload.completed,
+            "makespan_s": round(workload.makespan, 4),
+            "wall_clock_s": round(workload_wall, 4),
+            "sim_s_per_wall_s": round(workload.makespan / workload_wall, 1),
+        },
+        "telemetry_overhead": {
+            "interval_s": sampled_config.interval,
+            "rounds": TELEMETRY_ROUNDS,
+            "plain_wall_clock_s": round(min(plain_walls), 4),
+            "sampled_wall_clock_s": round(min(sampled_walls), 4),
+            "overhead_ratio": round(overhead_ratio, 4),
+            "samples_taken": samples_taken,
+            "identical_results": identical,
+        },
+    }
+    out = results_dir / "BENCH_sim.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print("\n" + json.dumps(payload, indent=2, sort_keys=True))
+    print(f"\n[wrote {out}]")
+
+    # Sampling must never perturb the simulation...
+    assert identical, "telemetry sampling changed simulation results"
+    assert samples_taken > 0
+    # ...and must stay within the 5% wall-clock acceptance bound.
+    assert overhead_ratio <= 1.05, (
+        f"telemetry overhead {overhead_ratio:.3f}x exceeds the 1.05x bound"
+    )
+    # A simulator that delivers less simulated time than wall time would
+    # make the figure sweeps intractable; keep a loose sanity floor.
+    assert payload["figure2_grid"]["sim_s_per_wall_s"] > 1.0
+    assert payload["workload_16_clients"]["sim_s_per_wall_s"] > 1.0

@@ -1,0 +1,144 @@
+"""Diff freshly generated ``BENCH_*.json`` files against committed baselines.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py [--results DIR]
+        [--baselines DIR] [--timing-tolerance 0.75]
+
+Every benchmark in this repo writes a machine-readable
+``benchmarks/results/BENCH_<name>.json``.  This script compares each one
+against ``benchmarks/baselines/BENCH_<name>.json`` (committed, generated
+with the same tiny-grid environment CI uses: ``REPRO_BENCH_SEEDS=3``) and
+fails with exit status 1 on a regression.  Tolerances are explicit per
+value class:
+
+- **timing values** (wall clocks, rates, speedups -- anything machine-
+  dependent) may drift by ``--timing-tolerance`` relative (default 75 %,
+  loose on purpose: shared CI runners are noisy, and the benchmarks'
+  own inline asserts carry the tight bounds).  Rates/speedups gate only
+  the *slower* direction; wall clocks only the *higher* direction --
+  getting faster is never a regression.
+- **boolean invariants** (``identical_results``, ``identical_plans``,
+  ...) must stay true if the baseline has them true -- no tolerance.
+- **everything else** (grid shapes, counts, simulated seconds -- fully
+  deterministic under fixed seeds) must match the baseline exactly; an
+  intentional behaviour change means regenerating the baselines with
+  the same command CI runs and committing the diff.
+
+A results file without a baseline is reported as a warning (commit one);
+a baseline key missing from the results is a failure (a benchmark
+silently stopped measuring something).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+#: Key names (exact) or suffixes whose values are machine-dependent timings.
+_TIMING_EXACT = frozenset({"speedup", "overhead_ratio"})
+_TIMING_SUFFIXES = ("wall_clock_s", "per_sec", "per_wall_s")
+#: Timing keys where larger is better (rates); the rest are wall clocks.
+_HIGHER_IS_BETTER_SUFFIXES = ("per_sec", "per_wall_s")
+_HIGHER_IS_BETTER_EXACT = frozenset({"speedup"})
+
+
+def _is_timing(key: str) -> bool:
+    return key in _TIMING_EXACT or key.endswith(_TIMING_SUFFIXES)
+
+
+def _higher_is_better(key: str) -> bool:
+    return key in _HIGHER_IS_BETTER_EXACT or key.endswith(_HIGHER_IS_BETTER_SUFFIXES)
+
+
+def _compare(
+    baseline, current, path: str, tolerance: float, problems: list[str]
+) -> None:
+    if isinstance(baseline, dict):
+        if not isinstance(current, dict):
+            problems.append(f"{path}: expected object, got {type(current).__name__}")
+            return
+        for key in sorted(baseline):
+            if key not in current:
+                problems.append(f"{path}.{key}: missing from results")
+                continue
+            _compare(baseline[key], current[key], f"{path}.{key}", tolerance, problems)
+        return
+    key = path.rsplit(".", 1)[-1]
+    if isinstance(baseline, bool):
+        if baseline and current is not True:
+            problems.append(f"{path}: invariant was true in baseline, now {current!r}")
+        return
+    if isinstance(baseline, (int, float)) and isinstance(current, (int, float)):
+        if _is_timing(key):
+            if baseline == 0:
+                return
+            if _higher_is_better(key):
+                floor = baseline * (1.0 - tolerance)
+                if current < floor:
+                    problems.append(
+                        f"{path}: {current} below {floor:.4g} "
+                        f"(baseline {baseline}, tolerance {tolerance:.0%})"
+                    )
+            else:
+                ceiling = baseline * (1.0 + tolerance)
+                if current > ceiling:
+                    problems.append(
+                        f"{path}: {current} above {ceiling:.4g} "
+                        f"(baseline {baseline}, tolerance {tolerance:.0%})"
+                    )
+            return
+        if current != baseline:
+            problems.append(
+                f"{path}: {current!r} != baseline {baseline!r} (deterministic "
+                "value; regenerate baselines if the change is intentional)"
+            )
+        return
+    if current != baseline:
+        problems.append(f"{path}: {current!r} != baseline {baseline!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    here = pathlib.Path(__file__).parent
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results", default=str(here / "results"))
+    parser.add_argument("--baselines", default=str(here / "baselines"))
+    parser.add_argument(
+        "--timing-tolerance", type=float, default=0.75,
+        help="relative drift allowed on machine-dependent timings (default 0.75)",
+    )
+    args = parser.parse_args(argv)
+
+    results_dir = pathlib.Path(args.results)
+    baselines_dir = pathlib.Path(args.baselines)
+    problems: list[str] = []
+    checked = 0
+    for result_path in sorted(results_dir.glob("BENCH_*.json")):
+        baseline_path = baselines_dir / result_path.name
+        if not baseline_path.exists():
+            print(f"warning: {result_path.name}: no committed baseline, skipping")
+            continue
+        baseline = json.loads(baseline_path.read_text())
+        current = json.loads(result_path.read_text())
+        before = len(problems)
+        _compare(baseline, current, result_path.stem, args.timing_tolerance, problems)
+        checked += 1
+        status = "ok" if len(problems) == before else "REGRESSED"
+        print(f"{result_path.name}: {status}")
+    for baseline_path in sorted(baselines_dir.glob("BENCH_*.json")):
+        if not (results_dir / baseline_path.name).exists():
+            problems.append(f"{baseline_path.name}: baseline exists but no results file")
+    if problems:
+        print(f"\n{len(problems)} regression problem(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    if checked == 0:
+        print("warning: no benchmark results had baselines to check")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

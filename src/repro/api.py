@@ -26,6 +26,7 @@ from repro.errors import ConfigurationError
 from repro.faults.recovery import RecoveryPolicy
 from repro.faults.schedule import FaultSchedule
 from repro.obs import Tracer, write_chrome_trace
+from repro.obs.telemetry import TelemetryConfig
 from repro.optimizer.cache import PlanCache
 from repro.optimizer.two_phase import RandomizedOptimizer
 from repro.plans.binding import bind_plan
@@ -118,6 +119,25 @@ def _resolve_trace(trace: "bool | str | Tracer") -> tuple[Tracer | None, str | N
     return (Tracer(), None) if trace else (None, None)
 
 
+def _resolve_telemetry(
+    telemetry: "bool | float | TelemetryConfig",
+) -> TelemetryConfig | None:
+    """Normalize a ``telemetry=`` argument to a config (or None = off).
+
+    ``True`` samples at the default interval; a number samples at that
+    interval (simulated seconds); a :class:`~repro.obs.TelemetryConfig`
+    is used as-is; falsy disables sampling entirely (the default -- no
+    sampler process is created, so untelemetered runs pay nothing).
+    """
+    if isinstance(telemetry, TelemetryConfig):
+        return telemetry
+    if telemetry is True:
+        return TelemetryConfig()
+    if telemetry:
+        return TelemetryConfig(interval=float(telemetry))
+    return None
+
+
 @dataclass
 class QueryOutcome:
     """Everything produced by one optimize-and-execute round trip."""
@@ -147,6 +167,7 @@ def run_query(
     faults: FaultSchedule | None = None,
     recovery: RecoveryPolicy | None = None,
     trace: "bool | str | Tracer" = False,
+    telemetry: "bool | float | TelemetryConfig" = False,
     plan_cache: PlanCache | None = None,
     memory: "MemoryConfig | str | None" = None,
     server_memory_pages: int | None = None,
@@ -167,6 +188,15 @@ def run_query(
     Perfetto-loadable Chrome-trace JSON to that path.  Traces are finished
     and written even when the run fails, so a fault that exhausts recovery
     still leaves an inspectable trace behind.
+
+    ``telemetry=True`` attaches a gauge sampler that records per-site
+    utilization/occupancy time series over the run on
+    ``outcome.result.telemetry`` (a number samples at that interval in
+    simulated seconds; a :class:`~repro.obs.TelemetryConfig` gives full
+    control).  Sampling only reads gauges, so the simulated execution is
+    bit-identical with or without it.  When both ``trace`` and
+    ``telemetry`` are on, the exported Chrome trace carries the series as
+    counter tracks.
 
     ``plan_cache`` memoizes the optimization (and any mid-run replans):
     pass one :class:`~repro.optimizer.PlanCache` across calls that share an
@@ -208,6 +238,7 @@ def run_query(
         plan_cache=plan_cache,
     ).optimize()
     tracer, trace_path = _resolve_trace(trace)
+    result = None
     try:
         result = scenario.execute(
             optimization.plan,
@@ -219,6 +250,7 @@ def run_query(
             optimizer_config=optimizer_config,
             tracer=tracer,
             plan_cache=plan_cache,
+            telemetry=_resolve_telemetry(telemetry),
         )
     finally:
         # The success path finishes the trace inside the executor; this
@@ -229,7 +261,11 @@ def run_query(
             tracer.metadata.setdefault("policy", parsed_policy.value)
             tracer.metadata.setdefault("seed", seed)
             if trace_path is not None:
-                write_chrome_trace(tracer, trace_path)
+                write_chrome_trace(
+                    tracer,
+                    trace_path,
+                    telemetry=result.telemetry if result is not None else None,
+                )
     return QueryOutcome(
         scenario, parsed_policy, optimization.plan, optimization.cost, result, trace=tracer
     )
@@ -258,6 +294,7 @@ def run_workload(
     faults: FaultSchedule | None = None,
     recovery: RecoveryPolicy | None = None,
     trace: "bool | str | Tracer" = False,
+    telemetry: "bool | float | TelemetryConfig" = False,
     plan_cache: PlanCache | None = None,
     cache: "CacheConfig | str | None" = None,
     memory: "MemoryConfig | str | None" = None,
@@ -286,6 +323,9 @@ def run_workload(
     per-resource utilizations, and a ``profile`` snapshot of every hardware
     metric.  ``trace`` works as in :func:`run_query` (pass a
     :class:`~repro.obs.Tracer` to keep a reference to the recorded spans).
+    ``telemetry`` works as in :func:`run_query`; the sampled series (which
+    under a workload additionally cover per-server admission queue depth
+    and running-query occupancy) land on the result's ``telemetry`` field.
     ``plan_cache`` works as in :func:`run_query`: clients sharing a cache
     view plan their query class once, and the same cache can be reused
     across workload runs over the same environment.
@@ -339,6 +379,7 @@ def run_workload(
         replication_factor=replication_factor,
     )
     tracer, trace_path = _resolve_trace(trace)
+    result = None
     try:
         result = WorkloadRunner(
             scenario,
@@ -363,12 +404,17 @@ def run_workload(
             plan_cache=plan_cache,
             cache=cache,
             consistency=consistency,
+            telemetry=_resolve_telemetry(telemetry),
         ).run()
     finally:
         if tracer is not None:
             tracer.finish()
             if trace_path is not None:
-                write_chrome_trace(tracer, trace_path)
+                write_chrome_trace(
+                    tracer,
+                    trace_path,
+                    telemetry=result.telemetry if result is not None else None,
+                )
     return result
 
 

@@ -12,6 +12,15 @@ Subcommands::
         predicted vs actual per-operator resource seconds for all three
         execution policies.
 
+    repro profile --policy hybrid --cached 0.5
+        EXPLAIN-ANALYZE one query: render the bound operator tree with
+        per-node predicted vs actual resource seconds.
+
+    repro dash --policy data --cached 0.5 --interval 0.25
+        Simulate one query (or, with --clients N, a workload) with the
+        telemetry sampler on and draw ASCII sparklines of every sampled
+        channel; --out writes the raw series as CSV or JSON.
+
     repro experiments <figure> [options]
         Forward to the ``repro-experiments`` command (regenerate any table
         or figure, e.g. ``repro experiments cache-warmup --quick``).
@@ -23,7 +32,14 @@ import argparse
 import sys
 
 from repro import api
-from repro.obs import chrome_trace_json, render_timeline, write_chrome_trace
+from repro.obs import (
+    chrome_trace_json,
+    render_dashboard,
+    render_timeline,
+    telemetry_csv,
+    telemetry_json,
+    write_chrome_trace,
+)
 
 __all__ = ["main"]
 
@@ -47,6 +63,14 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--out", default=None, help="write Chrome-trace JSON here")
     trace.add_argument(
+        "--telemetry",
+        type=float,
+        default=None,
+        metavar="INTERVAL",
+        help="also sample telemetry at this interval; series become counter "
+        "tracks in the exported trace",
+    )
+    trace.add_argument(
         "--no-timeline", action="store_true", help="skip the ASCII timeline"
     )
     trace.add_argument(
@@ -60,6 +84,51 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cached", type=float, default=0.5, help="client-cached fraction of each relation"
     )
     validate.add_argument("--seed", type=int, default=3)
+
+    profile = commands.add_parser(
+        "profile",
+        help="EXPLAIN-ANALYZE one query: plan tree with predicted vs actual costs",
+    )
+    profile.add_argument("--policy", default="hybrid", help="data | query | hybrid")
+    profile.add_argument("--relations", type=int, default=2, help="chain length")
+    profile.add_argument("--servers", type=int, default=1)
+    profile.add_argument(
+        "--cached", type=float, default=0.5, help="client-cached fraction of each relation"
+    )
+    profile.add_argument("--seed", type=int, default=0)
+
+    dash = commands.add_parser(
+        "dash", help="sample telemetry over one run; draw ASCII sparklines"
+    )
+    dash.add_argument("--policy", default="hybrid", help="data | query | hybrid")
+    dash.add_argument("--relations", type=int, default=2, help="chain length")
+    dash.add_argument("--servers", type=int, default=1)
+    dash.add_argument(
+        "--cached", type=float, default=0.5, help="client-cached fraction of each relation"
+    )
+    dash.add_argument("--seed", type=int, default=0)
+    dash.add_argument(
+        "--interval", type=float, default=0.25, help="sampling interval (simulated s)"
+    )
+    dash.add_argument(
+        "--clients",
+        type=int,
+        default=1,
+        help="1 samples a single query; >1 samples a closed workload",
+    )
+    dash.add_argument(
+        "--queries", type=int, default=4, help="queries per client (workload mode)"
+    )
+    dash.add_argument(
+        "--channel",
+        action="append",
+        default=None,
+        help="only show channels with this name suffix (repeatable)",
+    )
+    dash.add_argument("--width", type=int, default=48, help="sparkline width")
+    dash.add_argument(
+        "--out", default=None, help="also write the raw series (.csv or .json)"
+    )
     return parser
 
 
@@ -72,6 +141,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         cached_fraction=args.cached,
         seed=args.seed,
         trace=True,
+        telemetry=args.telemetry or False,
     )
     tracer = outcome.trace
     assert tracer is not None
@@ -80,7 +150,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     # closes early (`repro trace ... | head`), and the file should land
     # even then.
     if args.out:
-        write_chrome_trace(tracer, args.out)
+        write_chrome_trace(tracer, args.out, telemetry=result.telemetry)
     print(
         f"{outcome.policy.value}: response time {result.response_time:.3f}s, "
         f"{result.pages_sent} pages sent, {len(tracer.spans)} spans on "
@@ -90,7 +160,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print()
         print(render_timeline(tracer, width=args.width))
     if args.out:
-        size = len(chrome_trace_json(tracer))
+        size = len(chrome_trace_json(tracer, telemetry=result.telemetry))
         print(f"\nwrote {args.out} ({size} bytes; open at https://ui.perfetto.dev)")
     return 0
 
@@ -112,6 +182,69 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    # Imported here like `validate`: the profile path pulls in the
+    # optimizer and engine layers.
+    from repro.obs.profile import profile_query, render_profile
+
+    report, bound = profile_query(
+        policy=args.policy,
+        num_relations=args.relations,
+        num_servers=args.servers,
+        cached_fraction=args.cached,
+        seed=args.seed,
+    )
+    print(render_profile(report, bound))
+    return 0
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    channels = tuple(args.channel) if args.channel else None
+    if args.clients > 1:
+        result = api.run_workload(
+            policy=args.policy,
+            num_clients=args.clients,
+            queries_per_client=args.queries,
+            num_relations=args.relations,
+            num_servers=args.servers,
+            cached_fraction=args.cached,
+            seed=args.seed,
+            telemetry=args.interval,
+        )
+        telemetry = result.telemetry
+        summary = (
+            f"{result.policy}: {result.completed}/{result.submitted} queries in "
+            f"{result.makespan:.3f}s simulated "
+            f"(throughput {result.throughput:.3f} q/s)"
+        )
+    else:
+        outcome = api.run_query(
+            policy=args.policy,
+            num_relations=args.relations,
+            num_servers=args.servers,
+            cached_fraction=args.cached,
+            seed=args.seed,
+            telemetry=args.interval,
+        )
+        telemetry = outcome.result.telemetry
+        summary = (
+            f"{outcome.policy.value}: response time "
+            f"{outcome.result.response_time:.3f}s, "
+            f"{outcome.result.pages_sent} pages sent"
+        )
+    assert telemetry is not None
+    if args.out:
+        exporter = telemetry_json if args.out.endswith(".json") else telemetry_csv
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(exporter(telemetry))
+    print(summary)
+    print()
+    print(render_dashboard(telemetry, width=args.width, channels=channels))
+    if args.out:
+        print(f"\nwrote {args.out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -128,6 +261,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_trace(args)
         if args.command == "validate":
             return _cmd_validate(args)
+        if args.command == "profile":
+            return _cmd_profile(args)
+        if args.command == "dash":
+            return _cmd_dash(args)
     except BrokenPipeError:  # e.g. `repro trace | head`
         sys.stderr.close()  # suppress the interpreter's epipe warning
         return 0

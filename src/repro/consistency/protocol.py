@@ -106,16 +106,28 @@ class InvalidationProtocol(ConsistencyManager):
         self, primary: "Site", relation: str, page_indexes: typing.Sequence[int]
     ) -> typing.Generator:
         network = self.topology.network
+        tracer = self.topology.env.tracer
         for index in page_indexes:
             self.versions.bump(relation, index)
-        for index in page_indexes:
-            for client in self.topology.clients:
-                cache = client.buffer_cache
-                if cache is None or not cache.contains(relation, index):
-                    continue
-                yield from network.send_request(primary, client)
-                if cache.invalidate(relation, index):
-                    client.consistency.invalidations += 1
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                f"invalidate[{relation}]",
+                cat="consistency",
+                args={"relation": relation, "pages": len(page_indexes)},
+            )
+        try:
+            for index in page_indexes:
+                for client in self.topology.clients:
+                    cache = client.buffer_cache
+                    if cache is None or not cache.contains(relation, index):
+                        continue
+                    yield from network.send_request(primary, client)
+                    if cache.invalidate(relation, index):
+                        client.consistency.invalidations += 1
+        finally:
+            if tracer is not None:
+                tracer.end(span)
 
     def validate_hit(
         self, client: "Site", home: "Site", relation: str, page_index: int
@@ -148,8 +160,20 @@ class DetectionProtocol(ConsistencyManager):
         self, client: "Site", home: "Site", relation: str, page_index: int
     ) -> typing.Generator:
         network = self.topology.network
-        yield from network.send_request(client, home)
-        yield from network.send_request(home, client)
+        tracer = self.topology.env.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                f"validate[{relation}#{page_index}]",
+                cat="consistency",
+                args={"relation": relation, "page": page_index},
+            )
+        try:
+            yield from network.send_request(client, home)
+            yield from network.send_request(home, client)
+        finally:
+            if tracer is not None:
+                tracer.end(span)
         client.consistency.validations += 1
         return self._check_freshness(client, relation, page_index)
 

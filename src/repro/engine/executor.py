@@ -66,6 +66,7 @@ from repro.storage.memory import MemoryPressureState
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.caching.buffer import CacheState
+    from repro.obs.telemetry import Telemetry, TelemetryConfig
     from repro.obs.trace import Tracer
     from repro.optimizer.cache import PlanCache
 
@@ -180,6 +181,9 @@ class ExecutionResult:
     # Dynamic-cache snapshot of the driving client at completion; None
     # under the static prefix model.
     cache_state: "CacheState | None" = None
+    # Sampled time series of the run (per-interval utilizations, queue
+    # depths, cache occupancy); None unless a telemetry config was passed.
+    telemetry: "Telemetry | None" = None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         text = (
@@ -221,6 +225,7 @@ class QueryExecutor:
         topology: Topology | None = None,
         tracer: "Tracer | None" = None,
         plan_cache: "PlanCache | None" = None,
+        telemetry: "TelemetryConfig | None" = None,
     ) -> None:
         self.config = config
         self.catalog = catalog
@@ -273,6 +278,14 @@ class QueryExecutor:
         self.injector: FaultInjector | None = None
         if faults is not None and not faults.is_empty:
             self.injector = FaultInjector(self.env, self.topology, faults, seed=seed)
+        # Telemetry: a simulated-time gauge sampler, created only on
+        # request -- the default (None) adds no process and no events, so
+        # unsampled runs stay byte-identical to the seed behaviour.
+        self.sampler = None
+        if telemetry is not None:
+            from repro.obs.telemetry import TelemetrySampler
+
+            self.sampler = TelemetrySampler(self.env, self.topology.metrics, telemetry)
         self._begin_execute()
 
     @property
@@ -743,6 +756,7 @@ class QueryExecutor:
                 if client.buffer_cache is None
                 else client.buffer_cache.snapshot()
             ),
+            telemetry=None if self.sampler is None else self.sampler.snapshot(),
         )
 
 

@@ -35,6 +35,7 @@ _FIGURES = {
     "qs-load": figures.qs_under_load_text,
     "fault-sweep": figures.availability_sweep,
     "throughput-sweep": figures.throughput_sweep,
+    "utilization-timeline": figures.utilization_timeline,
     "cache-warmup": figures.cache_warmup,
     "memory-contention": figures.memory_contention,
     "write-mix": figures.write_mix,
@@ -152,6 +153,11 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
             kwargs["client_counts"] = tuple(args.clients)
         elif args.quick:
             kwargs["client_counts"] = (1, 2, 4)
+    if name == "utilization-timeline":
+        if args.cache:
+            kwargs["cached_fraction"] = args.cache[0]
+        if args.quick:
+            kwargs["interval"] = 1.0
     if name == "memory-contention":
         if args.clients:
             kwargs["client_counts"] = tuple(args.clients)

@@ -21,6 +21,7 @@ from repro.experiments.runner import RunSettings, measure_policy
 from repro.experiments.stats import PointEstimate, summarize
 from repro.faults.recovery import RecoveryPolicy
 from repro.faults.schedule import FaultSchedule
+from repro.obs.telemetry import TelemetryConfig
 from repro.optimizer.random_plans import PlanShape
 from repro.optimizer.two_phase import RandomizedOptimizer
 from repro.optimizer.two_step import TwoStepOptimizer
@@ -51,6 +52,7 @@ __all__ = [
     "qs_under_load_text",
     "throughput_sweep",
     "two_step_caching",
+    "utilization_timeline",
     "write_mix",
 ]
 
@@ -599,6 +601,68 @@ def throughput_sweep(
     for task, (throughput, p95) in zip(tasks, parallel_map(_run_throughput_task, tasks, jobs)):
         result.add(task.policy.short_name, task.count, throughput)
         result.add(f"{task.policy.short_name} p95 [s]", task.count, p95)
+    return result
+
+
+def utilization_timeline(
+    settings: RunSettings | None = None,
+    cached_fraction: float = 0.5,
+    interval: float = 0.5,
+    jobs: int = 1,
+) -> FigureResult:
+    """Per-interval disk utilization over simulated time, per policy.
+
+    The Figure-2/3 experiment point (2-way join, one server, half of every
+    relation cached at the client) viewed through the telemetry sampler
+    instead of end-of-run aggregates: where each policy's time *goes* while
+    the query runs.  Expected shape (paper section 5's resource argument):
+    data-shipping saturates the **client** disk for nearly the whole run
+    (it joins locally and reads the cached halves from its own disk);
+    query-shipping saturates the **server** disk instead and leaves the
+    client disk idle; hybrid-shipping shows the server disk busy during the
+    scan phase and the client disk during the join tail.  One seed -- the
+    series are time-indexed, so cross-seed averaging would smear phases
+    that start at different times.
+    """
+    settings = settings or RunSettings()
+    seed = settings.seeds[0]
+    result = FigureResult(
+        "utilization-timeline",
+        "Disk Utilization Over Time, 2-Way Join, 1 Server, "
+        f"{cached_fraction * 100:.0f}% Cached",
+        "simulated time [s]",
+        "per-interval disk utilization (0..1)",
+        notes=(
+            f"sampled every {interval:g}s of simulated time, seed "
+            f"{seed}; a '-' cell means that policy's query had already "
+            "finished"
+        ),
+    )
+    telemetry = TelemetryConfig(interval=interval)
+    for policy in POLICIES:
+        scenario = chain_scenario(
+            num_relations=2,
+            num_servers=1,
+            cached_fraction=cached_fraction,
+            placement_seed=seed,
+        )
+        plan = RandomizedOptimizer(
+            scenario.query,
+            scenario.environment(),
+            policy=policy,
+            objective=Objective.RESPONSE_TIME,
+            config=settings.optimizer,
+            seed=seed,
+            plan_cache=settings.plan_cache,
+        ).optimize().plan
+        execution = scenario.execute(plan, seed=seed, telemetry=telemetry)
+        assert execution.telemetry is not None
+        for channel, curve in (
+            ("site.client.disk0.utilization", "client disk"),
+            ("site.server1.disk0.utilization", "server disk"),
+        ):
+            for time, value in execution.telemetry[channel]:
+                result.add(f"{policy.short_name} {curve}", time, summarize([value]))
     return result
 
 

@@ -147,6 +147,11 @@ class Network:
         """Busy fraction of the wire since time zero."""
         return self._wire.utilization()
 
+    @property
+    def busy_time(self) -> float:
+        """Accumulated busy time of the wire (for interval utilization)."""
+        return self._wire.busy_time
+
     def reset_counters(self) -> None:
         """Zero the traffic counters (used between benchmark repetitions)."""
         self.data_pages_sent = 0

@@ -8,9 +8,17 @@
 - :class:`MetricsRegistry` exposes every hardware statistic under
   hierarchical dotted names (``site.server1.disk0.pages_read``) and is
   snapshotted into ``ExecutionResult.profile``.
+- :class:`TelemetrySampler` is a simulated-time process that samples the
+  registry's gauges at a fixed interval into bounded ring buffers; the
+  frozen :class:`Telemetry` snapshot lands on
+  ``ExecutionResult.telemetry`` / ``WorkloadResult.telemetry`` (enable via
+  ``api.run_query(..., telemetry=True)``).
 - :func:`chrome_trace_json` / :func:`write_chrome_trace` export
-  Perfetto-loadable Chrome ``trace_event`` JSON; :func:`render_timeline`
-  draws an ASCII per-operator timeline.
+  Perfetto-loadable Chrome ``trace_event`` JSON (telemetry series become
+  counter tracks); :func:`render_timeline` draws an ASCII per-operator
+  timeline and :func:`render_dashboard` ASCII sparklines per telemetry
+  channel; :func:`telemetry_csv` / :func:`telemetry_json` export the raw
+  series.
 
 The cost-model validation harness lives in :mod:`repro.obs.validate` and is
 *not* re-exported here: it imports the engine and optimizer layers, which in
@@ -18,12 +26,17 @@ turn import this package's tracer/metrics half.
 """
 
 from repro.obs.export import (
+    chrome_counter_events,
     chrome_trace_events,
     chrome_trace_json,
+    render_dashboard,
     render_timeline,
+    telemetry_csv,
+    telemetry_json,
     write_chrome_trace,
 )
 from repro.obs.metrics import Gauge, MetricsRegistry, register_topology_metrics
+from repro.obs.telemetry import Series, Telemetry, TelemetryConfig, TelemetrySampler
 from repro.obs.trace import RESOURCE_CATEGORIES, Instant, Span, Tracer
 
 __all__ = [
@@ -34,8 +47,16 @@ __all__ = [
     "MetricsRegistry",
     "Gauge",
     "register_topology_metrics",
+    "Series",
+    "Telemetry",
+    "TelemetryConfig",
+    "TelemetrySampler",
+    "chrome_counter_events",
     "chrome_trace_events",
     "chrome_trace_json",
     "write_chrome_trace",
     "render_timeline",
+    "render_dashboard",
+    "telemetry_csv",
+    "telemetry_json",
 ]

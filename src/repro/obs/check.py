@@ -1,10 +1,14 @@
 """Validate a Chrome-trace JSON file produced by :mod:`repro.obs.export`.
 
 Run as ``python -m repro.obs.check trace.json``.  Checks both the structure
-(required keys per event phase, monotonically sensible timestamps) and the
-acceptance property of this repo's tracer: the union of per-operator span
-intervals must cover the reported query response time to within 1% -- no
-simulated time may go unattributed.
+(required keys per event phase, known span categories, monotonically
+sensible timestamps, numeric counter values) and the acceptance property of
+this repo's tracer: the union of per-operator span intervals must cover the
+reported query response time to within 1% -- no simulated time may go
+unattributed.  Write workloads additionally surface their consistency
+traffic as ``cat="consistency"`` spans (``invalidate[rel]`` broadcasts,
+``validate[rel#page]`` round trips), which are checked for well-formed
+names and relation args.
 
 Exit status 0 on success (prints a one-line summary), 1 with a list of
 problems otherwise.  CI runs this against a fresh ``repro trace`` export.
@@ -13,6 +17,7 @@ problems otherwise.  CI runs this against a fresh ``repro trace`` export.
 from __future__ import annotations
 
 import json
+import re
 import sys
 
 __all__ = ["check_trace", "main"]
@@ -21,7 +26,30 @@ _REQUIRED_BY_PHASE = {
     "X": ("name", "cat", "ts", "dur", "pid", "tid"),
     "i": ("name", "cat", "ts", "pid", "tid", "s"),
     "M": ("name", "pid", "tid", "args"),
+    "C": ("name", "ts", "pid", "args"),
 }
+
+#: Every span/instant category the simulator emits.  An unknown category is
+#: a symptom of an exporter/tracer drift, so the checker rejects it.
+KNOWN_CATEGORIES = frozenset(
+    {
+        "op",
+        "query",
+        "cpu",
+        "disk",
+        "net",
+        "wait",
+        "cache",
+        "memory",
+        "fault",
+        "consistency",
+        "telemetry",
+        "event",
+    }
+)
+
+_CONSISTENCY_NAME = re.compile(r"^(invalidate|validate)\[")
+_WRITE_OP_NAME = re.compile(r"^(update|insert|delete)\[")
 
 COVERAGE_TOLERANCE = 0.01
 
@@ -66,14 +94,41 @@ def check_trace(document: dict) -> list[str]:
             if event["name"] == "thread_name":
                 named_tids.add((event["pid"], event["tid"]))
             continue
-        used_tids.add((event["pid"], event["tid"]))
         if event["ts"] < 0:
             problems.append(f"event #{index} has negative ts {event['ts']}")
+        if phase == "C":
+            # Counter events ride on the process track (no tid); their
+            # value must be a plain number for Perfetto to graph them.
+            value = event["args"].get("value") if isinstance(event["args"], dict) else None
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(
+                    f"event #{index} counter {event['name']!r} has "
+                    f"non-numeric value {value!r}"
+                )
+            continue
+        used_tids.add((event["pid"], event["tid"]))
+        if event["cat"] not in KNOWN_CATEGORIES:
+            problems.append(
+                f"event #{index} has unknown category {event['cat']!r} "
+                f"(known: {sorted(KNOWN_CATEGORIES)})"
+            )
         if phase == "X":
             if event["dur"] < 0:
                 problems.append(f"event #{index} has negative dur {event['dur']}")
             if event["cat"] in ("op", "query"):
                 op_intervals.append((event["ts"], event["ts"] + event["dur"]))
+            if event["cat"] == "consistency":
+                if not _CONSISTENCY_NAME.match(event["name"]):
+                    problems.append(
+                        f"event #{index} consistency span has unexpected "
+                        f"name {event['name']!r} (want invalidate[..]/validate[..])"
+                    )
+                args = event.get("args")
+                if not isinstance(args, dict) or "relation" not in args:
+                    problems.append(
+                        f"event #{index} consistency span {event['name']!r} "
+                        "missing args.relation"
+                    )
 
     unnamed = used_tids - named_tids
     if unnamed:
@@ -81,8 +136,22 @@ def check_trace(document: dict) -> list[str]:
 
     other = document.get("otherData", {})
     response_time = other.get("response_time") if isinstance(other, dict) else None
-    if response_time is None:
-        problems.append("otherData.response_time missing (trace not finished?)")
+    makespan = other.get("makespan") if isinstance(other, dict) else None
+    if response_time is None and makespan is None:
+        problems.append(
+            "otherData.response_time/makespan missing (trace not finished?)"
+        )
+    elif response_time is None:
+        # Workload trace: sessions overlap and clients think between
+        # queries, so the single-query coverage invariant does not apply.
+        # Spans must still fit inside the makespan, though.
+        if op_intervals:
+            horizon = max(hi for _, hi in op_intervals) / 1e6
+            if horizon > makespan * (1.0 + COVERAGE_TOLERANCE):
+                problems.append(
+                    f"operator spans extend to {horizon:.6f}s beyond the "
+                    f"reported makespan {makespan:.6f}s"
+                )
     elif response_time > 0:
         covered = _union_seconds(op_intervals) / 1e6
         delta = abs(covered - response_time) / response_time
@@ -114,11 +183,26 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     events = document["traceEvents"]
     spans = sum(1 for e in events if e.get("ph") == "X")
-    response_time = document.get("otherData", {}).get("response_time")
+    counters = sum(1 for e in events if e.get("ph") == "C")
+    consistency = sum(
+        1 for e in events if e.get("ph") == "X" and e.get("cat") == "consistency"
+    )
+    writes = sum(
+        1
+        for e in events
+        if e.get("ph") == "X"
+        and e.get("cat") == "op"
+        and _WRITE_OP_NAME.match(e.get("name", ""))
+    )
+    other = document.get("otherData", {})
+    if other.get("response_time") is not None:
+        horizon = f"response_time={other['response_time']:.4f}s"
+    else:
+        horizon = f"makespan={other.get('makespan', 0.0):.4f}s"
     print(
-        f"{path}: ok ({len(events)} events, {spans} spans, "
-        f"response_time={response_time:.4f}s, operator coverage within "
-        f"{COVERAGE_TOLERANCE:.0%})"
+        f"{path}: ok ({len(events)} events, {spans} spans, {counters} counter "
+        f"samples, {writes} write-op spans, {consistency} consistency spans, "
+        f"{horizon}, checked within {COVERAGE_TOLERANCE:.0%})"
     )
     return 0
 

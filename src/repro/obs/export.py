@@ -1,10 +1,17 @@
-"""Trace exporters: Chrome ``trace_event`` JSON and ASCII timelines.
+"""Trace exporters: Chrome ``trace_event`` JSON, ASCII timelines, telemetry.
 
 The JSON exporter emits the Trace Event Format understood by Perfetto and
 ``chrome://tracing``: one ``"X"`` (complete) event per span, ``"i"``
-(instant) events for point occurrences, and ``"M"`` metadata events naming
-each track.  Tracks map to Chrome *threads* (one per simulated process) in
-a single *process*; timestamps are simulated microseconds.
+(instant) events for point occurrences, ``"M"`` metadata events naming
+each track, and -- when a :class:`~repro.obs.telemetry.Telemetry` snapshot
+is passed alongside the tracer -- ``"C"`` (counter) events that render the
+sampled utilization/occupancy series as counter tracks above the spans.
+Tracks map to Chrome *threads* (one per simulated process) in a single
+*process*; timestamps are simulated microseconds.
+
+Telemetry also exports standalone: :func:`telemetry_csv` /
+:func:`telemetry_json` for offline analysis, and :func:`render_dashboard`
+draws an ASCII sparkline per channel (the ``repro dash`` subcommand).
 
 Output is fully deterministic for a deterministic simulation run --
 ``json.dumps`` with sorted keys and fixed separators -- so equal seeds
@@ -19,11 +26,18 @@ import typing
 
 from repro.obs.trace import Tracer
 
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.telemetry import Telemetry
+
 __all__ = [
     "chrome_trace_events",
+    "chrome_counter_events",
     "chrome_trace_json",
     "write_chrome_trace",
     "render_timeline",
+    "render_dashboard",
+    "telemetry_csv",
+    "telemetry_json",
 ]
 
 _MICRO = 1e6
@@ -81,21 +95,131 @@ def chrome_trace_events(tracer: Tracer) -> list[dict]:
     return events
 
 
-def chrome_trace_json(tracer: Tracer) -> str:
-    """The full Chrome-trace document as a deterministic JSON string."""
+def chrome_counter_events(telemetry: "Telemetry") -> list[dict]:
+    """Telemetry series as Chrome ``"C"`` (counter) events.
+
+    Perfetto renders each distinct counter name as its own mini-graph, so
+    merging these into a span trace puts the utilization timeline directly
+    above the operator spans that caused it.
+    """
+    events: list[dict] = []
+    for name in telemetry.names():
+        for time, value in telemetry[name]:
+            events.append(
+                {
+                    "ph": "C",
+                    "name": name,
+                    "cat": "telemetry",
+                    "ts": time * _MICRO,
+                    "pid": 1,
+                    "args": {"value": value},
+                }
+            )
+    events.sort(key=lambda e: (e["ts"], e["name"]))
+    return events
+
+
+def chrome_trace_json(tracer: Tracer, telemetry: "Telemetry | None" = None) -> str:
+    """The full Chrome-trace document as a deterministic JSON string.
+
+    ``telemetry`` merges the sampled series in as counter events.
+    """
+    events = chrome_trace_events(tracer)
+    if telemetry is not None:
+        events.extend(chrome_counter_events(telemetry))
     document = {
-        "traceEvents": chrome_trace_events(tracer),
+        "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": {str(k): v for k, v in tracer.metadata.items()},
     }
     return json.dumps(document, sort_keys=True, separators=(",", ":"))
 
 
-def write_chrome_trace(tracer: Tracer, path: str) -> None:
+def write_chrome_trace(
+    tracer: Tracer, path: str, telemetry: "Telemetry | None" = None
+) -> None:
     """Write the Chrome-trace JSON to ``path`` (open in Perfetto)."""
     with open(path, "w", encoding="utf-8") as handle:
-        handle.write(chrome_trace_json(tracer))
+        handle.write(chrome_trace_json(tracer, telemetry=telemetry))
         handle.write("\n")
+
+
+def telemetry_csv(telemetry: "Telemetry") -> str:
+    """Telemetry as ``time,channel,value`` CSV rows (header included)."""
+    lines = ["time,channel,value"]
+    for name in telemetry.names():
+        for time, value in telemetry[name]:
+            lines.append(f"{time:.6f},{name},{value:g}")
+    return "\n".join(lines) + "\n"
+
+
+def telemetry_json(telemetry: "Telemetry") -> str:
+    """Telemetry as deterministic JSON (``{channel: [[t, v], ...]}``)."""
+    document = {
+        "interval": telemetry.interval,
+        "start": telemetry.start,
+        "end": telemetry.end,
+        "samples_taken": telemetry.samples_taken,
+        "dropped": telemetry.dropped,
+        "series": {
+            name: [[t, v] for t, v in telemetry[name]] for name in telemetry.names()
+        },
+    }
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: list[float], width: int) -> str:
+    """Resample a series to ``width`` buckets of block characters."""
+    if not values:
+        return ""
+    buckets: list[float] = []
+    n = len(values)
+    for cell in range(min(width, n)):
+        lo = cell * n // min(width, n)
+        hi = max(lo + 1, (cell + 1) * n // min(width, n))
+        buckets.append(max(values[lo:hi]))
+    top = max(buckets)
+    if top <= 0.0:
+        return _SPARKS[0] * len(buckets)
+    return "".join(
+        _SPARKS[min(len(_SPARKS) - 1, int(value / top * len(_SPARKS)))]
+        for value in buckets
+    )
+
+
+def render_dashboard(
+    telemetry: "Telemetry", width: int = 48, channels: "tuple[str, ...] | None" = None
+) -> str:
+    """ASCII sparkline dashboard: one row per telemetry channel.
+
+    Each row shows the channel name, a sparkline of the series resampled
+    to ``width`` cells (cell height relative to the channel's own max),
+    and the min/max/last values.  ``channels`` filters by name suffix.
+    """
+    names = [
+        name
+        for name in telemetry.names()
+        if channels is None or name.endswith(tuple(channels))
+    ]
+    if not names:
+        return "(no telemetry samples)"
+    label_width = max(len(name) for name in names)
+    lines = [
+        f"telemetry: {telemetry.samples_taken} samples at "
+        f"{telemetry.interval:g}s over t={telemetry.start:.3f}..{telemetry.end:.3f}s"
+    ]
+    for name in names:
+        values = telemetry.values(name)
+        spark = _sparkline(values, width)
+        low, high = min(values), max(values)
+        lines.append(
+            f"{name:{label_width}s} |{spark:{width}s}| "
+            f"min={low:g} max={high:g} last={values[-1]:g}"
+        )
+    return "\n".join(lines)
 
 
 def render_timeline(tracer: Tracer, width: int = 64) -> str:

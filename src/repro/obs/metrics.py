@@ -91,6 +91,13 @@ class MetricsRegistry:
     def __contains__(self, name: str) -> bool:
         return name in self._instruments
 
+    def value(self, name: str) -> float:
+        """Current value of one counter or gauge (tallies have no scalar)."""
+        instrument = self._instruments[name]
+        if isinstance(instrument, Tally):
+            raise TypeError(f"metric {name!r} is a Tally; read its snapshot leaves")
+        return float(instrument.value)
+
     def __len__(self) -> int:
         return len(self._instruments)
 
@@ -136,6 +143,9 @@ class MetricsRegistry:
         ".resident_pages",
         ".granted",
         ".waiting",
+        # Admission-controller occupancy gauges (admission.serverN.*).
+        ".queued",
+        ".running",
     )
 
     def snapshot_delta(
@@ -253,4 +263,5 @@ def register_topology_metrics(registry: MetricsRegistry, topology: "Topology") -
     registry.gauge("network.bytes_sent", lambda: network.bytes_sent)
     registry.gauge("network.messages_dropped", lambda: network.messages_dropped)
     registry.gauge("network.outages", lambda: network.outage_count)
+    registry.gauge("network.busy_time", lambda: network.busy_time)
     registry.gauge("network.utilization", network.utilization)

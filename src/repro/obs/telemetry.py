@@ -1,0 +1,343 @@
+"""Time-series telemetry: sampled metrics over simulated time.
+
+The :class:`MetricsRegistry` snapshots gauges once at end-of-run, which
+collapses *when* resources were busy into a single number: a run that is
+disk-bound for its first half and CPU-bound for its second looks exactly
+like a uniformly loaded one.  The :class:`TelemetrySampler` fixes that by
+running as a simulated-time process that samples selected registry
+instruments every ``interval`` seconds into bounded ring-buffer
+:class:`Series` -- the substrate for utilization timelines, Chrome-trace
+counter tracks, ASCII dashboards, and (eventually) load-adaptive runtime
+decisions.
+
+Three kinds of channel are derived from the registry names:
+
+- **rate** -- every ``*.busy_time`` gauge becomes a per-interval
+  ``*.utilization`` series: ``(busy(t) - busy(t - dt)) / dt``.  The
+  registry's own ``.utilization`` gauges are cumulative-since-t0 averages
+  and would smear transient saturation away.
+- **state** -- instantaneous occupancy gauges sampled as-is
+  (memory granted/waiting, cache resident pages, admission queue depth).
+- **cumulative** -- monotone counters sampled as-is (spill pages,
+  consistency traffic, network data pages); consumers difference them.
+
+Sampling only *reads* gauges and its timeout events never touch any
+random stream, so enabling telemetry cannot change simulation outcomes
+(asserted by ``tests/obs/test_telemetry.py``); with ``telemetry=None``
+(the default everywhere) nothing at all is created.
+
+The sampler also registers a deadlock debug dumper on its environment: a
+hang dumps the last few samples of every series, so the utilization
+lead-up to the stall is visible in the error message.  To keep the
+environment's deadlock *detection* working (it fires when the event queue
+drains), the sampler parks itself -- exits its loop -- as soon as it wakes
+up and finds nothing but telemetry heartbeats left in the queue.
+"""
+
+from __future__ import annotations
+
+import typing
+from collections import deque
+from dataclasses import dataclass, field
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
+    from repro.sim.engine import Environment
+
+__all__ = ["Series", "Telemetry", "TelemetryConfig", "TelemetrySampler"]
+
+#: Registry-name suffixes sampled as instantaneous state.
+STATE_SUFFIXES = (
+    ".memory.granted",
+    ".memory.waiting",
+    ".cache.resident_pages",
+    ".queued",
+    ".running",
+)
+
+#: Registry-name suffixes (or exact names) sampled as cumulative counters.
+CUMULATIVE_SUFFIXES = (
+    ".memory.spill_pages",
+    ".consistency.invalidations",
+    ".consistency.validations",
+    ".consistency.stale_hits",
+    ".consistency.write_pages",
+    "network.data_pages_sent",
+)
+
+_RATE_SUFFIX = ".busy_time"
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """How (and how often) to sample the metrics registry.
+
+    ``interval`` is the sampling period in simulated seconds.  ``capacity``
+    bounds each series' ring buffer; once full, the oldest samples are
+    dropped (and counted), so memory stays O(channels x capacity) no matter
+    how long the run is.  ``channels``, when given, keeps only series whose
+    name ends with one of the entries (after the rate/state/cumulative
+    selection) -- e.g. ``("disk0.utilization",)`` for a disk-only timeline.
+    """
+
+    interval: float = 0.25
+    capacity: int = 512
+    channels: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0.0:
+            raise ValueError(f"telemetry interval must be > 0, got {self.interval}")
+        if self.capacity < 1:
+            raise ValueError(f"telemetry capacity must be >= 1, got {self.capacity}")
+
+    def wants(self, series_name: str) -> bool:
+        return self.channels is None or series_name.endswith(tuple(self.channels))
+
+
+class Series:
+    """One named, bounded time series of ``(time, value)`` samples."""
+
+    __slots__ = ("name", "capacity", "dropped", "_samples")
+
+    def __init__(self, name: str, capacity: int) -> None:
+        self.name = name
+        self.capacity = capacity
+        self.dropped = 0
+        self._samples: deque[tuple[float, float]] = deque(maxlen=capacity)
+
+    def append(self, time: float, value: float) -> None:
+        if len(self._samples) == self.capacity:
+            self.dropped += 1
+        self._samples.append((time, value))
+
+    @property
+    def samples(self) -> tuple[tuple[float, float], ...]:
+        return tuple(self._samples)
+
+    def times(self) -> list[float]:
+        return [t for t, _ in self._samples]
+
+    def values(self) -> list[float]:
+        return [v for _, v in self._samples]
+
+    def last(self, n: int = 1) -> list[tuple[float, float]]:
+        """The most recent ``n`` samples, oldest first."""
+        if n <= 0:
+            return []
+        return list(self._samples)[-n:]
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Series):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.dropped == other.dropped
+            and self._samples == other._samples
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Series {self.name!r} n={len(self._samples)} dropped={self.dropped}>"
+
+
+@dataclass(frozen=True)
+class Telemetry:
+    """An immutable snapshot of every sampled series (attached to results).
+
+    ``series`` maps channel name to its ``((time, value), ...)`` samples.
+    Equality compares everything, which is what the determinism tests rely
+    on: equal seeds must produce identical telemetry, timestamps and all.
+    """
+
+    interval: float
+    start: float
+    end: float
+    samples_taken: int
+    series: dict[str, tuple[tuple[float, float], ...]] = field(default_factory=dict)
+    dropped: int = 0
+
+    def names(self) -> list[str]:
+        return sorted(self.series)
+
+    def __getitem__(self, name: str) -> tuple[tuple[float, float], ...]:
+        return self.series[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.series
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+    def times(self, name: str) -> list[float]:
+        return [t for t, _ in self.series[name]]
+
+    def values(self, name: str) -> list[float]:
+        return [v for _, v in self.series[name]]
+
+    def last(self, name: str) -> float:
+        samples = self.series[name]
+        return samples[-1][1] if samples else 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"telemetry: {len(self.series)} series, {self.samples_taken} samples "
+            f"at {self.interval:g}s over t={self.start:.3f}..{self.end:.3f}s"
+        )
+
+
+class TelemetrySampler:
+    """Simulated-time process sampling a metrics registry into series.
+
+    Created by the executor / workload runner when a
+    :class:`TelemetryConfig` is passed; :meth:`snapshot` freezes the rings
+    into a :class:`Telemetry` for the run's result.  The sampler keeps
+    working across repeated ``execute()`` calls on one executor -- the
+    series then span the whole life of the topology.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        registry: "MetricsRegistry",
+        config: TelemetryConfig | None = None,
+    ) -> None:
+        self.env = env
+        self.registry = registry
+        self.config = config or TelemetryConfig()
+        self.start = env.now
+        self.samples_taken = 0
+        self._series: dict[str, Series] = {}
+        # (series name, registry name) per channel kind; re-resolved when
+        # the registry gains or loses instruments mid-run.
+        self._rate_sources: list[tuple[str, str]] = []
+        self._value_sources: list[tuple[str, str]] = []
+        self._prev_busy: dict[str, float] = {}
+        self._known_instruments = -1
+        # Heartbeat bookkeeping shared by every sampler on this env: the
+        # park check below must treat *other* samplers' timeouts as idle
+        # too, or two samplers would keep each other alive forever.
+        beats = getattr(env, "_telemetry_heartbeats", None)
+        if beats is None:
+            beats = set()
+            env._telemetry_heartbeats = beats  # type: ignore[attr-defined]
+        self._heartbeats: set[int] = beats
+        env.debug_dumpers.append(self.debug_dump)
+        self.process = env.process(self._run(), name="telemetry-sampler")
+
+    # ------------------------------------------------------------------
+    # Channel resolution
+    # ------------------------------------------------------------------
+    def _resolve_channels(self) -> None:
+        """(Re)derive the channel lists from the registry's current names."""
+        self._known_instruments = len(self.registry)
+        self._rate_sources = []
+        self._value_sources = []
+        wants = self.config.wants
+        for name in self.registry.names():
+            if name.endswith(_RATE_SUFFIX):
+                series = name[: -len(_RATE_SUFFIX)] + ".utilization"
+                if wants(series):
+                    self._rate_sources.append((series, name))
+                    # A freshly discovered busy-time gauge baselines at its
+                    # current value: the first interval rates only the busy
+                    # time accumulated after discovery.
+                    if name not in self._prev_busy:
+                        self._prev_busy[name] = self._read(name)
+            elif name.endswith(STATE_SUFFIXES) or name.endswith(CUMULATIVE_SUFFIXES):
+                if wants(name):
+                    self._value_sources.append((name, name))
+
+    def _read(self, name: str) -> float:
+        return self.registry.value(name)
+
+    def _series_for(self, name: str) -> Series:
+        series = self._series.get(name)
+        if series is None:
+            series = Series(name, self.config.capacity)
+            self._series[name] = series
+        return series
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample(self) -> None:
+        """Take one sample of every channel at the current simulated time."""
+        if len(self.registry) != self._known_instruments:
+            self._resolve_channels()
+        now = self.env.now
+        interval = self.config.interval
+        for series_name, source in self._rate_sources:
+            busy = self._read(source)
+            delta = busy - self._prev_busy[source]
+            self._prev_busy[source] = busy
+            self._series_for(series_name).append(now, delta / interval)
+        for series_name, source in self._value_sources:
+            self._series_for(series_name).append(now, self._read(source))
+        self.samples_taken += 1
+
+    def _run(self) -> typing.Generator:
+        env = self.env
+        beats = self._heartbeats
+        # The t=start sample baselines every busy-time gauge (rates read
+        # 0.0 there) and anchors all series on a shared grid origin.
+        self.sample()
+        while True:
+            heartbeat = env.timeout(self.config.interval)
+            beats.add(id(heartbeat))
+            try:
+                yield heartbeat
+            finally:
+                beats.discard(id(heartbeat))
+            self.sample()
+            # Park when nothing but telemetry heartbeats remains scheduled:
+            # a perpetual sampler would otherwise keep the event queue
+            # non-empty forever and defeat deadlock detection.  Cheap guard
+            # first -- at most len(beats) queued events can be heartbeats.
+            queue = env._queue
+            if len(queue) <= len(beats) and all(
+                id(event) in beats for _, _, event in queue
+            ):
+                return
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    @property
+    def series(self) -> dict[str, Series]:
+        """The live ring buffers, keyed by channel name."""
+        return self._series
+
+    def snapshot(self) -> Telemetry:
+        """Freeze the current rings into an immutable :class:`Telemetry`."""
+        return Telemetry(
+            interval=self.config.interval,
+            start=self.start,
+            end=self.env.now,
+            samples_taken=self.samples_taken,
+            series={name: s.samples for name, s in sorted(self._series.items())},
+            dropped=sum(s.dropped for s in self._series.values()),
+        )
+
+    def debug_dump(self, last: int = 5) -> str:
+        """Per-series telemetry lead-up for deadlock dumps ("" when empty)."""
+        if not self._series or self.samples_taken == 0:
+            return ""
+        lines = [
+            f"telemetry (interval {self.config.interval:g}s, "
+            f"last {last} samples per channel):"
+        ]
+        for name in sorted(self._series):
+            samples = self._series[name].last(last)
+            if not samples:
+                continue
+            rendered = " ".join(f"{value:g}@{time:.3f}" for time, value in samples)
+            lines.append(f"  {name}: {rendered}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<TelemetrySampler series={len(self._series)} "
+            f"samples={self.samples_taken}>"
+        )

@@ -1,0 +1,136 @@
+"""Log-bucketed streaming histogram for response-time percentiles.
+
+The workload runner used to compute p50/p95/p99 by sorting every completed
+session's response time -- O(n log n) time and O(n) memory per aggregation,
+which is fine at 4 clients and wrong for the 1000-client goal.  This
+histogram records each observation into geometric buckets whose boundaries
+grow by a fixed ratio, so any quantile is answered with bounded *relative*
+error (default 1%) from O(log(value range)) memory, independent of the
+number of observations.
+
+Design (the DDSketch bucket scheme):
+
+- bucket ``i`` covers ``(gamma**i, gamma**(i+1)]`` with
+  ``gamma = (1 + eps) / (1 - eps)``;
+- a bucket is *represented* by the geometric mean of its bounds, which is
+  within ``eps`` (relative) of every value in the bucket -- values that
+  are exactly a bucket representative are therefore returned **exactly**
+  (the bucket-boundary test in ``tests/workload/test_histogram.py``);
+- quantiles use the nearest-rank rule ``rank = ceil(q/100 * n)`` over the
+  cumulative bucket counts, so results are deterministic and independent
+  of insertion order.
+
+Values at or below ``min_value`` (including zero) share one underflow
+bucket represented by 0.0; response times are positive, so it stays empty
+in practice.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+from repro.errors import ConfigurationError
+
+__all__ = ["StreamingHistogram"]
+
+
+class StreamingHistogram:
+    """Streaming quantile sketch with bounded relative error."""
+
+    __slots__ = ("relative_error", "min_value", "_gamma", "_log_gamma",
+                 "_counts", "_underflow", "count")
+
+    def __init__(self, relative_error: float = 0.01, min_value: float = 1e-9) -> None:
+        if not 0.0 < relative_error < 1.0:
+            raise ConfigurationError(
+                f"relative_error must be in (0, 1), got {relative_error}"
+            )
+        if min_value <= 0.0:
+            raise ConfigurationError(f"min_value must be > 0, got {min_value}")
+        self.relative_error = relative_error
+        self.min_value = min_value
+        self._gamma = (1.0 + relative_error) / (1.0 - relative_error)
+        self._log_gamma = math.log(self._gamma)
+        self._counts: dict[int, int] = {}
+        self._underflow = 0
+        self.count = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _bucket_of(self, value: float) -> int:
+        # floor with a tiny epsilon so values sitting exactly on a bucket
+        # boundary land deterministically despite float rounding in log().
+        return math.floor(math.log(value) / self._log_gamma + 1e-9)
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        if value != value or value == math.inf:  # NaN / inf guard
+            raise ConfigurationError(f"cannot record {value!r}")
+        self.count += 1
+        if value <= self.min_value:
+            self._underflow += 1
+            return
+        bucket = self._bucket_of(value)
+        self._counts[bucket] = self._counts.get(bucket, 0) + 1
+
+    def record_all(self, values: typing.Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def representative(self, value: float) -> float:
+        """The value this histogram would report for ``value``'s bucket.
+
+        The geometric mean of the bucket bounds: within ``relative_error``
+        of any value in the bucket, and a fixed point of the sketch --
+        recording representatives reproduces them exactly.
+        """
+        if value <= self.min_value:
+            return 0.0
+        bucket = self._bucket_of(value)
+        return self._gamma ** (bucket + 0.5)
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) by nearest rank over buckets."""
+        if not 0.0 <= q <= 100.0:
+            raise ConfigurationError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            raise ConfigurationError("quantile of an empty histogram")
+        rank = max(1, math.ceil(q / 100.0 * self.count))
+        seen = self._underflow
+        if rank <= seen:
+            return 0.0
+        for bucket in sorted(self._counts):
+            seen += self._counts[bucket]
+            if rank <= seen:
+                return self._gamma ** (bucket + 0.5)
+        # Unreachable: cumulative counts always reach self.count.
+        raise AssertionError("rank beyond cumulative bucket counts")
+
+    @property
+    def bucket_count(self) -> int:
+        """Occupied buckets -- the sketch's actual memory footprint."""
+        return len(self._counts) + (1 if self._underflow else 0)
+
+    def merge(self, other: "StreamingHistogram") -> None:
+        """Fold another histogram (same parameters) into this one."""
+        if (other.relative_error != self.relative_error
+                or other.min_value != self.min_value):
+            raise ConfigurationError("cannot merge histograms with different buckets")
+        for bucket, count in other._counts.items():
+            self._counts[bucket] = self._counts.get(bucket, 0) + count
+        self._underflow += other._underflow
+        self.count += other.count
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<StreamingHistogram n={self.count} buckets={self.bucket_count} "
+            f"eps={self.relative_error:g}>"
+        )

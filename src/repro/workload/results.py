@@ -3,9 +3,11 @@
 Single-query experiments report response time and pages sent; a workload
 additionally has *throughput* (completed queries per second of simulated
 time) and a response-time *distribution*, because under contention the tail
-diverges from the mean long before the mean moves.  Percentiles use linear
-interpolation between order statistics, so small runs (a handful of queries
-per point) still give stable, deterministic values.
+diverges from the mean long before the mean moves.  The p50/p95/p99 fields
+come from a log-bucketed :class:`~repro.workload.histogram.StreamingHistogram`
+(1% relative error, O(1) memory per aggregation) so percentile aggregation
+stays flat-cost on the road to 1000-client sweeps; :func:`percentile` keeps
+the exact sort-based computation for callers that need it.
 """
 
 from __future__ import annotations
@@ -15,9 +17,11 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
 from repro.workload.admission import AdmissionSnapshot
+from repro.workload.histogram import StreamingHistogram
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.engine.executor import SessionResult
+    from repro.obs.telemetry import Telemetry
 
 __all__ = ["WorkloadResult", "percentile"]
 
@@ -71,6 +75,10 @@ class WorkloadResult:
     #: End-of-run snapshot of the topology metrics registry
     #: (site.server1.disk0.pages_read, network.bytes_sent, ...).
     profile: dict[str, float] = field(default_factory=dict)
+    #: Sampled time series of the whole workload (per-interval
+    #: utilizations, admission queue depths, cache occupancy); None unless
+    #: the runner was given a telemetry config.
+    telemetry: "Telemetry | None" = None
 
     @classmethod
     def from_sessions(
@@ -85,9 +93,12 @@ class WorkloadResult:
         disk_utilizations: dict[str, float] | None = None,
         network_utilization: float = 0.0,
         profile: dict[str, float] | None = None,
+        telemetry: "Telemetry | None" = None,
     ) -> "WorkloadResult":
         done = [s for s in sessions if s.status == "completed"]
         times = [s.response_time for s in done]
+        histogram = StreamingHistogram()
+        histogram.record_all(times)
         return cls(
             policy=policy,
             num_clients=num_clients,
@@ -99,9 +110,9 @@ class WorkloadResult:
             failed=sum(1 for s in sessions if s.status == "failed"),
             throughput=len(done) / makespan if makespan > 0.0 else 0.0,
             mean_response_time=sum(times) / len(times) if times else 0.0,
-            p50_response_time=percentile(times, 50.0) if times else 0.0,
-            p95_response_time=percentile(times, 95.0) if times else 0.0,
-            p99_response_time=percentile(times, 99.0) if times else 0.0,
+            p50_response_time=histogram.quantile(50.0) if times else 0.0,
+            p95_response_time=histogram.quantile(95.0) if times else 0.0,
+            p99_response_time=histogram.quantile(99.0) if times else 0.0,
             mean_queue_delay=(
                 sum(s.queue_delay for s in done) / len(done) if done else 0.0
             ),
@@ -113,6 +124,7 @@ class WorkloadResult:
             network_utilization=network_utilization,
             sessions=tuple(sessions),
             profile=dict(profile or {}),
+            telemetry=telemetry,
         )
 
     @property

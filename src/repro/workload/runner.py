@@ -49,6 +49,7 @@ from repro.workload.results import WorkloadResult
 from repro.workload.streams import ClientStream, StreamConfig
 
 if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.telemetry import TelemetryConfig
     from repro.obs.trace import Tracer
     from repro.workloads.scenarios import Scenario
 
@@ -75,6 +76,7 @@ class WorkloadRunner:
         plan_cache: "PlanCache | None" = None,
         cache: "CacheConfig | str | None" = None,
         consistency: "ConsistencyConfig | str | None" = None,
+        telemetry: "TelemetryConfig | None" = None,
     ) -> None:
         """``client_caches`` is keyed by client *ordinal* (0..num_clients-1)
         and overrides that client's cached fractions; clients without an
@@ -110,6 +112,7 @@ class WorkloadRunner:
         self.recovery = recovery
         self.tracer = tracer
         self.plan_cache = plan_cache
+        self.telemetry = telemetry
         if cache is None:
             cache = CacheConfig(mode="dynamic")
         elif isinstance(cache, str):
@@ -253,6 +256,21 @@ class WorkloadRunner:
                 server.site_id: AdmissionController(env, server.site_id, self.admission)
                 for server in topology.servers
             }
+            # Queue-depth gauges: zero-cost occupancy reads, so admission
+            # pressure shows up in profiles and telemetry series.
+            for sid in sorted(controllers):
+                controller = controllers[sid]
+                topology.metrics.gauge(
+                    f"admission.server{sid}.queued", lambda c=controller: c.waiting
+                )
+                topology.metrics.gauge(
+                    f"admission.server{sid}.running", lambda c=controller: c.running
+                )
+        sampler = None
+        if self.telemetry is not None:
+            from repro.obs.telemetry import TelemetrySampler
+
+            sampler = TelemetrySampler(env, topology.metrics, self.telemetry)
 
         def launch(ordinal: int, index: int) -> QuerySession:
             if dynamic:
@@ -330,4 +348,5 @@ class WorkloadRunner:
             disk_utilizations=disk_util,
             network_utilization=topology.network.utilization(),
             profile=topology.metrics.snapshot(),
+            telemetry=None if sampler is None else sampler.snapshot(),
         )

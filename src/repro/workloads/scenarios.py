@@ -20,6 +20,7 @@ from repro.engine.executor import ExecutionResult, QueryExecutor
 from repro.errors import ConfigurationError
 from repro.faults.recovery import RecoveryPolicy
 from repro.faults.schedule import FaultSchedule
+from repro.obs.telemetry import TelemetryConfig
 from repro.obs.trace import Tracer
 from repro.optimizer.cache import PlanCache
 from repro.plans.binding import BoundPlan
@@ -64,6 +65,7 @@ class Scenario:
         optimizer_config: "OptimizerConfig | None" = None,
         tracer: "Tracer | None" = None,
         plan_cache: "PlanCache | None" = None,
+        telemetry: "TelemetryConfig | None" = None,
     ) -> ExecutionResult:
         """Simulate one plan in a freshly built system.
 
@@ -73,7 +75,9 @@ class Scenario:
         ``objective`` / ``optimizer_config`` parameterize the re-optimization
         performed after a fault).  ``tracer`` records per-operator spans of
         the run in simulated time (see :mod:`repro.obs`).  ``plan_cache``
-        memoizes any replanning the recovery loop performs.
+        memoizes any replanning the recovery loop performs.  ``telemetry``
+        attaches a gauge sampler; the result then carries the run's
+        utilization time series (see :mod:`repro.obs.telemetry`).
         """
         executor = QueryExecutor(
             self.config,
@@ -88,6 +92,7 @@ class Scenario:
             optimizer_config=optimizer_config,
             tracer=tracer,
             plan_cache=plan_cache,
+            telemetry=telemetry,
         )
         return executor.execute(plan)
 

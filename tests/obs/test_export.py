@@ -1,11 +1,20 @@
 """Exporter and end-to-end trace tests: determinism, coverage, checker."""
 
 import json
+import re
 
 import pytest
 
 from repro import api
-from repro.obs import Tracer, chrome_trace_json, render_timeline
+from repro.obs import (
+    Tracer,
+    chrome_counter_events,
+    chrome_trace_json,
+    render_dashboard,
+    render_timeline,
+    telemetry_csv,
+    telemetry_json,
+)
 from repro.obs.check import check_trace
 
 
@@ -43,7 +52,7 @@ class TestChromeTraceExport:
             {"traceEvents": [{"ph": "X", "name": "x"}], "otherData": {}}
         )
         assert any("missing keys" in p for p in problems)
-        assert any("response_time missing" in p for p in problems)
+        assert any("response_time/makespan missing" in p for p in problems)
 
     def test_checker_enforces_coverage(self):
         document = {
@@ -102,3 +111,192 @@ class TestUntracedRuns:
         api.run_query(policy="hybrid", cached_fraction=0.5, seed=3, trace=str(out))
         document = json.loads(out.read_text())
         assert check_trace(document) == []
+
+
+@pytest.fixture(scope="module")
+def sampled_outcome():
+    return api.run_query(
+        policy="hybrid", cached_fraction=0.5, seed=3, trace=True, telemetry=0.25
+    )
+
+
+class TestTelemetryExport:
+    def test_counter_events_merge_and_pass_checker(self, sampled_outcome):
+        document = json.loads(
+            chrome_trace_json(
+                sampled_outcome.trace, telemetry=sampled_outcome.result.telemetry
+            )
+        )
+        counters = [e for e in document["traceEvents"] if e["ph"] == "C"]
+        assert counters
+        assert all(e["cat"] == "telemetry" for e in counters)
+        assert check_trace(document) == []
+
+    def test_counter_events_sorted_and_numeric(self, sampled_outcome):
+        events = chrome_counter_events(sampled_outcome.result.telemetry)
+        keys = [(e["ts"], e["name"]) for e in events]
+        assert keys == sorted(keys)
+        for event in events:
+            assert isinstance(event["args"]["value"], (int, float))
+            assert not isinstance(event["args"]["value"], bool)
+
+    def test_csv_has_header_and_one_row_per_sample(self, sampled_outcome):
+        telemetry = sampled_outcome.result.telemetry
+        lines = telemetry_csv(telemetry).splitlines()
+        assert lines[0] == "time,channel,value"
+        expected = sum(len(samples) for samples in telemetry.series.values())
+        assert len(lines) == 1 + expected
+        assert all(line.count(",") == 2 for line in lines[1:])
+
+    def test_json_round_trips_the_snapshot(self, sampled_outcome):
+        telemetry = sampled_outcome.result.telemetry
+        document = json.loads(telemetry_json(telemetry))
+        assert document["interval"] == telemetry.interval
+        assert document["samples_taken"] == telemetry.samples_taken
+        assert document["dropped"] == telemetry.dropped
+        assert sorted(document["series"]) == telemetry.names()
+        for name, samples in document["series"].items():
+            assert [tuple(sample) for sample in samples] == list(telemetry[name])
+
+    def test_dashboard_renders_one_row_per_channel(self, sampled_outcome):
+        telemetry = sampled_outcome.result.telemetry
+        text = render_dashboard(telemetry, width=32)
+        lines = text.splitlines()
+        assert lines[0].startswith("telemetry:")
+        assert len(lines) == 1 + len(telemetry.names())
+        for name in telemetry.names():
+            (row,) = [line for line in lines if line.startswith(name + " ")]
+            assert "|" in row and "last=" in row
+
+    def test_dashboard_channel_filter(self, sampled_outcome):
+        telemetry = sampled_outcome.result.telemetry
+        text = render_dashboard(telemetry, channels=("disk0.utilization",))
+        body = text.splitlines()[1:]
+        assert body
+        assert all("disk0.utilization" in line for line in body)
+        assert render_dashboard(telemetry, channels=("no.such.channel",)) == (
+            "(no telemetry samples)"
+        )
+
+
+def _document(events, **other):
+    meta = [{"ph": "M", "name": "thread_name", "pid": 1, "tid": 1, "args": {"name": "t"}}]
+    return {"traceEvents": meta + events, "otherData": dict(other)}
+
+
+class TestCheckerExtensions:
+    def test_counter_events_must_carry_a_numeric_value(self):
+        for bad_value in ("high", None, True):
+            document = _document(
+                [{"ph": "C", "name": "x", "ts": 0.0, "pid": 1,
+                  "args": {"value": bad_value}}],
+                response_time=0.0,
+            )
+            problems = check_trace(document)
+            assert any("non-numeric value" in p for p in problems)
+        ok = _document(
+            [{"ph": "C", "name": "x", "ts": 0.0, "pid": 1, "args": {"value": 0.5}}],
+            response_time=0.0,
+        )
+        assert check_trace(ok) == []
+
+    def test_counter_events_missing_keys_flagged(self):
+        document = _document(
+            [{"ph": "C", "name": "x", "pid": 1}], response_time=0.0
+        )
+        assert any("missing keys" in p for p in check_trace(document))
+
+    def test_unknown_category_rejected(self):
+        document = _document(
+            [{"ph": "X", "name": "s", "cat": "mystery", "ts": 0.0, "dur": 1.0,
+              "pid": 1, "tid": 1}],
+            response_time=0.0,
+        )
+        assert any("unknown category" in p for p in check_trace(document))
+
+    def test_consistency_span_name_and_args_validated(self):
+        good = _document(
+            [{"ph": "X", "name": "invalidate[R0]", "cat": "consistency", "ts": 0.0,
+              "dur": 1.0, "pid": 1, "tid": 1, "args": {"relation": "R0", "pages": 2}}],
+            response_time=0.0,
+        )
+        assert check_trace(good) == []
+        bad_name = _document(
+            [{"ph": "X", "name": "flush[R0]", "cat": "consistency", "ts": 0.0,
+              "dur": 1.0, "pid": 1, "tid": 1, "args": {"relation": "R0"}}],
+            response_time=0.0,
+        )
+        assert any("unexpected name" in p for p in check_trace(bad_name))
+        no_relation = _document(
+            [{"ph": "X", "name": "validate[R0#3]", "cat": "consistency", "ts": 0.0,
+              "dur": 1.0, "pid": 1, "tid": 1}],
+            response_time=0.0,
+        )
+        assert any("missing args.relation" in p for p in check_trace(no_relation))
+
+    def test_makespan_traces_skip_coverage_but_bound_spans(self):
+        span = {"ph": "X", "name": "q", "cat": "op", "ts": 0.0, "dur": 0.4e6,
+                "pid": 1, "tid": 1}
+        # Half-covered makespan is fine: sessions overlap and clients think.
+        assert check_trace(_document([span], makespan=1.0)) == []
+        overlong = dict(span, dur=2e6)
+        problems = check_trace(_document([overlong], makespan=1.0))
+        assert any("beyond the reported makespan" in p for p in problems)
+
+    def test_missing_both_horizons_flagged(self):
+        problems = check_trace(_document([]))
+        assert any("response_time/makespan missing" in p for p in problems)
+
+
+class TestWorkloadTraces:
+    def test_write_workload_trace_has_write_ops_and_invalidations(self):
+        tracer = Tracer()
+        api.run_workload(
+            policy="data",
+            num_clients=2,
+            queries_per_client=2,
+            cached_fraction=0.5,
+            write_fraction=1.0,
+            consistency="invalidation",
+            seed=3,
+            trace=tracer,
+        )
+        document = json.loads(chrome_trace_json(tracer))
+        assert check_trace(document) == []
+        ops = [
+            e["name"]
+            for e in document["traceEvents"]
+            if e["ph"] == "X" and e.get("cat") == "op"
+        ]
+        assert any(re.match(r"^(update|insert|delete)\[", name) for name in ops)
+        consistency = [
+            e
+            for e in document["traceEvents"]
+            if e["ph"] == "X" and e.get("cat") == "consistency"
+        ]
+        assert consistency
+        assert all(e["name"].startswith("invalidate[") for e in consistency)
+        assert all("relation" in e["args"] for e in consistency)
+
+    def test_detection_workload_records_validate_round_trips(self):
+        tracer = Tracer()
+        api.run_workload(
+            policy="data",
+            num_clients=2,
+            queries_per_client=2,
+            cached_fraction=0.5,
+            write_fraction=0.5,
+            consistency="detection",
+            seed=3,
+            trace=tracer,
+        )
+        document = json.loads(chrome_trace_json(tracer))
+        assert check_trace(document) == []
+        validates = [
+            e["name"]
+            for e in document["traceEvents"]
+            if e["ph"] == "X" and e.get("cat") == "consistency"
+            and e["name"].startswith("validate[")
+        ]
+        assert validates
+        assert all(re.match(r"^validate\[\w+#\d+\]$", name) for name in validates)

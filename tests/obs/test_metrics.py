@@ -61,6 +61,83 @@ class TestMetricsRegistry:
             registry.tally("x")
 
 
+class TestValueAccessor:
+    def test_value_reads_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.counter("pages").add(5)
+        registry.gauge("depth", lambda: 2.5)
+        assert registry.value("pages") == 5.0
+        assert registry.value("depth") == 2.5
+
+    def test_value_rejects_tallies(self):
+        registry = MetricsRegistry()
+        registry.tally("delays")
+        with pytest.raises(TypeError):
+            registry.value("delays")
+
+    def test_value_raises_on_unknown_name(self):
+        with pytest.raises(KeyError):
+            MetricsRegistry().value("nope")
+
+
+class TestSnapshotDelta:
+    def test_counter_deltas_rebase_against_baseline(self):
+        registry = MetricsRegistry()
+        pages = registry.counter("site.server1.disk0.pages_read")
+        pages.add(10)
+        baseline = registry.snapshot()
+        pages.add(7)
+        delta = registry.snapshot_delta(baseline)
+        assert delta["site.server1.disk0.pages_read"] == 7
+
+    def test_absolute_suffixes_stay_absolute(self):
+        registry = MetricsRegistry()
+        registry.gauge("site.server1.cpu.utilization", lambda: 0.8)
+        registry.gauge("site.client.memory.granted", lambda: 64.0)
+        registry.gauge("admission.server1.queued", lambda: 3.0)
+        registry.gauge("admission.server1.running", lambda: 4.0)
+        baseline = registry.snapshot()
+        delta = registry.snapshot_delta(baseline)
+        # State gauges describe the current occupancy, not activity since
+        # the baseline; a delta of 0.0 here would be meaningless.
+        assert delta["site.server1.cpu.utilization"] == 0.8
+        assert delta["site.client.memory.granted"] == 64.0
+        assert delta["admission.server1.queued"] == 3.0
+        assert delta["admission.server1.running"] == 4.0
+
+    def test_gauge_reregistration_mid_run_uses_new_callable(self):
+        registry = MetricsRegistry()
+        registry.gauge("site.client.cache.hits", lambda: 100.0)
+        baseline = registry.snapshot()
+        # A re-register (e.g. a dynamic buffer cache replacing the static
+        # one mid-run) swaps the callable; deltas still rebase against the
+        # numeric baseline, whatever produced it.
+        registry.gauge("site.client.cache.hits", lambda: 130.0)
+        assert len(registry) == 1
+        delta = registry.snapshot_delta(baseline)
+        assert delta["site.client.cache.hits"] == 30.0
+
+    def test_names_missing_from_baseline_start_at_zero(self):
+        registry = MetricsRegistry()
+        registry.counter("a").add(1)
+        baseline = registry.snapshot()
+        registry.counter("b").add(5)
+        delta = registry.snapshot_delta(baseline)
+        assert delta["a"] == 0
+        assert delta["b"] == 5
+
+    def test_repeated_execute_on_one_topology_isolates_activity(self):
+        """Back-to-back snapshots see only their own window's counters."""
+        registry = MetricsRegistry()
+        pages = registry.counter("site.server1.disk0.pages_read")
+        windows = []
+        for work in (3, 11, 2):
+            baseline = registry.snapshot()
+            pages.add(work)
+            windows.append(registry.snapshot_delta(baseline))
+        assert [w["site.server1.disk0.pages_read"] for w in windows] == [3, 11, 2]
+
+
 class TestExecutionProfile:
     def test_profile_reports_hardware_activity(self):
         outcome = api.run_query(policy="query", cached_fraction=0.0, seed=1)

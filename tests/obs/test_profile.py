@@ -1,0 +1,76 @@
+"""Per-query profile reports and the ``repro`` profile/dash subcommands."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.obs.profile import profile_query, render_profile
+
+
+class TestProfileQuery:
+    @pytest.fixture(scope="class")
+    def hybrid_profile(self):
+        return profile_query(policy="hybrid", cached_fraction=0.5, seed=0)
+
+    def test_report_covers_every_plan_operator(self, hybrid_profile):
+        report, bound = hybrid_profile
+        labels = set(bound.operator_labels().values())
+        reported = {op.label for op in report.operators}
+        # Every plan-tree node that burned resources appears in the report;
+        # xfer:* receivers are extra (not tree nodes).
+        assert labels & reported
+        assert all(label in labels or label.startswith("xfer:") for label in reported)
+
+    def test_render_draws_the_tree_with_costs(self, hybrid_profile):
+        report, bound = hybrid_profile
+        text = render_profile(report, bound)
+        lines = text.splitlines()
+        assert lines[0] == f"policy: {report.policy}"
+        assert lines[1].startswith("response time: predicted")
+        assert any("display@client" in line for line in lines)
+        assert any("join#0@" in line and "|-- " in line or "'-- " in line
+                   for line in lines)
+        assert any("scan[" in line for line in lines)
+        # Cost columns: predicted/actual seconds plus a signed delta.
+        assert any("s " in line and "%" in line for line in lines[4:])
+
+    def test_render_lists_network_transfers_separately(self):
+        report, bound = profile_query(policy="query", cached_fraction=0.0, seed=0)
+        text = render_profile(report, bound)
+        if any(op.label.startswith("xfer:") for op in report.operators):
+            assert "network transfers (not plan-tree nodes):" in text
+
+
+class TestCliSmoke:
+    def test_profile_subcommand_prints_report(self, capsys):
+        assert repro_main(["profile", "--policy", "hybrid", "--cached", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "response time: predicted" in out
+        assert "display@client" in out
+
+    def test_dash_subcommand_writes_series_file(self, tmp_path, capsys):
+        out_path = tmp_path / "telemetry.json"
+        code = repro_main(
+            ["dash", "--policy", "data", "--cached", "0.5", "--out", str(out_path)]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "response time" in printed
+        assert "telemetry:" in printed
+        document = json.loads(out_path.read_text())
+        assert document["samples_taken"] > 0
+        assert document["series"]
+
+    def test_dash_subcommand_workload_mode(self, capsys):
+        code = repro_main(
+            ["dash", "--policy", "hybrid", "--clients", "2", "--queries", "1",
+             "--cached", "0.5", "--channel", "utilization"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "queries in" in printed
+        body = printed.splitlines()
+        assert any("utilization" in line and "|" in line for line in body)

@@ -1,0 +1,227 @@
+"""Telemetry sampler: zero overhead, determinism, ring buffers, deadlock dumps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import Series, TelemetryConfig, TelemetrySampler
+from repro.sim.engine import SimulationError
+
+
+class TestSeries:
+    def test_ring_buffer_caps_and_counts_drops(self):
+        series = Series("x", capacity=4)
+        for i in range(7):
+            series.append(float(i), float(i) * 10.0)
+        assert len(series) == 4
+        assert series.dropped == 3
+        assert series.times() == [3.0, 4.0, 5.0, 6.0]
+        assert series.values() == [30.0, 40.0, 50.0, 60.0]
+
+    def test_last_returns_most_recent_oldest_first(self):
+        series = Series("x", capacity=8)
+        for i in range(5):
+            series.append(float(i), float(i))
+        assert series.last(2) == [(3.0, 3.0), (4.0, 4.0)]
+        assert series.last(99) == list(series.samples)
+        assert series.last(0) == []
+
+
+class TestConfig:
+    def test_rejects_bad_interval_and_capacity(self):
+        with pytest.raises(ValueError):
+            TelemetryConfig(interval=0.0)
+        with pytest.raises(ValueError):
+            TelemetryConfig(interval=-1.0)
+        with pytest.raises(ValueError):
+            TelemetryConfig(capacity=0)
+
+    def test_channel_filter(self):
+        config = TelemetryConfig(channels=("disk0.utilization",))
+        assert config.wants("site.client.disk0.utilization")
+        assert not config.wants("site.client.cpu.utilization")
+        assert TelemetryConfig().wants("anything")
+
+
+class TestSampler:
+    def test_rate_channel_differences_busy_time(self, env):
+        registry = MetricsRegistry()
+        registry.gauge("site.client.disk0.busy_time", lambda: env.now * 0.5)
+        sampler = TelemetrySampler(env, registry, TelemetryConfig(interval=1.0))
+
+        def ticker():
+            yield env.timeout(3.0)
+
+        env.process(ticker())
+        env.run()
+        telemetry = sampler.snapshot()
+        # The sampler outlives the ticker by one heartbeat (it parks only
+        # after finding the queue empty), hence the t=4 sample.
+        assert telemetry.times("site.client.disk0.utilization") == [
+            0.0,
+            1.0,
+            2.0,
+            3.0,
+            4.0,
+        ]
+        # First sample baselines the gauge; each later interval saw 0.5s of
+        # busy time per 1.0s of simulated time.
+        assert telemetry.values("site.client.disk0.utilization") == [
+            0.0,
+            0.5,
+            0.5,
+            0.5,
+            0.5,
+        ]
+
+    def test_state_channel_sampled_as_is(self, env):
+        registry = MetricsRegistry()
+        depth = {"value": 2.0}
+        registry.gauge("site.client.memory.granted", lambda: depth["value"])
+
+        sampler = TelemetrySampler(env, registry, TelemetryConfig(interval=1.0))
+
+        def mutate():
+            yield env.timeout(1.5)
+            depth["value"] = 7.0
+            yield env.timeout(1.5)
+
+        env.process(mutate())
+        env.run()
+        assert sampler.snapshot().values("site.client.memory.granted") == [
+            2.0,
+            2.0,
+            7.0,
+            7.0,
+            7.0,
+        ]
+
+    def test_channels_filter_drops_unwanted_series(self, env):
+        registry = MetricsRegistry()
+        registry.gauge("site.client.disk0.busy_time", lambda: env.now)
+        registry.gauge("site.client.memory.granted", lambda: 1.0)
+        config = TelemetryConfig(interval=1.0, channels=("memory.granted",))
+        sampler = TelemetrySampler(env, registry, config)
+
+        def ticker():
+            yield env.timeout(2.0)
+
+        env.process(ticker())
+        env.run()
+        assert sampler.snapshot().names() == ["site.client.memory.granted"]
+
+    def test_gauges_registered_mid_run_are_picked_up(self, env):
+        registry = MetricsRegistry()
+        sampler = TelemetrySampler(env, registry, TelemetryConfig(interval=1.0))
+
+        def register_late():
+            yield env.timeout(1.5)
+            registry.gauge("site.server1.memory.waiting", lambda: 3.0)
+            yield env.timeout(1.5)
+
+        env.process(register_late())
+        env.run()
+        telemetry = sampler.snapshot()
+        # Discovered at the t=2 sample; earlier grid points don't exist.
+        assert telemetry.times("site.server1.memory.waiting") == [2.0, 3.0, 4.0]
+
+    def test_sampler_parks_so_the_simulation_can_end(self, env):
+        registry = MetricsRegistry()
+        registry.gauge("site.client.memory.granted", lambda: 1.0)
+        TelemetrySampler(env, registry, TelemetryConfig(interval=0.5))
+
+        def work():
+            yield env.timeout(2.0)
+
+        process = env.process(work())
+        env.run(until=process)  # would deadlock if the sampler never parked
+        env.run()  # drain the final heartbeat; must terminate
+        assert env.now <= 2.5
+
+    def test_deadlock_dump_includes_telemetry_lead_up(self, env):
+        registry = MetricsRegistry()
+        depth = {"value": 0.0}
+        registry.gauge("site.client.memory.granted", lambda: depth["value"])
+        TelemetrySampler(env, registry, TelemetryConfig(interval=0.1))
+        never = env.event()
+
+        def stuck():
+            depth["value"] = 4.0
+            yield env.timeout(0.25)
+            yield never
+
+        process = env.process(stuck(), name="stuck-query")
+        with pytest.raises(SimulationError) as excinfo:
+            env.run(until=process)
+        message = str(excinfo.value)
+        assert "'stuck-query'" in message
+        assert "telemetry (interval 0.1s" in message
+        assert "site.client.memory.granted" in message
+        assert "4@" in message  # the last sampled value, with its timestamp
+
+
+class TestEndToEnd:
+    def test_sampling_does_not_change_simulation_results(self):
+        plain = api.run_query(policy="hybrid", cached_fraction=0.5, seed=3).result
+        sampled = api.run_query(
+            policy="hybrid", cached_fraction=0.5, seed=3, telemetry=True
+        ).result
+        assert sampled.response_time == plain.response_time
+        assert sampled.pages_sent == plain.pages_sent
+        assert plain.telemetry is None
+        assert sampled.telemetry is not None
+        assert sampled.telemetry.samples_taken > 0
+
+    def test_same_seed_produces_identical_telemetry(self):
+        config = TelemetryConfig(interval=0.25)
+        first = api.run_query(
+            policy="data", cached_fraction=0.5, seed=7, telemetry=config
+        ).result.telemetry
+        second = api.run_query(
+            policy="data", cached_fraction=0.5, seed=7, telemetry=config
+        ).result.telemetry
+        assert first == second
+
+    def test_telemetry_spans_the_run_and_has_site_channels(self):
+        outcome = api.run_query(
+            policy="query", cached_fraction=0.25, seed=0, telemetry=0.25
+        )
+        telemetry = outcome.result.telemetry
+        assert telemetry is not None
+        assert telemetry.start == 0.0
+        assert telemetry.end == pytest.approx(outcome.result.response_time)
+        names = telemetry.names()
+        assert any(n.endswith("disk0.utilization") for n in names)
+        assert any(n.endswith("cpu.utilization") for n in names)
+        assert "network.data_pages_sent" in names
+        # Grid is shared: every series carries the same timestamps.
+        times = {tuple(telemetry.times(name)) for name in names}
+        assert len(times) == 1
+
+    def test_workload_telemetry_includes_admission_gauges(self):
+        result = api.run_workload(
+            policy="hybrid",
+            num_clients=4,
+            queries_per_client=2,
+            cached_fraction=0.5,
+            seed=3,
+            telemetry=TelemetryConfig(interval=0.5),
+        )
+        telemetry = result.telemetry
+        assert telemetry is not None
+        assert "admission.server1.queued" in telemetry
+        assert "admission.server1.running" in telemetry
+        # Admission caps concurrency, so the running gauge must have been
+        # nonzero at some sampled instant.
+        assert max(telemetry.values("admission.server1.running")) > 0.0
+
+    def test_capacity_cap_bounds_series_and_counts_drops(self):
+        config = TelemetryConfig(interval=0.05, capacity=8)
+        telemetry = api.run_query(
+            policy="hybrid", cached_fraction=0.5, seed=3, telemetry=config
+        ).result.telemetry
+        assert telemetry is not None
+        assert telemetry.dropped > 0
+        assert all(len(samples) <= 8 for samples in telemetry.series.values())

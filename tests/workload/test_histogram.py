@@ -1,0 +1,142 @@
+"""Log-bucketed streaming histogram: accuracy, boundaries, memory."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.histogram import StreamingHistogram
+from repro.workload.results import percentile
+
+
+class TestBuckets:
+    def test_bucket_representatives_are_exact_fixed_points(self):
+        """Recording a bucket representative reports it back exactly.
+
+        The representative is the geometric mean of the bucket bounds; it
+        falls inside its own bucket, so the sketch round-trips it with zero
+        error -- the bucket-boundary exactness guarantee.
+        """
+        histogram = StreamingHistogram(relative_error=0.01)
+        representatives = sorted(
+            {histogram.representative(v) for v in (0.001, 0.05, 1.0, 3.7, 120.0)}
+        )
+        for value in representatives:
+            assert histogram.representative(value) == value
+        for value in representatives:
+            solo = StreamingHistogram(relative_error=0.01)
+            solo.record(value)
+            assert solo.quantile(50.0) == value
+            assert solo.quantile(99.0) == value
+
+    def test_boundary_values_land_deterministically(self):
+        """Values exactly on a bucket boundary always pick the same bucket."""
+        histogram = StreamingHistogram(relative_error=0.01)
+        gamma = (1.0 + 0.01) / (1.0 - 0.01)
+        for i in (-5, 0, 1, 17):
+            boundary = gamma**i
+            assert histogram._bucket_of(boundary) == i
+
+    def test_relative_error_bound_vs_exact_percentile(self):
+        rng = random.Random(7)
+        values = [rng.uniform(0.01, 40.0) for _ in range(5000)]
+        histogram = StreamingHistogram(relative_error=0.01)
+        histogram.record_all(values)
+        for q in (10.0, 50.0, 90.0, 95.0, 99.0):
+            exact = percentile(values, q)
+            sketch = histogram.quantile(q)
+            # Nearest-rank vs interpolation differ by at most one
+            # observation; with 5000 samples the bound below holds easily.
+            assert abs(sketch - exact) / exact < 0.05
+
+    def test_quantiles_are_monotone(self):
+        rng = random.Random(11)
+        histogram = StreamingHistogram()
+        histogram.record_all(rng.expovariate(1.0) + 0.01 for _ in range(1000))
+        p50 = histogram.quantile(50.0)
+        p95 = histogram.quantile(95.0)
+        p99 = histogram.quantile(99.0)
+        assert p50 <= p95 <= p99
+        assert histogram.quantile(0.0) <= p50
+        assert p99 <= histogram.quantile(100.0)
+
+    def test_underflow_bucket_reports_zero(self):
+        histogram = StreamingHistogram()
+        histogram.record_all([0.0, 0.0, 0.0, 5.0])
+        assert histogram.quantile(50.0) == 0.0
+        assert histogram.quantile(99.0) == pytest.approx(5.0, rel=0.01)
+        assert histogram.representative(0.0) == 0.0
+
+
+class TestMemory:
+    def test_bucket_count_independent_of_observation_count(self):
+        """O(1) memory: n grows 1000x, occupied buckets stay identical."""
+        values = [0.01 * (i + 1) for i in range(100)]
+        small = StreamingHistogram()
+        small.record_all(values)
+        large = StreamingHistogram()
+        for _ in range(1000):
+            large.record_all(values)
+        assert large.bucket_count == small.bucket_count
+        assert len(large) == 1000 * len(small)
+
+    def test_bucket_count_scales_with_value_range_only(self):
+        histogram = StreamingHistogram(relative_error=0.01)
+        histogram.record_all([1.0 + 1e-6 * i for i in range(10_000)])
+        # A hundredth of a decade of range needs only a handful of
+        # gamma-spaced buckets no matter how many samples land in it.
+        assert histogram.bucket_count <= 3
+
+
+class TestMerge:
+    def test_merge_equals_recording_everything_in_one(self):
+        rng = random.Random(3)
+        left_values = [rng.uniform(0.1, 10.0) for _ in range(500)]
+        right_values = [rng.uniform(0.1, 10.0) for _ in range(500)]
+        left = StreamingHistogram()
+        left.record_all(left_values)
+        right = StreamingHistogram()
+        right.record_all(right_values)
+        combined = StreamingHistogram()
+        combined.record_all(left_values + right_values)
+        left.merge(right)
+        assert len(left) == len(combined)
+        for q in (50.0, 95.0, 99.0):
+            assert left.quantile(q) == combined.quantile(q)
+
+    def test_merge_rejects_mismatched_parameters(self):
+        left = StreamingHistogram(relative_error=0.01)
+        with pytest.raises(ConfigurationError):
+            left.merge(StreamingHistogram(relative_error=0.02))
+        with pytest.raises(ConfigurationError):
+            left.merge(StreamingHistogram(min_value=1e-6))
+
+
+class TestValidation:
+    def test_constructor_rejects_bad_parameters(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ConfigurationError):
+                StreamingHistogram(relative_error=bad)
+        with pytest.raises(ConfigurationError):
+            StreamingHistogram(min_value=0.0)
+
+    def test_record_rejects_nan_and_inf(self):
+        histogram = StreamingHistogram()
+        with pytest.raises(ConfigurationError):
+            histogram.record(float("nan"))
+        with pytest.raises(ConfigurationError):
+            histogram.record(float("inf"))
+
+    def test_quantile_of_empty_histogram_raises(self):
+        with pytest.raises(ConfigurationError):
+            StreamingHistogram().quantile(50.0)
+
+    def test_quantile_rejects_out_of_range_percentile(self):
+        histogram = StreamingHistogram()
+        histogram.record(1.0)
+        with pytest.raises(ConfigurationError):
+            histogram.quantile(101.0)
+        with pytest.raises(ConfigurationError):
+            histogram.quantile(-1.0)
