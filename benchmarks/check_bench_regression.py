@@ -4,6 +4,7 @@ Usage::
 
     python benchmarks/check_bench_regression.py [--results DIR]
         [--baselines DIR] [--timing-tolerance 0.75]
+        [--throughput-tolerance 0.5]
 
 Every benchmark in this repo writes a machine-readable
 ``benchmarks/results/BENCH_<name>.json``.  This script compares each one
@@ -18,6 +19,12 @@ value class:
   own inline asserts carry the tight bounds).  Rates/speedups gate only
   the *slower* direction; wall clocks only the *higher* direction --
   getting faster is never a regression.
+- **throughput rates** (``*_per_sec``, ``*_per_wall_s``, ``speedup``) use
+  the tighter ``--throughput-tolerance`` (default 50 %): these are the
+  values the simulator fast paths exist to protect, and a 2x slowdown
+  in sim-s per wall-s would quietly double every CI figure sweep, so a
+  drop below the bound fails the gate where a plain wall clock would
+  still slip through.
 - **boolean invariants** (``identical_results``, ``identical_plans``,
   ...) must stay true if the baseline has them true -- no tolerance.
 - **everything else** (grid shapes, counts, simulated seconds -- fully
@@ -54,8 +61,15 @@ def _higher_is_better(key: str) -> bool:
 
 
 def _compare(
-    baseline, current, path: str, tolerance: float, problems: list[str]
+    baseline,
+    current,
+    path: str,
+    tolerance: float,
+    problems: list[str],
+    throughput_tolerance: float | None = None,
 ) -> None:
+    if throughput_tolerance is None:
+        throughput_tolerance = tolerance
     if isinstance(baseline, dict):
         if not isinstance(current, dict):
             problems.append(f"{path}: expected object, got {type(current).__name__}")
@@ -64,7 +78,14 @@ def _compare(
             if key not in current:
                 problems.append(f"{path}.{key}: missing from results")
                 continue
-            _compare(baseline[key], current[key], f"{path}.{key}", tolerance, problems)
+            _compare(
+                baseline[key],
+                current[key],
+                f"{path}.{key}",
+                tolerance,
+                problems,
+                throughput_tolerance,
+            )
         return
     key = path.rsplit(".", 1)[-1]
     if isinstance(baseline, bool):
@@ -76,11 +97,11 @@ def _compare(
             if baseline == 0:
                 return
             if _higher_is_better(key):
-                floor = baseline * (1.0 - tolerance)
+                floor = baseline * (1.0 - throughput_tolerance)
                 if current < floor:
                     problems.append(
                         f"{path}: {current} below {floor:.4g} "
-                        f"(baseline {baseline}, tolerance {tolerance:.0%})"
+                        f"(baseline {baseline}, tolerance {throughput_tolerance:.0%})"
                     )
             else:
                 ceiling = baseline * (1.0 + tolerance)
@@ -109,6 +130,11 @@ def main(argv: list[str] | None = None) -> int:
         "--timing-tolerance", type=float, default=0.75,
         help="relative drift allowed on machine-dependent timings (default 0.75)",
     )
+    parser.add_argument(
+        "--throughput-tolerance", type=float, default=0.5,
+        help="relative drop allowed on rates/speedups -- sim-s per wall-s, "
+        "plans per second -- before the gate fails (default 0.5)",
+    )
     args = parser.parse_args(argv)
 
     results_dir = pathlib.Path(args.results)
@@ -123,7 +149,14 @@ def main(argv: list[str] | None = None) -> int:
         baseline = json.loads(baseline_path.read_text())
         current = json.loads(result_path.read_text())
         before = len(problems)
-        _compare(baseline, current, result_path.stem, args.timing_tolerance, problems)
+        _compare(
+            baseline,
+            current,
+            result_path.stem,
+            args.timing_tolerance,
+            problems,
+            args.throughput_tolerance,
+        )
         checked += 1
         status = "ok" if len(problems) == before else "REGRESSED"
         print(f"{result_path.name}: {status}")

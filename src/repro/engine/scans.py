@@ -113,7 +113,10 @@ class ScanIterator(PhysicalOp):
         buffer = self._buffer
         assert buffer is not None
         manager = self.context.topology.consistency
+        recorder = self.context.env.recorder
         page = buffer.lookup(self.relation, index)
+        if recorder is not None:
+            recorder.record_blook(self.relation, index, page)
         if page is not None:
             if manager is not None:
                 assert self._home_server is not None
@@ -128,12 +131,20 @@ class ScanIterator(PhysicalOp):
                 yield from self.site.cpu.execute(self.config.disk_inst)
                 yield self.site.disk.read(page)
                 return
+        # Capture the version stamp *before* issuing the fault.  The bytes
+        # the server returns are those on its disk when the read is served;
+        # a write committing while the fault's reply is still on the wire
+        # must not get its newer version stamped onto the older contents
+        # (the old post-fault capture did exactly that, marking a stale
+        # page fresh and defeating the validate-on-hit check).  Stamping
+        # the pre-fault version is conservative: if a write raced in, the
+        # next hit fails the version compare and re-faults.
+        version = 0 if manager is None else manager.current_version(self.relation, index)
         yield from self._fault_from_server(index)
         if buffer.admit_on_fault:
-            version = (
-                0 if manager is None else manager.current_version(self.relation, index)
-            )
             slot = buffer.admit(self.relation, index, version=version)
+            if recorder is not None:
+                recorder.record_badmit(self.relation, index, version, slot)
             if slot is not None:
                 yield from self.site.cpu.execute(self.config.disk_inst)
                 yield self.site.disk.write(slot)
@@ -152,11 +163,15 @@ class ScanIterator(PhysicalOp):
                 args={"relation": self.relation, "page": index},
             )
         try:
-            yield from network.send_request(self.site, server)
-            yield from server.cpu.execute(self.config.disk_inst)
+            # Direct flat sends (rather than the send_request/send_page
+            # wrappers): page faults dominate data-shipping runs, and the
+            # wrapper frame is pure overhead on this path.
+            config = self.config
+            yield from network.send_flat(self.site, server, config.request_message_bytes)
+            yield from server.cpu.execute(config.disk_inst)
             disk = server.disks[self._home_disk_index]
             yield disk.read(self._home_extent.page(index))
-            yield from network.send_page(server, self.site)
+            yield from network.send_flat(server, self.site, config.page_size, 1)
         finally:
             if tracer is not None:
                 tracer.end(span)

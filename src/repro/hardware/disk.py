@@ -41,7 +41,7 @@ class DiskRequest:
         self.kind = kind
         self.page = page
         self.done = Event(env)
-        self.submitted_at = env.now
+        self.submitted_at = env._now
         # Label of the operator the request runs on behalf of; stamped at
         # submit time (requests are served by the disk's own process, which
         # would otherwise lose the attribution).
@@ -65,6 +65,11 @@ class Disk:
         self.params = params
         self.name = name
         self.rng = rng or random.Random(0)
+        # DiskParams derives these via properties; the geometry is immutable
+        # and they sit on every request's hot path, so cache them flat.
+        self._pages_per_cylinder = params.pages_per_cylinder
+        self._capacity_pages = params.capacity_pages
+        self._transfer_time = params.transfer_time
         self._pool = RequestPool(env, name=f"{name}.queue")
         # Head state.
         self._cylinder = 0
@@ -85,6 +90,11 @@ class Disk:
         self.random_ios = 0
         self.faulted_requests = 0
         self.monitor = UtilizationMonitor(env, name=name)
+        # End of the last *collapsed* service window (see _serve_loop): the
+        # loop may have already completed a request analytically out to this
+        # time; a newly arriving request must not start service before it.
+        self._virtual_busy_until = 0.0
+        self._virtual_request: DiskRequest | None = None
         self._server = env.process(self._serve_loop(), name=f"{name}.server")
 
     # ------------------------------------------------------------------
@@ -92,19 +102,34 @@ class Disk:
     # ------------------------------------------------------------------
     def read(self, page: int) -> Event:
         """Submit a one-page read; the returned event fires when done."""
-        return self.submit("read", page).done
+        request = self.submit("read", page)
+        recorder = self.env.recorder
+        if recorder is not None:
+            # read()/write() callers yield the completion immediately, so
+            # the submit+wait pair is recorded here as one logical step.
+            recorder.record_dwait(request)
+        return request.done
 
     def write(self, page: int) -> Event:
         """Submit a one-page write; the returned event fires when done."""
-        return self.submit("write", page).done
+        request = self.submit("write", page)
+        recorder = self.env.recorder
+        if recorder is not None:
+            recorder.record_dwait(request)
+        return request.done
 
     def submit(self, kind: str, page: int) -> DiskRequest:
         """Queue a request without waiting for it."""
-        self._check_page(page)
-        request = DiskRequest(self.env, kind, page)
-        tracer = self.env.tracer
+        env = self.env
+        if not 0 <= page < self._capacity_pages:
+            self._check_page(page)  # raises with the full description
+        request = DiskRequest(env, kind, page)
+        tracer = env.tracer
         if tracer is not None:
             request.op = tracer.current_op()
+        recorder = env.recorder
+        if recorder is not None:
+            recorder.record_dsub(self, kind, page, request)
         if self._off:
             self.faulted_requests += 1
             request.done.fail(self._make_offline_error())
@@ -120,6 +145,9 @@ class Disk:
         if self._off:
             return
         self._off = True
+        # Faults are now in play: the serve loop stops collapsing service
+        # windows so power state is honoured at every event boundary.
+        self.env.fault_aware = True
         self._offline_error = error_factory
         # Queued but unserved requests fail immediately.
         for request in self._pool.clear():
@@ -131,6 +159,23 @@ class Disk:
         if current is not None and not current.done.triggered:
             self.faulted_requests += 1
             current.done.fail(self._make_offline_error())
+        # A request completed analytically by the fast path has its success
+        # sitting in the heap at the window's end; revoke it by rewriting
+        # the event to a failure and scheduling it now -- callbacks run on
+        # the first (failing) pass, so the later heap entry is a no-op and
+        # the waiter observes the crash at power-off time, as modelled.
+        virtual = self._virtual_request
+        if (
+            virtual is not None
+            and self.env.now < self._virtual_busy_until
+            and not virtual.done._processed
+        ):
+            self.faulted_requests += 1
+            done = virtual.done
+            done._exception = self._make_offline_error()
+            done._value = None
+            self.env.schedule(done, 0.0)
+            self._virtual_request = None
         # A crash empties the volatile controller cache.
         self._cache.clear()
         self._last_page = None
@@ -165,7 +210,7 @@ class Disk:
     # Geometry
     # ------------------------------------------------------------------
     def cylinder_of(self, page: int) -> int:
-        return page // self.params.pages_per_cylinder
+        return page // self._pages_per_cylinder
 
     def track_of(self, page: int) -> int:
         return (page % self.params.pages_per_cylinder) // self.params.pages_per_track
@@ -174,7 +219,7 @@ class Disk:
         return page % self.params.pages_per_track
 
     def _check_page(self, page: int) -> None:
-        if not 0 <= page < self.params.capacity_pages:
+        if not 0 <= page < self._capacity_pages:
             raise ValueError(
                 f"page {page} outside disk {self.name!r} "
                 f"(capacity {self.params.capacity_pages} pages)"
@@ -184,16 +229,56 @@ class Disk:
     # Scheduling and service
     # ------------------------------------------------------------------
     def _serve_loop(self) -> typing.Generator:
+        env = self.env
+        pool = self._pool
         while True:
-            yield self._pool.wait_for_item()
-            request = self._pool.take(self._elevator_choose)
+            if not pool.items or self._virtual_busy_until <= env._now:
+                # With requests already queued *and* a virtual window still
+                # playing out, the wait below would be a zero-sleep followed
+                # immediately by the window sleep -- two scheduler passes
+                # where one suffices -- so that case skips straight to the
+                # window sleep.  The zero-sleep is kept when the window has
+                # expired: it is what lets same-instant sibling submits join
+                # the pool before the next elevator choice.
+                yield pool.wait_for_item()
+            busy_until = self._virtual_busy_until
+            if busy_until > env._now:
+                # The previous request was completed analytically; its
+                # service window is still "on the platter".  Sleep it out so
+                # the next request starts (and the elevator chooses among
+                # everything queued by then) exactly when the un-collapsed
+                # loop would have finished its timeout.
+                yield busy_until - env._now
+                if not pool.items:
+                    # A power-off cleared the queue while the virtual window
+                    # played out; go back to waiting.
+                    continue
+            if env.fastpath and env.tracer is None and not env.fault_aware and not self._off:
+                # Collapsed service: compute the duration now (head, cache,
+                # and stats state advance identically), book the busy window
+                # analytically, and schedule the completion directly -- one
+                # scheduler pass instead of three.  Exact because nothing
+                # can serve this disk before the window ends (arrivals park
+                # on the virtual window above) and monitors report
+                # mid-window reads via UtilizationMonitor.accrue semantics.
+                request = pool.take(self._elevator_choose)
+                duration = self._service(request) * self.slow_factor
+                self._virtual_request = request
+                if duration > 0.0:
+                    self.monitor.accrue(duration)
+                    self._virtual_busy_until = env._now + duration
+                    request.done.succeed(duration, delay=duration)
+                else:
+                    request.done.succeed(duration)
+                continue
+            request = pool.take(self._elevator_choose)
             self._current = request
             self.monitor.busy()
             duration = self._service(request) * self.slow_factor
             if duration > 0:
                 tracer = self.env.tracer
                 if tracer is None:
-                    yield self.env.timeout(duration)
+                    yield float(duration)
                 else:
                     span = tracer.begin(
                         self.name,
@@ -211,16 +296,34 @@ class Disk:
                 request.done.succeed(duration)
 
     def _elevator_choose(self, items: list[DiskRequest]) -> DiskRequest:
-        """SCAN policy: nearest request in the travel direction, else reverse."""
+        """SCAN policy: nearest request in the travel direction, else reverse.
+
+        Single pass, first-minimal on ties (matching ``min()`` over the
+        original filtered list, which preserves submission order).
+        """
         if len(items) == 1:
             return items[0]
-        ahead = [
-            r for r in items if (self.cylinder_of(r.page) - self._cylinder) * self._direction >= 0
-        ]
-        if not ahead:
-            self._direction = -self._direction
-            ahead = items
-        return min(ahead, key=lambda r: abs(self.cylinder_of(r.page) - self._cylinder))
+        pages_per_cylinder = self._pages_per_cylinder
+        cylinder = self._cylinder
+        direction = self._direction
+        best: DiskRequest | None = None
+        best_distance = 0
+        for request in items:
+            delta = request.page // pages_per_cylinder - cylinder
+            if delta * direction >= 0:
+                distance = delta if delta >= 0 else -delta
+                if best is None or distance < best_distance:
+                    best = request
+                    best_distance = distance
+        if best is None:
+            self._direction = -direction
+            for request in items:
+                delta = request.page // pages_per_cylinder - cylinder
+                distance = delta if delta >= 0 else -delta
+                if best is None or distance < best_distance:
+                    best = request
+                    best_distance = distance
+        return best
 
     def _service(self, request: DiskRequest) -> float:
         """Compute service time and update head / cache state."""
@@ -238,7 +341,7 @@ class Disk:
             # cache ends up holding the freshly written copy (valid).
             self._cache.pop(page, None)
 
-        target_cylinder = self.cylinder_of(page)
+        target_cylinder = page // self._pages_per_cylinder
         sequential = self._last_page is not None and page == self._last_page + 1
         duration = 0.0
         if sequential:
@@ -252,7 +355,7 @@ class Disk:
             distance = abs(target_cylinder - self._cylinder)
             duration += p.seek_time(distance)
             duration += self._rotational_latency()
-        duration += p.transfer_time
+        duration += self._transfer_time
         self._cylinder = target_cylinder
         self._last_page = page
         self._cache_insert(page)
@@ -268,9 +371,9 @@ class Disk:
         duration = 0.0
         for ahead in range(1, count + 1):
             prefetched = page + ahead
-            if prefetched >= p.capacity_pages or prefetched in self._cache:
+            if prefetched >= self._capacity_pages or prefetched in self._cache:
                 break
-            duration += p.transfer_time
+            duration += self._transfer_time
             self._cache_insert(prefetched)
             self._last_page = prefetched
         return duration
@@ -282,10 +385,12 @@ class Disk:
         return p.average_rotational_latency
 
     def _cache_insert(self, page: int) -> None:
+        # Every call site has already established that ``page`` is absent
+        # (read miss, write-through pop, or the prefetch membership check),
+        # so a plain insert lands it in LRU position without move_to_end.
         cache = self._cache
         cache[page] = True
-        cache.move_to_end(page)
-        while len(cache) > self.params.controller_cache_pages:
+        if len(cache) > self.params.controller_cache_pages:
             cache.popitem(last=False)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -296,8 +296,15 @@ class TelemetrySampler:
             # non-empty forever and defeat deadlock detection.  Cheap guard
             # first -- at most len(beats) queued events can be heartbeats.
             queue = env._queue
-            if len(queue) <= len(beats) and all(
-                id(event) in beats for _, _, event in queue
+            if (
+                not env._immediate
+                and len(queue) <= len(beats)
+                and all(
+                    # Raw-sleep entries are (time, seq, process, None)
+                    # 4-tuples: parked processes, never heartbeats.
+                    len(entry) == 3 and id(entry[2]) in beats
+                    for entry in queue
+                )
             ):
                 return
 

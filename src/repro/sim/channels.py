@@ -51,22 +51,29 @@ class Channel:
         self._put_wait = f"put() on full channel {name or 'channel'!r}"
         self._get_wait = f"get() on empty channel {name or 'channel'!r}"
 
-    def put(self, item: typing.Any) -> Event:
-        """Offer ``item``; the event fires once the item is buffered/consumed."""
+    def put(self, item: typing.Any) -> "Event | float":
+        """Offer ``item``; yield the result to proceed once it is accepted.
+
+        When the item is accepted synchronously (a consumer is waiting, or
+        the buffer has room) this returns a raw ``0.0`` sleep instead of a
+        pre-triggered event: the yielding producer parks at the same
+        (time, sequence) scheduler slot either way, so ordering is
+        identical, but the event allocation disappears from the per-page
+        hot path.  Only a put blocked on a full buffer pays for an event.
+        """
         if self.closed:
             raise ChannelClosed(f"put() on closed channel {self.name!r}")
-        event = Event(self.env)
         if self._getters:
             getter = self._getters.popleft()
             getter.succeed(item)
             self.items_passed += 1
-            event.succeed()
-        elif len(self._buffer) < self.capacity:
+            return 0.0
+        if len(self._buffer) < self.capacity:
             self._buffer.append(item)
-            event.succeed()
-        else:
-            event.wait_reason = self._put_wait
-            self._putters.append((event, item))
+            return 0.0
+        event = Event(self.env)
+        event.wait_reason = self._put_wait
+        self._putters.append((event, item))
         return event
 
     def get(self) -> Event:
@@ -94,6 +101,21 @@ class Channel:
             putter, item = self._putters.popleft()
             self._buffer.append(item)
             putter.succeed()
+
+    def fail_waiters(self, exc_factory: typing.Callable[[], Exception]) -> None:
+        """Fail every parked getter *and* putter with a fresh exception.
+
+        :meth:`close` fails only getters (blocked producers are a bug in a
+        normally-terminating pipeline); teardown paths that abandon a
+        pipeline mid-flight -- e.g. a cancelled session replay -- must also
+        unblock producers parked on a full buffer, or they deadlock.
+        """
+        for getter in self._getters:
+            getter.fail(exc_factory())
+        self._getters.clear()
+        for putter, _item in self._putters:
+            putter.fail(exc_factory())
+        self._putters.clear()
 
     def close(self) -> None:
         """Mark end-of-stream; waiting consumers beyond the buffer fail."""

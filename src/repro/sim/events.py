@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 import typing
+from heapq import heappush
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Environment
 
 __all__ = ["Event", "Timeout", "AnyOf", "AllOf", "EventError"]
+
+_INF = float("inf")
 
 
 class EventError(RuntimeError):
@@ -80,7 +83,17 @@ class Event:
             raise EventError("event already triggered")
         self._triggered = True
         self._value = value
-        self.env.schedule(self, delay)
+        env = self.env
+        if delay == 0.0:
+            # Zero-delay triggers (the overwhelmingly common case) ride the
+            # immediate deque: entries are appended in strictly increasing
+            # (time, seq) order, so the scheduler's head-to-head merge with
+            # the heap preserves the exact global ordering at deque cost
+            # instead of heap cost.
+            env._sequence += 1
+            env._immediate.append((env._now, env._sequence, self, None))
+        else:
+            env.schedule(self, delay)
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -94,7 +107,12 @@ class Event:
             raise TypeError(f"fail() needs an exception, got {exception!r}")
         self._triggered = True
         self._exception = exception
-        self.env.schedule(self, delay)
+        env = self.env
+        if delay == 0.0:
+            env._sequence += 1
+            env._immediate.append((env._now, env._sequence, self, None))
+        else:
+            env.schedule(self, delay)
         return self
 
     def _run_callbacks(self) -> None:
@@ -114,13 +132,19 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: typing.Any = None) -> None:
-        if delay < 0:
-            raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._triggered = True
+        # ``0.0 <= delay < inf`` rejects negatives, +inf, and NaN (NaN fails
+        # every comparison) in one test, keeping heap ordering well-defined.
+        if not (0.0 <= delay < _INF):
+            raise ValueError(f"timeout delay must be finite and non-negative: {delay}")
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay)
+        self._exception = None
+        self._triggered = True
+        self._processed = False
+        self.delay = delay
+        env._sequence += 1
+        heappush(env._queue, (env._now + delay, env._sequence, self))
 
 
 class _Condition(Event):

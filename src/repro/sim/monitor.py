@@ -84,25 +84,80 @@ class UtilizationMonitor:
       (``env.now`` by default, or an explicit ``elapsed`` horizon);
     - at ``env.now == 0`` no time has elapsed, so utilization is defined
       as ``0.0`` (never a division by zero), regardless of busy state.
+
+    Collapsed service (the simulator's fast path) accounts a whole busy
+    window analytically at its *start* via :meth:`accrue`; the unexpired
+    remainder is tracked in ``virtual_until`` and subtracted by
+    :meth:`elapsed_busy_time`, so mid-window reads (e.g. the telemetry
+    sampler's utilization gauges) see exactly the value an open
+    ``busy()``..``idle()`` interval would have produced.
     """
 
-    __slots__ = ("env", "name", "_busy_since", "busy_time")
+    __slots__ = ("env", "name", "_busy_since", "busy_time", "virtual_until")
 
     def __init__(self, env: "Environment", name: str = "") -> None:
         self.env = env
         self.name = name
         self._busy_since: float | None = None
         self.busy_time = 0.0
+        self.virtual_until = 0.0
+
+    def accrue(self, duration: float) -> None:
+        """Open (or extend) a busy interval capped at ``now + duration``.
+
+        The fast path books a whole service window at its *start*; the cap
+        records where the window ends so later reads and intervals account
+        it exactly -- bit-identical to a ``busy()``..``idle()`` pair closed
+        at the window's end, including float summation order.  The caller
+        guarantees the device performs no other service before the cap.
+        """
+        now = self.env._now
+        virtual_until = self.virtual_until
+        if virtual_until != 0.0 and virtual_until < now:
+            # Inline _expire_cap (accrue runs once per collapsed service).
+            if self._busy_since is not None:
+                self.busy_time += virtual_until - self._busy_since
+                self._busy_since = None
+        if self._busy_since is None:
+            self._busy_since = now
+        self.virtual_until = now + duration
+
+    def _expire_cap(self, now: float) -> None:
+        """Close a capped interval whose window has fully elapsed."""
+        virtual_until = self.virtual_until
+        if virtual_until != 0.0:
+            if virtual_until < now:
+                if self._busy_since is not None:
+                    self.busy_time += virtual_until - self._busy_since
+                    self._busy_since = None
+                self.virtual_until = 0.0
+            elif virtual_until == now:
+                # The window ends exactly now: the interval continues
+                # seamlessly into whatever the caller does next.
+                self.virtual_until = 0.0
 
     def busy(self) -> None:
         """Mark the device busy (idempotent)."""
+        now = self.env._now
+        self._expire_cap(now)
         if self._busy_since is None:
-            self._busy_since = self.env.now
+            self._busy_since = now
 
     def idle(self) -> None:
         """Mark the device idle (idempotent)."""
+        now = self.env._now
+        virtual_until = self.virtual_until
+        if virtual_until != 0.0:
+            # Inline _expire_cap (idle runs once per service epilogue).
+            if virtual_until < now:
+                if self._busy_since is not None:
+                    self.busy_time += virtual_until - self._busy_since
+                    self._busy_since = None
+                self.virtual_until = 0.0
+            elif virtual_until == now:
+                self.virtual_until = 0.0
         if self._busy_since is not None:
-            self.busy_time += self.env.now - self._busy_since
+            self.busy_time += now - self._busy_since
             self._busy_since = None
 
     @property
@@ -113,8 +168,12 @@ class UtilizationMonitor:
     def elapsed_busy_time(self) -> float:
         """Accumulated busy time, including any still-open busy interval."""
         total = self.busy_time
-        if self._busy_since is not None:
-            total += self.env.now - self._busy_since
+        since = self._busy_since
+        if since is not None:
+            now = self.env.now
+            virtual_until = self.virtual_until
+            end = virtual_until if 0.0 < virtual_until < now else now
+            total += end - since
         return total
 
     def utilization(self, elapsed: float | None = None) -> float:

@@ -51,6 +51,13 @@ class Resource:
         self.name = name
         self._queue: deque[Request] = deque()
         self._in_service: set[Request] = set()
+        # Virtual clock (capacity-1 fast path): end of the last analytically
+        # booked service window.  serve() books back-to-back windows without
+        # waking between them; a booked window is indistinguishable from a
+        # held server to request()/release(), so raw requesters queue behind
+        # it exactly as they would behind a real grant.
+        self._virtual_avail = 0.0
+        self._waker_at = 0.0
         # Monitoring: busy while at least one server is granted.
         self.monitor = UtilizationMonitor(env, name=name)
         self.completed = 0
@@ -71,12 +78,20 @@ class Resource:
     def request(self) -> Request:
         """Ask for a server; the returned event fires when one is granted."""
         req = Request(self.env, self)
-        if len(self._in_service) < self.capacity:
+        if (
+            len(self._in_service) < self.capacity
+            and not self._queue
+            and self._virtual_avail <= self.env._now
+        ):
             self._grant(req)
         else:
             # No wait_reason string here: a Request already knows its
             # resource, and the deadlock dump describes it from that.
             self._queue.append(req)
+            if self._virtual_avail > self.env._now and len(self._in_service) < self.capacity:
+                # Queued behind a booked window, not a held server: nobody
+                # will call release(), so schedule a waker at the window end.
+                self._ensure_waker()
         return req
 
     def release(self, req: Request) -> None:
@@ -88,24 +103,106 @@ class Resource:
             self._queue.remove(req)
         else:
             raise ValueError("release() of a request not held on this resource")
-        while self._queue and len(self._in_service) < self.capacity:
+        now = self.env._now
+        while (
+            self._queue
+            and len(self._in_service) < self.capacity
+            and self._virtual_avail <= now
+        ):
             self._grant(self._queue.popleft())
         if not self._in_service:
             # Inline UtilizationMonitor.idle(): grant/release run once per
             # service burst, and the method call costs more than the update.
+            # A leftover cap from an earlier booked window must close the
+            # interval at the cap, not now, so defer to the full method.
             monitor = self.monitor
-            if monitor._busy_since is not None:
-                monitor.busy_time += self.env.now - monitor._busy_since
+            if monitor.virtual_until != 0.0:
+                monitor.idle()
+            elif monitor._busy_since is not None:
+                monitor.busy_time += now - monitor._busy_since
                 monitor._busy_since = None
 
     def _grant(self, req: Request) -> None:
         if not self._in_service:
             # Inline UtilizationMonitor.busy() (see release()).
             monitor = self.monitor
-            if monitor._busy_since is None:
-                monitor._busy_since = self.env.now
+            if monitor.virtual_until != 0.0:
+                monitor.busy()
+            elif monitor._busy_since is None:
+                monitor._busy_since = self.env._now
         self._in_service.add(req)
         req.succeed(req)
+
+    def _ensure_waker(self) -> None:
+        """Arrange to drain the queue when the booked window ends."""
+        avail = self._virtual_avail
+        if self._waker_at == avail:
+            return
+        self._waker_at = avail
+        event = Event(self.env)
+        event.callbacks.append(self._wake_waiters)
+        event.succeed(self, delay=avail - self.env._now)
+
+    def _wake_waiters(self, _event: Event | None) -> None:
+        now = self.env._now
+        while (
+            self._queue
+            and len(self._in_service) < self.capacity
+            and self._virtual_avail <= now
+        ):
+            self._grant(self._queue.popleft())
+
+    def _book(self, duration: float) -> float:
+        """Reserve the single server for ``duration`` and return the end time.
+
+        The window starts at ``max(now, virtual_avail)`` -- i.e. exactly when
+        the event cascade would have granted this FIFO request -- and the
+        monitor interval is opened/extended with the same float operations a
+        ``busy()``..``idle()`` sequence closed at each window's end performs.
+        """
+        now = self.env._now
+        start = self._virtual_avail
+        if start < now:
+            start = now
+        end = start + duration
+        monitor = self.monitor
+        since = monitor._busy_since
+        if since is None:
+            monitor._busy_since = start
+        else:
+            cap = monitor.virtual_until
+            if 0.0 < cap < start:
+                # The previous window ended before this one starts: close the
+                # open interval at its cap and open a new one at our start.
+                monitor.busy_time += cap - since
+                monitor._busy_since = start
+        monitor.virtual_until = end
+        self._virtual_avail = end
+        return end
+
+    def _settle(self) -> None:
+        """Epilogue of a booked window: counters, waiters, monitor close."""
+        self.completed += 1
+        now = self.env._now
+        if self._virtual_avail <= now:
+            if self._queue:
+                self._wake_waiters(None)
+            if not self._in_service:
+                # Inline UtilizationMonitor.idle() -- _settle runs once per
+                # booked service window.  The common shape here is a cap
+                # ending exactly now with an open interval to close.
+                monitor = self.monitor
+                virtual_until = monitor.virtual_until
+                since = monitor._busy_since
+                if virtual_until != 0.0:
+                    if virtual_until < now:
+                        if since is not None:
+                            monitor.busy_time += virtual_until - since
+                            since = None
+                    monitor.virtual_until = 0.0
+                if since is not None:
+                    monitor.busy_time += now - since
+                monitor._busy_since = None
 
     def serve(self, duration: float) -> typing.Generator[Event, typing.Any, None]:
         """Acquire a server, hold it for ``duration``, release it.
@@ -115,15 +212,43 @@ class Resource:
         of category :attr:`trace_cat`, attributed to the calling process's
         current operator.
         """
-        req = self.request()
-        tracer = self.env.tracer if self.trace_cat is not None else None
+        env = self.env
+        tracer = env.tracer if self.trace_cat is not None else None
         if tracer is None:
+            if (
+                env.fastpath
+                and self.capacity == 1
+                and not self._in_service
+                and not self._queue
+            ):
+                # Virtual-clock fast path: with one server, FIFO waiters, and
+                # every hold declared up front, this request's grant time is
+                # just the end of the previous booked window -- so book the
+                # window analytically and sleep straight through wait plus
+                # service in ONE timeout.  Grant and release instants are
+                # float-identical to the event cascade (each start *is* the
+                # previous end), the monitor accounts the window via the
+                # same interval arithmetic (see _book), and completed still
+                # increments at the release instant (in _settle).  Raw
+                # request() callers queue behind booked windows exactly as
+                # behind a held server, at which point this path stands down
+                # (the queue check above) until the queue drains.
+                end = self._book(duration)
+                try:
+                    # Raw sleep (see Process._resume): identical scheduling
+                    # instant and ordering, no Timeout allocation.
+                    yield end - env._now
+                finally:
+                    self._settle()
+                return
+            req = self.request()
             yield req
             try:
-                yield self.env.timeout(duration)
+                yield float(duration)
             finally:
                 self.release(req)
             return
+        req = self.request()
         if req.triggered:
             yield req
         else:
@@ -181,22 +306,27 @@ class RequestPool:
             # transition: put() runs once per disk request (hot path).
             monitor = self.monitor
             if monitor._busy_since is None:
-                monitor._busy_since = self.env.now
+                monitor._busy_since = self.env._now
         self.items.append(item)
         if self._waiter is not None:
             waiter, self._waiter = self._waiter, None
             waiter.succeed(self)
 
-    def wait_for_item(self) -> Event:
-        """Event that fires as soon as the pool is non-empty."""
-        event = Event(self.env)
+    def wait_for_item(self) -> "Event | float":
+        """Yieldable that resumes the consumer once the pool is non-empty.
+
+        With items already pending this returns a raw ``0.0`` sleep -- the
+        consumer parks at the identical (time, sequence) scheduler slot a
+        pre-triggered event would have given it, without the allocation.
+        An empty pool returns the waiter event that :meth:`put` fires.
+        """
         if self.items:
-            event.succeed(self)
-        else:
-            if self._waiter is not None:
-                raise RuntimeError(f"RequestPool {self.name!r} supports a single consumer")
-            event.wait_reason = self._wait_reason
-            self._waiter = event
+            return 0.0
+        if self._waiter is not None:
+            raise RuntimeError(f"RequestPool {self.name!r} supports a single consumer")
+        event = Event(self.env)
+        event.wait_reason = self._wait_reason
+        self._waiter = event
         return event
 
     def take(self, chooser: typing.Callable[[list[typing.Any]], typing.Any]) -> typing.Any:
@@ -209,7 +339,7 @@ class RequestPool:
             # Inline UtilizationMonitor.idle() (see put()).
             monitor = self.monitor
             if monitor._busy_since is not None:
-                monitor.busy_time += self.env.now - monitor._busy_since
+                monitor.busy_time += self.env._now - monitor._busy_since
                 monitor._busy_since = None
         return item
 

@@ -305,6 +305,23 @@ class MemoryBroker(MemoryManager):
         self.log: list[tuple[float, str, str, int]] = []
 
     # ------------------------------------------------------------------
+    # Static (legacy) surface: recorded for session memoization.  The
+    # grant/queue surface below is *not* recorded -- the memoizer only
+    # engages under the static discipline.
+    # ------------------------------------------------------------------
+    def allocate(self, pages: int) -> int:
+        recorder = self.env.recorder
+        if recorder is not None:
+            recorder.record_alloc(self, pages)
+        return super().allocate(pages)
+
+    def release(self, pages: int) -> None:
+        recorder = self.env.recorder
+        if recorder is not None:
+            recorder.record_free(self, pages)
+        super().release(pages)
+
+    # ------------------------------------------------------------------
     # Request surface
     # ------------------------------------------------------------------
     @property
@@ -472,6 +489,9 @@ class MemoryBroker(MemoryManager):
     # ------------------------------------------------------------------
     def record_spill(self, label: str, pages: int = 1) -> None:
         """Count a join partition page written to temp disk at this site."""
+        recorder = self.env.recorder
+        if recorder is not None:
+            recorder.record_spill_op(self, label, pages)
         self.spill_pages += pages
         self._log("spill", label, pages)
 

@@ -17,6 +17,8 @@ that.
 
 from __future__ import annotations
 
+import gc
+import os
 import typing
 from dataclasses import replace
 
@@ -45,6 +47,7 @@ from repro.plans.policies import Policy
 from repro.sim import AllOf, Environment
 from repro.storage.memory import MemoryPressureState
 from repro.workload.admission import AdmissionConfig, AdmissionController
+from repro.workload.memo import SessionMemo
 from repro.workload.results import WorkloadResult
 from repro.workload.streams import ClientStream, StreamConfig
 
@@ -77,6 +80,7 @@ class WorkloadRunner:
         cache: "CacheConfig | str | None" = None,
         consistency: "ConsistencyConfig | str | None" = None,
         telemetry: "TelemetryConfig | None" = None,
+        memoize: bool = True,
     ) -> None:
         """``client_caches`` is keyed by client *ordinal* (0..num_clients-1)
         and overrides that client's cached fractions; clients without an
@@ -113,6 +117,11 @@ class WorkloadRunner:
         self.tracer = tracer
         self.plan_cache = plan_cache
         self.telemetry = telemetry
+        # Session memoization (repro.workload.memo): replay op tapes for
+        # repeat (plan, cache state, epoch) sessions.  ``memoize=False`` or
+        # ``REPRO_SIM_MEMO=0`` forces every session through the operator
+        # interpreter; further eligibility gates are applied in run().
+        self.memoize = memoize
         if cache is None:
             cache = CacheConfig(mode="dynamic")
         elif isinstance(cache, str):
@@ -250,6 +259,31 @@ class WorkloadRunner:
             topology=topology,
             plan_cache=plan_cache,
         )
+        # Session memoization is only sound when a session's op stream is a
+        # pure function of (plan, exact cache state, consistency epoch):
+        # closed read-only streams under the static memory discipline, with
+        # no tracer (tapes carry no spans), no faults, and no recovery.
+        # Telemetry and admission control are fine -- both observe the same
+        # primitive ops a replay re-issues.
+        memo = None
+        if (
+            self.memoize
+            and env.fastpath
+            and self.tracer is None
+            and self.faults is None
+            and self.recovery is None
+            and self.stream.arrival == "closed"
+            and self.stream.write_fraction == 0.0
+            and not config.memory.is_dynamic
+            and os.environ.get("REPRO_SIM_MEMO", "1") != "0"
+        ):
+            memo = SessionMemo(env, topology)
+            executor.session_memo = memo
+            # env.recorder is managed by the memo itself: it attaches only
+            # while a recording is in flight, so the replay-heavy steady
+            # state keeps every hardware hook on the recorder-is-None path.
+        # Exposed for tests and diagnostics (None when ineligible/disabled).
+        self.last_memo = memo
         controllers: dict[int, AdmissionController] = {}
         if self.admission is not None:
             controllers = {
@@ -314,7 +348,20 @@ class WorkloadRunner:
         def main() -> typing.Generator:
             yield AllOf(env, processes)
 
-        env.run(until=env.process(main(), name="workload-driver"))
+        # The event loop allocates millions of short-lived tuples, events,
+        # and generator frames; cyclic-GC passes over that churn cost ~6% of
+        # the run and can never free anything mid-run that refcounting
+        # doesn't.  Pause collection for the simulation proper and take one
+        # collection at the end.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            env.run(until=env.process(main(), name="workload-driver"))
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+                gc.collect()
 
         sessions: list[SessionResult] = []
         for stream in streams:

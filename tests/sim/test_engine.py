@@ -221,3 +221,88 @@ class TestProcess:
         assert process.is_alive
         env.run()
         assert not process.is_alive
+
+
+class TestScheduleValidation:
+    """NaN/inf delays must be rejected before they touch the heap.
+
+    A NaN key compares false against everything, so one poisoned entry
+    silently corrupts sift-up for every later push -- events start firing
+    out of order with no error anywhere near the cause.
+    """
+
+    @pytest.mark.parametrize("delay", [float("nan"), float("inf"), -1.0, -1e-12])
+    def test_schedule_rejects_non_finite_and_negative_delays(self, env, delay):
+        event = Event(env)
+        event._value = None
+        with pytest.raises(SimulationError):
+            env.schedule(event, delay=delay)
+        assert not env._queue  # nothing reached the heap
+
+    @pytest.mark.parametrize("delay", [float("nan"), float("inf"), -0.5])
+    def test_succeed_with_bad_delay_rejected(self, env, delay):
+        with pytest.raises(SimulationError):
+            Event(env).succeed(delay=delay)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -1.0])
+    def test_raw_sleep_rejects_non_finite_and_negative(self, env, bad):
+        def sleeper():
+            yield bad
+
+        env.process(sleeper(), name="bad-sleeper")
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_heap_order_survives_rejected_schedule(self, env):
+        """The rejected call must leave the queue fully usable."""
+        order = []
+
+        def worker(tag, delay):
+            yield env.timeout(delay)
+            order.append(tag)
+
+        env.process(worker("a", 2.0))
+        with pytest.raises(SimulationError):
+            env.schedule(Event(env), delay=float("nan"))
+        env.process(worker("b", 1.0))
+        env.run()
+        assert order == ["b", "a"]
+
+
+class TestProcessRegistryCompaction:
+    """The weakref registry must not grow without bound across sessions."""
+
+    def test_dead_refs_are_compacted(self, env):
+        import gc
+
+        def quick():
+            yield 0.0
+
+        # A few hundred "sessions" worth of short-lived processes, run in
+        # waves the way a workload stream launches them.
+        for _ in range(40):
+            for _ in range(100):
+                env.process(quick())
+            env.run()
+            gc.collect()  # drop the finished generators' processes
+        # 4000 dead processes went through; the registry must have been
+        # compacted down to the survivors (none), not grown linearly.
+        assert len(env._processes) < 1024
+        assert env.alive_processes() == []
+
+    def test_compaction_keeps_alive_processes(self, env):
+        import gc
+
+        def forever():
+            yield Event(env)
+
+        def quick():
+            yield 0.0
+
+        keeper = env.process(forever(), name="keeper")
+        for _ in range(20):
+            for _ in range(100):
+                env.process(quick())
+            env.run()
+            gc.collect()
+        assert keeper in env.alive_processes()

@@ -103,9 +103,15 @@ class TestRequestPool:
     def test_wait_immediate_when_nonempty(self, env):
         pool = RequestPool(env)
         pool.put("ready")
-        event = pool.wait_for_item()
+        resumed = []
+
+        def consumer():
+            yield pool.wait_for_item()
+            resumed.append(pool.take(lambda items: items[0]))
+
+        env.process(consumer())
         env.run()
-        assert event.processed
+        assert resumed == ["ready"]
 
     def test_take_uses_chooser(self, env):
         pool = RequestPool(env)
