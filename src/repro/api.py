@@ -16,7 +16,7 @@ experiment with the policies without assembling the pieces by hand::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as _dc_replace
 
 from repro.caching.config import CacheConfig
 from repro.config import BufferAllocation, MemoryConfig, OptimizerConfig, SystemConfig
@@ -30,9 +30,11 @@ from repro.obs.telemetry import TelemetryConfig
 from repro.optimizer.cache import PlanCache
 from repro.optimizer.two_phase import RandomizedOptimizer
 from repro.plans.binding import bind_plan
+from repro.plans.logical import UDF_SITES
 from repro.plans.operators import DisplayOp
 from repro.plans.policies import Policy
 from repro.plans.render import render_plan
+from repro.sql.scenario import sql_scenario
 from repro.workload import (
     AdmissionConfig,
     AdmissionPolicy,
@@ -42,7 +44,14 @@ from repro.workload import (
 )
 from repro.workloads.scenarios import Scenario, chain_scenario
 
-__all__ = ["QueryOutcome", "run_query", "run_workload", "compare_policies", "explain"]
+__all__ = [
+    "QueryOutcome",
+    "run_query",
+    "run_sql",
+    "run_workload",
+    "compare_policies",
+    "explain",
+]
 
 _POLICY_NAMES = {
     "data": Policy.DATA_SHIPPING,
@@ -256,6 +265,105 @@ def run_query(
         # The success path finishes the trace inside the executor; this
         # covers aborted runs so the spans recorded so far are still
         # closed and exported.
+        if tracer is not None:
+            tracer.finish()
+            tracer.metadata.setdefault("policy", parsed_policy.value)
+            tracer.metadata.setdefault("seed", seed)
+            if trace_path is not None:
+                write_chrome_trace(
+                    tracer,
+                    trace_path,
+                    telemetry=result.telemetry if result is not None else None,
+                )
+    return QueryOutcome(
+        scenario, parsed_policy, optimization.plan, optimization.cost, result, trace=tracer
+    )
+
+
+def run_sql(
+    sql: str,
+    policy: "str | Policy" = "hybrid",
+    objective: "str | Objective" = "response-time",
+    num_servers: int = 1,
+    cached_fraction: float = 0.0,
+    server_load: float = 0.0,
+    seed: int = 0,
+    tables: "dict[str, int] | None" = None,
+    udf_site: "str | None" = None,
+    optimizer: OptimizerConfig | None = None,
+    plan_cache: PlanCache | None = None,
+    trace: "bool | str | Tracer" = False,
+    telemetry: "bool | float | TelemetryConfig" = False,
+) -> QueryOutcome:
+    """Parse, plan, optimize, and simulate one SQL statement end to end.
+
+    The statement goes through the SQL frontend (:mod:`repro.sql`): tables
+    it references are synthesized into a catalog (10,000 tuples of 100
+    bytes each unless ``tables`` overrides a cardinality), placed randomly
+    over ``num_servers`` servers, and the lowered query is optimized under
+    ``policy`` and simulated -- the same pipeline as :func:`run_query`,
+    with a SQL statement instead of a generated chain join::
+
+        outcome = api.run_sql(
+            "SELECT R0.k, COUNT(*) FROM R0, R1 "
+            "WHERE R0.k = R1.k AND slow(R0) COST 20000 GROUP BY R0.k",
+            policy="query", num_servers=2,
+        )
+
+    ``udf_site`` overrides the evaluation-site declaration of *every* UDF
+    in the statement (``"client"``, ``"server"``, or ``"auto"``) -- the
+    knob the function-shipping experiment sweeps to compare forced
+    placements against the optimizer's choice.  ``trace``, ``telemetry``,
+    and ``plan_cache`` work as in :func:`run_query`.
+
+    Raises :class:`~repro.errors.SqlError` (with the offending line and
+    column) for text the frontend rejects.
+    """
+    parsed_policy = _parse_policy(policy)
+    parsed_objective = _parse_objective(objective)
+    optimizer_config = optimizer or OptimizerConfig.fast()
+    scenario = sql_scenario(
+        sql,
+        num_servers=num_servers,
+        cached_fraction=cached_fraction,
+        placement_seed=seed,
+        server_load=server_load,
+        tables=tables,
+    )
+    if udf_site is not None:
+        if udf_site not in UDF_SITES:
+            raise ConfigurationError(
+                f"unknown udf_site {udf_site!r}; choose from {list(UDF_SITES)}"
+            )
+        scenario.query = _dc_replace(
+            scenario.query,
+            udfs=tuple(
+                _dc_replace(udf, site=udf_site) for udf in scenario.query.udfs
+            ),
+        )
+    optimization = RandomizedOptimizer(
+        scenario.query,
+        scenario.environment(),
+        policy=parsed_policy,
+        objective=parsed_objective,
+        config=optimizer_config,
+        seed=seed,
+        plan_cache=plan_cache,
+    ).optimize()
+    tracer, trace_path = _resolve_trace(trace)
+    result = None
+    try:
+        result = scenario.execute(
+            optimization.plan,
+            seed=seed,
+            policy=parsed_policy,
+            objective=parsed_objective,
+            optimizer_config=optimizer_config,
+            tracer=tracer,
+            plan_cache=plan_cache,
+            telemetry=_resolve_telemetry(telemetry),
+        )
+    finally:
         if tracer is not None:
             tracer.finish()
             tracer.metadata.setdefault("policy", parsed_policy.value)

@@ -21,6 +21,11 @@ Subcommands::
         telemetry sampler on and draw ASCII sparklines of every sampled
         channel; --out writes the raw series as CSV or JSON.
 
+    repro sql "SELECT ..." --policy query --servers 2
+        Parse and plan a SQL statement through the frontend, optimize it
+        under the chosen policy, simulate it, and print the bound plan
+        plus the run's headline metrics.
+
     repro experiments <figure> [options]
         Forward to the ``repro-experiments`` command (regenerate any table
         or figure, e.g. ``repro experiments cache-warmup --quick``).
@@ -128,6 +133,24 @@ def _build_parser() -> argparse.ArgumentParser:
     dash.add_argument("--width", type=int, default=48, help="sparkline width")
     dash.add_argument(
         "--out", default=None, help="also write the raw series (.csv or .json)"
+    )
+
+    sql = commands.add_parser(
+        "sql", help="parse, optimize, and simulate one SQL statement"
+    )
+    sql.add_argument("statement", help="the SELECT statement (quote it)")
+    sql.add_argument("--policy", default="hybrid", help="data | query | hybrid")
+    sql.add_argument("--objective", default="response-time")
+    sql.add_argument("--servers", type=int, default=1)
+    sql.add_argument(
+        "--cached", type=float, default=0.0, help="client-cached fraction of each table"
+    )
+    sql.add_argument("--seed", type=int, default=0)
+    sql.add_argument(
+        "--udf-site",
+        default=None,
+        choices=("auto", "client", "server"),
+        help="override every UDF's evaluation site",
     )
     return parser
 
@@ -245,6 +268,37 @@ def _cmd_dash(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sql(args: argparse.Namespace) -> int:
+    from repro.errors import SqlError
+
+    try:
+        outcome = api.run_sql(
+            args.statement,
+            policy=args.policy,
+            objective=args.objective,
+            num_servers=args.servers,
+            cached_fraction=args.cached,
+            seed=args.seed,
+            udf_site=args.udf_site,
+        )
+    except SqlError as error:
+        print(f"SQL error: {error}", file=sys.stderr)
+        return 2
+    result = outcome.result
+    print(api.explain(outcome.plan, outcome.scenario))
+    print()
+    print(
+        f"{outcome.policy.value}: response time {result.response_time:.3f}s, "
+        f"{result.pages_sent} pages sent, {result.result_tuples} result tuple(s) "
+        f"({result.result_pages} page(s))"
+    )
+    print(
+        f"predicted: response time {outcome.predicted.response_time:.3f}s, "
+        f"{outcome.predicted.pages_sent:.0f} pages sent"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -265,6 +319,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_profile(args)
         if args.command == "dash":
             return _cmd_dash(args)
+        if args.command == "sql":
+            return _cmd_sql(args)
     except BrokenPipeError:  # e.g. `repro trace | head`
         sys.stderr.close()  # suppress the interpreter's epipe warning
         return 0

@@ -20,7 +20,16 @@ from repro.catalog.catalog import Catalog
 from repro.config import SystemConfig
 from repro.errors import PlanError
 from repro.plans.logical import Query
-from repro.plans.operators import DisplayOp, JoinOp, PlanOp, ScanOp, SelectOp
+from repro.plans.operators import (
+    AggregateOp,
+    DisplayOp,
+    JoinOp,
+    PlanOp,
+    ScanOp,
+    SelectOp,
+    SemiJoinOp,
+    UdfFilterOp,
+)
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.caching.buffer import CacheState
@@ -71,6 +80,12 @@ class Estimator:
             return float(self.catalog.relation(op.relation).tuples)
         if isinstance(op, SelectOp):
             return self.cardinality(op.child) * op.selectivity
+        if isinstance(op, UdfFilterOp):
+            return self.cardinality(op.child) * op.udf.selectivity
+        if isinstance(op, SemiJoinOp):
+            return self.cardinality(op.child) * op.reduction.survivor_fraction
+        if isinstance(op, AggregateOp):
+            return min(self.cardinality(op.child), op.groups)
         if isinstance(op, JoinOp):
             inner_card = self.cardinality(op.inner)
             outer_card = self.cardinality(op.outer)
@@ -103,9 +118,9 @@ class Estimator:
         """Width of the tuples ``op`` produces."""
         if isinstance(op, ScanOp):
             return self.catalog.relation(op.relation).tuple_bytes
-        if isinstance(op, SelectOp):
+        if isinstance(op, (SelectOp, UdfFilterOp, SemiJoinOp)):
             return self.tuple_bytes(op.child)
-        if isinstance(op, (JoinOp, DisplayOp)):
+        if isinstance(op, (JoinOp, DisplayOp, AggregateOp)):
             return self.query.result_tuple_bytes
         raise PlanError(f"cannot estimate width of {op.kind}")
 

@@ -22,6 +22,7 @@ The model mirrors the execution engine analytically:
 from __future__ import annotations
 
 import enum
+import math
 import os
 import typing
 from dataclasses import dataclass, field
@@ -34,7 +35,16 @@ from repro.errors import PlanError
 from repro.hardware.site import CLIENT_SITE_ID
 from repro.plans.binding import BoundPlan, bind_plan
 from repro.plans.logical import Query
-from repro.plans.operators import DisplayOp, JoinOp, PlanOp, ScanOp, SelectOp
+from repro.plans.operators import (
+    AggregateOp,
+    DisplayOp,
+    JoinOp,
+    PlanOp,
+    ScanOp,
+    SelectOp,
+    SemiJoinOp,
+    UdfFilterOp,
+)
 from repro.storage.memory import (
     MemoryPressureState,
     join_allocation,
@@ -364,6 +374,12 @@ class CostModel:
             return self._scan(op, bound, spill_sites, pages_sent)
         if isinstance(op, SelectOp):
             return self._select(op, bound, graph, spill_sites, scan_sites, pages_sent)
+        if isinstance(op, UdfFilterOp):
+            return self._udf_filter(op, bound, graph, spill_sites, scan_sites, pages_sent)
+        if isinstance(op, SemiJoinOp):
+            return self._semijoin(op, bound, graph, spill_sites, scan_sites, pages_sent)
+        if isinstance(op, AggregateOp):
+            return self._aggregate(op, bound, graph, spill_sites, scan_sites, pages_sent)
         if isinstance(op, JoinOp):
             return self._join(op, bound, graph, spill_sites, scan_sites, pages_sent)
         if isinstance(op, DisplayOp):
@@ -546,6 +562,124 @@ class CostModel:
         cpu = config.compare_inst * input_tuples + config.move_instructions(output_bytes)
         self._usage(contribution.usage, op).add(("cpu", site), config.instructions_time(cpu))
         return contribution
+
+    def _udf_filter(
+        self,
+        op: UdfFilterOp,
+        bound: BoundPlan,
+        graph: StageGraph,
+        spill_sites: frozenset[int],
+        scan_sites: frozenset[int],
+        pages_sent: list[float],
+    ) -> StreamContribution:
+        """Expensive predicate: the declared per-tuple cost, at the chosen
+        site.  The placement tradeoff falls out of the resource vectors:
+        evaluating at the producer burns server CPU but ships only the
+        survivors; evaluating at the client ships the whole stream (the
+        exchange is priced by ``_child_stream``) but burns otherwise-idle
+        client CPU."""
+        est = self.estimator
+        config = self.config
+        site = bound.site_of(op)
+        contribution = self._child_stream(
+            op, op.child, bound, graph, spill_sites, scan_sites, pages_sent
+        )
+        input_tuples = est.cardinality(op.child)
+        output_bytes = est.cardinality(op) * est.tuple_bytes(op)
+        udf_cpu = op.udf.per_tuple_instructions * input_tuples
+        cpu = udf_cpu + config.move_instructions(output_bytes)
+        self._usage(contribution.usage, op).add(("cpu", site), config.instructions_time(cpu))
+        # The engine evaluates a UDF synchronously inside its input pipeline
+        # (one pull-based coroutine), so when the UDF is bound to a site
+        # whose disk also feeds that pipeline, its CPU time serializes with
+        # the disk reads instead of overlapping them.  The serial-latency
+        # floor prices that: it is what makes an expensive UDF migrate off
+        # the data's site even though both sites would burn the same CPU.
+        disk_here = contribution.usage.get(("disk", site), 0.0)
+        if disk_here:
+            contribution.latency = max(
+                contribution.latency, disk_here + config.instructions_time(udf_cpu)
+            )
+        return contribution
+
+    def _semijoin(
+        self,
+        op: SemiJoinOp,
+        bound: BoundPlan,
+        graph: StageGraph,
+        spill_sites: frozenset[int],
+        scan_sites: frozenset[int],
+        pages_sent: list[float],
+    ) -> StreamContribution:
+        """Semi-join reducer: ship a join-column digest to this site, build
+        a hash table over it, probe every input tuple.  Pays digest pages
+        and hashing CPU to drop the non-participating tuples before they
+        are shipped upstream."""
+        est = self.estimator
+        config = self.config
+        site = bound.site_of(op)
+        contribution = self._child_stream(
+            op, op.child, bound, graph, spill_sites, scan_sites, pages_sent
+        )
+        usage = self._usage(contribution.usage, op)
+        reduction = op.reduction
+        digest_tuples = float(self.environment.catalog.relation(reduction.digest_of).tuples)
+        digest_source = self.environment.catalog.server_of(reduction.digest_of)
+        digest_pages = math.ceil(
+            digest_tuples * reduction.key_bytes / config.page_size
+        )
+        # Build the digest where its relation lives, ship it if needed.
+        usage.add(
+            ("cpu", digest_source),
+            config.instructions_time(config.hash_inst * digest_tuples),
+        )
+        if digest_source != site:
+            pages_sent[0] += digest_pages
+            self._add_page_messages(usage, digest_source, site, digest_pages)
+            # The probe cannot start before the digest has arrived.
+            contribution.latency += digest_pages * config.wire_time(config.page_size)
+        # Local hash build over the digest, then one probe per input tuple.
+        input_tuples = est.cardinality(op.child)
+        output_bytes = est.cardinality(op) * est.tuple_bytes(op)
+        cpu = config.hash_inst * (digest_tuples + input_tuples)
+        cpu += config.move_instructions(output_bytes)
+        usage.add(("cpu", site), config.instructions_time(cpu))
+        return contribution
+
+    def _aggregate(
+        self,
+        op: AggregateOp,
+        bound: BoundPlan,
+        graph: StageGraph,
+        spill_sites: frozenset[int],
+        scan_sites: frozenset[int],
+        pages_sent: list[float],
+    ) -> StreamContribution:
+        """Hash group-by: blocking -- the input stream is fully consumed
+        (one hash probe/update per tuple) before the groups are emitted,
+        so the input becomes its own stage like a join's build phase."""
+        est = self.estimator
+        config = self.config
+        site = bound.site_of(op)
+        build = self._child_stream(
+            op, op.child, bound, graph, spill_sites, scan_sites, pages_sent
+        )
+        # Spill passes feeding the input produce its tail: the hash table
+        # is not complete until they are, exactly as for a join build.
+        build.preds.extend(build.spill_preds)
+        input_tuples = est.cardinality(op.child)
+        build_cpu = config.hash_inst * input_tuples
+        self._usage(build.usage, op).add(("cpu", site), config.instructions_time(build_cpu))
+        build_stage = build.into_stage(graph, f"agg@{site}")
+        # Emission of the (much smaller) group stream.
+        emit = StreamContribution()
+        output_bytes = est.cardinality(op) * est.tuple_bytes(op)
+        self._usage(emit.usage, op).add(
+            ("cpu", site),
+            config.instructions_time(config.move_instructions(output_bytes)),
+        )
+        emit.preds.append(build_stage)
+        return emit
 
     def _join(
         self,

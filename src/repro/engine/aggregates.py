@@ -1,0 +1,75 @@
+"""Hash group-by operator: blocking build over the input, then emit groups.
+
+The operator drains its entire input first (one hash probe/update per
+tuple -- ``HashInst``, as for join builds), then emits the group stream
+packed into result-width pages.  Placed at a server by the ``producer``
+annotation this is partial-aggregate pushdown: the (much smaller) group
+stream is what ships to the client instead of the full join result --
+exact, not approximate, because a single input stream feeds it.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.engine.base import Page, PageAssembler, PhysicalOp
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.executor import ExecutionContext
+    from repro.hardware.site import Site
+
+__all__ = ["HashAggregateIterator"]
+
+
+class HashAggregateIterator(PhysicalOp):
+    """Hash-based GROUP BY with analytically sized group output."""
+
+    def __init__(
+        self,
+        context: "ExecutionContext",
+        site: "Site",
+        child: PhysicalOp,
+        est_groups: float,
+        output_tuple_bytes: int,
+    ) -> None:
+        super().__init__(context, site)
+        self.child = child
+        self.est_groups = est_groups
+        self.output_tuple_bytes = output_tuple_bytes
+        self.input_tuples = 0
+        self._ready: list[Page] = []
+        self._built = False
+
+    def _open(self) -> typing.Generator:
+        yield from self.child.open()
+
+    def _build(self) -> typing.Generator:
+        """Drain the input, charging one hash probe/update per tuple."""
+        config = self.config
+        while True:
+            page = yield from self.child.next()
+            if page is None:
+                break
+            self.input_tuples += page.tuples
+            yield from self.site.cpu.execute(config.hash_inst * page.tuples)
+        groups = min(float(self.input_tuples), self.est_groups)
+        assembler = PageAssembler(
+            config.tuples_per_page(self.output_tuple_bytes), self.output_tuple_bytes
+        )
+        self._ready.extend(assembler.add(groups))
+        self._ready.extend(assembler.flush())
+        # Copy cost of materializing the group tuples out of the table.
+        yield from self.site.cpu.execute(
+            config.move_instructions(round(groups) * self.output_tuple_bytes)
+        )
+
+    def _next(self) -> typing.Generator:
+        if not self._built:
+            self._built = True
+            yield from self._build()
+        if self._ready:
+            return self._ready.pop(0)
+        return None
+
+    def _close(self) -> typing.Generator:
+        yield from self.child.close()

@@ -33,12 +33,15 @@ from repro.catalog.catalog import Catalog
 from repro.config import OptimizerConfig, SystemConfig
 from repro.costmodel.estimates import Estimator
 from repro.costmodel.model import EnvironmentState, Objective
+from repro.engine.aggregates import HashAggregateIterator
 from repro.engine.base import PhysicalOp
 from repro.engine.exchange import ExchangeReceiver
+from repro.engine.filters import UdfFilterIterator
 from repro.engine.joins import HashJoinIterator
 from repro.engine.loadgen import DiskLoadGenerator
 from repro.engine.scans import ScanIterator
 from repro.engine.selects import SelectIterator
+from repro.engine.semijoins import SemiJoinIterator
 from repro.engine.sinks import DisplayIterator
 from repro.engine.writes import WriteSpec, make_write_iterator
 from repro.errors import (
@@ -58,7 +61,16 @@ from repro.hardware.topology import Topology
 from repro.plans.annotations import Annotation
 from repro.plans.binding import BoundPlan, bind_plan
 from repro.plans.logical import Query
-from repro.plans.operators import DisplayOp, JoinOp, PlanOp, ScanOp, SelectOp
+from repro.plans.operators import (
+    AggregateOp,
+    DisplayOp,
+    JoinOp,
+    PlanOp,
+    ScanOp,
+    SelectOp,
+    SemiJoinOp,
+    UdfFilterOp,
+)
 from repro.plans.policies import Policy, allowed_annotations, check_policy
 from repro.plans.validate import validate_plan
 from repro.sim import AnyOf, Environment, Event, Process
@@ -343,6 +355,33 @@ class QueryExecutor:
             child = self._build_op(op.child, bound, context, labels)
             child = self._maybe_exchange(site, op.child, child, bound, context)
             phys = SelectIterator(context, site, child, op.selectivity)
+        elif isinstance(op, UdfFilterOp):
+            child = self._build_op(op.child, bound, context, labels)
+            child = self._maybe_exchange(site, op.child, child, bound, context)
+            phys = UdfFilterIterator(context, site, child, op.udf)
+        elif isinstance(op, SemiJoinOp):
+            child = self._build_op(op.child, bound, context, labels)
+            child = self._maybe_exchange(site, op.child, child, bound, context)
+            reduction = op.reduction
+            phys = SemiJoinIterator(
+                context,
+                site,
+                child,
+                reduction,
+                digest_site_id=self.catalog.server_of(reduction.digest_of),
+                digest_tuples=self.catalog.relation(reduction.digest_of).tuples,
+            )
+        elif isinstance(op, AggregateOp):
+            child = self._build_op(op.child, bound, context, labels)
+            child = self._maybe_exchange(site, op.child, child, bound, context)
+            est = self.estimator
+            phys = HashAggregateIterator(
+                context,
+                site,
+                child,
+                est_groups=est.cardinality(op),
+                output_tuple_bytes=est.tuple_bytes(op),
+            )
         elif isinstance(op, JoinOp):
             inner = self._build_op(op.inner, bound, context, labels)
             inner = self._maybe_exchange(site, op.inner, inner, bound, context)

@@ -1,0 +1,67 @@
+"""UDF filter operator: an expensive predicate at its chosen site.
+
+Structurally a select, but the per-tuple CPU charge is the UDF's *declared*
+cost instead of the fixed ``Compare`` instruction count -- the knob the
+function-shipping experiments sweep.  Whether this operator runs at the
+producing server or at the client is decided by the optimizer's ``udf-site``
+move (or pinned by :attr:`~repro.plans.logical.UdfPredicate.site`); the
+executor simply charges the work to whatever site the plan bound.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.engine.base import Page, PageAssembler, PhysicalOp
+from repro.plans.logical import UdfPredicate
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.executor import ExecutionContext
+    from repro.hardware.site import Site
+
+__all__ = ["UdfFilterIterator"]
+
+
+class UdfFilterIterator(PhysicalOp):
+    """Applies a named UDF predicate of declared cost and selectivity."""
+
+    def __init__(
+        self,
+        context: "ExecutionContext",
+        site: "Site",
+        child: PhysicalOp,
+        udf: UdfPredicate,
+    ) -> None:
+        super().__init__(context, site)
+        self.child = child
+        self.udf = udf
+        self._assembler: PageAssembler | None = None
+        self._ready: list[Page] = []
+        self._input_done = False
+
+    def _open(self) -> typing.Generator:
+        yield from self.child.open()
+
+    def _next(self) -> typing.Generator:
+        while not self._ready and not self._input_done:
+            page = yield from self.child.next()
+            if page is None:
+                self._input_done = True
+                if self._assembler is not None:
+                    self._ready.extend(self._assembler.flush())
+                break
+            if self._assembler is None:
+                self._assembler = PageAssembler(
+                    self.config.tuples_per_page(page.tuple_bytes), page.tuple_bytes
+                )
+            surviving = page.tuples * self.udf.selectivity
+            cpu = self.udf.per_tuple_instructions * page.tuples
+            cpu += self.config.move_instructions(round(surviving) * page.tuple_bytes)
+            yield from self.site.cpu.execute(cpu)
+            self._ready.extend(self._assembler.add(surviving))
+        if self._ready:
+            return self._ready.pop(0)
+        return None
+
+    def _close(self) -> typing.Generator:
+        yield from self.child.close()

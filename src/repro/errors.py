@@ -13,6 +13,7 @@ __all__ = [
     "ExecutionError",
     "OptimizationError",
     "SimulationError",
+    "SqlError",
     "QueryShedError",
     "MemoryExhaustedError",
     "TransientFaultError",
@@ -49,6 +50,24 @@ class PolicyViolationError(PlanError):
 
 class BindingError(PlanError):
     """Logical annotations could not be resolved to physical sites."""
+
+
+class SqlError(ReproError):
+    """Invalid SQL text: lexing, parsing, or name-resolution failure.
+
+    ``line`` and ``column`` (both 1-based) locate the offending token in
+    the original statement text; they are ``None`` only for errors that
+    have no single source position (e.g. a whole-query semantic check).
+    """
+
+    def __init__(
+        self, message: str, line: int | None = None, column: int | None = None
+    ) -> None:
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+        self.line = line
+        self.column = column
 
 
 class ExecutionError(ReproError):

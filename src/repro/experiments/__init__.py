@@ -24,6 +24,7 @@ from repro.experiments.figures import (
     figure11,
     availability_sweep,
     cache_warmup,
+    function_shipping,
     memory_contention,
     qs_under_load_text,
     throughput_sweep,
@@ -49,6 +50,7 @@ __all__ = [
     "figure8",
     "figure10",
     "figure11",
+    "function_shipping",
     "measure_plan",
     "measure_policy",
     "memory_contention",

@@ -34,6 +34,7 @@ _FIGURES = {
     "fig11": figures.figure11,
     "qs-load": figures.qs_under_load_text,
     "fault-sweep": figures.availability_sweep,
+    "function-shipping": figures.function_shipping,
     "throughput-sweep": figures.throughput_sweep,
     "utilization-timeline": figures.utilization_timeline,
     "cache-warmup": figures.cache_warmup,
@@ -91,6 +92,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--write-fractions", type=float, nargs="+", default=None,
         help="write fractions to sweep for the write-mix (0..1)",
+    )
+    parser.add_argument(
+        "--udf-costs", type=float, nargs="+", default=None,
+        help="per-tuple UDF costs to sweep for the function-shipping",
     )
     parser.add_argument(
         "--paper", action="store_true",
@@ -183,6 +188,11 @@ def _run_one(name: str, args: argparse.Namespace) -> None:
             kwargs["queries_per_client"] = args.queries
         elif args.quick:
             kwargs["queries_per_client"] = 2
+    if name == "function-shipping":
+        if args.udf_costs:
+            kwargs["udf_costs"] = tuple(args.udf_costs)
+        elif args.quick:
+            kwargs["udf_costs"] = (0.0, 8000.0, 128000.0)
     if args.jobs > 1:
         kwargs["jobs"] = args.jobs
     started = time.time()

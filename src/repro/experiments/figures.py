@@ -26,6 +26,7 @@ from repro.optimizer.random_plans import PlanShape
 from repro.optimizer.two_phase import RandomizedOptimizer
 from repro.optimizer.two_step import TwoStepOptimizer
 from repro.plans.policies import Policy, allowed_annotations
+from repro.sql.scenario import sql_scenario
 from repro.workload import AdmissionConfig, StreamConfig, WorkloadRunner
 from repro.workloads.scenarios import Scenario, chain_scenario
 from repro.catalog.catalog import Catalog
@@ -48,6 +49,7 @@ __all__ = [
     "figure8",
     "figure10",
     "figure11",
+    "function_shipping",
     "memory_contention",
     "qs_under_load_text",
     "throughput_sweep",
@@ -65,6 +67,7 @@ CLIENT_COUNTS = (1, 2, 4, 8)
 MEMORY_CLIENT_COUNTS = (2, 4, 8, 16)
 WRITE_FRACTIONS = (0.0, 0.1, 0.25, 0.5)
 CONSISTENCY_PROTOCOLS = ("invalidation", "detection")
+UDF_COSTS = (0.0, 2000.0, 8000.0, 32000.0, 128000.0)
 
 
 @dataclass(frozen=True)
@@ -797,6 +800,73 @@ def write_mix(
         result.add(f"{task.protocol} stale hits", task.write_fraction, stale)
         result.add(f"{task.protocol} msgs", task.write_fraction, msgs)
     return result
+
+
+# ----------------------------------------------------------------------
+# Function shipping: where should a user-defined predicate run?
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _SqlFactory:
+    """Scenario factory for SQL-frontend sweeps (picklable for ``jobs``)."""
+
+    sql: str
+
+    def __call__(self, seed: int) -> Scenario:
+        return sql_scenario(self.sql, placement_seed=seed)
+
+
+_FUNCTION_SHIPPING_SQL = "SELECT * FROM R0 WHERE f(R0) COST {cost:g}{at}"
+_FUNCTION_SHIPPING_ARMS = (
+    ("client-eval", " AT CLIENT"),
+    ("server-eval", " AT SERVER"),
+    ("optimizer-chosen", ""),
+)
+
+
+def function_shipping(
+    settings: RunSettings | None = None,
+    udf_costs: tuple[float, ...] = UDF_COSTS,
+    jobs: int = 1,
+) -> FigureResult:
+    """Response time vs UDF cost for the three UDF placement strategies.
+
+    A query-shipping client filters one benchmark table through a named
+    UDF of 50 % selectivity whose per-tuple cost sweeps the x axis.  The
+    ``AT CLIENT`` / ``AT SERVER`` arms pin the predicate; the third arm
+    lets the optimizer's udf-site move choose.  Expected shape: server
+    evaluation wins at cost ~0 (it halves the shipped pages), but the
+    UDF's cpu serializes with the server's disk reads, so the client arm
+    -- which overlaps UDF cpu with the network transfer -- takes over as
+    the cost grows.  The optimizer-chosen curve should track the lower
+    envelope of the two pinned arms.
+    """
+    settings = settings or RunSettings()
+    result = FigureResult(
+        "function-shipping",
+        "Function Shipping: UDF Placement vs Predicate Cost (beyond the paper)",
+        "UDF cost [instructions/tuple]",
+        "response time [s]",
+        notes=(
+            "query shipping, 1 server, 10,000-tuple table, UDF selectivity "
+            "0.5, maximum buffer allocation; 'pages <arm>' series carry the "
+            "shipped-page counts of the same runs"
+        ),
+    )
+    tasks = [
+        _MeasureTask(
+            factory=_SqlFactory(_FUNCTION_SHIPPING_SQL.format(cost=cost, at=at)),
+            policy=Policy.QUERY_SHIPPING,
+            objective=Objective.RESPONSE_TIME,
+            settings=settings,
+            label=label if metric == "response_time" else f"pages {label}",
+            x=cost,
+            metric=metric,
+        )
+        for label, at in _FUNCTION_SHIPPING_ARMS
+        for cost in udf_costs
+        for metric in ("response_time", "pages_sent")
+    ]
+    return _add_measured(result, tasks, jobs)
 
 
 # ----------------------------------------------------------------------

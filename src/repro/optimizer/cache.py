@@ -106,6 +106,19 @@ def plan_fingerprint(
         repr(query.predicates),
         repr(sorted(query.selections.items())),
         repr(query.result_tuple_bytes),
+        # Function-shipping features participate only when present, so
+        # plain SPJ queries fingerprint exactly as they did before the SQL
+        # frontend existed.  The reprs include every placement-relevant
+        # field (UDF cost/selectivity/pinned site, group-by keys and group
+        # estimate, semi-join digests), so two queries differing only in
+        # UDF placement or GROUP BY columns never collide.
+        *(["udfs:" + repr(query.udfs)] if query.udfs else []),
+        *(
+            ["aggregation:" + repr(query.aggregation)]
+            if query.aggregation is not None
+            else []
+        ),
+        *(["semijoins:" + repr(query.semi_joins)] if query.semi_joins else []),
         "*" if subspace is not None else policy.value,
         objective.value,
         *_environment_parts(environment),

@@ -13,8 +13,18 @@ import random
 
 from repro.errors import OptimizationError
 from repro.plans.annotations import Annotation
-from repro.plans.logical import Query
-from repro.plans.operators import DisplayOp, JoinOp, PlanOp, ScanOp, SelectOp
+from repro.plans.logical import Query, UdfPredicate
+from repro.plans.operators import (
+    UNARY_STREAM_OPS,
+    AggregateOp,
+    DisplayOp,
+    JoinOp,
+    PlanOp,
+    ScanOp,
+    SelectOp,
+    SemiJoinOp,
+    UdfFilterOp,
+)
 from repro.plans.policies import Policy, allowed_annotations
 from repro.plans.validate import find_annotation_cycles
 
@@ -57,18 +67,47 @@ def is_deep(plan: PlanOp) -> bool:
 
 
 def _strip_selects(op: PlanOp) -> PlanOp:
-    while isinstance(op, SelectOp):
+    while isinstance(op, (SelectOp, SemiJoinOp, UdfFilterOp)):
         op = op.child
     return op
 
 
+def udf_annotation(udf: UdfPredicate, policy: Policy, rng: random.Random) -> Annotation:
+    """A policy-legal annotation for a UDF filter, honouring its pin.
+
+    Pinned UDFs (``site`` of ``"client"`` or ``"server"``) consume no
+    randomness, so a query whose UDF placements are all forced draws the
+    same RNG stream regardless of the pins chosen.
+    """
+    if udf.site == "client":
+        return Annotation.CLIENT
+    if udf.site == "server":
+        return Annotation.PRODUCER
+    return _random_annotation(policy, "udf-filter", rng)
+
+
 def _leaf(query: Query, relation: str, policy: Policy, rng: random.Random) -> PlanOp:
-    scan = ScanOp(_random_annotation(policy, "scan", rng), relation)
+    op: PlanOp = ScanOp(_random_annotation(policy, "scan", rng), relation)
+    # UDFs pinned to the server evaluate during the scan, directly above it:
+    # a scan is never annotated consumer, so the pinned producer annotation
+    # can never form a cycle even when the policy leaves the operators above
+    # (select / semi-join under data shipping) no choice but consumer.
+    for udf in query.udfs_on(relation):
+        if udf.site == "server":
+            op = UdfFilterOp(Annotation.PRODUCER, child=op, udf=udf)
     selectivity = query.selection_on(relation)
-    if selectivity is None:
-        return scan
-    return SelectOp(_random_annotation(policy, "select", rng), child=scan,
-                    selectivity=selectivity)
+    if selectivity is not None:
+        op = SelectOp(_random_annotation(policy, "select", rng), child=op,
+                      selectivity=selectivity)
+    reduction = query.semi_join_on(relation)
+    if reduction is not None:
+        op = SemiJoinOp(
+            _random_annotation(policy, "semijoin", rng), child=op, reduction=reduction
+        )
+    for udf in query.udfs_on(relation):
+        if udf.site != "server":
+            op = UdfFilterOp(udf_annotation(udf, policy, rng), child=op, udf=udf)
+    return op
 
 
 def _random_annotation(policy: Policy, kind: str, rng: random.Random) -> Annotation:
@@ -129,10 +168,12 @@ def random_join_tree(
 def repair_annotations(root: DisplayOp, policy: Policy, rng: random.Random) -> DisplayOp:
     """Re-sample annotations until the plan is well-formed.
 
-    Only hybrid-shipping can produce two-node annotation cycles (a parent
-    pointing down at a ``consumer`` child); the repair re-draws the child's
-    annotation away from ``consumer``, which always succeeds because every
-    operator with a ``consumer`` option also has a non-``consumer`` option.
+    A two-node cycle is a parent pointing down at a ``consumer`` child.  The
+    repair re-draws the child's annotation away from ``consumer`` when the
+    policy permits; when it does not (data shipping pins selects, semi-joins,
+    and aggregates to ``consumer``), the cycle is broken on the parent side
+    instead -- the only downward-pointing parent data shipping allows is a
+    ``producer`` UDF filter, which always has ``client`` as an alternative.
     """
     for _attempt in range(64):
         cycles = find_annotation_cycles(root)
@@ -142,10 +183,26 @@ def repair_annotations(root: DisplayOp, policy: Policy, rng: random.Random) -> D
         options = [
             a for a in allowed_annotations(policy, child) if a is not Annotation.CONSUMER
         ]
-        if not options:  # pragma: no cover - Table 1 always offers one
-            raise OptimizationError(f"cannot repair cycle at {child.kind}")
-        replacement = child.with_annotation(rng.choice(sorted(options, key=lambda a: a.value)))
-        root = _replace_once(root, child, replacement)
+        if options:
+            replacement = child.with_annotation(
+                rng.choice(sorted(options, key=lambda a: a.value))
+            )
+            root = _replace_once(root, child, replacement)
+            continue
+        pinned = isinstance(parent, UdfFilterOp) and parent.udf.site != "auto"
+        if isinstance(parent, UNARY_STREAM_OPS) and not pinned:
+            parent_options = [
+                a
+                for a in allowed_annotations(policy, parent)
+                if a is not Annotation.PRODUCER
+            ]
+            if parent_options:
+                replacement = parent.with_annotation(
+                    rng.choice(sorted(parent_options, key=lambda a: a.value))
+                )
+                root = _replace_once(root, parent, replacement)
+                continue
+        raise OptimizationError(f"cannot repair cycle at {child.kind}")
     raise OptimizationError("annotation repair did not converge")
 
 
@@ -155,9 +212,7 @@ def _replace_once(root: DisplayOp, target: PlanOp, replacement: PlanOp) -> Displ
     def rebuild(op: PlanOp) -> PlanOp:
         if op is target:
             return replacement
-        if isinstance(op, DisplayOp):
-            return op.with_child(rebuild(op.child))
-        if isinstance(op, SelectOp):
+        if isinstance(op, UNARY_STREAM_OPS):
             return op.with_child(rebuild(op.child))
         if isinstance(op, JoinOp):
             return op.with_children(rebuild(op.inner), rebuild(op.outer))
@@ -183,9 +238,7 @@ def force_client_scans(root: DisplayOp, relations: frozenset[str]) -> DisplayOp:
             if op.relation in relations and op.annotation is not Annotation.CLIENT:
                 return op.with_annotation(Annotation.CLIENT)
             return op
-        if isinstance(op, DisplayOp):
-            return op.with_child(rebuild(op.child))
-        if isinstance(op, SelectOp):
+        if isinstance(op, UNARY_STREAM_OPS):
             return op.with_child(rebuild(op.child))
         if isinstance(op, JoinOp):
             return op.with_children(rebuild(op.inner), rebuild(op.outer))
@@ -211,9 +264,7 @@ def rehome_scans(root: DisplayOp, homes: "dict[str, int | None]") -> DisplayOp:
             if op.relation in homes and op.home != homes[op.relation]:
                 return op.with_home(homes[op.relation])
             return op
-        if isinstance(op, DisplayOp):
-            return op.with_child(rebuild(op.child))
-        if isinstance(op, SelectOp):
+        if isinstance(op, UNARY_STREAM_OPS):
             return op.with_child(rebuild(op.child))
         if isinstance(op, JoinOp):
             return op.with_children(rebuild(op.inner), rebuild(op.outer))
@@ -240,6 +291,15 @@ def random_plan(
             f"primary sites of {sorted(forced_client_relations)}"
         )
     tree = random_join_tree(query, policy, rng, shape)
+    if query.aggregation is not None:
+        agg = query.aggregation
+        tree = AggregateOp(
+            _random_annotation(policy, "aggregate", rng),
+            child=tree,
+            group_by=agg.group_by,
+            aggregates=agg.aggregates,
+            groups=agg.groups,
+        )
     root = DisplayOp(Annotation.CLIENT, child=tree)
     root = force_client_scans(root, forced_client_relations)
     return repair_annotations(root, policy, rng)

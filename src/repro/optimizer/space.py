@@ -28,7 +28,17 @@ import typing
 from repro.optimizer.random_plans import PlanShape, is_deep, repair_annotations
 from repro.plans.annotations import Annotation
 from repro.plans.logical import Query
-from repro.plans.operators import DisplayOp, JoinOp, PlanOp, ScanOp, SelectOp
+from repro.plans.operators import (
+    UNARY_STREAM_OPS,
+    AggregateOp,
+    DisplayOp,
+    JoinOp,
+    PlanOp,
+    ScanOp,
+    SelectOp,
+    SemiJoinOp,
+    UdfFilterOp,
+)
 from repro.plans.policies import Policy, allowed_annotations
 
 __all__ = ["random_neighbor", "enumerate_candidates", "has_cartesian_join"]
@@ -57,9 +67,7 @@ def _rebuild(root: DisplayOp, target: PlanOp, replacement: PlanOp) -> DisplayOp:
     def visit(op: PlanOp) -> PlanOp:
         if op is target:
             return replacement
-        if isinstance(op, DisplayOp):
-            return op.with_child(visit(op.child))
-        if isinstance(op, SelectOp):
+        if isinstance(op, UNARY_STREAM_OPS):
             return op.with_child(visit(op.child))
         if isinstance(op, JoinOp):
             return op.with_children(visit(op.inner), visit(op.outer))
@@ -136,7 +144,8 @@ def enumerate_candidates(
     forced_client_relations: frozenset[str] = frozenset(),
     replica_options: "typing.Mapping[str, tuple[int, ...]] | None" = None,
 ) -> list[tuple[str, object]]:
-    """All applicable concrete moves, tagged 'reorder', 'annotate', 'rehome'.
+    """All applicable concrete moves, tagged 'reorder', 'annotate',
+    'rehome', or 'udf-site'.
 
     Data-shipping has no annotation freedom (every set in Table 1 is a
     singleton), so only reorder moves remain; query-shipping's annotation
@@ -146,13 +155,22 @@ def enumerate_candidates(
     holding a copy (primary first); move 8 ("rehome") repoints a scan at a
     different copy.  An empty/None mapping contributes no candidates, so
     unreplicated optimizations see exactly the pre-replica move set.
+
+    Move 9 ("udf-site") re-sites a function-shipping operator -- a UDF
+    filter, semi-join reducer, or aggregate -- by re-annotating it.  Plans
+    without those operators contribute no such candidates, keeping the
+    candidate list (and hence the optimizer's RNG stream) byte-identical
+    to the pre-SQL move set; UDFs pinned by :attr:`UdfPredicate.site`
+    generate none either.
     """
     # One walk collects every move kind; reorders stay ahead of annotation
-    # moves (and rehomes come last) so candidate indexing is unchanged from
-    # the two-walk version whenever no relation is replicated.
+    # moves (and rehomes / udf-sites come last) so candidate indexing is
+    # unchanged from the two-walk version whenever no relation is
+    # replicated and no function-shipping operator is present.
     reorders: list[tuple[str, object]] = []
     annotates: list[tuple[str, object]] = []
     rehomes: list[tuple[str, object]] = []
+    funcsites: list[tuple[str, object]] = []
     structural = not annotation_moves_only
     for op in root.walk():
         if isinstance(op, ScanOp):
@@ -180,7 +198,14 @@ def enumerate_candidates(
             for annotation in _sorted_annotations(policy, op.kind):
                 if annotation is not current_annotation:
                     annotates.append(("annotate", (op, annotation)))
-    return reorders + annotates + rehomes
+        elif isinstance(op, (UdfFilterOp, SemiJoinOp, AggregateOp)):
+            if isinstance(op, UdfFilterOp) and op.udf.site != "auto":
+                continue
+            current_annotation = op.annotation
+            for annotation in _sorted_annotations(policy, op.kind):
+                if annotation is not current_annotation:
+                    funcsites.append(("udf-site", (op, annotation)))
+    return reorders + annotates + rehomes + funcsites
 
 
 def random_neighbor(

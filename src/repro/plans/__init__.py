@@ -13,14 +13,23 @@ queries are submitted elsewhere -- the property the 2-step optimization study
 (section 5) relies on.
 """
 
-from repro.plans.logical import JoinPredicate, Query
+from repro.plans.logical import (
+    Aggregation,
+    JoinPredicate,
+    Query,
+    SemiJoinReduction,
+    UdfPredicate,
+)
 from repro.plans.annotations import Annotation
 from repro.plans.operators import (
+    AggregateOp,
     DisplayOp,
     JoinOp,
     PlanOp,
     ScanOp,
     SelectOp,
+    SemiJoinOp,
+    UdfFilterOp,
 )
 from repro.plans.policies import Policy, allowed_annotations, check_policy
 from repro.plans.validate import is_well_formed, validate_plan
@@ -28,6 +37,8 @@ from repro.plans.binding import BoundPlan, bind_plan
 from repro.plans.render import render_plan
 
 __all__ = [
+    "AggregateOp",
+    "Aggregation",
     "Annotation",
     "BoundPlan",
     "DisplayOp",
@@ -38,6 +49,10 @@ __all__ = [
     "Query",
     "ScanOp",
     "SelectOp",
+    "SemiJoinOp",
+    "SemiJoinReduction",
+    "UdfFilterOp",
+    "UdfPredicate",
     "allowed_annotations",
     "bind_plan",
     "check_policy",

@@ -22,7 +22,16 @@ from repro.catalog.catalog import Catalog
 from repro.errors import BindingError
 from repro.hardware.site import CLIENT_SITE_ID, site_name
 from repro.plans.annotations import Annotation
-from repro.plans.operators import DisplayOp, JoinOp, PlanOp, ScanOp, SelectOp
+from repro.plans.operators import (
+    AggregateOp,
+    DisplayOp,
+    JoinOp,
+    PlanOp,
+    ScanOp,
+    SelectOp,
+    SemiJoinOp,
+    UdfFilterOp,
+)
 
 __all__ = ["BoundPlan", "bind_plan"]
 
@@ -122,6 +131,10 @@ def bind_plan(
                 sites[id(op)] = op.home
             else:
                 sites[id(op)] = catalog.server_of(op.relation)
+        elif isinstance(op, UdfFilterOp) and op.annotation is Annotation.CLIENT:
+            # A client-evaluated UDF is as fixed as the display: the data
+            # ships to the query's client regardless of where it lives.
+            sites[id(op)] = client_site
         else:
             unresolved.append(op)
 
@@ -134,7 +147,10 @@ def bind_plan(
             if target is None:  # pragma: no cover - guarded by operator ctor
                 raise BindingError(f"join has unresolvable annotation {op.annotation}")
             return target
-        if isinstance(op, SelectOp) and op.annotation is Annotation.PRODUCER:
+        if (
+            isinstance(op, (SelectOp, UdfFilterOp, SemiJoinOp, AggregateOp))
+            and op.annotation is Annotation.PRODUCER
+        ):
             return op.child
         raise BindingError(f"{op.kind} has unresolvable annotation {op.annotation}")
 

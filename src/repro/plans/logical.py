@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import PlanError
 
-__all__ = ["JoinPredicate", "Query"]
+__all__ = ["Aggregation", "JoinPredicate", "Query", "SemiJoinReduction", "UdfPredicate"]
 
 
 @dataclass(frozen=True)
@@ -48,6 +48,108 @@ class JoinPredicate:
         return frozenset((self.left, self.right))
 
 
+#: Legal values of :attr:`UdfPredicate.site`.
+UDF_SITES = ("auto", "client", "server")
+
+
+@dataclass(frozen=True)
+class UdfPredicate:
+    """A named, expensive user-defined predicate on one base relation.
+
+    The declared ``per_tuple_instructions`` is the UDF's CPU cost (machine
+    instructions per input tuple) and ``selectivity`` the fraction of
+    tuples that pass.  ``site`` constrains where the predicate may be
+    evaluated: ``"client"`` pins it to the client, ``"server"`` pins it to
+    the site producing its input stream, and ``"auto"`` (the default)
+    leaves the choice to the optimizer -- the function-shipping axis.
+    """
+
+    name: str
+    relation: str
+    per_tuple_instructions: float
+    selectivity: float = 0.5
+    site: str = "auto"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PlanError(f"UDF on relation {self.relation!r} needs a name")
+        if self.per_tuple_instructions < 0:
+            raise PlanError(
+                f"UDF {self.name!r} on {self.relation!r}: per-tuple cost must be "
+                f">= 0, got {self.per_tuple_instructions}"
+            )
+        if not 0.0 < self.selectivity <= 1.0:
+            raise PlanError(
+                f"UDF {self.name!r} on {self.relation!r}: selectivity must be "
+                f"in (0, 1], got {self.selectivity}"
+            )
+        if self.site not in UDF_SITES:
+            raise PlanError(
+                f"UDF {self.name!r} on {self.relation!r}: site must be one of "
+                f"{UDF_SITES}, got {self.site!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Aggregation:
+    """A hash group-by over the final join result.
+
+    ``group_by`` names the grouping columns (``Relation.column``); an empty
+    tuple is a scalar aggregate (one output group).  ``aggregates`` names
+    the aggregate expressions computed per group (``COUNT(*)``,
+    ``SUM(R.x)``, ...) -- they are carried for rendering and result-shape
+    reporting; the cost model prices the group-by by its hashing work and
+    its output cardinality ``groups``, estimated by the planner.
+    """
+
+    group_by: tuple[str, ...] = ()
+    aggregates: tuple[str, ...] = ()
+    groups: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.group_by and not self.aggregates:
+            raise PlanError("an aggregation needs group-by columns or aggregates")
+        if self.groups < 1.0:
+            raise PlanError(
+                f"aggregation over {self.group_by!r} must produce at least one "
+                f"group, got estimate {self.groups}"
+            )
+
+
+@dataclass(frozen=True)
+class SemiJoinReduction:
+    """A semi-join reducer on one base relation's scan pipeline.
+
+    Before ``relation``'s tuples are shipped into a join, a digest of the
+    join column of ``digest_of`` (``key_bytes`` per distinct value) is sent
+    to the reducer's site and used to drop the tuples that cannot find a
+    join partner; ``survivor_fraction`` of the input stream survives.
+    Profitable exactly when participation is low (the paper's HiSel
+    workloads, where only 20 % of tuples join).
+    """
+
+    relation: str
+    digest_of: str
+    survivor_fraction: float
+    key_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.relation == self.digest_of:
+            raise PlanError(
+                f"semi-join on {self.relation!r} cannot take a digest of itself"
+            )
+        if not 0.0 < self.survivor_fraction <= 1.0:
+            raise PlanError(
+                f"semi-join on {self.relation!r}: survivor fraction must be in "
+                f"(0, 1], got {self.survivor_fraction}"
+            )
+        if self.key_bytes <= 0:
+            raise PlanError(
+                f"semi-join on {self.relation!r}: digest key width must be "
+                f"positive, got {self.key_bytes}"
+            )
+
+
 @dataclass(frozen=True)
 class Query:
     """A select-project-join query.
@@ -66,32 +168,84 @@ class Query:
     result_tuple_bytes:
         Width of tuples in join results and the final result after
         projection (the paper projects everything to 100 bytes).
+    udfs:
+        Expensive named predicates (:class:`UdfPredicate`) whose evaluation
+        site the optimizer places -- empty for plain SPJ queries.
+    semi_joins:
+        Semi-join reducers (:class:`SemiJoinReduction`) on base-relation
+        pipelines; at most one per relation.
+    aggregation:
+        Optional :class:`Aggregation` over the final join result.
     """
 
     relations: tuple[str, ...]
     predicates: tuple[JoinPredicate, ...] = ()
     selections: dict[str, float] = field(default_factory=dict)
     result_tuple_bytes: int = 100
+    udfs: tuple[UdfPredicate, ...] = ()
+    semi_joins: tuple[SemiJoinReduction, ...] = ()
+    aggregation: Aggregation | None = None
 
     def __post_init__(self) -> None:
         if not self.relations:
             raise PlanError("a query needs at least one relation")
         if len(set(self.relations)) != len(self.relations):
-            raise PlanError("duplicate relation in query")
+            duplicates = sorted(
+                {name for name in self.relations if self.relations.count(name) > 1}
+            )
+            raise PlanError(
+                "duplicate relation in query: "
+                + ", ".join(repr(name) for name in duplicates)
+            )
         known = set(self.relations)
         for predicate in self.predicates:
             if predicate.left not in known or predicate.right not in known:
+                missing = sorted(
+                    {predicate.left, predicate.right} - known
+                )
                 raise PlanError(
-                    f"predicate {predicate.left} = {predicate.right} references "
-                    "a relation not in the query"
+                    f"join predicate {predicate.left} = {predicate.right} "
+                    "references " + ", ".join(repr(name) for name in missing)
+                    + ", not a relation of this query"
                 )
         for name, selectivity in self.selections.items():
             if name not in known:
-                raise PlanError(f"selection on unknown relation {name!r}")
+                raise PlanError(
+                    f"selection on unknown relation {name!r} "
+                    f"(query relations: {sorted(known)})"
+                )
             if not 0.0 < selectivity <= 1.0:
-                raise PlanError(f"selection selectivity for {name!r} must be in (0, 1]")
+                raise PlanError(
+                    f"selection selectivity for {name!r} must be in (0, 1], "
+                    f"got {selectivity}"
+                )
         if self.result_tuple_bytes <= 0:
-            raise PlanError("result tuple width must be positive")
+            raise PlanError(
+                f"result tuple width must be positive, got {self.result_tuple_bytes}"
+            )
+        for udf in self.udfs:
+            if udf.relation not in known:
+                raise PlanError(
+                    f"UDF {udf.name!r} applies to unknown relation "
+                    f"{udf.relation!r} (query relations: {sorted(known)})"
+                )
+        reduced = set()
+        for semi in self.semi_joins:
+            if semi.relation not in known:
+                raise PlanError(
+                    f"semi-join reducer on unknown relation {semi.relation!r} "
+                    f"(query relations: {sorted(known)})"
+                )
+            if semi.digest_of not in known:
+                raise PlanError(
+                    f"semi-join on {semi.relation!r} takes a digest of unknown "
+                    f"relation {semi.digest_of!r}"
+                )
+            if semi.relation in reduced:
+                raise PlanError(
+                    f"relation {semi.relation!r} has more than one semi-join reducer"
+                )
+            reduced.add(semi.relation)
 
     @property
     def num_joins(self) -> int:
@@ -110,6 +264,17 @@ class Query:
         if selectivity is None or selectivity >= 1.0:
             return None
         return selectivity
+
+    def udfs_on(self, relation: str) -> tuple[UdfPredicate, ...]:
+        """UDF predicates applying to ``relation``, in declaration order."""
+        return tuple(udf for udf in self.udfs if udf.relation == relation)
+
+    def semi_join_on(self, relation: str) -> SemiJoinReduction | None:
+        """The semi-join reducer planned on ``relation``'s pipeline, if any."""
+        for semi in self.semi_joins:
+            if semi.relation == relation:
+                return semi
+        return None
 
     def is_connected(self) -> bool:
         """True if the join graph connects all relations (no forced products)."""

@@ -17,8 +17,19 @@ from dataclasses import dataclass, replace
 
 from repro.errors import PlanError
 from repro.plans.annotations import Annotation
+from repro.plans.logical import SemiJoinReduction, UdfPredicate
 
-__all__ = ["PlanOp", "ScanOp", "SelectOp", "JoinOp", "DisplayOp"]
+__all__ = [
+    "AggregateOp",
+    "DisplayOp",
+    "JoinOp",
+    "PlanOp",
+    "ScanOp",
+    "SelectOp",
+    "SemiJoinOp",
+    "UNARY_STREAM_OPS",
+    "UdfFilterOp",
+]
 
 
 @dataclass(frozen=True)
@@ -167,6 +178,139 @@ class JoinOp(PlanOp):
 
 
 @dataclass(frozen=True)
+class UdfFilterOp(PlanOp):
+    """Applies an expensive named UDF predicate to its input stream.
+
+    Annotated ``client`` (evaluate at the query's client -- ship the data)
+    or ``producer`` (evaluate at the site producing the input stream --
+    ship the function).  This is the function-shipping axis: unlike scans
+    and joins, the placement of a UDF is orthogonal to where the data
+    lives, so every policy -- including pure data shipping and pure query
+    shipping -- may choose either site.
+    """
+
+    child: PlanOp = None  # type: ignore[assignment]
+    udf: UdfPredicate = None  # type: ignore[assignment]
+
+    kind: typing.ClassVar[str] = "udf-filter"
+
+    def __post_init__(self) -> None:
+        if self.child is None:
+            raise PlanError("udf-filter needs a child operator")
+        if self.udf is None:
+            raise PlanError("udf-filter needs a UdfPredicate")
+        if self.annotation not in (Annotation.CLIENT, Annotation.PRODUCER):
+            raise PlanError(
+                f"udf-filter {self.udf.name!r} cannot be annotated {self.annotation}"
+            )
+        if self.udf.site == "client" and self.annotation is not Annotation.CLIENT:
+            raise PlanError(
+                f"UDF {self.udf.name!r} is pinned to the client but annotated "
+                f"{self.annotation}"
+            )
+        if self.udf.site == "server" and self.annotation is not Annotation.PRODUCER:
+            raise PlanError(
+                f"UDF {self.udf.name!r} is pinned to its producer site but "
+                f"annotated {self.annotation}"
+            )
+
+    @property
+    def children(self) -> tuple[PlanOp, ...]:
+        return (self.child,)
+
+    def with_annotation(self, annotation: Annotation) -> "UdfFilterOp":
+        return UdfFilterOp(annotation, self.child, self.udf)
+
+    def with_child(self, child: PlanOp) -> "UdfFilterOp":
+        return UdfFilterOp(self.annotation, child, self.udf)
+
+
+@dataclass(frozen=True)
+class SemiJoinOp(PlanOp):
+    """Semi-join reducer: drops tuples with no join partner before shipping.
+
+    A digest of the join column of ``reduction.digest_of`` is shipped to
+    this operator's site and probed per input tuple; only
+    ``reduction.survivor_fraction`` of the stream survives.  Annotated
+    ``consumer`` or ``producer`` like a select -- placed at the producer it
+    cuts the pages shipped upstream, which is its whole point.
+    """
+
+    child: PlanOp = None  # type: ignore[assignment]
+    reduction: SemiJoinReduction = None  # type: ignore[assignment]
+
+    kind: typing.ClassVar[str] = "semijoin"
+
+    def __post_init__(self) -> None:
+        if self.child is None:
+            raise PlanError("semijoin needs a child operator")
+        if self.reduction is None:
+            raise PlanError("semijoin needs a SemiJoinReduction")
+        if self.annotation not in (Annotation.CONSUMER, Annotation.PRODUCER):
+            raise PlanError(
+                f"semijoin on {self.reduction.relation!r} cannot be annotated "
+                f"{self.annotation}"
+            )
+
+    @property
+    def children(self) -> tuple[PlanOp, ...]:
+        return (self.child,)
+
+    def with_annotation(self, annotation: Annotation) -> "SemiJoinOp":
+        return SemiJoinOp(annotation, self.child, self.reduction)
+
+    def with_child(self, child: PlanOp) -> "SemiJoinOp":
+        return SemiJoinOp(self.annotation, child, self.reduction)
+
+
+@dataclass(frozen=True)
+class AggregateOp(PlanOp):
+    """Hash group-by over its input stream; blocking (build, then emit).
+
+    Annotated ``consumer`` (aggregate where the result is consumed -- at
+    the client, under the display) or ``producer`` (push the aggregate
+    down to the site producing the join result -- partial-aggregate
+    pushdown; exact here because the input is a single stream).
+    ``group_by`` and ``aggregates`` describe the output shape; ``groups``
+    is the planner's output-cardinality estimate.
+    """
+
+    child: PlanOp = None  # type: ignore[assignment]
+    group_by: tuple[str, ...] = ()
+    aggregates: tuple[str, ...] = ()
+    groups: float = 1.0
+
+    kind: typing.ClassVar[str] = "aggregate"
+
+    def __post_init__(self) -> None:
+        if self.child is None:
+            raise PlanError("aggregate needs a child operator")
+        if not self.group_by and not self.aggregates:
+            raise PlanError("aggregate needs group-by columns or aggregate exprs")
+        if self.groups < 1.0:
+            raise PlanError(
+                f"aggregate over {self.group_by!r} must produce at least one "
+                f"group, got estimate {self.groups}"
+            )
+        if self.annotation not in (Annotation.CONSUMER, Annotation.PRODUCER):
+            raise PlanError(f"aggregate cannot be annotated {self.annotation}")
+
+    @property
+    def children(self) -> tuple[PlanOp, ...]:
+        return (self.child,)
+
+    def with_annotation(self, annotation: Annotation) -> "AggregateOp":
+        return AggregateOp(
+            annotation, self.child, self.group_by, self.aggregates, self.groups
+        )
+
+    def with_child(self, child: PlanOp) -> "AggregateOp":
+        return AggregateOp(
+            self.annotation, child, self.group_by, self.aggregates, self.groups
+        )
+
+
+@dataclass(frozen=True)
 class DisplayOp(PlanOp):
     """Presents the result to the application; always at the client."""
 
@@ -186,3 +330,8 @@ class DisplayOp(PlanOp):
 
     def with_child(self, child: PlanOp) -> "DisplayOp":
         return DisplayOp(self.annotation, child)
+
+
+#: Single-input stream operators that rebuild via ``with_child`` --
+#: everything that can sit on a pipeline between a scan and a join/display.
+UNARY_STREAM_OPS = (SelectOp, UdfFilterOp, SemiJoinOp, AggregateOp, DisplayOp)

@@ -7,7 +7,20 @@ display       client              client           client
 join          consumer            inner or outer   consumer, inner or outer
 select        consumer            producer         consumer or producer
 scan          client              primary copy     client or primary copy
+udf-filter    client or producer  client or prod.  client or producer
+semijoin      consumer            producer         consumer or producer
+aggregate     consumer            producer         consumer or producer
 ============  ==================  ===============  ==========================
+
+The last three rows extend the paper's Table 1 for the function-shipping
+operators.  A UDF's placement is orthogonal to where the data lives --
+shipping the *function* to the data is legal even under pure data
+shipping, and shipping the data to the client-resident function is legal
+even under pure query shipping -- so every policy offers both sites; this
+is exactly the "to ship or not to (function) ship" choice.  Semi-join
+reducers and aggregates follow the select row: data shipping evaluates at
+the consumer, query shipping pushes down to the producer (partial
+aggregates at servers), hybrid chooses.
 """
 
 from __future__ import annotations
@@ -16,7 +29,16 @@ import enum
 
 from repro.errors import PolicyViolationError
 from repro.plans.annotations import Annotation
-from repro.plans.operators import DisplayOp, JoinOp, PlanOp, ScanOp, SelectOp
+from repro.plans.operators import (
+    AggregateOp,
+    DisplayOp,
+    JoinOp,
+    PlanOp,
+    ScanOp,
+    SelectOp,
+    SemiJoinOp,
+    UdfFilterOp,
+)
 
 __all__ = ["Policy", "allowed_annotations", "check_policy"]
 
@@ -44,12 +66,18 @@ _TABLE_1: dict[Policy, dict[str, frozenset[Annotation]]] = {
         "join": frozenset({Annotation.CONSUMER}),
         "select": frozenset({Annotation.CONSUMER}),
         "scan": frozenset({Annotation.CLIENT}),
+        "udf-filter": frozenset({Annotation.CLIENT, Annotation.PRODUCER}),
+        "semijoin": frozenset({Annotation.CONSUMER}),
+        "aggregate": frozenset({Annotation.CONSUMER}),
     },
     Policy.QUERY_SHIPPING: {
         "display": frozenset({Annotation.CLIENT}),
         "join": frozenset({Annotation.INNER_RELATION, Annotation.OUTER_RELATION}),
         "select": frozenset({Annotation.PRODUCER}),
         "scan": frozenset({Annotation.PRIMARY_COPY}),
+        "udf-filter": frozenset({Annotation.CLIENT, Annotation.PRODUCER}),
+        "semijoin": frozenset({Annotation.PRODUCER}),
+        "aggregate": frozenset({Annotation.PRODUCER}),
     },
     Policy.HYBRID_SHIPPING: {
         "display": frozenset({Annotation.CLIENT}),
@@ -58,10 +86,21 @@ _TABLE_1: dict[Policy, dict[str, frozenset[Annotation]]] = {
         ),
         "select": frozenset({Annotation.CONSUMER, Annotation.PRODUCER}),
         "scan": frozenset({Annotation.CLIENT, Annotation.PRIMARY_COPY}),
+        "udf-filter": frozenset({Annotation.CLIENT, Annotation.PRODUCER}),
+        "semijoin": frozenset({Annotation.CONSUMER, Annotation.PRODUCER}),
+        "aggregate": frozenset({Annotation.CONSUMER, Annotation.PRODUCER}),
     },
 }
 
-_OP_KINDS = {ScanOp: "scan", SelectOp: "select", JoinOp: "join", DisplayOp: "display"}
+_OP_KINDS = {
+    ScanOp: "scan",
+    SelectOp: "select",
+    JoinOp: "join",
+    DisplayOp: "display",
+    UdfFilterOp: "udf-filter",
+    SemiJoinOp: "semijoin",
+    AggregateOp: "aggregate",
+}
 
 
 def allowed_annotations(policy: Policy, op: "PlanOp | type | str") -> frozenset[Annotation]:

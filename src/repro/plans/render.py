@@ -13,13 +13,26 @@ Produces trees in the spirit of the paper's Figure 1, e.g.::
 from __future__ import annotations
 
 from repro.plans.binding import BoundPlan
-from repro.plans.operators import PlanOp, ScanOp
+from repro.plans.operators import AggregateOp, PlanOp, ScanOp, SemiJoinOp, UdfFilterOp
 
 __all__ = ["render_plan"]
 
 
 def _label(op: PlanOp, bound: BoundPlan | None) -> str:
-    name = f"scan({op.relation})" if isinstance(op, ScanOp) else op.kind
+    if isinstance(op, ScanOp):
+        name = f"scan({op.relation})"
+    elif isinstance(op, UdfFilterOp):
+        name = (
+            f"udf-filter({op.udf.name}({op.udf.relation})"
+            f" cost={op.udf.per_tuple_instructions:g})"
+        )
+    elif isinstance(op, SemiJoinOp):
+        name = f"semijoin({op.reduction.relation} << {op.reduction.digest_of})"
+    elif isinstance(op, AggregateOp):
+        keys = ", ".join(op.group_by) if op.group_by else "<all>"
+        name = f"aggregate(group by {keys})"
+    else:
+        name = op.kind
     label = f"{name} [{op.annotation}]"
     if bound is not None:
         site = bound.site_of(op)

@@ -11,7 +11,16 @@ from __future__ import annotations
 
 from repro.errors import IllFormedPlanError, PlanError
 from repro.plans.annotations import Annotation
-from repro.plans.operators import DisplayOp, JoinOp, PlanOp, ScanOp, SelectOp
+from repro.plans.operators import (
+    AggregateOp,
+    DisplayOp,
+    JoinOp,
+    PlanOp,
+    ScanOp,
+    SelectOp,
+    SemiJoinOp,
+    UdfFilterOp,
+)
 from repro.plans.logical import Query
 
 __all__ = ["is_well_formed", "find_annotation_cycles", "validate_plan"]
@@ -22,7 +31,10 @@ def _downward_targets(op: PlanOp) -> tuple[PlanOp, ...]:
     if isinstance(op, JoinOp):
         target = op.annotation_target()
         return (target,) if target is not None else ()
-    if isinstance(op, SelectOp) and op.annotation is Annotation.PRODUCER:
+    if (
+        isinstance(op, (SelectOp, UdfFilterOp, SemiJoinOp, AggregateOp))
+        and op.annotation is Annotation.PRODUCER
+    ):
         return (op.child,)
     return ()
 
@@ -73,6 +85,30 @@ def validate_plan(plan: PlanOp, query: Query | None = None) -> None:
         if missing or extra:
             raise PlanError(
                 f"plan scans {sorted(scanned)} but query needs {sorted(query.relations)}"
+            )
+        udfs = [op.udf for op in plan.walk() if isinstance(op, UdfFilterOp)]
+        if sorted(udfs, key=lambda u: (u.relation, u.name)) != sorted(
+            query.udfs, key=lambda u: (u.relation, u.name)
+        ):
+            raise PlanError(
+                f"plan evaluates UDFs {sorted(u.name for u in udfs)} but the "
+                f"query declares {sorted(u.name for u in query.udfs)}"
+            )
+        reductions = [op.reduction for op in plan.walk() if isinstance(op, SemiJoinOp)]
+        if sorted(r.relation for r in reductions) != sorted(
+            r.relation for r in query.semi_joins
+        ):
+            raise PlanError(
+                f"plan reduces {sorted(r.relation for r in reductions)} but the "
+                f"query plans semi-joins on "
+                f"{sorted(r.relation for r in query.semi_joins)}"
+            )
+        aggregates = plan.count(AggregateOp)
+        expected = 0 if query.aggregation is None else 1
+        if aggregates != expected:
+            raise PlanError(
+                f"plan has {aggregates} aggregate operator(s) but the query "
+                f"declares {expected}"
             )
     cycles = find_annotation_cycles(plan)
     if cycles:

@@ -1,0 +1,40 @@
+"""SQL frontend: lexer, parser, and logical planner.
+
+Turns ``SELECT ... FROM ... WHERE ... GROUP BY`` text into the package's
+:class:`~repro.plans.logical.Query` -- select-project-join with equi-joins,
+hash aggregation, optional semi-join reduction, and named UDF predicates
+with declared per-tuple cost, selectivity, and (optionally pinned)
+evaluation site.  See :mod:`repro.sql.parser` for the accepted grammar.
+
+The pieces compose::
+
+    statement = parse_sql('SELECT COUNT(*) FROM R0, R1 WHERE R0.k = R1.k')
+    scenario  = sql_scenario(statement, num_servers=2)   # catalog + query
+    query     = scenario.query                            # lowered Query
+
+or in one step through :func:`repro.api.run_sql`.
+"""
+
+from repro.sql.nodes import (
+    AggregateItem,
+    ColumnRef,
+    JoinCondition,
+    SelectStatement,
+    SelectionCondition,
+    UdfCondition,
+)
+from repro.sql.parser import parse_sql
+from repro.sql.planner import plan_statement
+from repro.sql.scenario import sql_scenario
+
+__all__ = [
+    "AggregateItem",
+    "ColumnRef",
+    "JoinCondition",
+    "SelectStatement",
+    "SelectionCondition",
+    "UdfCondition",
+    "parse_sql",
+    "plan_statement",
+    "sql_scenario",
+]

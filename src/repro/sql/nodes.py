@@ -1,0 +1,113 @@
+"""AST node types produced by the SQL parser.
+
+Plain frozen dataclasses: the parser resolves nothing (no catalog access),
+so every name keeps its source position for the planner's error messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "AggregateItem",
+    "ColumnRef",
+    "JoinCondition",
+    "SelectStatement",
+    "SelectionCondition",
+    "TableRef",
+    "UdfCondition",
+]
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """``relation.column`` or a bare ``column`` (resolved by the planner)."""
+
+    relation: str | None
+    column: str
+    line: int = 0
+    col: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.relation}.{self.column}" if self.relation else self.column
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """One FROM-list entry."""
+
+    name: str
+    line: int = 0
+    col: int = 0
+
+
+@dataclass(frozen=True)
+class AggregateItem:
+    """``COUNT(*)``, ``SUM(R.x)``, ... in the select list."""
+
+    func: str  # COUNT / SUM / MIN / MAX / AVG, upper-cased
+    argument: ColumnRef | None  # None means '*'
+    line: int = 0
+    col: int = 0
+
+    def __str__(self) -> str:
+        inner = "*" if self.argument is None else str(self.argument)
+        return f"{self.func}({inner})"
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """``L.a = R.b [SELECTIVITY s] [SEMIJOIN]``."""
+
+    left: ColumnRef
+    right: ColumnRef
+    selectivity: float | None = None
+    semijoin: bool = False
+    line: int = 0
+    col: int = 0
+
+
+@dataclass(frozen=True)
+class SelectionCondition:
+    """``R.a <op> literal [SELECTIVITY s]``."""
+
+    column: ColumnRef
+    operator: str
+    literal: str
+    selectivity: float | None = None
+    line: int = 0
+    col: int = 0
+
+
+@dataclass(frozen=True)
+class UdfCondition:
+    """``name(R) [COST c] [SELECTIVITY s] [AT CLIENT|SERVER]``."""
+
+    name: str
+    relation: str
+    cost: float | None = None
+    selectivity: float | None = None
+    site: str = "auto"
+    line: int = 0
+    col: int = 0
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A parsed SELECT: shapes only, nothing resolved."""
+
+    columns: tuple[ColumnRef, ...] = ()
+    aggregates: tuple[AggregateItem, ...] = ()
+    star: bool = False
+    tables: tuple[TableRef, ...] = ()
+    joins: tuple[JoinCondition, ...] = ()
+    selections: tuple[SelectionCondition, ...] = ()
+    udfs: tuple[UdfCondition, ...] = ()
+    group_by: tuple[ColumnRef, ...] = field(default_factory=tuple)
+
+    @property
+    def has_aggregation(self) -> bool:
+        return bool(self.aggregates) or bool(self.group_by)
+
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(table.name for table in self.tables)

@@ -1,0 +1,262 @@
+"""Recursive-descent parser for the experiment dialect.
+
+Accepted grammar (keywords case-insensitive, ``--`` line comments)::
+
+    statement   := SELECT select_list FROM table {, table}
+                   [WHERE condition {AND condition}]
+                   [GROUP BY column {, column}]
+    select_list := '*' | item {, item}
+    item        := column | aggregate
+    aggregate   := (COUNT|SUM|MIN|MAX|AVG) '(' ('*' | column) ')'
+    column      := IDENT ['.' IDENT]
+    condition   := join | selection | udf
+    join        := column '=' column [SELECTIVITY number] [SEMIJOIN]
+    selection   := column op literal [SELECTIVITY number]
+    op          := '=' | '<' | '<=' | '>' | '>=' | '<>' | '!='
+    udf         := IDENT '(' IDENT ')' [COST number] [SELECTIVITY number]
+                   [AT (CLIENT|SERVER)]
+
+``SELECTIVITY`` declares a predicate's selectivity inline (the synthetic
+catalog has no value distributions to derive one from); ``COST`` declares a
+UDF's per-tuple CPU instructions; ``AT CLIENT`` / ``AT SERVER`` pins a
+UDF's evaluation site, otherwise the optimizer chooses it; ``SEMIJOIN`` on
+a join asks the planner for semi-join reducers on that edge.  A condition
+comparing two columns is a join; comparing a column to a literal is a
+selection; ``name(Table)`` is a UDF predicate.
+
+Every error is a :class:`~repro.errors.SqlError` carrying the 1-based
+line/column of the offending token.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlError
+from repro.sql.lexer import Token, tokenize
+from repro.sql.nodes import (
+    AggregateItem,
+    ColumnRef,
+    JoinCondition,
+    SelectStatement,
+    SelectionCondition,
+    TableRef,
+    UdfCondition,
+)
+
+__all__ = ["parse_sql"]
+
+_AGG_FUNCS = frozenset({"COUNT", "SUM", "MIN", "MAX", "AVG"})
+_COMPARISONS = frozenset({"=", "<", "<=", ">", ">=", "<>", "!="})
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token plumbing -------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def error(self, message: str, token: Token | None = None) -> SqlError:
+        token = token or self.current
+        where = f"near {token.text!r}" if token.text else "at end of input"
+        return SqlError(f"{message} {where}", token.line, token.column)
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.current.matches("keyword", word):
+            raise self.error(f"expected {word}")
+        return self.advance()
+
+    def expect_symbol(self, symbol: str) -> Token:
+        if not self.current.matches("symbol", symbol):
+            raise self.error(f"expected {symbol!r}")
+        return self.advance()
+
+    def expect_ident(self, what: str) -> Token:
+        if self.current.kind != "ident":
+            raise self.error(f"expected {what}")
+        return self.advance()
+
+    def accept_symbol(self, symbol: str) -> bool:
+        if self.current.matches("symbol", symbol):
+            self.advance()
+            return True
+        return False
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.current.matches("keyword", word):
+            self.advance()
+            return True
+        return False
+
+    def number(self, what: str) -> float:
+        if self.current.kind != "number":
+            raise self.error(f"expected a number for {what}")
+        return float(self.advance().text)
+
+    # -- grammar --------------------------------------------------------
+    def statement(self) -> SelectStatement:
+        self.expect_keyword("SELECT")
+        columns: list[ColumnRef] = []
+        aggregates: list[AggregateItem] = []
+        star = False
+        if self.accept_symbol("*"):
+            star = True
+        else:
+            while True:
+                self.select_item(columns, aggregates)
+                if not self.accept_symbol(","):
+                    break
+        self.expect_keyword("FROM")
+        tables = [self.table()]
+        while self.accept_symbol(","):
+            tables.append(self.table())
+        joins: list[JoinCondition] = []
+        selections: list[SelectionCondition] = []
+        udfs: list[UdfCondition] = []
+        if self.accept_keyword("WHERE"):
+            while True:
+                self.condition(joins, selections, udfs)
+                if not self.accept_keyword("AND"):
+                    break
+        group_by: list[ColumnRef] = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.column("a grouping column"))
+            while self.accept_symbol(","):
+                group_by.append(self.column("a grouping column"))
+        if self.current.kind != "eof":
+            raise self.error("unexpected trailing input")
+        return SelectStatement(
+            columns=tuple(columns),
+            aggregates=tuple(aggregates),
+            star=star,
+            tables=tuple(tables),
+            joins=tuple(joins),
+            selections=tuple(selections),
+            udfs=tuple(udfs),
+            group_by=tuple(group_by),
+        )
+
+    def select_item(
+        self, columns: list[ColumnRef], aggregates: list[AggregateItem]
+    ) -> None:
+        token = self.current
+        if token.kind == "keyword" and token.text in _AGG_FUNCS:
+            self.advance()
+            self.expect_symbol("(")
+            argument: ColumnRef | None = None
+            if not self.accept_symbol("*"):
+                argument = self.column("an aggregate argument")
+            self.expect_symbol(")")
+            aggregates.append(
+                AggregateItem(token.text, argument, token.line, token.column)
+            )
+            return
+        columns.append(self.column("a select-list column"))
+
+    def table(self) -> TableRef:
+        token = self.expect_ident("a table name")
+        return TableRef(token.text, token.line, token.column)
+
+    def column(self, what: str) -> ColumnRef:
+        first = self.expect_ident(what)
+        if self.accept_symbol("."):
+            second = self.expect_ident("a column name")
+            return ColumnRef(first.text, second.text, first.line, first.column)
+        return ColumnRef(None, first.text, first.line, first.column)
+
+    def condition(
+        self,
+        joins: list[JoinCondition],
+        selections: list[SelectionCondition],
+        udfs: list[UdfCondition],
+    ) -> None:
+        start = self.current
+        if start.kind != "ident":
+            raise self.error("expected a predicate")
+        # UDF call: IDENT '(' IDENT ')'.
+        if self.tokens[self.index + 1].matches("symbol", "("):
+            self.advance()
+            self.expect_symbol("(")
+            relation = self.expect_ident("the UDF's input relation")
+            self.expect_symbol(")")
+            cost = selectivity = None
+            site = "auto"
+            while True:
+                if self.accept_keyword("COST"):
+                    cost = self.number("COST")
+                elif self.accept_keyword("SELECTIVITY"):
+                    selectivity = self.number("SELECTIVITY")
+                elif self.accept_keyword("AT"):
+                    if self.accept_keyword("CLIENT"):
+                        site = "client"
+                    elif self.accept_keyword("SERVER"):
+                        site = "server"
+                    else:
+                        raise self.error("expected CLIENT or SERVER after AT")
+                else:
+                    break
+            udfs.append(
+                UdfCondition(
+                    start.text,
+                    relation.text,
+                    cost,
+                    selectivity,
+                    site,
+                    start.line,
+                    start.column,
+                )
+            )
+            return
+        left = self.column("a predicate column")
+        op_token = self.current
+        if not (op_token.kind == "symbol" and op_token.text in _COMPARISONS):
+            raise self.error("expected a comparison operator")
+        self.advance()
+        if self.current.kind == "ident":
+            right = self.column("the join's right-hand column")
+            if op_token.text != "=":
+                raise SqlError(
+                    f"only equi-joins are supported, got {op_token.text!r}",
+                    op_token.line,
+                    op_token.column,
+                )
+            selectivity = None
+            semijoin = False
+            while True:
+                if self.accept_keyword("SELECTIVITY"):
+                    selectivity = self.number("SELECTIVITY")
+                elif self.accept_keyword("SEMIJOIN"):
+                    semijoin = True
+                else:
+                    break
+            joins.append(
+                JoinCondition(left, right, selectivity, semijoin, start.line, start.column)
+            )
+            return
+        if self.current.kind not in ("number", "string"):
+            raise self.error("expected a literal or column after the comparison")
+        literal = self.advance().text
+        selectivity = None
+        if self.accept_keyword("SELECTIVITY"):
+            selectivity = self.number("SELECTIVITY")
+        selections.append(
+            SelectionCondition(
+                left, op_token.text, literal, selectivity, start.line, start.column
+            )
+        )
+
+
+def parse_sql(sql: str) -> SelectStatement:
+    """Parse one SELECT statement; raise :class:`SqlError` with position."""
+    if not sql or not sql.strip():
+        raise SqlError("empty SQL statement", 1, 1)
+    return _Parser(tokenize(sql)).statement()

@@ -1,0 +1,180 @@
+"""Lower a parsed :class:`SelectStatement` into a logical :class:`Query`.
+
+The planner is the name-resolution layer: it checks every table against
+the catalog, resolves column qualifiers, fills in the statistics the text
+did not declare, and emits the immutable :class:`~repro.plans.logical.Query`
+the optimizer already understands.  Defaults when the statement declares
+nothing:
+
+- join selectivity ``1 / max(|L|, |R|)`` (the paper's *moderate* setting:
+  joining two equal relations returns one relation's cardinality);
+- selection selectivity 0.1 per predicate (multiplied when a relation has
+  several);
+- UDF per-tuple cost 10,000 instructions, selectivity 0.5;
+- ``SEMIJOIN`` on a join edge plants a reducer on each side whose
+  participation ``min(1, selectivity * |other|)`` is below 1 -- i.e. only
+  where the digest would actually drop tuples.
+
+Resolution failures raise :class:`~repro.errors.SqlError` with the source
+position of the offending name.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+from repro.errors import SqlError
+from repro.plans.logical import (
+    Aggregation,
+    JoinPredicate,
+    Query,
+    SemiJoinReduction,
+    UdfPredicate,
+)
+from repro.sql.nodes import ColumnRef, SelectStatement
+
+if typing.TYPE_CHECKING:
+    from repro.catalog.catalog import Catalog
+
+__all__ = ["plan_statement"]
+
+#: Statistics assumed when the statement does not declare them.
+DEFAULT_SELECTION_SELECTIVITY = 0.1
+DEFAULT_UDF_COST = 10_000.0
+DEFAULT_UDF_SELECTIVITY = 0.5
+
+
+def _resolve(ref: ColumnRef, tables: tuple[str, ...]) -> str:
+    """Return the relation a column reference belongs to."""
+    if ref.relation is not None:
+        if ref.relation not in tables:
+            raise SqlError(
+                f"column {ref} references {ref.relation!r}, which is not in the "
+                f"FROM list {list(tables)}",
+                ref.line,
+                ref.col,
+            )
+        return ref.relation
+    if len(tables) == 1:
+        return tables[0]
+    raise SqlError(
+        f"unqualified column {ref.column!r} is ambiguous with "
+        f"{len(tables)} tables in FROM; qualify it as Table.{ref.column}",
+        ref.line,
+        ref.col,
+    )
+
+
+def plan_statement(statement: SelectStatement, catalog: "Catalog") -> Query:
+    """Resolve ``statement`` against ``catalog`` and return a :class:`Query`."""
+    tables = statement.table_names()
+    seen: set[str] = set()
+    for table in statement.tables:
+        if table.name in seen:
+            raise SqlError(
+                f"table {table.name!r} appears twice in FROM", table.line, table.col
+            )
+        seen.add(table.name)
+        if table.name not in catalog.relation_names:
+            raise SqlError(
+                f"unknown table {table.name!r} (catalog has "
+                f"{catalog.relation_names})",
+                table.line,
+                table.col,
+            )
+
+    cardinality = {name: catalog.relation(name).tuples for name in tables}
+
+    # Resolve select-list and aggregate-argument columns (shape checking
+    # only -- the simulator carries widths, not column values).
+    for ref in statement.columns:
+        _resolve(ref, tables)
+    for item in statement.aggregates:
+        if item.argument is not None:
+            _resolve(item.argument, tables)
+
+    predicates: list[JoinPredicate] = []
+    semi_joins: dict[str, SemiJoinReduction] = {}
+    for join in statement.joins:
+        left = _resolve(join.left, tables)
+        right = _resolve(join.right, tables)
+        if left == right:
+            raise SqlError(
+                f"join {join.left} = {join.right} relates {left!r} to itself; "
+                "self-joins are not supported",
+                join.line,
+                join.col,
+            )
+        selectivity = join.selectivity
+        if selectivity is None:
+            selectivity = 1.0 / max(cardinality[left], cardinality[right])
+        predicates.append(JoinPredicate(left, right, selectivity))
+        if join.semijoin:
+            for reduced, other in ((left, right), (right, left)):
+                survivors = min(1.0, selectivity * cardinality[other])
+                if survivors >= 1.0 or reduced in semi_joins:
+                    continue
+                semi_joins[reduced] = SemiJoinReduction(
+                    relation=reduced,
+                    digest_of=other,
+                    survivor_fraction=survivors,
+                )
+
+    selections: dict[str, float] = {}
+    for selection in statement.selections:
+        relation = _resolve(selection.column, tables)
+        declared = selection.selectivity
+        if declared is None:
+            declared = DEFAULT_SELECTION_SELECTIVITY
+        selections[relation] = selections.get(relation, 1.0) * declared
+
+    udfs: list[UdfPredicate] = []
+    for udf in statement.udfs:
+        if udf.relation not in seen:
+            raise SqlError(
+                f"UDF {udf.name}({udf.relation}) applies to {udf.relation!r}, "
+                f"which is not in the FROM list {list(tables)}",
+                udf.line,
+                udf.col,
+            )
+        udfs.append(
+            UdfPredicate(
+                name=udf.name,
+                relation=udf.relation,
+                per_tuple_instructions=(
+                    DEFAULT_UDF_COST if udf.cost is None else udf.cost
+                ),
+                selectivity=(
+                    DEFAULT_UDF_SELECTIVITY
+                    if udf.selectivity is None
+                    else udf.selectivity
+                ),
+                site=udf.site,
+            )
+        )
+
+    aggregation = None
+    if statement.has_aggregation:
+        group_by: list[str] = []
+        groups = 1.0
+        for ref in statement.group_by:
+            relation = _resolve(ref, tables)
+            group_by.append(f"{relation}.{ref.column}")
+            # Distinct-value estimate without column statistics: sqrt of the
+            # relation's cardinality per grouping column.
+            groups *= math.sqrt(cardinality[relation])
+        aggregation = Aggregation(
+            group_by=tuple(group_by),
+            aggregates=tuple(str(item) for item in statement.aggregates),
+            groups=max(1.0, groups),
+        )
+
+    return Query(
+        relations=tables,
+        predicates=tuple(predicates),
+        selections=selections,
+        udfs=tuple(udfs),
+        semi_joins=tuple(semi_joins[name] for name in tables if name in semi_joins),
+        aggregation=aggregation,
+    )

@@ -1,0 +1,78 @@
+"""Build a runnable :class:`Scenario` straight from SQL text.
+
+:func:`sql_scenario` is the glue between the frontend and the simulator:
+it synthesizes a catalog for the tables the statement references (every
+table defaults to the paper's benchmark shape, 10,000 tuples of 100
+bytes), places them over the requested servers, lowers the statement into
+a :class:`~repro.plans.logical.Query`, and wraps everything in the same
+:class:`~repro.workloads.scenarios.Scenario` the chain-join experiments
+use -- so SQL queries run through the identical optimize/bind/simulate
+pipeline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.placement import random_placement
+from repro.catalog.schema import Relation
+from repro.config import BufferAllocation, SystemConfig
+from repro.sql.nodes import SelectStatement
+from repro.sql.parser import parse_sql
+from repro.sql.planner import plan_statement
+from repro.workloads.scenarios import Scenario
+
+__all__ = ["sql_scenario"]
+
+#: Default table shape when ``tables`` does not override it (section 3.3
+#: of the paper: 10,000 tuples of 100 bytes).
+DEFAULT_TABLE_TUPLES = 10_000
+DEFAULT_TUPLE_BYTES = 100
+
+
+def sql_scenario(
+    sql: "str | SelectStatement",
+    num_servers: int = 1,
+    cached_fraction: float = 0.0,
+    placement_seed: int = 0,
+    server_load: float = 0.0,
+    config: SystemConfig | None = None,
+    tables: dict[str, int] | None = None,
+    allocation: BufferAllocation = BufferAllocation.MAXIMUM,
+) -> Scenario:
+    """Turn SQL text (or a parsed statement) into a runnable scenario.
+
+    ``tables`` overrides per-table cardinalities by name; unlisted tables
+    get the benchmark default of 10,000 tuples.  ``cached_fraction``
+    caches that fraction of every table at the client, ``server_load``
+    adds the external disk load at every server, and ``placement_seed``
+    drives the random assignment of tables to servers -- the same knobs
+    :func:`~repro.workloads.scenarios.chain_scenario` exposes.
+
+    Unlike the chain experiments (which study the minimum-allocation
+    regime on purpose), SQL scenarios default to ``MAXIMUM`` buffer
+    allocation so server-side joins do not spill -- placement choices then
+    reflect the shipping/CPU tradeoff rather than buffer starvation.
+    Pass ``allocation=BufferAllocation.MINIMUM`` to study that regime.
+    """
+    statement = parse_sql(sql) if isinstance(sql, str) else sql
+    base = config or SystemConfig()
+    system = replace(base, num_servers=num_servers, buffer_allocation=allocation)
+    sizes = tables or {}
+    relations = [
+        Relation(name, sizes.get(name, DEFAULT_TABLE_TUPLES), DEFAULT_TUPLE_BYTES)
+        for name in statement.table_names()
+    ]
+    names = [r.name for r in relations]
+    placement = random_placement(names, num_servers, random.Random(placement_seed))
+    cache = {name: cached_fraction for name in names} if cached_fraction > 0.0 else {}
+    catalog = Catalog(relations, placement, cache)
+    query = plan_statement(statement, catalog)
+    loads = {s: server_load for s in range(1, num_servers + 1)} if server_load else {}
+    description = (
+        f"SQL over {len(names)} table(s), {num_servers} server(s)"
+        + (f", {cached_fraction:.0%} cached" if cached_fraction else "")
+    )
+    return Scenario(system, catalog, query, loads, description)

@@ -1,0 +1,45 @@
+"""The function-shipping sweep: CLI registration and sweep shape."""
+
+from repro.experiments.cli import main
+from repro.experiments.figures import function_shipping
+from repro.experiments.runner import RunSettings
+
+TINY_COSTS = (0.0, 128_000.0)
+
+
+def test_listed_in_the_cli(capsys):
+    assert main(["--list"]) == 0
+    assert "function-shipping" in capsys.readouterr().out.split()
+
+
+def test_cli_run_with_tiny_sweep(capsys):
+    code = main(["function-shipping", "--seeds", "3", "--udf-costs", "0", "128000"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "function-shipping" in out
+    assert "optimizer-chosen" in out
+
+
+def test_sweep_shape():
+    settings = RunSettings(seeds=(3,))
+    result = function_shipping(settings, udf_costs=TINY_COSTS)
+    times = {
+        arm: result.series_means(arm)
+        for arm in ("client-eval", "server-eval", "optimizer-chosen")
+    }
+    pages = {
+        arm: result.series_means(f"pages {arm}")
+        for arm in ("client-eval", "server-eval", "optimizer-chosen")
+    }
+    # Server evaluation halves the shipped volume at every cost.
+    for cost in TINY_COSTS:
+        assert pages["server-eval"][cost] < pages["client-eval"][cost]
+    # The pinned arms cross as the UDF gets expensive...
+    assert times["server-eval"][0.0] < times["client-eval"][0.0]
+    assert times["client-eval"][128_000.0] < times["server-eval"][128_000.0]
+    # ...and the optimizer-chosen arm tracks the lower envelope: the
+    # placement demonstrably flips from server to client.
+    assert times["optimizer-chosen"][0.0] == times["server-eval"][0.0]
+    assert times["optimizer-chosen"][128_000.0] == times["client-eval"][128_000.0]
+    assert pages["optimizer-chosen"][0.0] == pages["server-eval"][0.0]
+    assert pages["optimizer-chosen"][128_000.0] == pages["client-eval"][128_000.0]

@@ -1,0 +1,114 @@
+"""Plan-cache fingerprints for SQL-planned queries.
+
+Two guarantees: function-shipping features never alias in the cache (two
+statements differing only in UDF placement or GROUP BY keys get distinct
+fingerprints), and plain SPJ queries fingerprint exactly as they did
+before the SQL frontend existed -- so the frontend cannot invalidate or
+collide with the chain-join experiments' cached optimizations.
+"""
+
+from repro.config import OptimizerConfig
+from repro.costmodel.model import Objective
+from repro.optimizer.cache import PlanCache, plan_fingerprint
+from repro.optimizer.random_plans import PlanShape
+from repro.optimizer.two_phase import RandomizedOptimizer
+from repro.plans.logical import JoinPredicate, Query
+from repro.plans.policies import Policy
+from repro.sql.scenario import sql_scenario
+
+
+def fingerprint_of(sql: str) -> str:
+    scenario = sql_scenario(sql, placement_seed=3)
+    return plan_fingerprint(
+        scenario.query,
+        scenario.environment(),
+        Policy.QUERY_SHIPPING,
+        Objective.RESPONSE_TIME,
+        OptimizerConfig.fast(),
+        seed=3,
+        shape=PlanShape.ANY,
+        annotation_moves_only=False,
+        forced_client_relations=frozenset(),
+    )
+
+
+class TestSqlFingerprints:
+    def test_udf_placement_changes_the_key(self):
+        template = "SELECT * FROM R0 WHERE f(R0) COST 20000{at}"
+        prints = {
+            fingerprint_of(template.format(at=at))
+            for at in ("", " AT CLIENT", " AT SERVER")
+        }
+        assert len(prints) == 3
+
+    def test_udf_cost_changes_the_key(self):
+        assert fingerprint_of(
+            "SELECT * FROM R0 WHERE f(R0) COST 0"
+        ) != fingerprint_of("SELECT * FROM R0 WHERE f(R0) COST 20000")
+
+    def test_group_by_keys_change_the_key(self):
+        template = "SELECT {col}, COUNT(*) FROM R0 GROUP BY {col}"
+        assert fingerprint_of(template.format(col="R0.a")) != fingerprint_of(
+            template.format(col="R0.b")
+        )
+
+    def test_grouped_and_plain_statements_differ(self):
+        assert fingerprint_of("SELECT COUNT(*) FROM R0") != fingerprint_of(
+            "SELECT * FROM R0"
+        )
+
+    def test_semijoin_changes_the_key(self):
+        template = "SELECT * FROM R0, R1 WHERE R0.k = R1.k SELECTIVITY 0.00002{semi}"
+        assert fingerprint_of(template.format(semi="")) != fingerprint_of(
+            template.format(semi=" SEMIJOIN")
+        )
+
+    def test_plain_spj_matches_a_hand_built_query(self):
+        scenario = sql_scenario(
+            "SELECT * FROM R0, R1 WHERE R0.k = R1.k SELECTIVITY 0.0001",
+            placement_seed=3,
+        )
+        hand_built = Query(("R0", "R1"), (JoinPredicate("R0", "R1", 0.0001),))
+        args = (
+            scenario.environment(),
+            Policy.QUERY_SHIPPING,
+            Objective.RESPONSE_TIME,
+            OptimizerConfig.fast(),
+        )
+        kwargs = dict(
+            seed=3,
+            shape=PlanShape.ANY,
+            annotation_moves_only=False,
+            forced_client_relations=frozenset(),
+        )
+        assert plan_fingerprint(scenario.query, *args, **kwargs) == plan_fingerprint(
+            hand_built, *args, **kwargs
+        )
+
+
+class TestSqlPlanCaching:
+    def test_cached_equals_uncached(self):
+        sql = (
+            "SELECT R0.k, COUNT(*) FROM R0, R1 "
+            "WHERE R0.k = R1.k SELECTIVITY 0.00002 SEMIJOIN "
+            "AND slow(R0) COST 20000 GROUP BY R0.k"
+        )
+        scenario = sql_scenario(sql, placement_seed=3)
+
+        def optimize(plan_cache):
+            optimizer = RandomizedOptimizer(
+                scenario.query,
+                scenario.environment(),
+                policy=Policy.HYBRID_SHIPPING,
+                seed=3,
+                plan_cache=plan_cache,
+            )
+            return optimizer.optimize()
+
+        uncached = optimize(None)
+        cache = PlanCache()
+        first = optimize(cache)
+        second = optimize(cache)  # full-run hit
+        assert cache.stats.hits > 0
+        assert first.plan == uncached.plan == second.plan
+        assert first.cost.response_time == uncached.cost.response_time

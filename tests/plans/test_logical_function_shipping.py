@@ -1,0 +1,86 @@
+"""Validation of the function-shipping logical nodes: errors name names."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.plans.logical import (
+    Aggregation,
+    JoinPredicate,
+    Query,
+    SemiJoinReduction,
+    UdfPredicate,
+)
+
+EDGE = JoinPredicate("A", "B", 1e-4)
+
+
+class TestUdfPredicate:
+    def test_negative_cost_names_the_udf(self):
+        with pytest.raises(PlanError, match=r"UDF 'f' on 'A'.*-1"):
+            UdfPredicate("f", "A", -1.0)
+
+    def test_bad_selectivity_names_the_udf(self):
+        with pytest.raises(PlanError, match=r"UDF 'f' on 'A'.*selectivity"):
+            UdfPredicate("f", "A", 10.0, selectivity=0.0)
+
+    def test_bad_site_lists_the_legal_values(self):
+        with pytest.raises(PlanError, match=r"'auto', 'client', 'server'"):
+            UdfPredicate("f", "A", 10.0, site="moon")
+
+    def test_query_rejects_udf_on_unknown_relation(self):
+        with pytest.raises(PlanError, match=r"UDF 'f' applies to unknown relation 'C'"):
+            Query(("A", "B"), (EDGE,), udfs=(UdfPredicate("f", "C", 10.0),))
+
+
+class TestSemiJoinReduction:
+    def test_self_digest_rejected(self):
+        with pytest.raises(PlanError, match=r"'A' cannot take a digest of itself"):
+            SemiJoinReduction("A", "A", 0.5)
+
+    def test_bad_survivor_fraction(self):
+        with pytest.raises(PlanError, match=r"semi-join on 'A'.*survivor"):
+            SemiJoinReduction("A", "B", 0.0)
+
+    def test_query_rejects_reducer_on_unknown_relation(self):
+        with pytest.raises(PlanError, match=r"unknown relation 'C'"):
+            Query(("A", "B"), (EDGE,), semi_joins=(SemiJoinReduction("C", "A", 0.5),))
+
+    def test_query_rejects_digest_of_unknown_relation(self):
+        with pytest.raises(PlanError, match=r"digest of unknown relation 'C'"):
+            Query(("A", "B"), (EDGE,), semi_joins=(SemiJoinReduction("A", "C", 0.5),))
+
+    def test_query_rejects_two_reducers_per_relation(self):
+        with pytest.raises(PlanError, match=r"'A' has more than one semi-join"):
+            Query(
+                ("A", "B"),
+                (EDGE,),
+                semi_joins=(
+                    SemiJoinReduction("A", "B", 0.5),
+                    SemiJoinReduction("A", "B", 0.2),
+                ),
+            )
+
+
+class TestAggregation:
+    def test_needs_columns_or_aggregates(self):
+        with pytest.raises(PlanError, match="group-by columns or aggregates"):
+            Aggregation()
+
+    def test_group_estimate_below_one_rejected(self):
+        with pytest.raises(PlanError, match=r"at least one"):
+            Aggregation(group_by=("A.k",), groups=0.5)
+
+
+class TestQueryLookups:
+    def test_udfs_on_preserves_declaration_order(self):
+        first = UdfPredicate("f", "A", 10.0)
+        second = UdfPredicate("g", "A", 20.0)
+        query = Query(("A", "B"), (EDGE,), udfs=(first, second))
+        assert query.udfs_on("A") == (first, second)
+        assert query.udfs_on("B") == ()
+
+    def test_semi_join_on(self):
+        reduction = SemiJoinReduction("A", "B", 0.5)
+        query = Query(("A", "B"), (EDGE,), semi_joins=(reduction,))
+        assert query.semi_join_on("A") is reduction
+        assert query.semi_join_on("B") is None

@@ -1,0 +1,61 @@
+"""Rendering of the function-shipping operators, unbound and bound."""
+
+from repro.catalog import Catalog, Placement, Relation
+from repro.plans import DisplayOp, JoinOp, ScanOp, bind_plan, render_plan
+from repro.plans.annotations import Annotation
+from repro.plans.logical import SemiJoinReduction, UdfPredicate
+from repro.plans.operators import AggregateOp, SemiJoinOp, UdfFilterOp
+
+A = Annotation
+
+
+def _plan():
+    left = SemiJoinOp(
+        A.PRODUCER,
+        child=ScanOp(A.PRIMARY_COPY, "R0"),
+        reduction=SemiJoinReduction("R0", "R1", 0.2),
+    )
+    right = UdfFilterOp(
+        A.CLIENT,
+        child=ScanOp(A.PRIMARY_COPY, "R1"),
+        udf=UdfPredicate("slow", "R1", 20_000.0),
+    )
+    join = JoinOp(A.CONSUMER, inner=left, outer=right)
+    agg = AggregateOp(
+        A.CONSUMER,
+        child=join,
+        group_by=("R0.k",),
+        aggregates=("COUNT(*)",),
+        groups=100.0,
+    )
+    return DisplayOp(A.CLIENT, child=agg)
+
+
+def test_render_unbound_labels():
+    text = render_plan(_plan())
+    assert "aggregate(group by R0.k) [consumer]" in text
+    assert "semijoin(R0 << R1) [producer]" in text
+    assert "udf-filter(slow(R1) cost=20000) [client]" in text
+
+
+def test_render_bound_shows_chosen_sites():
+    catalog = Catalog(
+        [Relation("R0", 10_000), Relation("R1", 10_000)],
+        Placement({"R0": 1, "R1": 2}),
+    )
+    text = render_plan(bind_plan(_plan(), catalog))
+    assert "semijoin(R0 << R1) [producer] @server1" in text
+    assert "udf-filter(slow(R1) cost=20000) [client] @client" in text
+    assert "aggregate(group by R0.k) [consumer] @client" in text
+
+
+def test_scalar_aggregate_renders_all_marker():
+    agg = AggregateOp(
+        A.CONSUMER,
+        child=ScanOp(A.CLIENT, "R0"),
+        group_by=(),
+        aggregates=("COUNT(*)",),
+        groups=1.0,
+    )
+    text = render_plan(DisplayOp(A.CLIENT, child=agg))
+    assert "aggregate(group by <all>) [consumer]" in text

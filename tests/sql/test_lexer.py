@@ -1,0 +1,72 @@
+"""Lexer: token kinds, keyword folding, and 1-based position tracking."""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.sql.lexer import tokenize
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)]
+
+
+def texts(sql):
+    return [t.text for t in tokenize(sql)]
+
+
+class TestTokenKinds:
+    def test_simple_statement(self):
+        assert kinds("SELECT * FROM R0") == [
+            "keyword", "symbol", "keyword", "ident", "eof",
+        ]
+
+    def test_keywords_fold_to_upper(self):
+        assert texts("select From wHeRe")[:3] == ["SELECT", "FROM", "WHERE"]
+
+    def test_idents_keep_their_case(self):
+        assert texts("SELECT Parts FROM Parts")[1] == "Parts"
+
+    def test_numbers(self):
+        assert texts("COST 2e4 SELECTIVITY 0.25") == [
+            "COST", "2e4", "SELECTIVITY", "0.25", "",
+        ]
+        assert kinds("1 1.5 .5 2e-3")[:4] == ["number"] * 4
+
+    def test_string_literal(self):
+        tokens = tokenize("R.name = 'widget'")
+        assert tokens[4].kind == "string"
+        assert tokens[4].text == "widget"
+
+    def test_two_char_operators_lex_whole(self):
+        symbols = [t.text for t in tokenize("a <= b <> c") if t.kind == "symbol"]
+        assert symbols == ["<=", "<>"]
+
+    def test_line_comments_skipped(self):
+        sql = "SELECT * -- everything\nFROM R0"
+        assert texts(sql) == ["SELECT", "*", "FROM", "R0", ""]
+
+
+class TestPositions:
+    def test_columns_are_one_based(self):
+        first = tokenize("SELECT x")[0]
+        assert (first.line, first.column) == (1, 1)
+
+    def test_newlines_advance_lines(self):
+        tokens = tokenize("SELECT *\nFROM R0\nWHERE a = 1")
+        where = next(t for t in tokens if t.text == "WHERE")
+        assert (where.line, where.column) == (3, 1)
+        literal = next(t for t in tokens if t.kind == "number")
+        assert (literal.line, literal.column) == (3, 11)
+
+
+class TestLexErrors:
+    def test_unexpected_character_carries_position(self):
+        with pytest.raises(SqlError) as info:
+            tokenize("SELECT * FROM R0 WHERE a ; 1")
+        assert info.value.line == 1
+        assert info.value.column == 26
+        assert "';'" in str(info.value)
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlError, match="unterminated string"):
+            tokenize("R.name = 'widget")

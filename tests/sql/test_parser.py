@@ -1,0 +1,127 @@
+"""Parser: grammar coverage and positioned SqlError reporting."""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.sql.parser import parse_sql
+
+
+class TestSelectList:
+    def test_star(self):
+        statement = parse_sql("SELECT * FROM R0")
+        assert statement.star
+        assert statement.columns == ()
+        assert statement.table_names() == ("R0",)
+
+    def test_columns_and_aggregates_mix(self):
+        statement = parse_sql("SELECT R0.k, COUNT(*), SUM(R0.x) FROM R0")
+        assert [str(c) for c in statement.columns] == ["R0.k"]
+        assert [str(a) for a in statement.aggregates] == ["COUNT(*)", "SUM(R0.x)"]
+
+    def test_unqualified_column(self):
+        statement = parse_sql("SELECT k FROM R0")
+        assert statement.columns[0].relation is None
+        assert statement.columns[0].column == "k"
+
+
+class TestWhereClause:
+    def test_join_with_statistics(self):
+        statement = parse_sql(
+            "SELECT * FROM L, R WHERE L.k = R.k SELECTIVITY 0.001 SEMIJOIN"
+        )
+        (join,) = statement.joins
+        assert (str(join.left), str(join.right)) == ("L.k", "R.k")
+        assert join.selectivity == 0.001
+        assert join.semijoin
+
+    def test_join_defaults(self):
+        (join,) = parse_sql("SELECT * FROM L, R WHERE L.k = R.k").joins
+        assert join.selectivity is None
+        assert not join.semijoin
+
+    def test_selection(self):
+        statement = parse_sql(
+            "SELECT * FROM R0 WHERE R0.price < 100 SELECTIVITY 0.2"
+        )
+        (selection,) = statement.selections
+        assert selection.operator == "<"
+        assert selection.literal == "100"
+        assert selection.selectivity == 0.2
+
+    def test_string_literal_selection(self):
+        (selection,) = parse_sql("SELECT * FROM R0 WHERE R0.name = 'x'").selections
+        assert selection.literal == "x"
+
+    def test_udf_with_all_clauses(self):
+        statement = parse_sql(
+            "SELECT * FROM R0 WHERE slow(R0) COST 20000 SELECTIVITY 0.25 AT CLIENT"
+        )
+        (udf,) = statement.udfs
+        assert (udf.name, udf.relation) == ("slow", "R0")
+        assert (udf.cost, udf.selectivity, udf.site) == (20000.0, 0.25, "client")
+
+    def test_udf_defaults_to_auto(self):
+        (udf,) = parse_sql("SELECT * FROM R0 WHERE f(R0)").udfs
+        assert udf.cost is None
+        assert udf.selectivity is None
+        assert udf.site == "auto"
+
+    def test_mixed_conjunction(self):
+        statement = parse_sql(
+            "SELECT * FROM L, R "
+            "WHERE L.k = R.k AND L.price < 5 AND f(R) AT SERVER"
+        )
+        assert len(statement.joins) == 1
+        assert len(statement.selections) == 1
+        assert statement.udfs[0].site == "server"
+
+
+class TestGroupBy:
+    def test_group_by_columns(self):
+        statement = parse_sql("SELECT R0.k, COUNT(*) FROM R0 GROUP BY R0.k")
+        assert [str(c) for c in statement.group_by] == ["R0.k"]
+        assert statement.has_aggregation
+
+    def test_aggregates_without_group_by(self):
+        assert parse_sql("SELECT COUNT(*) FROM R0").has_aggregation
+
+    def test_plain_select_has_no_aggregation(self):
+        assert not parse_sql("SELECT * FROM R0").has_aggregation
+
+
+class TestParseErrors:
+    def test_empty_statement(self):
+        with pytest.raises(SqlError, match="empty SQL"):
+            parse_sql("   ")
+
+    def test_error_carries_line_and_column(self):
+        with pytest.raises(SqlError) as info:
+            parse_sql("SELECT *\nFRO R0")
+        assert "expected FROM" in str(info.value)
+        assert (info.value.line, info.value.column) == (2, 1)
+
+    def test_error_names_the_offending_token(self):
+        with pytest.raises(SqlError, match="near 'FRO'"):
+            parse_sql("SELECT * FRO R0")
+
+    def test_truncated_statement_reports_end_of_input(self):
+        with pytest.raises(SqlError, match="at end of input"):
+            parse_sql("SELECT * FROM")
+
+    def test_non_equi_join_rejected_at_the_operator(self):
+        with pytest.raises(SqlError) as info:
+            parse_sql("SELECT * FROM L, R WHERE L.k < R.k")
+        assert "only equi-joins" in str(info.value)
+        assert (info.value.line, info.value.column) == (1, 30)
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(SqlError, match="trailing input"):
+            parse_sql("SELECT * FROM R0 GROUP BY k extra")
+
+    def test_at_requires_a_site(self):
+        with pytest.raises(SqlError, match="expected CLIENT or SERVER"):
+            parse_sql("SELECT * FROM R0 WHERE f(R0) AT nowhere")
+
+    def test_selectivity_requires_a_number(self):
+        with pytest.raises(SqlError, match="expected a number for SELECTIVITY"):
+            parse_sql("SELECT * FROM L, R WHERE L.k = R.k SELECTIVITY high")

@@ -1,0 +1,136 @@
+"""Planner: name resolution, statistics defaults, and lowering to Query."""
+
+import math
+
+import pytest
+
+from repro.catalog import Catalog, Placement, Relation
+from repro.errors import SqlError
+from repro.sql.parser import parse_sql
+from repro.sql.planner import (
+    DEFAULT_SELECTION_SELECTIVITY,
+    DEFAULT_UDF_COST,
+    DEFAULT_UDF_SELECTIVITY,
+    plan_statement,
+)
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    return Catalog(
+        [Relation("R0", 10_000), Relation("R1", 40_000), Relation("R2", 10_000)],
+        Placement({"R0": 1, "R1": 1, "R2": 1}),
+    )
+
+
+def lower(sql: str, catalog: Catalog):
+    return plan_statement(parse_sql(sql), catalog)
+
+
+class TestLowering:
+    def test_relations_follow_from_order(self, catalog):
+        query = lower("SELECT * FROM R1, R0 WHERE R0.k = R1.k", catalog)
+        assert query.relations == ("R1", "R0")
+
+    def test_default_join_selectivity_is_one_over_larger_input(self, catalog):
+        query = lower("SELECT * FROM R0, R1 WHERE R0.k = R1.k", catalog)
+        assert query.predicates[0].selectivity == 1.0 / 40_000
+
+    def test_declared_join_selectivity_wins(self, catalog):
+        query = lower(
+            "SELECT * FROM R0, R1 WHERE R0.k = R1.k SELECTIVITY 0.001", catalog
+        )
+        assert query.predicates[0].selectivity == 0.001
+
+    def test_selections_multiply_per_relation(self, catalog):
+        query = lower(
+            "SELECT * FROM R0 WHERE R0.a < 1 AND R0.b < 2 SELECTIVITY 0.5", catalog
+        )
+        assert query.selections["R0"] == DEFAULT_SELECTION_SELECTIVITY * 0.5
+
+    def test_udf_defaults(self, catalog):
+        query = lower("SELECT * FROM R0 WHERE f(R0)", catalog)
+        (udf,) = query.udfs
+        assert udf.per_tuple_instructions == DEFAULT_UDF_COST
+        assert udf.selectivity == DEFAULT_UDF_SELECTIVITY
+        assert udf.site == "auto"
+
+    def test_pinned_udf_site_survives_lowering(self, catalog):
+        query = lower("SELECT * FROM R0 WHERE f(R0) AT SERVER", catalog)
+        assert query.udfs[0].site == "server"
+
+    def test_group_by_resolves_and_estimates_groups(self, catalog):
+        query = lower(
+            "SELECT R0.k, COUNT(*) FROM R0, R1 WHERE R0.k = R1.k GROUP BY R0.k",
+            catalog,
+        )
+        assert query.aggregation is not None
+        assert query.aggregation.group_by == ("R0.k",)
+        assert query.aggregation.aggregates == ("COUNT(*)",)
+        assert query.aggregation.groups == pytest.approx(math.sqrt(10_000))
+
+    def test_unqualified_group_by_resolves_with_one_table(self, catalog):
+        query = lower("SELECT k, COUNT(*) FROM R0 GROUP BY k", catalog)
+        assert query.aggregation.group_by == ("R0.k",)
+
+    def test_scalar_aggregate_has_one_group(self, catalog):
+        query = lower("SELECT COUNT(*) FROM R0", catalog)
+        assert query.aggregation.groups == 1.0
+
+
+class TestSemiJoinPlanting:
+    def test_low_participation_plants_reducers_on_both_sides(self, catalog):
+        query = lower(
+            "SELECT * FROM R0, R2 WHERE R0.k = R2.k SELECTIVITY 0.00002 SEMIJOIN",
+            catalog,
+        )
+        planted = {semi.relation: semi for semi in query.semi_joins}
+        assert set(planted) == {"R0", "R2"}
+        assert planted["R0"].digest_of == "R2"
+        assert planted["R0"].survivor_fraction == pytest.approx(0.2)
+
+    def test_full_participation_plants_nothing(self, catalog):
+        query = lower(
+            "SELECT * FROM R0, R2 WHERE R0.k = R2.k SELECTIVITY 0.001 SEMIJOIN",
+            catalog,
+        )
+        assert query.semi_joins == ()
+
+    def test_without_the_keyword_no_reducers(self, catalog):
+        query = lower(
+            "SELECT * FROM R0, R2 WHERE R0.k = R2.k SELECTIVITY 0.00002", catalog
+        )
+        assert query.semi_joins == ()
+
+
+class TestResolutionErrors:
+    def test_unknown_table_names_itself_and_the_catalog(self, catalog):
+        with pytest.raises(SqlError, match=r"unknown table 'Nope'") as info:
+            lower("SELECT * FROM Nope", catalog)
+        assert "R0" in str(info.value)  # catalog contents help the user
+        assert info.value.line == 1
+
+    def test_duplicate_table(self, catalog):
+        with pytest.raises(SqlError, match="appears twice in FROM"):
+            lower("SELECT * FROM R0, R0", catalog)
+
+    def test_column_qualifier_outside_from_list(self, catalog):
+        with pytest.raises(SqlError, match=r"R9\.k references 'R9'"):
+            lower("SELECT R9.k FROM R0", catalog)
+
+    def test_ambiguous_unqualified_column(self, catalog):
+        with pytest.raises(SqlError, match="ambiguous"):
+            lower("SELECT k FROM R0, R1 WHERE R0.k = R1.k", catalog)
+
+    def test_self_join_rejected(self, catalog):
+        with pytest.raises(SqlError, match="self-joins are not supported"):
+            lower("SELECT * FROM R0 WHERE R0.a = R0.b", catalog)
+
+    def test_udf_on_unlisted_relation(self, catalog):
+        with pytest.raises(SqlError, match=r"f\(R9\) applies to 'R9'"):
+            lower("SELECT * FROM R0 WHERE f(R9)", catalog)
+
+    def test_error_position_spans_lines(self, catalog):
+        with pytest.raises(SqlError) as info:
+            lower("SELECT *\nFROM R0,\n     Nope", catalog)
+        assert (info.value.line, info.value.column) == (3, 6)

@@ -1,0 +1,86 @@
+"""End-to-end: SQL text through optimize, bind, and simulate."""
+
+import pytest
+
+from repro import api
+from repro.errors import ConfigurationError, SqlError
+from repro.plans.annotations import Annotation
+from repro.plans.operators import AggregateOp, SemiJoinOp, UdfFilterOp
+
+FULL_QUERY = (
+    "SELECT R0.k, COUNT(*) FROM R0, R1 "
+    "WHERE R0.k = R1.k SELECTIVITY 0.00002 SEMIJOIN AND slow(R0) COST 20000 "
+    "GROUP BY R0.k"
+)
+
+
+class TestRunSql:
+    @pytest.mark.parametrize("policy", ["data", "query", "hybrid"])
+    def test_full_query_under_every_policy(self, policy):
+        outcome = api.run_sql(FULL_QUERY, policy=policy, num_servers=2, seed=3)
+        result = outcome.result
+        assert result.response_time > 0.0
+        kinds = {type(op) for op in outcome.plan.walk()}
+        assert {AggregateOp, SemiJoinOp, UdfFilterOp} <= kinds
+        # The hash group-by collapses the join result to its groups: far
+        # fewer output tuples than the 10,000-tuple inputs.
+        assert 0 < result.result_tuples <= 100
+
+    def test_semijoin_cuts_shipped_pages(self):
+        sql = "SELECT * FROM R0, R1 WHERE R0.k = R1.k SELECTIVITY 0.00002{semi}"
+        plain = api.run_sql(sql.format(semi=""), policy="query", seed=3)
+        reduced = api.run_sql(sql.format(semi=" SEMIJOIN"), policy="query", seed=3)
+        assert reduced.result.pages_sent < plain.result.pages_sent
+
+    def test_pinned_site_controls_shipped_volume(self):
+        sql = "SELECT * FROM R0 WHERE f(R0)"  # selectivity defaults to 0.5
+        server = api.run_sql(sql, policy="query", seed=3, udf_site="server")
+        client = api.run_sql(sql, policy="query", seed=3, udf_site="client")
+        # Server-side evaluation halves the stream before it is shipped.
+        assert server.result.pages_sent * 2 == client.result.pages_sent
+
+    def test_invalid_udf_site_rejected(self):
+        with pytest.raises(ConfigurationError, match="udf_site"):
+            api.run_sql("SELECT * FROM R0 WHERE f(R0)", udf_site="moon")
+
+    def test_sql_errors_propagate_with_position(self):
+        with pytest.raises(SqlError) as info:
+            api.run_sql("SELECT * FRO R0")
+        assert info.value.column == 10
+
+    def test_predicted_metrics_populated(self):
+        outcome = api.run_sql("SELECT * FROM R0", policy="query", seed=3)
+        assert outcome.predicted.response_time > 0.0
+
+
+class TestFunctionShippingFlip:
+    """The optimizer's udf-site move reacts to the declared UDF cost."""
+
+    @staticmethod
+    def bound_udf_annotation(cost: float) -> Annotation:
+        outcome = api.run_sql(
+            f"SELECT * FROM R0 WHERE f(R0) COST {cost:g}", policy="query", seed=3
+        )
+        (udf,) = [op for op in outcome.plan.walk() if isinstance(op, UdfFilterOp)]
+        return udf.annotation
+
+    def test_free_udf_runs_at_the_server(self):
+        # At cost ~0 the only effect of the UDF is halving the shipped
+        # pages, so evaluating at the producing site wins.
+        assert self.bound_udf_annotation(0.0) is Annotation.PRODUCER
+
+    def test_expensive_udf_migrates_to_the_client(self):
+        # The UDF's cpu serializes with the server's disk reads; at the
+        # client it overlaps the transfer instead.
+        assert self.bound_udf_annotation(128_000.0) is Annotation.CLIENT
+
+    def test_optimizer_matches_the_better_pinned_arm(self):
+        for cost in (0.0, 128_000.0):
+            sql = f"SELECT * FROM R0 WHERE f(R0) COST {cost:g}"
+            chosen = api.run_sql(sql, policy="query", seed=3)
+            pinned = [
+                api.run_sql(sql, policy="query", seed=3, udf_site=site)
+                for site in ("client", "server")
+            ]
+            best = min(p.result.response_time for p in pinned)
+            assert chosen.result.response_time <= best + 1e-9

@@ -1,0 +1,38 @@
+"""sql_scenario: catalog synthesis and scenario wiring from SQL text."""
+
+from repro.config import BufferAllocation
+from repro.sql.parser import parse_sql
+from repro.sql.scenario import sql_scenario
+
+
+class TestSqlScenario:
+    def test_tables_default_to_benchmark_shape(self):
+        scenario = sql_scenario("SELECT * FROM Part, Supp WHERE Part.k = Supp.k")
+        for name in ("Part", "Supp"):
+            relation = scenario.catalog.relation(name)
+            assert relation.tuples == 10_000
+            assert relation.tuple_bytes == 100
+
+    def test_cardinality_overrides(self):
+        scenario = sql_scenario("SELECT * FROM Part", tables={"Part": 500})
+        assert scenario.catalog.relation("Part").tuples == 500
+
+    def test_accepts_a_parsed_statement(self):
+        statement = parse_sql("SELECT * FROM R0")
+        assert sql_scenario(statement).query.relations == ("R0",)
+
+    def test_defaults_to_maximum_allocation(self):
+        scenario = sql_scenario("SELECT * FROM R0")
+        assert scenario.config.buffer_allocation is BufferAllocation.MAXIMUM
+
+    def test_placement_is_seeded(self):
+        sql = "SELECT * FROM A, B WHERE A.k = B.k"
+        one = sql_scenario(sql, num_servers=2, placement_seed=1)
+        same = sql_scenario(sql, num_servers=2, placement_seed=1)
+        assert one.catalog.placement.assignments == same.catalog.placement.assignments
+
+    def test_cached_fraction_applies_to_every_table(self):
+        scenario = sql_scenario(
+            "SELECT * FROM A, B WHERE A.k = B.k", cached_fraction=0.5
+        )
+        assert scenario.catalog.cache_fractions == {"A": 0.5, "B": 0.5}
